@@ -1,0 +1,88 @@
+// Command tmlc compiles TL modules into a persistent Tycoon store,
+// installing for every function its TAM code, its persistent TML tree
+// (PTML) and its R-value binding table — the compiler back end of paper
+// Fig. 3. The standard library is installed automatically into a fresh
+// store.
+//
+//	tmlc -store db.tyst [-O] [-direct] [-strip] file.tl…
+//
+// Flags:
+//
+//	-O       apply local (compile-time) optimization per function
+//	-direct  compile scalar operations to primitives (ablation; default
+//	         factors them through the dynamically bound library modules)
+//	-strip   omit PTML (halves code size, disables runtime optimization)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"tycoon/internal/linker"
+	"tycoon/internal/store"
+	"tycoon/internal/tl"
+	"tycoon/internal/tyclib"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tmlc: ")
+	storePath := flag.String("store", "tycoon.tyst", "store file")
+	optimize := flag.Bool("O", false, "local compile-time optimization")
+	direct := flag.Bool("direct", false, "compile scalars to primitives directly")
+	strip := flag.Bool("strip", false, "omit PTML from installed closures")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatal("usage: tmlc -store db.tyst [flags] file.tl…")
+	}
+
+	st, err := store.Open(*storePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+
+	level := linker.OptNone
+	if *optimize {
+		level = linker.OptLocal
+	}
+	lk := linker.New(st, linker.Config{Level: level, StripPTML: *strip})
+
+	var comp *tl.Compiler
+	if _, ok := st.Root(linker.ModuleRoot + "int"); ok {
+		// Library already present (reopened store): compile its sources
+		// again for the signatures only.
+		comp = tl.NewCompiler()
+		if _, err := tyclib.CompileAll(comp); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		comp, err = tyclib.Install(st, lk)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("installed standard library (int, real, array, str)")
+	}
+	if *direct {
+		comp.Mode = tl.DirectPrims
+	}
+
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		unit, err := comp.Compile(string(src))
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		oid, err := lk.InstallModule(unit)
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		fmt.Printf("installed module %s (oid 0x%x, %d functions, %d constants)\n",
+			unit.Name, uint64(oid), len(unit.Funcs), len(unit.Consts))
+	}
+}

@@ -1,0 +1,158 @@
+// Command tmldump inspects a persistent Tycoon store: the root table,
+// object summaries, pretty-printed PTML trees and disassembled TAM code.
+//
+//	tmldump -store db.tyst            # roots and object summary
+//	tmldump -store db.tyst -oid 0x2a  # one object in detail
+//	tmldump -store db.tyst -fn geom.abs  # a function: bindings, PTML, code
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"tycoon/internal/linker"
+	"tycoon/internal/machine"
+	"tycoon/internal/ptml"
+	"tycoon/internal/store"
+	"tycoon/internal/tml"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tmldump: ")
+	storePath := flag.String("store", "tycoon.tyst", "store file")
+	oidFlag := flag.String("oid", "", "dump one object (hex or decimal OID)")
+	fnFlag := flag.String("fn", "", "dump one function as module.function")
+	flag.Parse()
+
+	st, err := store.Open(*storePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+
+	switch {
+	case *fnFlag != "":
+		dumpFunction(st, *fnFlag)
+	case *oidFlag != "":
+		raw := strings.TrimPrefix(*oidFlag, "0x")
+		base := 10
+		if raw != *oidFlag {
+			base = 16
+		}
+		n, err := strconv.ParseUint(raw, base, 64)
+		if err != nil {
+			log.Fatalf("bad OID %q", *oidFlag)
+		}
+		dumpObject(st, store.OID(n))
+	default:
+		overview(st)
+	}
+}
+
+func overview(st *store.Store) {
+	fmt.Printf("store: %d objects\n\nroots:\n", st.Len())
+	for _, name := range st.Roots() {
+		oid, _ := st.Root(name)
+		fmt.Printf("  %-24s → 0x%08x\n", name, uint64(oid))
+	}
+	fmt.Println("\nobjects:")
+	for _, oid := range st.OIDs() {
+		obj := st.MustGet(oid)
+		fmt.Printf("  0x%08x %-10s %s\n", uint64(oid), obj.Kind(), summary(obj))
+	}
+}
+
+func summary(obj store.Object) string {
+	switch o := obj.(type) {
+	case *store.Module:
+		return fmt.Sprintf("%s (%d exports)", o.Name, len(o.Exports))
+	case *store.Closure:
+		return fmt.Sprintf("%s (%d bindings, cost %d)", o.Name, len(o.Bindings), o.Cost)
+	case *store.Relation:
+		return fmt.Sprintf("%s (%d columns, %d rows, %d indexes)", o.Name, len(o.Schema), len(o.Rows), len(o.Indexes))
+	case *store.Blob:
+		return fmt.Sprintf("%d bytes", len(o.Bytes))
+	case *store.Tuple:
+		return fmt.Sprintf("%d fields", len(o.Fields))
+	case *store.Array:
+		return fmt.Sprintf("%d elements", len(o.Elems))
+	case *store.ByteArray:
+		return fmt.Sprintf("%d bytes", len(o.Bytes))
+	}
+	return ""
+}
+
+func dumpObject(st *store.Store, oid store.OID) {
+	obj, err := st.Get(oid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("0x%08x: %s %s\n", uint64(oid), obj.Kind(), summary(obj))
+	switch o := obj.(type) {
+	case *store.Module:
+		for _, e := range o.Exports {
+			fmt.Printf("  export %-16s = %s\n", e.Name, e.Val)
+		}
+	case *store.Closure:
+		dumpClosure(st, o)
+	case *store.Relation:
+		for _, c := range o.Schema {
+			fmt.Printf("  column %s\n", c.Name)
+		}
+		for i, row := range o.Rows {
+			if i >= 10 {
+				fmt.Printf("  … %d more rows\n", len(o.Rows)-10)
+				break
+			}
+			fmt.Printf("  row %v\n", row)
+		}
+	case *store.Tuple:
+		for i, f := range o.Fields {
+			fmt.Printf("  field %d = %s\n", i, f)
+		}
+	}
+}
+
+func dumpClosure(st *store.Store, clo *store.Closure) {
+	fmt.Printf("  cost=%d savings=%d\n", clo.Cost, clo.Savings)
+	for _, b := range clo.Bindings {
+		fmt.Printf("  binding %-12s = %s\n", b.Name, b.Val)
+	}
+	if clo.PTML != store.Nil {
+		blob := st.MustGet(clo.PTML).(*store.Blob)
+		node, _, err := ptml.Decode(blob.Bytes, nil)
+		if err != nil {
+			log.Fatalf("PTML: %v", err)
+		}
+		fmt.Printf("\nPTML (%d bytes):\n%s\n", len(blob.Bytes), tml.Print(node))
+	}
+	if clo.Code != store.Nil {
+		blob := st.MustGet(clo.Code).(*store.Blob)
+		prog, err := machine.DecodeProgram(blob.Bytes)
+		if err != nil {
+			log.Fatalf("TAM: %v", err)
+		}
+		fmt.Printf("\nTAM code (%d bytes):\n%s", len(blob.Bytes), machine.Disasm(prog))
+	}
+}
+
+func dumpFunction(st *store.Store, target string) {
+	dot := strings.IndexByte(target, '.')
+	if dot <= 0 {
+		log.Fatalf("-fn wants module.function, got %q", target)
+	}
+	modOID, ok := st.Root(linker.ModuleRoot + target[:dot])
+	if !ok {
+		log.Fatalf("module %s not found", target[:dot])
+	}
+	mod := st.MustGet(modOID).(*store.Module)
+	v, ok := mod.Lookup(target[dot+1:])
+	if !ok || v.Kind != store.ValRef {
+		log.Fatalf("%s is not an exported function", target)
+	}
+	dumpObject(st, v.Ref)
+}

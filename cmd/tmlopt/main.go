@@ -1,0 +1,74 @@
+// Command tmlopt reads a TML term in s-expression syntax (a file, or
+// standard input when no file is given), runs the optimizer of paper §3
+// over it, and prints the optimized term with rewrite statistics.
+//
+//	tmlopt [-no-expand] [-no-fold] [-rounds N] [-query] [-quiet] [file]
+//
+// Example:
+//
+//	echo '(cont(x) (+ x 1 e k) 41)' | tmlopt
+//	⇒ (k_2 42)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"tycoon/internal/opt"
+	"tycoon/internal/prim"
+	"tycoon/internal/qopt"
+	_ "tycoon/internal/relalg" // registers the query primitives
+	"tycoon/internal/tml"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tmlopt: ")
+	noExpand := flag.Bool("no-expand", false, "disable the expansion (inlining) pass")
+	noFold := flag.Bool("no-fold", false, "disable the fold rule (ablation)")
+	rounds := flag.Int("rounds", 0, "reduction/expansion round limit (0 = default)")
+	query := flag.Bool("query", false, "enable the static query rewrite rules of §4.2")
+	quiet := flag.Bool("quiet", false, "print only the optimized term")
+	flag.Parse()
+
+	var src []byte
+	var err error
+	switch flag.NArg() {
+	case 0:
+		src, err = io.ReadAll(os.Stdin)
+	case 1:
+		src, err = os.ReadFile(flag.Arg(0))
+	default:
+		log.Fatal("usage: tmlopt [flags] [file]")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	app, err := tml.ParseApp(string(src), tml.ParseOpts{IsPrim: prim.IsPrim})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := opt.Options{
+		MaxRounds:   *rounds,
+		NoExpansion: *noExpand,
+		NoFold:      *noFold,
+	}
+	if *query {
+		opts.Extra = qopt.StaticRules()
+	}
+	out, stats, err := opt.Optimize(app, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !*quiet {
+		fmt.Println("; input")
+		fmt.Println(tml.Print(app))
+		fmt.Println("; optimized —", stats)
+	}
+	fmt.Println(tml.Print(out))
+}

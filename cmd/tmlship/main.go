@@ -1,0 +1,69 @@
+// Command tmlship moves compiled code between Tycoon stores — the
+// paper's §6 code-shipping application. Export writes a self-contained
+// bundle of a function's transitive code closure; import replays it into
+// another store, binding relations and library modules by name against
+// the target.
+//
+//	tmlship -store a.tyst -export app.f -out f.bundle
+//	tmlship -store b.tyst -import f.bundle -as shipped.f
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"tycoon/internal/ship"
+	"tycoon/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tmlship: ")
+	storePath := flag.String("store", "tycoon.tyst", "store file")
+	exportFn := flag.String("export", "", "module.function to export")
+	out := flag.String("out", "code.bundle", "bundle file to write (with -export)")
+	importPath := flag.String("import", "", "bundle file to import")
+	as := flag.String("as", "", "register the imported closure as root module.function (optional)")
+	flag.Parse()
+
+	st, err := store.Open(*storePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+
+	switch {
+	case *exportFn != "":
+		dot := strings.IndexByte(*exportFn, '.')
+		if dot <= 0 || dot == len(*exportFn)-1 {
+			log.Fatalf("-export wants module.function, got %q", *exportFn)
+		}
+		bundle, err := ship.ExportFunction(st, (*exportFn)[:dot], (*exportFn)[dot+1:])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*out, bundle, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("exported %s: %d bytes → %s\n", *exportFn, len(bundle), *out)
+	case *importPath != "":
+		bundle, err := os.ReadFile(*importPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		oid, err := ship.Import(st, bundle)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("imported %s as oid 0x%x\n", *importPath, uint64(oid))
+		if *as != "" {
+			st.SetRoot("shipped:"+*as, oid)
+			fmt.Printf("registered root shipped:%s\n", *as)
+		}
+	default:
+		log.Fatal("one of -export or -import is required")
+	}
+}

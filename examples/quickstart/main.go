@@ -1,0 +1,86 @@
+// Command quickstart walks the full Tycoon pipeline of Fig. 3 end to
+// end: compile a TL module, install it into a persistent store (TAM code
+// + PTML + binding table), run it, reflectively optimize it at runtime,
+// and run it again — then reopen the store to show that everything,
+// including the intermediate code representation, survived.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"tycoon"
+)
+
+const src = `
+module demo export fact, sumTo
+let fact(n : Int) : Int = if n < 2 then 1 else n * fact(n - 1) end
+let sumTo(n : Int) : Int =
+  begin var s := 0; for i = 1 upto n do s := s + i end; s end
+end`
+
+func main() {
+	dir, err := os.MkdirTemp("", "tycoon-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "demo.tyst")
+
+	sys, err := tycoon.Open(path, tycoon.Config{LocalOpt: true, Out: os.Stdout})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.Install(src); err != nil {
+		log.Fatal(err)
+	}
+
+	v, err := sys.Call("demo", "fact", tycoon.Int(10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fact(10)        = %s\n", v.Show())
+
+	sys.ResetSteps()
+	v, err = sys.Call("demo", "sumTo", tycoon.Int(1000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	before := sys.Steps()
+	fmt.Printf("sumTo(1000)     = %s   (%d machine steps)\n", v.Show(), before)
+
+	// Reflective optimization across the library abstraction barrier
+	// (paper §4.1): every + in the loop currently fetches int.add from
+	// the dynamically bound int module and calls it indirectly.
+	res, err := sys.OptimizeFunction("demo", "sumTo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.ResetSteps()
+	v, err = sys.Call("demo", "sumTo", tycoon.Int(1000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	after := sys.Steps()
+	fmt.Printf("optimized       = %s   (%d machine steps, %.2f× faster)\n",
+		v.Show(), after, float64(before)/float64(after))
+	fmt.Printf("optimizer stats : %s\n", res.Stats)
+
+	if err := sys.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Reopen: code, PTML and bindings are persistent.
+	sys2, err := tycoon.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys2.Close()
+	v, err = sys2.Call("demo", "fact", tycoon.Int(6))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after reopen    : fact(6) = %s\n", v.Show())
+}

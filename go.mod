@@ -1,0 +1,3 @@
+module tycoon
+
+go 1.22

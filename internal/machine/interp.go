@@ -1,0 +1,252 @@
+package machine
+
+import (
+	"fmt"
+
+	"tycoon/internal/tml"
+)
+
+// This file implements the direct TML interpreter: one step of the
+// unified driver executes one application. CPS has no implicit returns —
+// every transfer of control is an application, a generalized goto with
+// parameter passing — so execution is a flat loop and never grows the Go
+// stack, no matter how deep the source recursion.
+
+// Halt is the sentinel continuation value terminating execution: the
+// top-level normal continuation (Err=false) yields the program result, the
+// top-level exception continuation (Err=true) reports an unhandled
+// exception.
+type Halt struct{ Err bool }
+
+func (*Halt) value() {}
+
+// Show renders the halt continuation.
+func (h *Halt) Show() string {
+	if h.Err {
+		return "<halt-error>"
+	}
+	return "<halt>"
+}
+
+// Exception reports a TML exception that reached the top-level exception
+// continuation.
+type Exception struct {
+	Value Value
+}
+
+// Error formats the exception.
+func (e *Exception) Error() string {
+	return fmt.Sprintf("%v: %s", ErrUnhandled, e.Value.Show())
+}
+
+// Unwrap lets errors.Is match ErrUnhandled.
+func (e *Exception) Unwrap() error { return ErrUnhandled }
+
+// Apply invokes a procedure value (interpreted or compiled) with the
+// given value arguments, supplying fresh top-level exception and normal
+// continuations, and runs it to completion.
+func (m *Machine) Apply(fn Value, args []Value) (Value, error) {
+	all := make([]Value, 0, len(args)+2)
+	all = append(all, args...)
+	all = append(all, &Halt{Err: true}, &Halt{Err: false})
+	st, done, result, err := m.transfer(fn, all)
+	if err != nil || done {
+		return result, err
+	}
+	return m.drive(st)
+}
+
+// RunApp evaluates an application whose free variables are bound by env.
+// The continuation variables among the free variables should be bound to
+// Halt values (or closures) by the caller.
+func (m *Machine) RunApp(app *tml.App, env *Env) (Value, error) {
+	return m.drive(execState{app: app, env: env})
+}
+
+// stepInterp executes one interpreted application. Steps are charged for
+// primitive executions (here) and procedure entries (in transfer), never
+// for administrative β-redexes or continuation invocations — the same
+// cost model compiled code exhibits, where join points are plain jumps.
+func (m *Machine) stepInterp(app *tml.App, env *Env) (execState, bool, Value, error) {
+	// Primitive application: execute and continue with the selected
+	// continuation.
+	if p, ok := app.Fn.(*tml.Prim); ok {
+		if err := m.tick(); err != nil {
+			return execState{}, true, nil, err
+		}
+		if p.Name == "Y" {
+			next, nextEnv, err := m.tieKnot(app, env)
+			if err != nil {
+				return execState{}, true, nil, err
+			}
+			return execState{app: next, env: nextEnv}, false, nil, nil
+		}
+		nodeVals, nodeConts := m.splitPrimArgs(p.Name, app.Args)
+		vals, err := m.evalValues(nodeVals, env)
+		if err != nil {
+			return execState{}, true, nil, err
+		}
+		conts, err := m.evalValues(nodeConts, env)
+		if err != nil {
+			return execState{}, true, nil, err
+		}
+		exec, ok := m.exec(p.Name)
+		if !ok {
+			return execState{}, true, nil, rtErr(p.Name, "no executor registered")
+		}
+		out, err := exec(m, vals, conts)
+		if err != nil {
+			return execState{}, true, nil, err
+		}
+		fn, args, err := m.resolveOutcome(p.Name, out, conts)
+		if err != nil {
+			return execState{}, true, nil, err
+		}
+		return m.transfer(fn, args)
+	}
+
+	// Ordinary application.
+	fnVal, err := m.evalValue(app.Fn, env)
+	if err != nil {
+		return execState{}, true, nil, err
+	}
+	args, err := m.evalValues(app.Args, env)
+	if err != nil {
+		return execState{}, true, nil, err
+	}
+	return m.transfer(fnVal, args)
+}
+
+// splitPrimArgs divides the syntactic argument list of a primitive
+// application into value and continuation positions, using the registered
+// signature (variadic primitives fall back to the syntactic trailing-cont
+// criterion).
+func (m *Machine) splitPrimArgs(name string, args []tml.Value) (vals, conts []tml.Value) {
+	if d, ok := m.reg().Lookup(name); ok && d.NConts >= 0 {
+		split := len(args) - d.NConts
+		if split < 0 {
+			split = 0
+		}
+		return args[:split], args[split:]
+	}
+	return tml.SplitArgs(args)
+}
+
+// resolveOutcome maps a primitive outcome to the continuation (or direct
+// tail target) to invoke.
+func (m *Machine) resolveOutcome(name string, out Outcome, conts []Value) (Value, []Value, error) {
+	if out.Tail != nil {
+		return out.Tail.Fn, out.Tail.Args, nil
+	}
+	if out.Branch < 0 || out.Branch >= len(conts) {
+		return nil, nil, rtErr(name, "selected continuation %d of %d", out.Branch, len(conts))
+	}
+	return conts[out.Branch], out.Results, nil
+}
+
+// evalValue evaluates a TML value node.
+func (m *Machine) evalValue(v tml.Value, env *Env) (Value, error) {
+	switch v := v.(type) {
+	case *tml.Lit, *tml.Oid:
+		val, _ := LitValue(v)
+		return val, nil
+	case *tml.Var:
+		val, ok := env.Lookup(v)
+		if !ok {
+			return nil, rtErr("eval", "unbound variable %s", v)
+		}
+		return val, nil
+	case *tml.Abs:
+		return &Closure{Abs: v, Env: env}, nil
+	case *tml.Prim:
+		return nil, rtErr("eval", "primitive %s is not a first-class value", v.Name)
+	default:
+		return nil, rtErr("eval", "unexpected node %T", v)
+	}
+}
+
+func (m *Machine) evalValues(vs []tml.Value, env *Env) ([]Value, error) {
+	out := make([]Value, len(vs))
+	for i, v := range vs {
+		val, err := m.evalValue(v, env)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = val
+	}
+	return out, nil
+}
+
+// tieKnot implements the Y primitive (paper §2.3): the abstraction
+// argument λ(c₀ v₁…vₙ c) has a knot-tying body (c cont₀ abs₁…absₙ); Y
+// binds the n+1 abstractions to c₀, v₁…vₙ — visible within themselves,
+// establishing the mutually recursive fixed point — and then invokes the
+// entry continuation bound to c₀ tail-recursively.
+func (m *Machine) tieKnot(app *tml.App, env *Env) (*tml.App, *Env, error) {
+	if len(app.Args) != 1 {
+		return nil, nil, rtErr("Y", "expects one abstraction argument")
+	}
+	yAbs, ok := app.Args[0].(*tml.Abs)
+	if !ok {
+		return nil, nil, rtErr("Y", "argument must be a literal abstraction")
+	}
+	if len(yAbs.Params) < 2 {
+		return nil, nil, rtErr("Y", "abstraction must take at least c₀ and c")
+	}
+	knot := yAbs.Body
+	cVar, ok := knot.Fn.(*tml.Var)
+	if !ok || cVar != yAbs.Params[len(yAbs.Params)-1] {
+		return nil, nil, rtErr("Y", "body must invoke the final continuation parameter")
+	}
+	if len(knot.Args) != len(yAbs.Params)-1 {
+		return nil, nil, rtErr("Y", "knot passes %d abstractions for %d bindings",
+			len(knot.Args), len(yAbs.Params)-1)
+	}
+	frameVals := make([]Value, len(yAbs.Params))
+	frame := env.Extend(yAbs.Params, frameVals)
+	// First pass: abstractions become closures over the knot frame.
+	// A knot argument may also be a *variable* referencing one of the
+	// other recursive bindings — η-reduction contracts cont()(loop) to
+	// loop — which the second pass aliases.
+	type aliasRef struct{ from, to int }
+	var aliases []aliasRef
+	paramIdx := make(map[*tml.Var]int, len(yAbs.Params))
+	for i, p := range yAbs.Params {
+		paramIdx[p] = i
+	}
+	for i, arg := range knot.Args {
+		switch arg := arg.(type) {
+		case *tml.Abs:
+			frameVals[i] = &Closure{Abs: arg, Env: frame}
+		case *tml.Var:
+			j, ok := paramIdx[arg]
+			if !ok || j >= len(knot.Args) {
+				return nil, nil, rtErr("Y", "knot argument %d references %s outside the knot", i, arg)
+			}
+			aliases = append(aliases, aliasRef{from: i, to: j})
+		default:
+			return nil, nil, rtErr("Y", "knot argument %d is %T, want abstraction", i, arg)
+		}
+	}
+	// Second pass: resolve aliases (chains terminate at an abstraction).
+	for range aliases {
+		for _, a := range aliases {
+			if frameVals[a.from] == nil && frameVals[a.to] != nil {
+				frameVals[a.from] = frameVals[a.to]
+			}
+		}
+	}
+	for i, v := range frameVals[:len(knot.Args)] {
+		if v == nil {
+			return nil, nil, rtErr("Y", "knot binding %d is part of an alias cycle", i)
+		}
+	}
+	entry, ok := frameVals[0].(*Closure)
+	if !ok {
+		return nil, nil, rtErr("Y", "entry binding is not a continuation")
+	}
+	if len(entry.Abs.Params) != 0 {
+		return nil, nil, rtErr("Y", "entry continuation must take no parameters")
+	}
+	return entry.Abs.Body, frame, nil
+}

@@ -1,0 +1,264 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"tycoon/internal/prim"
+	"tycoon/internal/store"
+	"tycoon/internal/tml"
+)
+
+// Machine is the execution context shared by the TML interpreter and the
+// TAM virtual machine: the persistent store, the output stream of the
+// print primitive, the dynamic exception-handler stack (pushHandler /
+// popHandler / raise) and a step budget that bounds runaway programs.
+type Machine struct {
+	// Store resolves OID references; nil machines can still run programs
+	// that never touch persistent objects.
+	Store *store.Store
+	// Out receives the output of the print primitive; nil discards it.
+	Out io.Writer
+	// MaxSteps bounds the number of applications executed; 0 means
+	// DefaultMaxSteps. Exceeding the budget aborts with ErrStepBudget.
+	MaxSteps int64
+	// Reg resolves primitive descriptors; nil means prim.Default.
+	Reg *prim.Registry
+
+	handlers []Value // dynamic exception handler stack
+	steps    int64
+	execs    map[string]ExecFunc
+	// linked caches swizzled closures per OID; programs caches decoded
+	// TAM code blobs (see link.go).
+	linked   map[store.OID]Value
+	programs map[store.OID]*Program
+}
+
+// DefaultMaxSteps bounds execution (applications performed) when
+// Machine.MaxSteps is zero.
+const DefaultMaxSteps = 2_000_000_000
+
+// Errors reported by execution.
+var (
+	// ErrStepBudget aborts programs that exceed MaxSteps.
+	ErrStepBudget = errors.New("machine: step budget exceeded")
+	// ErrUnhandled reports an exception that reached the top of the
+	// handler stack.
+	ErrUnhandled = errors.New("machine: unhandled exception")
+)
+
+// RuntimeError carries a TML-level runtime failure (type confusion,
+// index out of range, arity mismatch) with context.
+type RuntimeError struct {
+	Op  string
+	Msg string
+}
+
+// Error formats the runtime error.
+func (e *RuntimeError) Error() string { return fmt.Sprintf("machine: %s: %s", e.Op, e.Msg) }
+
+func rtErr(op, format string, args ...any) error {
+	return &RuntimeError{Op: op, Msg: fmt.Sprintf(format, args...)}
+}
+
+// New returns a machine executing against the given store (which may be
+// nil for pure computations).
+func New(st *store.Store) *Machine {
+	m := &Machine{Store: st}
+	return m
+}
+
+// reg returns the effective primitive registry.
+func (m *Machine) reg() *prim.Registry {
+	if m.Reg != nil {
+		return m.Reg
+	}
+	return prim.Default
+}
+
+// Steps reports the number of applications executed so far; benchmarks
+// use it as a machine-independent work measure.
+func (m *Machine) Steps() int64 { return m.steps }
+
+// ResetSteps clears the step counter (between benchmark iterations).
+func (m *Machine) ResetSteps() { m.steps = 0 }
+
+// Tick charges one abstract machine step; substrate packages (the
+// relational operators) call it per row processed so that bulk data
+// traversal and materialisation show up in the work measure.
+func (m *Machine) Tick() error { return m.tick() }
+
+func (m *Machine) tick() error {
+	m.steps++
+	max := m.MaxSteps
+	if max == 0 {
+		max = DefaultMaxSteps
+	}
+	if m.steps > max {
+		return ErrStepBudget
+	}
+	return nil
+}
+
+// PushHandler installs a new exception handler continuation.
+func (m *Machine) PushHandler(h Value) { m.handlers = append(m.handlers, h) }
+
+// PopHandler removes the topmost exception handler.
+func (m *Machine) PopHandler() (Value, bool) {
+	if len(m.handlers) == 0 {
+		return nil, false
+	}
+	h := m.handlers[len(m.handlers)-1]
+	m.handlers = m.handlers[:len(m.handlers)-1]
+	return h, true
+}
+
+// Outcome is what a primitive execution requests next: invoke the
+// Branch-th continuation argument with Results, or perform a direct tail
+// call (raise transferring to a handler).
+type Outcome struct {
+	Branch  int
+	Results []Value
+	// Tail, when non-nil, overrides Branch: control transfers to Fn.
+	Tail *TailCall
+}
+
+// TailCall is a direct transfer of control to a continuation or procedure
+// value.
+type TailCall struct {
+	Fn   Value
+	Args []Value
+}
+
+// ExecFunc executes one primitive call: vals are the value arguments and
+// conts the continuation arguments (as runtime values). Most primitives
+// only return a Branch index into conts; the handler primitives inspect
+// conts directly (pushHandler installs conts[0]) and raise returns a Tail
+// transfer.
+type ExecFunc func(m *Machine, vals, conts []Value) (Outcome, error)
+
+// RegisterExec adds a primitive executor; the relational substrate
+// registers the query primitives this way, mirroring how new primitives
+// extend the compile-time registry (paper §2.3).
+func (m *Machine) RegisterExec(name string, f ExecFunc) {
+	if m.execs == nil {
+		m.execs = make(map[string]ExecFunc)
+	}
+	m.execs[name] = f
+}
+
+// exec resolves the executor for a primitive name: machine-local
+// registrations first, then the standard table.
+func (m *Machine) exec(name string) (ExecFunc, bool) {
+	if f, ok := m.execs[name]; ok {
+		return f, true
+	}
+	f, ok := stdExecs[name]
+	return f, ok
+}
+
+// fetch resolves a store reference to its object.
+func (m *Machine) fetch(op string, r Ref) (store.Object, error) {
+	if m.Store == nil {
+		return nil, rtErr(op, "no store attached for %s", r.Show())
+	}
+	obj, err := m.Store.Get(r.OID)
+	if err != nil {
+		return nil, rtErr(op, "%v", err)
+	}
+	return obj, nil
+}
+
+// FromStoreVal converts a store slot value to a runtime value.
+func FromStoreVal(v store.Val) Value {
+	switch v.Kind {
+	case store.ValInt:
+		return Int(v.Int)
+	case store.ValReal:
+		return Real(v.Real)
+	case store.ValBool:
+		return Bool(v.Bool)
+	case store.ValChar:
+		return Char(v.Ch)
+	case store.ValStr:
+		return Str(v.Str)
+	case store.ValRef:
+		return Ref{OID: v.Ref}
+	default:
+		return Unit{}
+	}
+}
+
+// ToStoreVal converts a runtime value to a store slot value; heap values
+// (arrays, closures) must be persisted explicitly and reported as refs by
+// the caller.
+func ToStoreVal(v Value) (store.Val, error) {
+	switch v := v.(type) {
+	case Int:
+		return store.IntVal(int64(v)), nil
+	case Real:
+		return store.RealVal(float64(v)), nil
+	case Bool:
+		return store.BoolVal(bool(v)), nil
+	case Char:
+		return store.CharVal(byte(v)), nil
+	case Str:
+		return store.StrVal(string(v)), nil
+	case Ref:
+		return store.RefVal(v.OID), nil
+	case Unit:
+		return store.NilVal(), nil
+	default:
+		return store.Val{}, rtErr("store", "cannot persist transient %T", v)
+	}
+}
+
+// LitValue converts a TML literal or OID node to a runtime value.
+func LitValue(v tml.Value) (Value, bool) {
+	switch v := v.(type) {
+	case *tml.Lit:
+		switch v.Kind {
+		case tml.LitUnit:
+			return Unit{}, true
+		case tml.LitInt:
+			return Int(v.Int), true
+		case tml.LitChar:
+			return Char(v.Ch), true
+		case tml.LitBool:
+			return Bool(v.Bool), true
+		case tml.LitReal:
+			return Real(v.Real), true
+		case tml.LitStr:
+			return Str(v.Str), true
+		}
+	case *tml.Oid:
+		return Ref{OID: store.OID(v.Ref)}, true
+	}
+	return nil, false
+}
+
+// ValueToTML converts a runtime value back to a TML value node; heap
+// values become OIDs only if they already live in the store, otherwise
+// ok=false. The reflective optimizer uses this to re-establish R-value
+// bindings (paper §4.1).
+func ValueToTML(v Value) (tml.Value, bool) {
+	switch v := v.(type) {
+	case Int:
+		return tml.Int(int64(v)), true
+	case Real:
+		return tml.Real(float64(v)), true
+	case Bool:
+		return tml.Bool(bool(v)), true
+	case Char:
+		return tml.Char(byte(v)), true
+	case Str:
+		return tml.Str(string(v)), true
+	case Unit:
+		return tml.Unit(), true
+	case Ref:
+		return tml.NewOid(uint64(v.OID)), true
+	default:
+		return nil, false
+	}
+}

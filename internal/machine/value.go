@@ -1,0 +1,218 @@
+// Package machine implements the Tycoon execution substrate: runtime
+// values, a trampolined interpreter that executes TML trees directly, the
+// primitive execution table shared by interpreter and compiled code, and
+// the TAM (Tycoon Abstract Machine) compiler and virtual machine that
+// plays the rôle of the paper's target code generator (Fig. 3).
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"tycoon/internal/store"
+	"tycoon/internal/tml"
+)
+
+// Value is a runtime value.
+type Value interface {
+	// Show renders the value for diagnostics and the print primitive.
+	Show() string
+	value()
+}
+
+// ExtValue is embedded by other packages (for example the relational
+// substrate's relation values) to define additional runtime value kinds;
+// it satisfies the unexported marker method of Value.
+type ExtValue struct{}
+
+func (ExtValue) value() {}
+
+// Int is a 64-bit integer value.
+type Int int64
+
+// Real is a 64-bit floating point value.
+type Real float64
+
+// Bool is a boolean value.
+type Bool bool
+
+// Char is a byte value.
+type Char byte
+
+// Str is an immutable string value.
+type Str string
+
+// Unit is the unit value ok.
+type Unit struct{}
+
+// Array is a transient mutable array of object references.
+type Array struct{ Elems []Value }
+
+// Vector is a transient immutable array; tuples of the source language
+// lower to vectors.
+type Vector struct{ Elems []Value }
+
+// Bytes is a transient mutable byte array.
+type Bytes struct{ B []byte }
+
+// Ref is a reference to a persistent object in the store.
+type Ref struct{ OID store.OID }
+
+// Closure is an interpreted procedure or continuation: a TML abstraction
+// together with its defining environment.
+type Closure struct {
+	Abs *tml.Abs
+	Env *Env
+	// Name is the source-level name, if known (diagnostics only).
+	Name string
+}
+
+func (Int) value()      {}
+func (Real) value()     {}
+func (Bool) value()     {}
+func (Char) value()     {}
+func (Str) value()      {}
+func (Unit) value()     {}
+func (*Array) value()   {}
+func (*Vector) value()  {}
+func (*Bytes) value()   {}
+func (Ref) value()      {}
+func (*Closure) value() {}
+
+// Show implementations.
+
+// Show renders the integer.
+func (v Int) Show() string { return fmt.Sprintf("%d", int64(v)) }
+
+// Show renders the real.
+func (v Real) Show() string {
+	s := fmt.Sprintf("%g", float64(v))
+	if !strings.ContainsAny(s, ".eEnNiI") {
+		s += ".0"
+	}
+	return s
+}
+
+// Show renders the boolean.
+func (v Bool) Show() string {
+	if v {
+		return "true"
+	}
+	return "false"
+}
+
+// Show renders the character.
+func (v Char) Show() string { return string(rune(v)) }
+
+// Show renders the string.
+func (v Str) Show() string { return string(v) }
+
+// Show renders the unit value.
+func (Unit) Show() string { return "ok" }
+
+// Show renders the array.
+func (v *Array) Show() string { return showSeq("array", v.Elems) }
+
+// Show renders the vector.
+func (v *Vector) Show() string { return showSeq("vector", v.Elems) }
+
+// Show renders the byte array.
+func (v *Bytes) Show() string { return fmt.Sprintf("bytes(%d)", len(v.B)) }
+
+// Show renders the reference.
+func (v Ref) Show() string { return fmt.Sprintf("<oid 0x%08x>", uint64(v.OID)) }
+
+// Show renders the closure.
+func (v *Closure) Show() string {
+	if v.Name != "" {
+		return "proc " + v.Name
+	}
+	return "proc"
+}
+
+func showSeq(kind string, elems []Value) string {
+	var b strings.Builder
+	b.WriteString(kind)
+	b.WriteString("(")
+	for i, e := range elems {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		if i > 8 {
+			b.WriteString("…")
+			break
+		}
+		b.WriteString(e.Show())
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Env is a chain of binding frames. Frames are small (procedure parameter
+// lists), so lookup is a linear scan by binder pointer.
+type Env struct {
+	prev *Env
+	vars []*tml.Var
+	vals []Value
+}
+
+// Extend pushes a frame binding vars to vals.
+func (e *Env) Extend(vars []*tml.Var, vals []Value) *Env {
+	return &Env{prev: e, vars: vars, vals: vals}
+}
+
+// Lookup resolves a variable to its value.
+func (e *Env) Lookup(v *tml.Var) (Value, bool) {
+	for f := e; f != nil; f = f.prev {
+		for i, w := range f.vars {
+			if w == v {
+				return f.vals[i], true
+			}
+		}
+	}
+	return nil, false
+}
+
+// set assigns a bound variable in place; used by the Y knot-tying.
+func (e *Env) set(v *tml.Var, val Value) bool {
+	for f := e; f != nil; f = f.prev {
+		for i, w := range f.vars {
+			if w == v {
+				f.vals[i] = val
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Eq reports shallow value equality in the sense of the == primitive:
+// object identity for heap objects, value identity for scalars.
+func Eq(a, b Value) bool {
+	switch x := a.(type) {
+	case Int:
+		y, ok := b.(Int)
+		return ok && x == y
+	case Real:
+		y, ok := b.(Real)
+		return ok && x == y
+	case Bool:
+		y, ok := b.(Bool)
+		return ok && x == y
+	case Char:
+		y, ok := b.(Char)
+		return ok && x == y
+	case Str:
+		y, ok := b.(Str)
+		return ok && x == y
+	case Unit:
+		_, ok := b.(Unit)
+		return ok
+	case Ref:
+		y, ok := b.(Ref)
+		return ok && x.OID == y.OID
+	default:
+		// Heap objects compare by identity.
+		return a == b
+	}
+}

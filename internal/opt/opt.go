@@ -1,0 +1,220 @@
+// Package opt implements the TML optimizer of paper §3: a reduction pass
+// applying the eight core rewrite rules (subst, remove, reduce, η-reduce,
+// fold, case-subst, Y-remove, Y-reduce) until no more rules apply,
+// alternating with an expansion pass that inlines bound abstractions under
+// an Appel-style heuristic cost model. The two passes repeat until the
+// tree is stable or an accumulated penalty reaches its limit, which
+// guarantees termination even in obscure cases (paper §3).
+//
+// Many classical optimizations fall out of these few rules: constant and
+// copy propagation (subst + fold), dead code elimination (remove, plus a
+// dead-call rule justified by primitive effect classes), procedure
+// inlining and view expansion (expansion + subst), and loop unrolling
+// (expansion applied to Y-bound abstractions).
+//
+// The same code paths serve the static compile-time optimizer and the
+// reflective runtime optimizer (paper §4.1); extra rewrite rules — notably
+// the algebraic query rules of paper §4.2 — plug in through Options.Extra.
+package opt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tycoon/internal/prim"
+	"tycoon/internal/tml"
+)
+
+// Rule is an extra rewrite rule applied during the reduction pass at every
+// application node, after the core rules. Returning ok=false means the
+// rule does not apply; a returned tree must be strictly simpler or the
+// driver's change detection will loop (rules are trusted, like the paper's
+// primitive-supplied meta-evaluation functions).
+type Rule struct {
+	Name  string
+	Apply func(ctx *Ctx, app *tml.App) (*tml.App, bool)
+}
+
+// Ctx gives rewrite rules access to the variable generator (for fresh
+// binders) and the primitive registry.
+type Ctx struct {
+	Gen *tml.VarGen
+	Reg *prim.Registry
+}
+
+// Options configures an optimization run.
+type Options struct {
+	// Reg is the primitive registry; nil means prim.Default.
+	Reg *prim.Registry
+	// Gen supplies fresh variables for α-conversion during expansion.
+	// nil allocates a generator seeded past the tree's maximum ID.
+	Gen *tml.VarGen
+	// MaxRounds bounds the number of reduction/expansion rounds; it is
+	// the penalty limit of paper §3. Zero means DefaultMaxRounds.
+	MaxRounds int
+	// InlineBudget is the base cost threshold of the expansion pass in
+	// abstract machine instructions; the effective threshold shrinks as
+	// penalty accumulates. Zero means DefaultInlineBudget.
+	InlineBudget int
+	// PenaltyLimit stops the driver once this many expansions have been
+	// performed in total. Zero means DefaultPenaltyLimit.
+	PenaltyLimit int
+	// NoExpansion disables the expansion pass (reduction only); used for
+	// ablation and for cheap re-optimization of shared functions.
+	NoExpansion bool
+	// NoFold disables the fold rule globally (ablation).
+	NoFold bool
+	// SubstUnrestricted drops the "abstractions only when referenced
+	// once" precondition of the subst rule (ablation; may grow code).
+	SubstUnrestricted bool
+	// Extra rules run during the reduction pass (e.g. the query rewrite
+	// rules of package qopt).
+	Extra []Rule
+	// CheckInvariants re-verifies well-formedness after every pass; for
+	// tests and debugging.
+	CheckInvariants bool
+}
+
+// Defaults for Options.
+const (
+	DefaultMaxRounds    = 8
+	DefaultInlineBudget = 40
+	DefaultPenaltyLimit = 256
+)
+
+// Stats records what an optimization run did.
+type Stats struct {
+	// Rules counts rule applications by rule name.
+	Rules map[string]int
+	// Rounds is the number of reduction/expansion rounds executed.
+	Rounds int
+	// Penalty is the accumulated expansion penalty (paper §3).
+	Penalty int
+	// SizeBefore and SizeAfter are tree node counts.
+	SizeBefore, SizeAfter int
+	// CostBefore and CostAfter are estimated runtime costs.
+	CostBefore, CostAfter int
+}
+
+func (s *Stats) bump(rule string) {
+	if s.Rules == nil {
+		s.Rules = make(map[string]int)
+	}
+	s.Rules[rule]++
+}
+
+// String formats the statistics for the tmlopt tool.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rounds=%d penalty=%d size %d→%d cost %d→%d",
+		s.Rounds, s.Penalty, s.SizeBefore, s.SizeAfter, s.CostBefore, s.CostAfter)
+	names := make([]string, 0, len(s.Rules))
+	for n := range s.Rules {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, " %s=%d", n, s.Rules[n])
+	}
+	return b.String()
+}
+
+// Optimize rewrites app to a fixpoint of the reduction rules, interleaved
+// with expansion rounds, and returns the optimized tree with statistics.
+// The input tree is not mutated.
+func Optimize(app *tml.App, opts Options) (*tml.App, *Stats, error) {
+	o := newOptimizer(opts, app)
+	out, err := o.run(app)
+	return out, o.stats, err
+}
+
+type optimizer struct {
+	opts    Options
+	reg     *prim.Registry
+	gen     *tml.VarGen
+	ctx     *Ctx
+	stats   *Stats
+	changed bool
+	penalty int
+	// perBinder limits how often one binder is inlined per expansion pass
+	// (recursion through Y would otherwise unroll without bound inside a
+	// single pass).
+	perBinder map[*tml.Var]int
+}
+
+func newOptimizer(opts Options, root *tml.App) *optimizer {
+	if opts.Reg == nil {
+		opts.Reg = prim.Default
+	}
+	if opts.Gen == nil {
+		opts.Gen = tml.NewVarGenAt(tml.MaxVarID(root) + 1)
+	}
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = DefaultMaxRounds
+	}
+	if opts.InlineBudget == 0 {
+		opts.InlineBudget = DefaultInlineBudget
+	}
+	if opts.PenaltyLimit == 0 {
+		opts.PenaltyLimit = DefaultPenaltyLimit
+	}
+	return &optimizer{
+		opts:  opts,
+		reg:   opts.Reg,
+		gen:   opts.Gen,
+		ctx:   &Ctx{Gen: opts.Gen, Reg: opts.Reg},
+		stats: &Stats{},
+	}
+}
+
+func (o *optimizer) run(app *tml.App) (*tml.App, error) {
+	o.stats.SizeBefore = tml.Size(app)
+	o.stats.CostBefore = Cost(app, o.reg)
+	for round := 0; ; round++ {
+		o.stats.Rounds = round + 1
+		app = o.reduceFixpoint(app)
+		if err := o.check(app, "reduction"); err != nil {
+			return nil, err
+		}
+		if o.opts.NoExpansion || round+1 >= o.opts.MaxRounds || o.penalty >= o.opts.PenaltyLimit {
+			break
+		}
+		o.changed = false
+		o.perBinder = make(map[*tml.Var]int)
+		app = o.expandApp(app, make(map[*tml.Var]*tml.Abs), round)
+		if err := o.check(app, "expansion"); err != nil {
+			return nil, err
+		}
+		if !o.changed {
+			break
+		}
+	}
+	o.stats.Penalty = o.penalty
+	o.stats.SizeAfter = tml.Size(app)
+	o.stats.CostAfter = Cost(app, o.reg)
+	return app, nil
+}
+
+func (o *optimizer) check(app *tml.App, phase string) error {
+	if !o.opts.CheckInvariants {
+		return nil
+	}
+	free := tml.FreeVars(app)
+	err := tml.Check(app, tml.CheckOpts{Signatures: o.reg.Signatures, AllowFree: free})
+	if err != nil {
+		return fmt.Errorf("opt: invariant broken after %s pass: %w", phase, err)
+	}
+	return nil
+}
+
+// reduceFixpoint runs reduction sweeps until no rule fires.
+func (o *optimizer) reduceFixpoint(app *tml.App) *tml.App {
+	for {
+		o.changed = false
+		app = o.reduceApp(app)
+		if !o.changed {
+			return app
+		}
+	}
+}

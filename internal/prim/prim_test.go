@@ -1,0 +1,382 @@
+package prim
+
+import (
+	"strings"
+	"testing"
+
+	"tycoon/internal/tml"
+)
+
+func parse(t *testing.T, src string) *tml.App {
+	t.Helper()
+	app, err := tml.ParseApp(src, tml.ParseOpts{IsPrim: IsPrim})
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return app
+}
+
+// foldOf runs the fold function of the primitive heading app.
+func foldOf(t *testing.T, app *tml.App) (*tml.App, bool) {
+	t.Helper()
+	p, ok := app.Fn.(*tml.Prim)
+	if !ok {
+		t.Fatalf("%s: not a primitive application", app)
+	}
+	d, ok := Lookup(p.Name)
+	if !ok {
+		t.Fatalf("primitive %q not registered", p.Name)
+	}
+	if d.Fold == nil {
+		return nil, false
+	}
+	return d.Fold(app.Args)
+}
+
+func TestRegistryBasics(t *testing.T) {
+	r := NewRegistry()
+	d := &Desc{Name: "test", NVals: 1, NConts: 1, Cost: 1}
+	r.Register(d)
+	if got, ok := r.Lookup("test"); !ok || got != d {
+		t.Error("Lookup after Register failed")
+	}
+	if !r.IsPrim("test") || r.IsPrim("nope") {
+		t.Error("IsPrim misbehaves")
+	}
+	sig, ok := r.Signatures("test")
+	if !ok || sig.NVals != 1 || sig.NConts != 1 {
+		t.Errorf("Signatures = %+v, %v", sig, ok)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	r.Register(&Desc{Name: "test"})
+}
+
+func TestRegistryNamesSorted(t *testing.T) {
+	names := Default.Names()
+	if len(names) < 30 {
+		t.Fatalf("default registry has only %d primitives", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted: %q before %q", names[i-1], names[i])
+		}
+	}
+}
+
+func TestFig2PrimitivesRegistered(t *testing.T) {
+	// Every primitive of paper Fig. 2 must be present.
+	fig2 := []string{
+		"+", "-", "*", "/", "%",
+		"<", ">", "<=", ">=",
+		"<<", ">>", "&", "|", "^",
+		"char2int", "int2char",
+		"array", "vector", "new",
+		"[]", "[:=]", "b[]", "b[:=]",
+		"==", "Y", "size", "move", "bmove",
+		"ccall", "pushHandler", "popHandler", "raise",
+	}
+	for _, name := range fig2 {
+		if !IsPrim(name) {
+			t.Errorf("Fig. 2 primitive %q not registered", name)
+		}
+	}
+}
+
+func TestFoldArithmetic(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string // prefix of the folded term; "" means no fold
+	}{
+		{"(+ 1 2 e k)", "(k"},           // the paper's example: (+ 1 2 ce cc) → (cc 3)
+		{"(+ x 0 e k)", "(k"},           // right identity
+		{"(+ 0 x e k)", "(k"},           // left identity
+		{"(+ x y e k)", ""},             // unknown operands
+		{"(- 10 4 e k)", "(k"},          //
+		{"(* 6 7 e k)", "(k"},           //
+		{"(* x 1 e k)", "(k"},           //
+		{"(* x 0 e k)", "(k"},           //
+		{"(/ 10 2 e k)", "(k"},          //
+		{"(/ 1 0 e k)", ""},             // division by zero must not fold
+		{"(% 7 3 e k)", "(k"},           //
+		{"(% x 0 e k)", ""},             //
+		{"(neg 5 e k)", "(k"},           //
+		{"(9223372036854775807 1)", ""}, // placeholder, replaced below
+	}
+	for _, tt := range tests[:len(tests)-1] {
+		app := parse(t, tt.src)
+		folded, ok := foldOf(t, app)
+		if tt.want == "" {
+			if ok {
+				t.Errorf("fold(%s) fired: %s", tt.src, folded)
+			}
+			continue
+		}
+		if !ok {
+			t.Errorf("fold(%s) did not fire", tt.src)
+			continue
+		}
+		if !strings.HasPrefix(folded.String(), tt.want) {
+			t.Errorf("fold(%s) = %s, want prefix %s", tt.src, folded, tt.want)
+		}
+	}
+	// Overflow must not fold.
+	app := parse(t, "(+ 9223372036854775807 1 e k)")
+	if f, ok := foldOf(t, app); ok {
+		t.Errorf("overflowing + folded to %s", f)
+	}
+	app = parse(t, "(* 4611686018427387904 2 e k)")
+	if f, ok := foldOf(t, app); ok {
+		t.Errorf("overflowing * folded to %s", f)
+	}
+}
+
+func TestFoldResultValues(t *testing.T) {
+	app := parse(t, "(+ 1 2 e k)")
+	folded, ok := foldOf(t, app)
+	if !ok {
+		t.Fatal("no fold")
+	}
+	lit, isLit := folded.Args[0].(*tml.Lit)
+	if !isLit || lit.Int != 3 {
+		t.Errorf("folded result = %v, want 3", folded.Args[0])
+	}
+}
+
+func TestFoldComparisons(t *testing.T) {
+	tests := []struct {
+		src        string
+		wantBranch string // name of continuation invoked
+	}{
+		{"(< 1 2 kt kf)", "kt"},
+		{"(< 2 1 kt kf)", "kf"},
+		{"(> 3 1 kt kf)", "kt"},
+		{"(<= 2 2 kt kf)", "kt"},
+		{"(>= 1 2 kt kf)", "kf"},
+		{"(< x x kt kf)", "kf"},  // irreflexive on identical variables
+		{"(<= x x kt kf)", "kt"}, // reflexive
+	}
+	for _, tt := range tests {
+		app := parse(t, tt.src)
+		folded, ok := foldOf(t, app)
+		if !ok {
+			t.Errorf("fold(%s) did not fire", tt.src)
+			continue
+		}
+		v, isVar := folded.Fn.(*tml.Var)
+		if !isVar || v.Name != tt.wantBranch {
+			t.Errorf("fold(%s) invokes %s, want %s", tt.src, folded.Fn, tt.wantBranch)
+		}
+	}
+	if _, ok := foldOf(t, parse(t, "(< x y kt kf)")); ok {
+		t.Error("comparison of distinct variables folded")
+	}
+}
+
+func TestFoldBitOps(t *testing.T) {
+	tests := []struct {
+		src  string
+		want int64
+	}{
+		{"(<< 1 4 k)", 16},
+		{"(>> 16 2 k)", 4},
+		{"(& 12 10 k)", 8},
+		{"(| 12 10 k)", 14},
+		{"(^ 12 10 k)", 6},
+		{"(| x 0 k)", -1},  // folds to (k x), not a literal
+		{"(& x 0 k)", 0},   // annihilator
+		{"(<< x 0 k)", -1}, // folds to (k x)
+	}
+	for _, tt := range tests {
+		folded, ok := foldOf(t, parse(t, tt.src))
+		if !ok {
+			t.Errorf("fold(%s) did not fire", tt.src)
+			continue
+		}
+		if lit, isLit := folded.Args[0].(*tml.Lit); isLit {
+			if lit.Int != tt.want {
+				t.Errorf("fold(%s) = %d, want %d", tt.src, lit.Int, tt.want)
+			}
+		} else if tt.want != -1 {
+			t.Errorf("fold(%s) returned non-literal %s", tt.src, folded.Args[0])
+		}
+	}
+}
+
+func TestFoldConversions(t *testing.T) {
+	folded, ok := foldOf(t, parse(t, "(char2int 'a' k)"))
+	if !ok || folded.Args[0].(*tml.Lit).Int != 97 {
+		t.Errorf("char2int fold = %v", folded)
+	}
+	folded, ok = foldOf(t, parse(t, "(int2char 98 k)"))
+	if !ok || folded.Args[0].(*tml.Lit).Ch != 'b' {
+		t.Errorf("int2char fold = %v", folded)
+	}
+	folded, ok = foldOf(t, parse(t, "(int2real 2 k)"))
+	if !ok || folded.Args[0].(*tml.Lit).Real != 2.0 {
+		t.Errorf("int2real fold = %v", folded)
+	}
+	folded, ok = foldOf(t, parse(t, "(real2int 2.9 e k)"))
+	if !ok || folded.Args[0].(*tml.Lit).Int != 2 {
+		t.Errorf("real2int fold = %v", folded)
+	}
+}
+
+func TestFoldCase(t *testing.T) {
+	// The paper's example: (== 2 1 2 3 c1 c2 c3) → (c2). Branch
+	// continuations are marked with '!' so SplitArgs can find them.
+	folded, ok := foldOf(t, parse(t, "(== 2 1 2 3 !c1 !c2 !c3)"))
+	if !ok {
+		t.Fatal("case fold did not fire")
+	}
+	if v := folded.Fn.(*tml.Var); v.Name != "c2" {
+		t.Errorf("case fold picked %s, want c2", v)
+	}
+	// Else branch.
+	folded, ok = foldOf(t, parse(t, "(== 9 1 2 !c1 !c2 !celse)"))
+	if !ok || folded.Fn.(*tml.Var).Name != "celse" {
+		t.Errorf("else fold = %v, %v", folded, ok)
+	}
+	// No match, no else: must not fold.
+	if _, ok := foldOf(t, parse(t, "(== 9 1 2 !c1 !c2)")); ok {
+		t.Error("no-match case without else folded")
+	}
+	// Unknown scrutinee: x vs 1 is unknown → must not fold.
+	if folded, ok := foldOf(t, parse(t, "(== x 1 x !c1 !c2)")); ok {
+		t.Errorf("case with unknown leading tag folded to %s", folded)
+	}
+	// OIDs compare by reference.
+	folded, ok = foldOf(t, parse(t, "(== <oid 0x2> <oid 0x1> <oid 0x2> !c1 !c2)"))
+	if !ok || folded.Fn.(*tml.Var).Name != "c2" {
+		t.Errorf("OID case fold = %v, %v", folded, ok)
+	}
+	// A literal is never identical to a store object.
+	folded, ok = foldOf(t, parse(t, "(== 1 <oid 0x1> !c1 !celse)"))
+	if !ok || folded.Fn.(*tml.Var).Name != "celse" {
+		t.Errorf("lit-vs-oid fold = %v, %v", folded, ok)
+	}
+}
+
+func TestFoldBoolAndIf(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantFn  string
+		wantArg string // "" means no argument expected
+	}{
+		{"(and true x k)", "k", "x"},
+		{"(and x true k)", "k", "x"},
+		{"(and false x k)", "k", "false"},
+		{"(or false x k)", "k", "x"},
+		{"(or x true k)", "k", "true"},
+		{"(not true k)", "k", "false"},
+		{"(if true kt kf)", "kt", ""},
+		{"(if false kt kf)", "kf", ""},
+	}
+	for _, tt := range cases {
+		folded, ok := foldOf(t, parse(t, tt.src))
+		if !ok {
+			t.Errorf("fold(%s) did not fire", tt.src)
+			continue
+		}
+		if fn := folded.Fn.(*tml.Var); fn.Name != tt.wantFn {
+			t.Errorf("fold(%s) invokes %s, want %s", tt.src, fn, tt.wantFn)
+			continue
+		}
+		if tt.wantArg == "" {
+			if len(folded.Args) != 0 {
+				t.Errorf("fold(%s) passed %d args, want 0", tt.src, len(folded.Args))
+			}
+			continue
+		}
+		if len(folded.Args) != 1 {
+			t.Errorf("fold(%s) passed %d args, want 1", tt.src, len(folded.Args))
+			continue
+		}
+		got := ""
+		switch a := folded.Args[0].(type) {
+		case *tml.Var:
+			got = a.Name
+		case *tml.Lit:
+			got = a.String()
+		}
+		if got != tt.wantArg {
+			t.Errorf("fold(%s) result arg = %s, want %s", tt.src, folded.Args[0], tt.wantArg)
+		}
+	}
+	if _, ok := foldOf(t, parse(t, "(if x kt kf)")); ok {
+		t.Error("if with unknown condition folded")
+	}
+}
+
+func TestFoldReals(t *testing.T) {
+	folded, ok := foldOf(t, parse(t, "(r+ 1.5 2.5 e k)"))
+	if !ok || folded.Args[0].(*tml.Lit).Real != 4.0 {
+		t.Errorf("r+ fold = %v", folded)
+	}
+	folded, ok = foldOf(t, parse(t, "(r< 1.0 2.0 kt kf)"))
+	if !ok || folded.Fn.(*tml.Var).Name != "kt" {
+		t.Errorf("r< fold = %v", folded)
+	}
+	// Division producing Inf must not fold.
+	if f, ok := foldOf(t, parse(t, "(r/ 1.0 0.0 e k)")); ok {
+		t.Errorf("r/ by zero folded to %s", f)
+	}
+}
+
+func TestFoldStrings(t *testing.T) {
+	folded, ok := foldOf(t, parse(t, `(s+ "foo" "bar" k)`))
+	if !ok || folded.Args[0].(*tml.Lit).Str != "foobar" {
+		t.Errorf("s+ fold = %v", folded)
+	}
+	folded, ok = foldOf(t, parse(t, `(s= "a" "a" kt kf)`))
+	if !ok || folded.Fn.(*tml.Var).Name != "kt" {
+		t.Errorf("s= fold = %v", folded)
+	}
+	folded, ok = foldOf(t, parse(t, `(slen "abcd" k)`))
+	if !ok || folded.Args[0].(*tml.Lit).Int != 4 {
+		t.Errorf("slen fold = %v", folded)
+	}
+}
+
+func TestOverflowHelpers(t *testing.T) {
+	const max = int64(9223372036854775807)
+	const min = -max - 1
+	tests := []struct {
+		a, b          int64
+		add, sub, mul bool
+	}{
+		{1, 2, false, false, false},
+		{max, 1, true, false, false},
+		{min, -1, true, false, true},
+		{min, 1, false, true, false},
+		{max, -1, false, true, false},
+		{max, 2, true, false, true},
+		{0, min, false, true, false},
+		{-1, min, true, false, true},
+		{1 << 32, 1 << 32, false, false, true},
+	}
+	for _, tt := range tests {
+		if got := AddOverflows(tt.a, tt.b); got != tt.add {
+			t.Errorf("AddOverflows(%d, %d) = %v, want %v", tt.a, tt.b, got, tt.add)
+		}
+		if got := SubOverflows(tt.a, tt.b); got != tt.sub {
+			t.Errorf("SubOverflows(%d, %d) = %v, want %v", tt.a, tt.b, got, tt.sub)
+		}
+		if got := MulOverflows(tt.a, tt.b); got != tt.mul {
+			t.Errorf("MulOverflows(%d, %d) = %v, want %v", tt.a, tt.b, got, tt.mul)
+		}
+	}
+}
+
+func TestEffectString(t *testing.T) {
+	for e, want := range map[Effect]string{
+		Pure: "pure", Reader: "reader", Writer: "writer", Control: "control",
+	} {
+		if e.String() != want {
+			t.Errorf("Effect(%d).String() = %q, want %q", e, e.String(), want)
+		}
+	}
+}

@@ -1,0 +1,519 @@
+// Package ptml implements PTML, the compact persistent encoding of TML
+// trees (paper §4.1, Fig. 3). The compiler back end attaches a PTML blob
+// to every exported function; at runtime the blob is mapped back into TML,
+// re-optimized against the R-value bindings found in the closure record,
+// and compiled again.
+//
+// The encoding is a byte stream of varint-tagged nodes over a string
+// table. Bound variables are referenced by a dense index assigned in
+// binder pre-order; free variables are declared in a header, in
+// first-occurrence order, so that the decoder returns them alongside the
+// tree — they are exactly the identifiers the closure record's
+// [identifier, OID] binding table resolves (paper §4.1).
+package ptml
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"tycoon/internal/tml"
+)
+
+// Format: magic byte 'P', version byte, then
+//
+//	stringTable: uvarint count, count × (uvarint len + bytes)
+//	freeVars:    uvarint count, count × (uvarint nameIdx + u8 contFlag)
+//	tree:        node
+//
+// node tags:
+//
+//	0 var use      uvarint index (free vars first, then binders in pre-order)
+//	1 unit
+//	2 int          varint
+//	3 char         u8
+//	4 bool         u8
+//	5 real         u64 bits
+//	6 string       uvarint stringIdx
+//	7 oid          uvarint
+//	8 prim         uvarint stringIdx
+//	9 abs          uvarint nparams, nparams × (uvarint nameIdx + u8 cont), body app
+//	10 app         uvarint nargs, fn node, nargs × arg node
+const (
+	tagVar byte = iota
+	tagUnit
+	tagInt
+	tagChar
+	tagBool
+	tagReal
+	tagStr
+	tagOid
+	tagPrim
+	tagAbs
+	tagApp
+)
+
+const (
+	magicByte     = 'P'
+	formatVersion = 1
+)
+
+// ErrCorrupt wraps all decoding failures.
+var ErrCorrupt = errors.New("ptml: corrupt encoding")
+
+// Encode serialises a TML term. Free variables of the term are recorded
+// in the header; the decoder reproduces them so callers can re-establish
+// their bindings.
+func Encode(n tml.Node) ([]byte, error) {
+	e := &encoder{
+		strIdx: make(map[string]uint64),
+		varIdx: make(map[*tml.Var]uint64),
+	}
+	free := tml.FreeVars(n)
+	for _, v := range free {
+		e.varIdx[v] = uint64(len(e.varIdx))
+	}
+	e.nfree = len(free)
+	// Two-phase: first walk assigns string-table and binder indices and
+	// serialises the tree into e.tree; then the header is emitted.
+	for _, v := range free {
+		e.internString(printedName(v))
+	}
+	if err := e.node(n); err != nil {
+		return nil, err
+	}
+	var out bytes.Buffer
+	out.WriteByte(magicByte)
+	out.WriteByte(formatVersion)
+	writeUvarint(&out, uint64(len(e.strs)))
+	for _, s := range e.strs {
+		writeUvarint(&out, uint64(len(s)))
+		out.WriteString(s)
+	}
+	writeUvarint(&out, uint64(len(free)))
+	for _, v := range free {
+		writeUvarint(&out, e.strIdx[printedName(v)])
+		if v.Cont {
+			out.WriteByte(1)
+		} else {
+			out.WriteByte(0)
+		}
+	}
+	out.Write(e.tree.Bytes())
+	return out.Bytes(), nil
+}
+
+// EncodeApp is Encode restricted to applications, the shape of compiled
+// procedure bodies.
+func EncodeApp(app *tml.App) ([]byte, error) { return Encode(app) }
+
+// printedName keeps distinct variables distinct across encode/decode: the
+// unique α-conversion suffix becomes part of the persistent name, exactly
+// like the paper's pretty-printed listings.
+func printedName(v *tml.Var) string { return v.String() }
+
+type encoder struct {
+	strs   []string
+	strIdx map[string]uint64
+	varIdx map[*tml.Var]uint64
+	nfree  int // free variables occupy indices [0, nfree)
+	depth  int // binders currently in scope
+	tree   bytes.Buffer
+}
+
+func (e *encoder) internString(s string) uint64 {
+	if i, ok := e.strIdx[s]; ok {
+		return i
+	}
+	i := uint64(len(e.strs))
+	e.strs = append(e.strs, s)
+	e.strIdx[s] = i
+	return i
+}
+
+func (e *encoder) node(n tml.Node) error {
+	switch n := n.(type) {
+	case *tml.Lit:
+		e.lit(n)
+		return nil
+	case *tml.Oid:
+		e.tree.WriteByte(tagOid)
+		writeUvarint(&e.tree, n.Ref)
+		return nil
+	case *tml.Var:
+		idx, ok := e.varIdx[n]
+		if !ok {
+			return fmt.Errorf("ptml: variable %s used out of scope", n)
+		}
+		e.tree.WriteByte(tagVar)
+		writeUvarint(&e.tree, idx)
+		return nil
+	case *tml.Prim:
+		e.tree.WriteByte(tagPrim)
+		writeUvarint(&e.tree, e.internString(n.Name))
+		return nil
+	case *tml.Abs:
+		e.tree.WriteByte(tagAbs)
+		writeUvarint(&e.tree, uint64(len(n.Params)))
+		// Variable indices are scoped (the decoder pops binders when it
+		// leaves an abstraction), so the index of a binder is its depth on
+		// the current binder stack, after the free variables.
+		for _, p := range n.Params {
+			if _, dup := e.varIdx[p]; dup {
+				return fmt.Errorf("ptml: variable %s bound twice (unique binding rule)", p)
+			}
+			e.varIdx[p] = uint64(e.nfree + e.depth)
+			e.depth++
+			writeUvarint(&e.tree, e.internString(printedName(p)))
+			if p.Cont {
+				e.tree.WriteByte(1)
+			} else {
+				e.tree.WriteByte(0)
+			}
+		}
+		err := e.node(n.Body)
+		for _, p := range n.Params {
+			delete(e.varIdx, p)
+			e.depth--
+		}
+		return err
+	case *tml.App:
+		e.tree.WriteByte(tagApp)
+		writeUvarint(&e.tree, uint64(len(n.Args)))
+		if err := e.node(n.Fn); err != nil {
+			return err
+		}
+		for _, a := range n.Args {
+			if err := e.node(a); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("ptml: cannot encode %T", n)
+	}
+}
+
+func (e *encoder) lit(l *tml.Lit) {
+	switch l.Kind {
+	case tml.LitUnit:
+		e.tree.WriteByte(tagUnit)
+	case tml.LitInt:
+		e.tree.WriteByte(tagInt)
+		writeVarint(&e.tree, l.Int)
+	case tml.LitChar:
+		e.tree.WriteByte(tagChar)
+		e.tree.WriteByte(l.Ch)
+	case tml.LitBool:
+		e.tree.WriteByte(tagBool)
+		if l.Bool {
+			e.tree.WriteByte(1)
+		} else {
+			e.tree.WriteByte(0)
+		}
+	case tml.LitReal:
+		e.tree.WriteByte(tagReal)
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(l.Real))
+		e.tree.Write(b[:])
+	case tml.LitStr:
+		e.tree.WriteByte(tagStr)
+		writeUvarint(&e.tree, e.internString(l.Str))
+	}
+}
+
+// Decode reconstructs a TML term from its PTML encoding. It returns the
+// tree together with the free variables declared in the header, in
+// declaration order; gen supplies fresh IDs for the reconstructed binders
+// (nil allocates a private generator).
+func Decode(data []byte, gen *tml.VarGen) (tml.Node, []*tml.Var, error) {
+	if gen == nil {
+		gen = tml.NewVarGen()
+	}
+	if len(data) < 2 || data[0] != magicByte {
+		return nil, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if data[1] != formatVersion {
+		return nil, nil, fmt.Errorf("%w: version %d, want %d", ErrCorrupt, data[1], formatVersion)
+	}
+	d := &decoder{b: data, pos: 2, gen: gen}
+	nstr := d.uvarint()
+	for i := uint64(0); i < nstr && d.err == nil; i++ {
+		n := d.uvarint()
+		d.strs = append(d.strs, d.take(int(n)))
+	}
+	nfree := d.uvarint()
+	var free []*tml.Var
+	for i := uint64(0); i < nfree && d.err == nil; i++ {
+		name := d.string()
+		cont := d.u8() != 0
+		v := makeVar(name, cont, gen)
+		free = append(free, v)
+		d.vars = append(d.vars, v)
+	}
+	n := d.node()
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	if d.pos != len(data) {
+		return nil, nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-d.pos)
+	}
+	return n, free, nil
+}
+
+// DecodeApp is Decode restricted to applications.
+func DecodeApp(data []byte, gen *tml.VarGen) (*tml.App, []*tml.Var, error) {
+	n, free, err := Decode(data, gen)
+	if err != nil {
+		return nil, nil, err
+	}
+	app, ok := n.(*tml.App)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: root is %T, want application", ErrCorrupt, n)
+	}
+	return app, free, nil
+}
+
+// makeVar rebuilds a free variable from its persistent printed name,
+// reusing the embedded α-conversion suffix as the variable ID when
+// present — the printed name keys the closure record's binding table and
+// must round-trip exactly.
+func makeVar(printed string, cont bool, gen *tml.VarGen) *tml.Var {
+	name, id := splitName(printed)
+	if id == 0 {
+		v := gen.Fresh(name)
+		v.Cont = cont
+		return v
+	}
+	gen.Skip(id)
+	return &tml.Var{Name: name, ID: id, Cont: cont}
+}
+
+// splitName separates a printed name base_N into its base and ID.
+func splitName(printed string) (string, int) {
+	for i := len(printed) - 1; i > 0; i-- {
+		if printed[i] == '_' {
+			n := 0
+			ok := i+1 < len(printed)
+			for j := i + 1; j < len(printed); j++ {
+				c := printed[j]
+				if c < '0' || c > '9' {
+					ok = false
+					break
+				}
+				n = n*10 + int(c-'0')
+			}
+			if ok {
+				return printed[:i], n
+			}
+			break
+		}
+	}
+	return printed, 0
+}
+
+// baseName strips the α-conversion suffix.
+func baseName(printed string) string {
+	base, _ := splitName(printed)
+	return base
+}
+
+type decoder struct {
+	b    []byte
+	pos  int
+	err  error
+	strs []string
+	vars []*tml.Var
+	gen  *tml.VarGen
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s at offset %d", ErrCorrupt, fmt.Sprintf(format, args...), d.pos)
+	}
+}
+
+func (d *decoder) u8() byte {
+	if d.err != nil || d.pos >= len(d.b) {
+		d.fail("truncated byte")
+		return 0
+	}
+	v := d.b[d.pos]
+	d.pos++
+	return v
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.pos:])
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.pos:])
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) take(n int) string {
+	if d.err != nil || n < 0 || d.pos+n > len(d.b) {
+		d.fail("truncated string")
+		return ""
+	}
+	s := string(d.b[d.pos : d.pos+n])
+	d.pos += n
+	return s
+}
+
+func (d *decoder) string() string {
+	i := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if i >= uint64(len(d.strs)) {
+		d.fail("string index %d out of range", i)
+		return ""
+	}
+	return d.strs[i]
+}
+
+func (d *decoder) node() tml.Node {
+	tag := d.u8()
+	if d.err != nil {
+		return nil
+	}
+	switch tag {
+	case tagVar:
+		i := d.uvarint()
+		if d.err != nil {
+			return nil
+		}
+		if i >= uint64(len(d.vars)) {
+			d.fail("variable index %d out of range", i)
+			return nil
+		}
+		return d.vars[i]
+	case tagUnit:
+		return tml.Unit()
+	case tagInt:
+		return tml.Int(d.varint())
+	case tagChar:
+		return tml.Char(d.u8())
+	case tagBool:
+		return tml.Bool(d.u8() != 0)
+	case tagReal:
+		if d.pos+8 > len(d.b) {
+			d.fail("truncated real")
+			return nil
+		}
+		bits := binary.LittleEndian.Uint64(d.b[d.pos:])
+		d.pos += 8
+		return tml.Real(math.Float64frombits(bits))
+	case tagStr:
+		return tml.Str(d.string())
+	case tagOid:
+		return tml.NewOid(d.uvarint())
+	case tagPrim:
+		return tml.NewPrim(d.string())
+	case tagAbs:
+		np := d.uvarint()
+		if d.err != nil {
+			return nil
+		}
+		if np > uint64(len(d.b)) {
+			d.fail("absurd parameter count %d", np)
+			return nil
+		}
+		params := make([]*tml.Var, 0, np)
+		mark := len(d.vars)
+		for i := uint64(0); i < np && d.err == nil; i++ {
+			name := d.string()
+			cont := d.u8() != 0
+			// Internal binders are α-converted afresh: the same PTML blob
+			// may be decoded several times into one tree (cross-barrier
+			// inlining), and reused IDs would collide in printed output.
+			// Free variables (below Decode) keep their persistent printed
+			// names, which key the closure record's binding table.
+			v := d.gen.Fresh(baseName(name))
+			v.Cont = cont
+			params = append(params, v)
+			d.vars = append(d.vars, v)
+		}
+		bodyNode := d.node()
+		// Binder indices are scoped: pop the params so sibling subtrees
+		// cannot reference them (lexical scope ⇒ well-formedness).
+		d.vars = d.vars[:mark]
+		if d.err != nil {
+			return nil
+		}
+		body, ok := bodyNode.(*tml.App)
+		if !ok {
+			d.fail("abstraction body is %T, want application", bodyNode)
+			return nil
+		}
+		return &tml.Abs{Params: params, Body: body}
+	case tagApp:
+		na := d.uvarint()
+		if d.err != nil {
+			return nil
+		}
+		if na > uint64(len(d.b)) {
+			d.fail("absurd argument count %d", na)
+			return nil
+		}
+		fnNode := d.node()
+		if d.err != nil {
+			return nil
+		}
+		fn, ok := fnNode.(tml.Value)
+		if !ok {
+			d.fail("application head is %T, want value", fnNode)
+			return nil
+		}
+		args := make([]tml.Value, 0, na)
+		for i := uint64(0); i < na && d.err == nil; i++ {
+			argNode := d.node()
+			if d.err != nil {
+				return nil
+			}
+			arg, ok := argNode.(tml.Value)
+			if !ok {
+				d.fail("argument is %T, want value", argNode)
+				return nil
+			}
+			args = append(args, arg)
+		}
+		return &tml.App{Fn: fn, Args: args}
+	default:
+		d.fail("unknown node tag %d", tag)
+		return nil
+	}
+}
+
+func writeUvarint(w *bytes.Buffer, v uint64) {
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(b[:], v)
+	w.Write(b[:n])
+}
+
+func writeVarint(w *bytes.Buffer, v int64) {
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(b[:], v)
+	w.Write(b[:n])
+}

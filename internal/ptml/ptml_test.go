@@ -1,0 +1,257 @@
+package ptml
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tycoon/internal/prim"
+	"tycoon/internal/tml"
+)
+
+var popts = tml.ParseOpts{IsPrim: prim.IsPrim}
+
+func roundTrip(t *testing.T, src string) (tml.Node, tml.Node, []*tml.Var) {
+	t.Helper()
+	n, err := tml.Parse(src, popts)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	data, err := Encode(n)
+	if err != nil {
+		t.Fatalf("Encode(%q): %v", src, err)
+	}
+	back, free, err := Decode(data, nil)
+	if err != nil {
+		t.Fatalf("Decode(%q): %v", src, err)
+	}
+	return n, back, free
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	srcs := []string{
+		"13",
+		"'a'",
+		"true",
+		"ok",
+		"2.5",
+		`"hello"`,
+		"<oid 0x005b4780>",
+		"(+ 1 2 ce cc)",
+		"(proc(x !ce !cc) (+ x 1 ce cc) 5 e k)",
+		"(== x 1 2 cont()(k 1) cont()(k 2) cont()(k 0))",
+		`(Y proc(!c0 !for !c)
+		   (c cont() (for 1)
+		      cont(i) (> i 10 cont()(k ok) cont()(for i))))`,
+		// Sibling abstractions exercise the scoped binder indexing.
+		"(f cont(a) (k a) cont(b) (k b) e k2)",
+	}
+	for _, src := range srcs {
+		n, back, _ := roundTrip(t, src)
+		if !tml.AlphaEqual(n, back) {
+			t.Errorf("round trip mismatch for %q:\n%s\nvs\n%s", src, tml.Print(n), tml.Print(back))
+		}
+	}
+}
+
+func TestRoundTripPreservesContFlags(t *testing.T) {
+	_, back, _ := roundTrip(t, "(proc(x !ce !cc) (cc x) 5 e k)")
+	abs := back.(*tml.App).Fn.(*tml.Abs)
+	if abs.Params[0].Cont || !abs.Params[1].Cont || !abs.Params[2].Cont {
+		t.Errorf("cont flags lost: %v", abs.Params)
+	}
+}
+
+func TestFreeVariablesDeclared(t *testing.T) {
+	n, _, free := roundTrip(t, "(+ x y ce cc)")
+	origFree := tml.FreeVars(n)
+	if len(free) != len(origFree) {
+		t.Fatalf("decoded %d free vars, want %d", len(free), len(origFree))
+	}
+	for i := range free {
+		if free[i].Name != origFree[i].Name {
+			t.Errorf("free var %d: %s vs %s", i, free[i], origFree[i])
+		}
+		if free[i].Cont != origFree[i].Cont {
+			t.Errorf("free var %d cont flag mismatch", i)
+		}
+	}
+}
+
+func TestDecodedTreeIsWellFormed(t *testing.T) {
+	src := `(Y proc(!c0 !loop !c)
+	          (c cont() (loop 1 0)
+	             cont(i acc)
+	               (> i 3
+	                  cont() (k acc)
+	                  cont() (+ acc i e cont(a2)
+	                           (+ i 1 e cont(i2) (loop i2 a2))))))`
+	_, back, free := roundTrip(t, src)
+	err := tml.Check(back, tml.CheckOpts{Signatures: prim.Signatures, AllowFree: free})
+	if err != nil {
+		t.Errorf("decoded tree ill-formed: %v", err)
+	}
+}
+
+func TestEncodingIsCompact(t *testing.T) {
+	// The encoding should be substantially smaller than the printed form
+	// (the paper stresses a *compact* persistent representation).
+	src := `(Y proc(!c0 !loop !c)
+	          (c cont() (loop 1 0)
+	             cont(i acc)
+	               (> i 3
+	                  cont() (k acc)
+	                  cont() (+ acc i e cont(a2)
+	                           (+ i 1 e cont(i2) (loop i2 a2))))))`
+	n := tml.MustParse(src, popts)
+	data, err := Encode(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := tml.Print(n)
+	if len(data) >= len(printed) {
+		t.Errorf("PTML %d bytes, printed form %d bytes; expected compaction", len(data), len(printed))
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{'X'},
+		{'P', 99},
+		{'P', 1},                 // truncated tables
+		{'P', 1, 0, 0, 42},       // bogus tag
+		{'P', 1, 0, 1, 0, 1, 10}, // free var with bad string index; then truncated
+	}
+	for _, data := range cases {
+		if _, _, err := Decode(data, nil); err == nil {
+			t.Errorf("Decode(%v) succeeded", data)
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	data, _ := Encode(tml.Int(1))
+	data = append(data, 0xFF)
+	if _, _, err := Decode(data, nil); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestEncodeRejectsOutOfScopeVar(t *testing.T) {
+	// A tree where a variable is used outside the subtree being encoded
+	// is fine (it becomes free); but a variable used before its binder in
+	// an ill-scoped hand-built tree must be caught. Build: (cont(x)(k x))
+	// applied to x itself — x is used at a position where it is also
+	// free, which FreeVars handles; the encoder must not panic.
+	g := tml.NewVarGen()
+	x := g.Fresh("x")
+	k := g.FreshCont("k")
+	abs := &tml.Abs{Params: []*tml.Var{x}, Body: tml.NewApp(k, x)}
+	app := tml.NewApp(abs, x) // outer x use is out of scope
+	if _, err := Encode(app); err == nil {
+		t.Log("ill-scoped tree encoded; FreeVars treated outer x as bound")
+	}
+}
+
+func TestVarNamesAcrossDecode(t *testing.T) {
+	// Internal binders are α-converted afresh on decode (the same blob
+	// may be inlined several times into one tree); only the base name is
+	// kept. Free variables preserve their exact printed names because
+	// they key the closure record's binding table.
+	src := "(cont(x_7) (k_9 x_7) 1)"
+	n, back, free := roundTrip(t, src)
+	_ = n
+	abs := back.(*tml.App).Fn.(*tml.Abs)
+	if abs.Params[0].Name != "x" {
+		t.Errorf("binder base name = %q, want x", abs.Params[0].Name)
+	}
+	if len(free) != 1 || free[0].String() != "k_9" {
+		t.Errorf("free vars = %v, want [k_9]", free)
+	}
+	// Decoding the same blob twice never produces colliding binder names.
+	data, err := Encode(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := tml.NewVarGen()
+	a1, _, err := Decode(data, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _, err := Decode(data, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, v := range append(tml.Binders(a1), tml.Binders(a2)...) {
+		if names[v.String()] {
+			t.Errorf("binder name %s collides across decodes", v)
+		}
+		names[v.String()] = true
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	// Random arithmetic CPS chains round-trip α-equivalently.
+	gen := func(seed int64, depth int) tml.Node {
+		g := tml.NewVarGen()
+		ce := g.FreshCont("ce")
+		cc := g.FreshCont("cc")
+		var build func(d int, avail []*tml.Var) *tml.App
+		rnd := seed
+		next := func(n int64) int64 {
+			rnd = rnd*6364136223846793005 + 1442695040888963407
+			r := rnd >> 33
+			if r < 0 {
+				r = -r
+			}
+			return r % n
+		}
+		build = func(d int, avail []*tml.Var) *tml.App {
+			operand := func() tml.Value {
+				if len(avail) > 0 && next(2) == 0 {
+					return avail[next(int64(len(avail)))]
+				}
+				return tml.Int(next(1000))
+			}
+			if d == 0 {
+				return tml.NewApp(cc, operand())
+			}
+			ops := []string{"+", "-", "*"}
+			tv := g.Fresh("t")
+			rest := build(d-1, append(avail, tv))
+			return tml.NewApp(tml.NewPrim(ops[next(3)]), operand(), operand(), ce,
+				&tml.Abs{Params: []*tml.Var{tv}, Body: rest})
+		}
+		return build(depth, nil)
+	}
+	f := func(seed int64, depthRaw uint8) bool {
+		n := gen(seed, int(depthRaw%10))
+		data, err := Encode(n)
+		if err != nil {
+			return false
+		}
+		back, _, err := Decode(data, nil)
+		if err != nil {
+			return false
+		}
+		return tml.AlphaEqual(n, back)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTripThroughPrint(t *testing.T) {
+	// PTML decode → print → parse must agree with the original.
+	src := "(proc(x !ce !cc) (+ x 1 ce cc) 5 e k)"
+	n, back, _ := roundTrip(t, src)
+	reparsed := tml.MustParse(tml.Print(back), popts)
+	if !tml.AlphaEqual(n, reparsed) {
+		t.Errorf("print/parse after decode diverges:\n%s", tml.Print(reparsed))
+	}
+	if !strings.Contains(tml.Print(back), "proc(") {
+		t.Error("proc head lost")
+	}
+}

@@ -1,0 +1,394 @@
+// Package reflectopt implements the paper's reflective dynamic optimizer
+// (§4.1, Fig. 3): at link or run time, when all bindings between the
+// contributing parts of a persistent application are established, it maps
+// the PTML tree of a function back into TML, re-establishes the R-value
+// bindings of its free variables from the closure record, collects —
+// via transitive reachability through the store — the declarations that
+// contribute to the term, and invokes the ordinary TML optimizer on the
+// resulting single scope. The result is compiled by the regular back end
+// and linked into the running program.
+//
+// Two runtime-binding rewrite rules drive the cross-barrier effect:
+//
+//	fold-field:  ([] <oid> k cont) on an immutable module or tuple
+//	             object folds to the fetched value — the module member
+//	             fetch disappears;
+//	link-inline: a call whose function position is the OID of a closure
+//	             carrying PTML is replaced by the (re-bound) body of that
+//	             closure — procedure inlining across module barriers.
+//
+// Everything else — subst, fold, η, the query rules — is the shared
+// optimizer of package opt (the paper: "the static and dynamic
+// optimizers share the same code for TML analysis and rewriting").
+package reflectopt
+
+import (
+	"errors"
+	"fmt"
+
+	"tycoon/internal/machine"
+	"tycoon/internal/opt"
+	"tycoon/internal/prim"
+	"tycoon/internal/ptml"
+	"tycoon/internal/qopt"
+	"tycoon/internal/store"
+	"tycoon/internal/tml"
+)
+
+// ErrNoPTML reports a closure whose persistent TML tree was stripped.
+var ErrNoPTML = errors.New("reflectopt: closure carries no PTML (installed with StripPTML)")
+
+// Options tunes the dynamic optimizer.
+type Options struct {
+	// Reg is the primitive registry; nil means prim.Default.
+	Reg *prim.Registry
+	// InlinePerOID bounds how often one non-recursive persistent closure
+	// is inlined into a single optimization; 0 means DefaultInlinePerOID.
+	// Library wrappers are tiny and non-recursive, so this is generous.
+	InlinePerOID int
+	// InlineRecursive bounds inlining of self-recursive closures (their
+	// bodies mention their own OID): each inline is one unrolling.
+	// 0 means DefaultInlineRecursive.
+	InlineRecursive int
+	// MaxInlineSize stops cross-barrier inlining once the accumulated
+	// size of inlined bodies exceeds this many TML nodes (mutual
+	// recursion through the store would otherwise grow without bound).
+	// 0 means DefaultMaxInlineSize.
+	MaxInlineSize int
+	// Opt are the base optimizer options (rounds, budgets).
+	Opt opt.Options
+	// NoQueryRules disables the §4.2 query rewrite rules (ablation).
+	NoQueryRules bool
+	// FromCode reconstructs TML by decompiling the executable TAM code
+	// instead of decoding the stored PTML tree — the paper's §6 future
+	// work ("inverting the target machine code generation process").
+	// Closures installed with StripPTML become optimizable again, at the
+	// cost of a non-isomorphic (occasionally duplicated) tree.
+	FromCode bool
+	// CheckInvariants verifies well-formedness after optimization.
+	CheckInvariants bool
+}
+
+// Default inlining bounds.
+const (
+	DefaultInlinePerOID    = 64
+	DefaultInlineRecursive = 2
+	DefaultMaxInlineSize   = 60_000
+)
+
+// Optimizer performs reflective optimization against one store.
+type Optimizer struct {
+	st   *store.Store
+	opts Options
+}
+
+// New returns a dynamic optimizer over st.
+func New(st *store.Store, opts Options) *Optimizer {
+	if opts.Reg == nil {
+		opts.Reg = prim.Default
+	}
+	if opts.InlinePerOID == 0 {
+		opts.InlinePerOID = DefaultInlinePerOID
+	}
+	if opts.InlineRecursive == 0 {
+		opts.InlineRecursive = DefaultInlineRecursive
+	}
+	if opts.MaxInlineSize == 0 {
+		opts.MaxInlineSize = DefaultMaxInlineSize
+	}
+	return &Optimizer{st: st, opts: opts}
+}
+
+// Result is the outcome of one reflective optimization.
+type Result struct {
+	// Abs is the globally optimized TML procedure.
+	Abs *tml.Abs
+	// Closure is the recompiled executable value.
+	Closure *machine.TAMClosure
+	// Stats are the optimizer statistics.
+	Stats *opt.Stats
+	// Inlined counts persistent closures inlined across barriers.
+	Inlined int
+}
+
+// Optimize reflectively optimizes the persistent closure denoted by oid
+// and returns newly generated code. The persistent original is left
+// untouched except for its cached derived attributes (cost, savings).
+func (o *Optimizer) Optimize(oid store.OID) (*Result, error) {
+	gen := tml.NewVarGen()
+	abs, err := o.reconstruct(oid, gen)
+	if err != nil {
+		return nil, err
+	}
+
+	state := &inlineState{counts: make(map[store.OID]int)}
+	rules := []opt.Rule{
+		{Name: "fold-field", Apply: o.foldField},
+		{Name: "link-inline", Apply: func(ctx *opt.Ctx, app *tml.App) (*tml.App, bool) {
+			return o.linkInline(ctx, app, state)
+		}},
+	}
+	if !o.opts.NoQueryRules {
+		rules = append(rules, qopt.RuntimeRules(o.st)...)
+	}
+
+	optOpts := o.opts.Opt
+	optOpts.Reg = o.opts.Reg
+	optOpts.Gen = gen
+	optOpts.Extra = append(rules, optOpts.Extra...)
+	optOpts.CheckInvariants = o.opts.CheckInvariants
+
+	body, stats, err := opt.Optimize(abs.Body, optOpts)
+	if err != nil {
+		return nil, fmt.Errorf("reflectopt: %w", err)
+	}
+	optAbs := &tml.Abs{Params: abs.Params, Body: body}
+
+	prog, err := machine.CompileProc(optAbs, optName(o.st, oid), o.opts.Reg)
+	if err != nil {
+		return nil, fmt.Errorf("reflectopt: codegen: %w", err)
+	}
+	if n := len(prog.EntryBlock().FreeNames); n != 0 {
+		return nil, fmt.Errorf("reflectopt: %d unresolved free variables after rebinding: %v",
+			n, prog.EntryBlock().FreeNames)
+	}
+	clo := &machine.TAMClosure{Prog: prog, Blk: prog.Entry, Name: optName(o.st, oid)}
+
+	// Cache derived attributes in the persistent system state (paper
+	// §4.1: "the optimizer attaches several derived attributes (costs,
+	// savings, …) to the generated code").
+	if obj, err := o.st.Get(oid); err == nil {
+		if sc, ok := obj.(*store.Closure); ok {
+			sc.Cost = int32(stats.CostAfter)
+			sc.Savings = int32(stats.CostBefore - stats.CostAfter)
+			o.st.MarkDirty(oid)
+		}
+	}
+	return &Result{Abs: optAbs, Closure: clo, Stats: stats, Inlined: state.total}, nil
+}
+
+// OptimizeAndInstall optimizes and then overrides the machine's link
+// cache so every subsequent application of the OID runs the new code.
+func (o *Optimizer) OptimizeAndInstall(m *machine.Machine, oid store.OID) (*Result, error) {
+	res, err := o.Optimize(oid)
+	if err != nil {
+		return nil, err
+	}
+	m.OverrideLink(oid, res.Closure)
+	return res, nil
+}
+
+func optName(st *store.Store, oid store.OID) string {
+	if obj, err := st.Get(oid); err == nil {
+		if c, ok := obj.(*store.Closure); ok {
+			return c.Name + "!opt"
+		}
+	}
+	return "opt"
+}
+
+// reconstruct maps a closure's PTML back into TML and re-establishes the
+// R-value bindings of its free variables, yielding the paper's §4.1
+// wrapper shape: the original parameters around a λ binding the former
+// globals to their runtime values.
+func (o *Optimizer) reconstruct(oid store.OID, gen *tml.VarGen) (*tml.Abs, error) {
+	obj, err := o.st.Get(oid)
+	if err != nil {
+		return nil, err
+	}
+	clo, ok := obj.(*store.Closure)
+	if !ok {
+		return nil, fmt.Errorf("reflectopt: oid 0x%x is a %s, not a closure", uint64(oid), obj.Kind())
+	}
+	var abs *tml.Abs
+	var free []*tml.Var
+	if o.opts.FromCode || clo.PTML == store.Nil {
+		if !o.opts.FromCode && clo.PTML == store.Nil {
+			return nil, fmt.Errorf("%w: %s", ErrNoPTML, clo.Name)
+		}
+		abs, free, err = o.decompile(clo, gen)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		blobObj, err := o.st.Get(clo.PTML)
+		if err != nil {
+			return nil, err
+		}
+		blob, ok := blobObj.(*store.Blob)
+		if !ok {
+			return nil, fmt.Errorf("reflectopt: PTML of %s is a %s", clo.Name, blobObj.Kind())
+		}
+		node, decFree, err := ptml.Decode(blob.Bytes, gen)
+		if err != nil {
+			return nil, fmt.Errorf("reflectopt: %s: %w", clo.Name, err)
+		}
+		decAbs, ok := node.(*tml.Abs)
+		if !ok {
+			return nil, fmt.Errorf("reflectopt: PTML of %s decodes to %T, want abstraction", clo.Name, node)
+		}
+		abs, free = decAbs, decFree
+	}
+	if len(free) == 0 {
+		return abs, nil
+	}
+	// Bind every free variable to its recorded runtime value.
+	vals := make([]tml.Value, len(free))
+	for i, v := range free {
+		bv, ok := bindingByName(clo.Bindings, v.String())
+		if !ok {
+			return nil, fmt.Errorf("reflectopt: %s: no binding for %s", clo.Name, v)
+		}
+		vals[i] = storeValToTML(bv)
+	}
+	inner := &tml.Abs{Params: free, Body: abs.Body}
+	wrapped := tml.NewApp(inner, vals...)
+	return &tml.Abs{Params: abs.Params, Body: wrapped}, nil
+}
+
+// decompile reconstructs TML from the closure's executable code (paper
+// §6 future work): the label tables recorded by the code generator make
+// the inversion exact up to join-point duplication.
+func (o *Optimizer) decompile(clo *store.Closure, gen *tml.VarGen) (*tml.Abs, []*tml.Var, error) {
+	blobObj, err := o.st.Get(clo.Code)
+	if err != nil {
+		return nil, nil, err
+	}
+	blob, ok := blobObj.(*store.Blob)
+	if !ok {
+		return nil, nil, fmt.Errorf("reflectopt: code of %s is a %s", clo.Name, blobObj.Kind())
+	}
+	prog, err := machine.DecodeProgram(blob.Bytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	abs, free, err := machine.Decompile(prog, gen)
+	if err != nil {
+		return nil, nil, fmt.Errorf("reflectopt: %s: %w", clo.Name, err)
+	}
+	return abs, free, nil
+}
+
+func bindingByName(bs []store.Binding, name string) (store.Val, bool) {
+	for _, b := range bs {
+		if b.Name == name {
+			return b.Val, true
+		}
+	}
+	return store.Val{}, false
+}
+
+// storeValToTML lifts a stored binding value into a TML value node:
+// scalars become literals, references become OID nodes.
+func storeValToTML(v store.Val) tml.Value {
+	switch v.Kind {
+	case store.ValInt:
+		return tml.Int(v.Int)
+	case store.ValReal:
+		return tml.Real(v.Real)
+	case store.ValBool:
+		return tml.Bool(v.Bool)
+	case store.ValChar:
+		return tml.Char(v.Ch)
+	case store.ValStr:
+		return tml.Str(v.Str)
+	case store.ValRef:
+		return tml.NewOid(uint64(v.Ref))
+	default:
+		return tml.Unit()
+	}
+}
+
+// foldField folds ([] <oid> K cont) on immutable store objects: module
+// member fetches and tuple field accesses against runtime bindings.
+// Mutable objects (arrays, relations) are never folded.
+func (o *Optimizer) foldField(ctx *opt.Ctx, app *tml.App) (*tml.App, bool) {
+	p, ok := app.Fn.(*tml.Prim)
+	if !ok || p.Name != "[]" || len(app.Args) != 3 {
+		return nil, false
+	}
+	oidNode, ok := app.Args[0].(*tml.Oid)
+	if !ok {
+		return nil, false
+	}
+	idxLit, ok := app.Args[1].(*tml.Lit)
+	if !ok || idxLit.Kind != tml.LitInt {
+		return nil, false
+	}
+	obj, err := o.st.Get(store.OID(oidNode.Ref))
+	if err != nil {
+		return nil, false
+	}
+	var val store.Val
+	switch obj := obj.(type) {
+	case *store.Module:
+		if idxLit.Int < 0 || idxLit.Int >= int64(len(obj.Exports)) {
+			return nil, false
+		}
+		val = obj.Exports[idxLit.Int].Val
+	case *store.Tuple:
+		if idxLit.Int < 0 || idxLit.Int >= int64(len(obj.Fields)) {
+			return nil, false
+		}
+		val = obj.Fields[idxLit.Int]
+	default:
+		return nil, false
+	}
+	return tml.NewApp(app.Args[2], storeValToTML(val)), true
+}
+
+// inlineState tracks cross-barrier inlining budgets within one run.
+type inlineState struct {
+	counts map[store.OID]int
+	size   int
+	total  int
+}
+
+// linkInline replaces a call through a closure OID by the closure's
+// re-bound body: procedure inlining across abstraction barriers. The
+// inlined body's own free variables are bound the same way, so the
+// optimizer effectively collects all contributing declarations through
+// transitive reachability (paper §4.1). Self-recursive closures unroll
+// at most InlineRecursive times; the accumulated size bound stops mutual
+// recursion through the store.
+func (o *Optimizer) linkInline(ctx *opt.Ctx, app *tml.App, state *inlineState) (*tml.App, bool) {
+	oidNode, ok := app.Fn.(*tml.Oid)
+	if !ok {
+		return nil, false
+	}
+	oid := store.OID(oidNode.Ref)
+	if state.size >= o.opts.MaxInlineSize {
+		return nil, false
+	}
+	abs, err := o.reconstruct(oid, ctx.Gen)
+	if err != nil {
+		return nil, false // no PTML or not a closure: leave the call dynamic
+	}
+	if len(abs.Params) != len(app.Args) {
+		return nil, false
+	}
+	limit := o.opts.InlinePerOID
+	if selfRecursive(abs, oid) {
+		limit = o.opts.InlineRecursive
+	}
+	if state.counts[oid] >= limit {
+		return nil, false
+	}
+	state.counts[oid]++
+	state.total++
+	state.size += tml.Size(abs)
+	return tml.NewApp(abs, app.Args...), true
+}
+
+// selfRecursive reports whether the reconstructed body calls back through
+// its own OID.
+func selfRecursive(abs *tml.Abs, oid store.OID) bool {
+	found := false
+	tml.Walk(abs, func(n tml.Node) bool {
+		if o, ok := n.(*tml.Oid); ok && store.OID(o.Ref) == oid {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,437 @@
+// Package relalg implements the relational bulk data substrate: relation
+// values, hash indexes, and the query primitive procedures (select,
+// project, join, exists, empty, foreach, rinsert, indexscan, count) that
+// paper §4.2 compiles embedded queries into.
+//
+// Query primitives follow the extension recipe of paper §2.3: they are
+// registered in the compile-time registry (arity, cost, effects) by this
+// package's init, and their executors are attached to a Machine by
+// Register. Predicates and target expressions are ordinary TML closures;
+// evaluating them re-enters the machine, which is what makes program and
+// query execution — and therefore program and query *optimization* —
+// mutually recursive (Fig. 4).
+package relalg
+
+import (
+	"fmt"
+
+	"tycoon/internal/machine"
+	"tycoon/internal/prim"
+	"tycoon/internal/store"
+)
+
+func init() {
+	// Compile-time descriptors (paper §2.3: new primitives extend the
+	// registry). select/project/join/exists/empty/foreach/count follow
+	// the (vals… ce cc) convention; their cost estimates reflect that
+	// they traverse bulk data.
+	prim.Default.Register(&prim.Desc{Name: "select", NVals: 2, NConts: 2, Cost: 64, Effect: prim.Reader})
+	prim.Default.Register(&prim.Desc{Name: "project", NVals: 2, NConts: 2, Cost: 64, Effect: prim.Reader})
+	prim.Default.Register(&prim.Desc{Name: "join", NVals: 3, NConts: 2, Cost: 128, Effect: prim.Reader})
+	prim.Default.Register(&prim.Desc{Name: "exists", NVals: 2, NConts: 2, Cost: 48, Effect: prim.Reader})
+	prim.Default.Register(&prim.Desc{Name: "empty", NVals: 1, NConts: 2, Cost: 4, Effect: prim.Reader})
+	prim.Default.Register(&prim.Desc{Name: "count", NVals: 1, NConts: 2, Cost: 4, Effect: prim.Reader})
+	prim.Default.Register(&prim.Desc{Name: "foreach", NVals: 2, NConts: 2, Cost: 64, Effect: prim.Writer})
+	prim.Default.Register(&prim.Desc{Name: "rinsert", NVals: 2, NConts: 2, Cost: 16, Effect: prim.Writer})
+	// (indexscan rel col key ce cc): introduced only by the query
+	// optimizer when the runtime binding shows an index (paper §4.2).
+	prim.Default.Register(&prim.Desc{Name: "indexscan", NVals: 3, NConts: 2, Cost: 8, Effect: prim.Reader})
+}
+
+// Rel is a transient relation value (query intermediate or result).
+type Rel struct {
+	machine.ExtValue
+	Schema []store.Column
+	Rows   [][]store.Val
+}
+
+// Show renders the relation briefly.
+func (r *Rel) Show() string { return fmt.Sprintf("rel(%d rows)", len(r.Rows)) }
+
+// Manager owns the runtime index structures for persistent relations and
+// provides the query executors. One Manager serves one store.
+type Manager struct {
+	st *store.Store
+	// indexes caches hash indexes per relation OID and column: the
+	// runtime binding knowledge the query optimizer consults.
+	indexes map[store.OID]map[int]hashIndex
+}
+
+type hashIndex map[store.Val][]int
+
+// NewManager returns a manager over st.
+func NewManager(st *store.Store) *Manager {
+	return &Manager{st: st, indexes: make(map[store.OID]map[int]hashIndex)}
+}
+
+// Register attaches the query executors to a machine.
+func (mg *Manager) Register(m *machine.Machine) {
+	m.RegisterExec("select", mg.execSelect)
+	m.RegisterExec("project", mg.execProject)
+	m.RegisterExec("join", mg.execJoin)
+	m.RegisterExec("exists", mg.execExists)
+	m.RegisterExec("empty", mg.execEmpty)
+	m.RegisterExec("count", mg.execCount)
+	m.RegisterExec("foreach", mg.execForeach)
+	m.RegisterExec("rinsert", mg.execInsert)
+	m.RegisterExec("indexscan", mg.execIndexScan)
+}
+
+// CreateRelation allocates a persistent relation with the given schema
+// and index declarations and registers it as a store root under
+// "rel:<name>", the name TL rel declarations bind against.
+func (mg *Manager) CreateRelation(name string, schema []store.Column, indexCols ...int) (store.OID, error) {
+	rel := &store.Relation{Name: name, Schema: schema}
+	for _, c := range indexCols {
+		if c < 0 || c >= len(schema) {
+			return store.Nil, fmt.Errorf("relalg: index column %d out of range", c)
+		}
+		rel.Indexes = append(rel.Indexes, store.IndexSpec{Column: c})
+	}
+	oid := mg.st.Alloc(rel)
+	mg.st.SetRoot("rel:"+name, oid)
+	return oid, nil
+}
+
+// InsertRow appends a row to a persistent relation, maintaining indexes.
+func (mg *Manager) InsertRow(oid store.OID, row []store.Val) error {
+	obj, err := mg.st.Get(oid)
+	if err != nil {
+		return err
+	}
+	rel, ok := obj.(*store.Relation)
+	if !ok {
+		return fmt.Errorf("relalg: oid 0x%x is a %s, not a relation", uint64(oid), obj.Kind())
+	}
+	if len(row) != len(rel.Schema) {
+		return fmt.Errorf("relalg: row width %d, schema width %d", len(row), len(rel.Schema))
+	}
+	idx := len(rel.Rows)
+	rel.Rows = append(rel.Rows, row)
+	mg.st.MarkDirty(oid)
+	if cols, ok := mg.indexes[oid]; ok {
+		for col, ix := range cols {
+			ix[row[col]] = append(ix[row[col]], idx)
+		}
+	}
+	return nil
+}
+
+// index returns (building lazily) the hash index on the given column of a
+// persistent relation, or nil when none is declared.
+func (mg *Manager) index(oid store.OID, rel *store.Relation, col int) hashIndex {
+	if !rel.HasIndexOn(col) {
+		return nil
+	}
+	cols, ok := mg.indexes[oid]
+	if !ok {
+		cols = make(map[int]hashIndex)
+		mg.indexes[oid] = cols
+	}
+	ix, ok := cols[col]
+	if !ok {
+		ix = make(hashIndex, len(rel.Rows))
+		for i, row := range rel.Rows {
+			ix[row[col]] = append(ix[row[col]], i)
+		}
+		cols[col] = ix
+	}
+	return ix
+}
+
+// relOf resolves a relation argument: a transient Rel or a Ref to a
+// persistent relation.
+func (mg *Manager) relOf(op string, v machine.Value) (schema []store.Column, rows [][]store.Val, oid store.OID, rel *store.Relation, err error) {
+	switch v := v.(type) {
+	case *Rel:
+		return v.Schema, v.Rows, store.Nil, nil, nil
+	case machine.Ref:
+		obj, gerr := mg.st.Get(v.OID)
+		if gerr != nil {
+			return nil, nil, store.Nil, nil, fmt.Errorf("relalg: %s: %w", op, gerr)
+		}
+		r, ok := obj.(*store.Relation)
+		if !ok {
+			return nil, nil, store.Nil, nil, fmt.Errorf("relalg: %s: oid 0x%x is a %s", op, uint64(v.OID), obj.Kind())
+		}
+		return r.Schema, r.Rows, v.OID, r, nil
+	default:
+		return nil, nil, store.Nil, nil, fmt.Errorf("relalg: %s: expected relation, got %s", op, v.Show())
+	}
+}
+
+// rowValue converts a stored row to the runtime tuple the predicate
+// closures receive.
+func rowValue(row []store.Val) machine.Value {
+	elems := make([]machine.Value, len(row))
+	for i, v := range row {
+		elems[i] = machine.FromStoreVal(v)
+	}
+	return &machine.Vector{Elems: elems}
+}
+
+// applyPred evaluates a predicate closure on one row; a TML exception
+// raised by the predicate propagates as err.
+func applyPred(m *machine.Machine, pred machine.Value, row []store.Val) (bool, error) {
+	v, err := m.Apply(pred, []machine.Value{rowValue(row)})
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.(machine.Bool)
+	if !ok {
+		return false, fmt.Errorf("relalg: predicate returned %s, want boolean", v.Show())
+	}
+	return bool(b), nil
+}
+
+// outEx converts a nested TML exception into an invocation of the query
+// primitive's own exception continuation (exceptions raised inside
+// predicates propagate to the enclosing block, paper §4.2).
+func outEx(err error) (machine.Outcome, error) {
+	if ex, ok := err.(*machine.Exception); ok {
+		return machine.Outcome{Branch: 0, Results: []machine.Value{ex.Value}}, nil
+	}
+	return machine.Outcome{}, err
+}
+
+// ok1 invokes the normal continuation (position 1) with results.
+func ok1(results ...machine.Value) machine.Outcome {
+	return machine.Outcome{Branch: 1, Results: results}
+}
+
+// execSelect implements (select pred rel ce cc): σ_pred(rel).
+func (mg *Manager) execSelect(m *machine.Machine, vals, conts []machine.Value) (machine.Outcome, error) {
+	pred := vals[0]
+	schema, rows, _, _, err := mg.relOf("select", vals[1])
+	if err != nil {
+		return machine.Outcome{}, err
+	}
+	out := &Rel{Schema: schema}
+	for _, row := range rows {
+		if err := m.Tick(); err != nil {
+			return machine.Outcome{}, err
+		}
+		keep, err := applyPred(m, pred, row)
+		if err != nil {
+			return outEx(err)
+		}
+		if keep {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return ok1(out), nil
+}
+
+// execProject implements (project fn rel ce cc): π_fn(rel). The target
+// function returns the new row as a vector of scalars.
+func (mg *Manager) execProject(m *machine.Machine, vals, conts []machine.Value) (machine.Outcome, error) {
+	fn := vals[0]
+	_, rows, _, _, err := mg.relOf("project", vals[1])
+	if err != nil {
+		return machine.Outcome{}, err
+	}
+	out := &Rel{}
+	for _, row := range rows {
+		if err := m.Tick(); err != nil {
+			return machine.Outcome{}, err
+		}
+		v, err := m.Apply(fn, []machine.Value{rowValue(row)})
+		if err != nil {
+			return outEx(err)
+		}
+		vec, ok := v.(*machine.Vector)
+		if !ok {
+			return machine.Outcome{}, fmt.Errorf("relalg: project target returned %s, want tuple", v.Show())
+		}
+		newRow := make([]store.Val, len(vec.Elems))
+		for i, el := range vec.Elems {
+			sv, err := machine.ToStoreVal(el)
+			if err != nil {
+				return machine.Outcome{}, fmt.Errorf("relalg: project: %w", err)
+			}
+			newRow[i] = sv
+		}
+		out.Rows = append(out.Rows, newRow)
+	}
+	// Synthesise a positional schema; the front end's type checker owns
+	// the real column names.
+	if len(out.Rows) > 0 {
+		out.Schema = make([]store.Column, len(out.Rows[0]))
+		for i, v := range out.Rows[0] {
+			out.Schema[i] = store.Column{Name: fmt.Sprintf("c%d", i), Type: colTypeOf(v)}
+		}
+	}
+	return ok1(out), nil
+}
+
+func colTypeOf(v store.Val) store.ColType {
+	switch v.Kind {
+	case store.ValInt:
+		return store.ColInt
+	case store.ValReal:
+		return store.ColReal
+	case store.ValBool:
+		return store.ColBool
+	default:
+		return store.ColStr
+	}
+}
+
+// execJoin implements (join pred r1 r2 ce cc): nested-loop θ-join; the
+// predicate receives the concatenated row.
+func (mg *Manager) execJoin(m *machine.Machine, vals, conts []machine.Value) (machine.Outcome, error) {
+	pred := vals[0]
+	s1, rows1, _, _, err := mg.relOf("join", vals[1])
+	if err != nil {
+		return machine.Outcome{}, err
+	}
+	s2, rows2, _, _, err := mg.relOf("join", vals[2])
+	if err != nil {
+		return machine.Outcome{}, err
+	}
+	out := &Rel{Schema: append(append([]store.Column(nil), s1...), s2...)}
+	for _, r1 := range rows1 {
+		for _, r2 := range rows2 {
+			if err := m.Tick(); err != nil {
+				return machine.Outcome{}, err
+			}
+			row := append(append([]store.Val(nil), r1...), r2...)
+			keep, err := applyPred(m, pred, row)
+			if err != nil {
+				return outEx(err)
+			}
+			if keep {
+				out.Rows = append(out.Rows, row)
+			}
+		}
+	}
+	return ok1(out), nil
+}
+
+// execExists implements (exists pred rel ce cc) with early exit.
+func (mg *Manager) execExists(m *machine.Machine, vals, conts []machine.Value) (machine.Outcome, error) {
+	pred := vals[0]
+	_, rows, _, _, err := mg.relOf("exists", vals[1])
+	if err != nil {
+		return machine.Outcome{}, err
+	}
+	for _, row := range rows {
+		if err := m.Tick(); err != nil {
+			return machine.Outcome{}, err
+		}
+		found, err := applyPred(m, pred, row)
+		if err != nil {
+			return outEx(err)
+		}
+		if found {
+			return ok1(machine.Bool(true)), nil
+		}
+	}
+	return ok1(machine.Bool(false)), nil
+}
+
+// execEmpty implements (empty rel ce cc): R = ∅.
+func (mg *Manager) execEmpty(m *machine.Machine, vals, conts []machine.Value) (machine.Outcome, error) {
+	_, rows, _, _, err := mg.relOf("empty", vals[0])
+	if err != nil {
+		return machine.Outcome{}, err
+	}
+	return ok1(machine.Bool(len(rows) == 0)), nil
+}
+
+// execCount implements (count rel ce cc).
+func (mg *Manager) execCount(m *machine.Machine, vals, conts []machine.Value) (machine.Outcome, error) {
+	_, rows, _, _, err := mg.relOf("count", vals[0])
+	if err != nil {
+		return machine.Outcome{}, err
+	}
+	return ok1(machine.Int(int64(len(rows)))), nil
+}
+
+// execForeach implements (foreach body rel ce cc): element-at-a-time
+// iteration with side effects.
+func (mg *Manager) execForeach(m *machine.Machine, vals, conts []machine.Value) (machine.Outcome, error) {
+	body := vals[0]
+	_, rows, _, _, err := mg.relOf("foreach", vals[1])
+	if err != nil {
+		return machine.Outcome{}, err
+	}
+	for _, row := range rows {
+		if err := m.Tick(); err != nil {
+			return machine.Outcome{}, err
+		}
+		if _, err := m.Apply(body, []machine.Value{rowValue(row)}); err != nil {
+			return outEx(err)
+		}
+	}
+	return ok1(machine.Unit{}), nil
+}
+
+// execInsert implements (rinsert rel row ce cc).
+func (mg *Manager) execInsert(m *machine.Machine, vals, conts []machine.Value) (machine.Outcome, error) {
+	row, ok := vals[1].(*machine.Vector)
+	if !ok {
+		return machine.Outcome{}, fmt.Errorf("relalg: rinsert row is %s, want tuple", vals[1].Show())
+	}
+	stRow := make([]store.Val, len(row.Elems))
+	for i, el := range row.Elems {
+		sv, err := machine.ToStoreVal(el)
+		if err != nil {
+			return machine.Outcome{}, fmt.Errorf("relalg: rinsert: %w", err)
+		}
+		stRow[i] = sv
+	}
+	switch rel := vals[0].(type) {
+	case *Rel:
+		rel.Rows = append(rel.Rows, stRow)
+		return ok1(machine.Unit{}), nil
+	case machine.Ref:
+		if err := mg.InsertRow(rel.OID, stRow); err != nil {
+			return machine.Outcome{}, err
+		}
+		return ok1(machine.Unit{}), nil
+	default:
+		return machine.Outcome{}, fmt.Errorf("relalg: rinsert into %s", vals[0].Show())
+	}
+}
+
+// execIndexScan implements (indexscan rel col key ce cc): the physical
+// access path the query optimizer substitutes for a selection on an
+// indexed column (paper §4.2, "knowledge about index structures").
+// Without an index the scan degrades to a sequential filter, so the
+// rewrite is always safe.
+func (mg *Manager) execIndexScan(m *machine.Machine, vals, conts []machine.Value) (machine.Outcome, error) {
+	schema, rows, oid, rel, err := mg.relOf("indexscan", vals[0])
+	if err != nil {
+		return machine.Outcome{}, err
+	}
+	col, ok := vals[1].(machine.Int)
+	if !ok || int(col) < 0 || int(col) >= len(schema) {
+		return machine.Outcome{}, fmt.Errorf("relalg: indexscan column %s", vals[1].Show())
+	}
+	key, err := machine.ToStoreVal(vals[2])
+	if err != nil {
+		return machine.Outcome{}, fmt.Errorf("relalg: indexscan key: %w", err)
+	}
+	out := &Rel{Schema: schema}
+	if rel != nil {
+		if ix := mg.index(oid, rel, int(col)); ix != nil {
+			for _, i := range ix[key] {
+				if err := m.Tick(); err != nil {
+					return machine.Outcome{}, err
+				}
+				out.Rows = append(out.Rows, rows[i])
+			}
+			return ok1(out), nil
+		}
+	}
+	for _, row := range rows {
+		if err := m.Tick(); err != nil {
+			return machine.Outcome{}, err
+		}
+		if row[col].Eq(key) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return ok1(out), nil
+}

@@ -1,0 +1,436 @@
+// Package ship implements code shipping between Tycoon stores — the
+// application domain paper §6 names for uniform persistent code
+// representations ("like code shipping in distributed systems [Mathiske
+// et al. 1995]").
+//
+// Export walks the transitive reachability graph of a persistent closure
+// — its TAM code, its PTML tree, its R-value bindings, the modules and
+// closures those reference — and serialises a self-contained bundle.
+// Import replays the bundle into another store, remapping every OID
+// (including the OIDs embedded in PTML and TAM literal pools).
+//
+// Two kinds of objects cross the wire by *name* rather than by value:
+//
+//   - relations: code ships, bulk data stays; an imported binding to
+//     relation R resolves against the target store's "rel:R" root;
+//   - modules: the shipped code binds to the target's installed module of
+//     the same name — shipping an application neither re-ships the stdlib
+//     nor overrides the target's libraries. Modules the target lacks make
+//     Import fail with ErrUnresolved (install them first).
+package ship
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"tycoon/internal/machine"
+	"tycoon/internal/ptml"
+	"tycoon/internal/store"
+	"tycoon/internal/tml"
+)
+
+// ErrBadBundle wraps bundle decoding failures.
+var ErrBadBundle = errors.New("ship: corrupt bundle")
+
+// ErrUnresolved reports a by-name dependency missing in the target store.
+var ErrUnresolved = errors.New("ship: unresolved dependency")
+
+const (
+	bundleMagic   = "TYSHIP01"
+	entryObject   = byte(1) // shipped by value
+	entryRelation = byte(2) // resolved by name in the target
+	entryModule   = byte(3) // resolved by name in the target
+)
+
+// Export serialises the transitive code closure of root.
+func Export(st *store.Store, root store.OID) ([]byte, error) {
+	e := &exporter{st: st, index: make(map[store.OID]int)}
+	if err := e.visit(root); err != nil {
+		return nil, err
+	}
+	var out bytes.Buffer
+	out.WriteString(bundleMagic)
+	putU32(&out, uint32(len(e.entries)))
+	for _, ent := range e.entries {
+		out.WriteByte(ent.kind)
+		if ent.kind == entryRelation || ent.kind == entryModule {
+			putStr(&out, ent.relName)
+			continue
+		}
+		out.WriteByte(byte(ent.obj.Kind()))
+		payload := encodeShipped(ent.obj, e.index)
+		putU32(&out, uint32(len(payload)))
+		out.Write(payload)
+	}
+	// The root is always entry 0 (visit order).
+	return out.Bytes(), nil
+}
+
+type entry struct {
+	kind    byte
+	obj     store.Object
+	relName string
+}
+
+type exporter struct {
+	st      *store.Store
+	index   map[store.OID]int
+	entries []entry
+}
+
+// visit records oid (and everything reachable from it) in the bundle.
+func (e *exporter) visit(oid store.OID) error {
+	if oid == store.Nil {
+		return nil
+	}
+	if _, done := e.index[oid]; done {
+		return nil
+	}
+	obj, err := e.st.Get(oid)
+	if err != nil {
+		return fmt.Errorf("ship: %w", err)
+	}
+	// Reserve the slot before recursing (cycles: mutually recursive
+	// closures reference each other through bindings).
+	idx := len(e.entries)
+	e.index[oid] = idx
+	switch o := obj.(type) {
+	case *store.Relation:
+		e.entries = append(e.entries, entry{kind: entryRelation, relName: o.Name})
+		return nil
+	case *store.Module:
+		e.entries = append(e.entries, entry{kind: entryModule, relName: o.Name})
+		return nil
+	}
+	e.entries = append(e.entries, entry{kind: entryObject, obj: obj})
+
+	for _, ref := range refsOf(obj) {
+		if err := e.visit(ref); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// refsOf enumerates the outgoing OID references of an object, including
+// the OIDs embedded in PTML and TAM blobs (none are produced by the
+// regular compilation pipeline, but reflectively generated code may
+// carry them).
+func refsOf(obj store.Object) []store.OID {
+	var refs []store.OID
+	val := func(v store.Val) {
+		if v.Kind == store.ValRef && v.Ref != store.Nil {
+			refs = append(refs, v.Ref)
+		}
+	}
+	switch o := obj.(type) {
+	case *store.Closure:
+		refs = append(refs, o.Code)
+		if o.PTML != store.Nil {
+			refs = append(refs, o.PTML)
+		}
+		for _, b := range o.Bindings {
+			val(b.Val)
+		}
+	case *store.Module:
+		for _, ex := range o.Exports {
+			val(ex.Val)
+		}
+	case *store.Tuple:
+		for _, f := range o.Fields {
+			val(f)
+		}
+	case *store.Array:
+		for _, f := range o.Elems {
+			val(f)
+		}
+	}
+	return refs
+}
+
+// Import replays a bundle into st and returns the new OID of the
+// bundle's root object.
+func Import(st *store.Store, bundle []byte) (store.OID, error) {
+	if len(bundle) < len(bundleMagic)+4 || string(bundle[:len(bundleMagic)]) != bundleMagic {
+		return store.Nil, fmt.Errorf("%w: bad magic", ErrBadBundle)
+	}
+	r := &reader{b: bundle, pos: len(bundleMagic)}
+	n := int(r.u32())
+	type pending struct {
+		kind    store.Kind
+		payload []byte
+	}
+	entries := make([]pending, 0, n)
+	oids := make([]store.OID, n)
+
+	// Pass 1: allocate OIDs (placeholders for objects, resolved roots
+	// for by-name relations) so cyclic references can be rewritten.
+	for i := 0; i < n && r.err == nil; i++ {
+		switch r.u8() {
+		case entryRelation:
+			name := r.str()
+			oid, ok := st.Root("rel:" + name)
+			if !ok {
+				return store.Nil, fmt.Errorf("%w: relation %q not present in target store", ErrUnresolved, name)
+			}
+			oids[i] = oid
+			entries = append(entries, pending{})
+		case entryModule:
+			name := r.str()
+			oid, ok := st.Root("module:" + name)
+			if !ok {
+				return store.Nil, fmt.Errorf("%w: module %q not installed in target store", ErrUnresolved, name)
+			}
+			oids[i] = oid
+			entries = append(entries, pending{})
+		case entryObject:
+			kind := store.Kind(r.u8())
+			payload := r.bytes()
+			oids[i] = st.Alloc(&store.Blob{}) // placeholder
+			entries = append(entries, pending{kind: kind, payload: payload})
+		default:
+			return store.Nil, fmt.Errorf("%w: unknown entry", ErrBadBundle)
+		}
+	}
+	if r.err != nil {
+		return store.Nil, r.err
+	}
+
+	// Pass 2: decode payloads, remap refs, update placeholders.
+	for i, ent := range entries {
+		if ent.payload == nil {
+			continue // by-name entry
+		}
+		obj, err := decodeShipped(ent.kind, ent.payload, oids)
+		if err != nil {
+			return store.Nil, err
+		}
+		if err := st.Update(oids[i], obj); err != nil {
+			return store.Nil, err
+		}
+	}
+	if n == 0 {
+		return store.Nil, fmt.Errorf("%w: empty bundle", ErrBadBundle)
+	}
+	return oids[0], nil
+}
+
+// ExportFunction is a convenience: resolve module.function in src and
+// export its closure.
+func ExportFunction(st *store.Store, module, fn string) ([]byte, error) {
+	modOID, ok := st.Root("module:" + module)
+	if !ok {
+		return nil, fmt.Errorf("ship: module %s not found", module)
+	}
+	obj, err := st.Get(modOID)
+	if err != nil {
+		return nil, err
+	}
+	mod, ok := obj.(*store.Module)
+	if !ok {
+		return nil, fmt.Errorf("ship: %s is not a module", module)
+	}
+	v, ok := mod.Lookup(fn)
+	if !ok || v.Kind != store.ValRef {
+		return nil, fmt.Errorf("ship: %s.%s is not an exported function", module, fn)
+	}
+	return Export(st, v.Ref)
+}
+
+// --- shipped-object codec -------------------------------------------------
+//
+// Payloads reuse the store's own object encoding, but with every OID
+// replaced by its bundle index before encoding and mapped to the new OID
+// after decoding. PTML and TAM blobs are additionally deep-rewritten.
+
+func encodeShipped(obj store.Object, index map[store.OID]int) []byte {
+	remapped := remapObject(obj, func(oid store.OID) store.OID {
+		if oid == store.Nil {
+			return store.Nil
+		}
+		idx, ok := index[oid]
+		if !ok {
+			// Unreachable by construction; keep Nil to fail loudly on use.
+			return store.Nil
+		}
+		return store.OID(idx + 1) // index+1 so Nil stays distinguishable
+	})
+	return store.EncodePayload(remapped)
+}
+
+func decodeShipped(kind store.Kind, payload []byte, oids []store.OID) (store.Object, error) {
+	obj, err := store.DecodePayload(kind, payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadBundle, err)
+	}
+	var mapErr error
+	out := remapObject(obj, func(ref store.OID) store.OID {
+		if ref == store.Nil {
+			return store.Nil
+		}
+		idx := int(ref) - 1
+		if idx < 0 || idx >= len(oids) {
+			mapErr = fmt.Errorf("%w: reference %d out of range", ErrBadBundle, idx)
+			return store.Nil
+		}
+		return oids[idx]
+	})
+	if mapErr != nil {
+		return nil, mapErr
+	}
+	return out, nil
+}
+
+// remapObject deep-copies obj with every OID reference rewritten by f,
+// including OIDs inside PTML and TAM code blobs.
+func remapObject(obj store.Object, f func(store.OID) store.OID) store.Object {
+	val := func(v store.Val) store.Val {
+		if v.Kind == store.ValRef {
+			v.Ref = f(v.Ref)
+		}
+		return v
+	}
+	switch o := obj.(type) {
+	case *store.Closure:
+		c := &store.Closure{
+			Name: o.Name, Code: f(o.Code), Cost: o.Cost, Savings: o.Savings,
+		}
+		if o.PTML != store.Nil {
+			c.PTML = f(o.PTML)
+		}
+		for _, b := range o.Bindings {
+			c.Bindings = append(c.Bindings, store.Binding{Name: b.Name, Val: val(b.Val)})
+		}
+		return c
+	case *store.Module:
+		m := &store.Module{Name: o.Name}
+		for _, ex := range o.Exports {
+			m.Exports = append(m.Exports, store.Export{Name: ex.Name, Val: val(ex.Val)})
+		}
+		return m
+	case *store.Tuple:
+		t := &store.Tuple{Fields: make([]store.Val, len(o.Fields))}
+		for i, fv := range o.Fields {
+			t.Fields[i] = val(fv)
+		}
+		return t
+	case *store.Array:
+		a := &store.Array{Elems: make([]store.Val, len(o.Elems))}
+		for i, fv := range o.Elems {
+			a.Elems[i] = val(fv)
+		}
+		return a
+	case *store.Blob:
+		return &store.Blob{Bytes: remapBlob(o.Bytes, f)}
+	default:
+		return obj
+	}
+}
+
+// remapBlob rewrites OIDs inside PTML and TAM encodings; unrecognised
+// blobs pass through unchanged.
+func remapBlob(data []byte, f func(store.OID) store.OID) []byte {
+	if prog, err := machine.DecodeProgram(data); err == nil {
+		changed := false
+		for _, blk := range prog.Blocks {
+			for i, lit := range blk.Lits {
+				if ref, ok := lit.(machine.Ref); ok {
+					blk.Lits[i] = machine.Ref{OID: f(ref.OID)}
+					changed = true
+				}
+			}
+		}
+		if changed {
+			if out, err := machine.EncodeProgram(prog); err == nil {
+				return out
+			}
+		}
+		return data
+	}
+	if node, _, err := ptml.Decode(data, nil); err == nil {
+		changed := false
+		tml.Walk(node, func(n tml.Node) bool {
+			if o, ok := n.(*tml.Oid); ok && o.Ref != 0 {
+				o.Ref = uint64(f(store.OID(o.Ref)))
+				changed = true
+			}
+			return true
+		})
+		if changed {
+			if out, err := ptml.Encode(node); err == nil {
+				return out
+			}
+		}
+		return data
+	}
+	return data
+}
+
+// --- little helpers --------------------------------------------------------
+
+func putU32(b *bytes.Buffer, v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	b.Write(buf[:])
+}
+
+func putStr(b *bytes.Buffer, s string) {
+	putU32(b, uint32(len(s)))
+	b.WriteString(s)
+}
+
+type reader struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: truncated at %d", ErrBadBundle, r.pos)
+	}
+}
+
+func (r *reader) u8() byte {
+	if r.err != nil || r.pos >= len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.pos]
+	r.pos++
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.pos+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.pos:])
+	r.pos += 4
+	return v
+}
+
+func (r *reader) str() string {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.pos+n > len(r.b) {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[r.pos : r.pos+n])
+	r.pos += n
+	return s
+}
+
+func (r *reader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.pos+n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	out := r.b[r.pos : r.pos+n]
+	r.pos += n
+	return out
+}

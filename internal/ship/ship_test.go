@@ -1,0 +1,235 @@
+package ship_test
+
+import (
+	"errors"
+	"testing"
+
+	"tycoon/internal/linker"
+	"tycoon/internal/machine"
+	"tycoon/internal/reflectopt"
+	"tycoon/internal/relalg"
+	"tycoon/internal/ship"
+	"tycoon/internal/store"
+	"tycoon/internal/tl"
+	"tycoon/internal/tyclib"
+)
+
+// node is one "machine" in the shipping scenario: its own store, machine
+// and compiler.
+type node struct {
+	st   *store.Store
+	m    *machine.Machine
+	mg   *relalg.Manager
+	comp *tl.Compiler
+	lk   *linker.Linker
+}
+
+func newNode(t *testing.T) *node {
+	t.Helper()
+	st, err := store.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	lk := linker.New(st, linker.Config{})
+	comp, err := tyclib.Install(st, lk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(st)
+	mg := relalg.NewManager(st)
+	mg.Register(m)
+	return &node{st: st, m: m, mg: mg, comp: comp, lk: lk}
+}
+
+func (n *node) install(t *testing.T, src string) {
+	t.Helper()
+	unit, err := n.comp.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.lk.InstallModule(unit); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShipSimpleFunction(t *testing.T) {
+	src := newNode(t)
+	src.install(t, `
+module app export triple
+let triple(n : Int) : Int = n * 3
+end`)
+	bundle, err := ship.ExportFunction(src.st, "app", "triple")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := newNode(t)
+	oid, err := ship.Import(dst.st, bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := dst.m.Apply(machine.Ref{OID: oid}, []machine.Value{machine.Int(14)})
+	if err != nil || v != machine.Value(machine.Int(42)) {
+		t.Fatalf("shipped triple(14) = %v, %v", v, err)
+	}
+}
+
+func TestShipBindsTargetLibrary(t *testing.T) {
+	src := newNode(t)
+	src.install(t, `
+module app export sq
+let sq(n : Int) : Int = n * n
+end`)
+	bundle, err := ship.ExportFunction(src.st, "app", "sq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := src.st.Len()
+	_ = before
+
+	dst := newNode(t)
+	dstObjects := dst.st.Len()
+	oid, err := ship.Import(dst.st, bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The int module must NOT have been duplicated: only the closure and
+	// its two blobs (code + PTML) arrive.
+	if grown := dst.st.Len() - dstObjects; grown > 4 {
+		t.Errorf("import added %d objects; the stdlib was re-shipped", grown)
+	}
+	v, err := dst.m.Apply(machine.Ref{OID: oid}, []machine.Value{machine.Int(9)})
+	if err != nil || v != machine.Value(machine.Int(81)) {
+		t.Fatalf("shipped sq(9) = %v, %v", v, err)
+	}
+}
+
+func TestShipRecursiveAndSiblings(t *testing.T) {
+	src := newNode(t)
+	src.install(t, `
+module app export f
+let helper(a : Int) : Int = a + 100
+let f(n : Int) : Int = if n < 1 then 0 else helper(n) + f(n - 1) end
+end`)
+	bundle, err := ship.ExportFunction(src.st, "app", "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := newNode(t)
+	oid, err := ship.Import(dst.st, bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f(3) = (101+102+103) = 306 + f(0)=0
+	v, err := dst.m.Apply(machine.Ref{OID: oid}, []machine.Value{machine.Int(3)})
+	if err != nil || v != machine.Value(machine.Int(306)) {
+		t.Fatalf("shipped f(3) = %v, %v", v, err)
+	}
+}
+
+func TestShipCodeDataStays(t *testing.T) {
+	// The query function ships; it binds to the TARGET's relation of the
+	// same name, which holds different data — "code shipping", not data
+	// shipping.
+	src := newNode(t)
+	relSrc, err := src.mg.CreateRelation("emp", []store.Column{{Name: "id", Type: store.ColInt}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 3; i++ {
+		if err := src.mg.InsertRow(relSrc, []store.Val{store.IntVal(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.install(t, `
+module q export n
+rel emp : Rel(id : Int)
+let n() : Int = count(emp)
+end`)
+	v, err := src.m.CallExport(mustRoot(t, src.st, "module:q"), "n", nil)
+	if err != nil || v != machine.Value(machine.Int(3)) {
+		t.Fatalf("source n() = %v, %v", v, err)
+	}
+
+	bundle, err := ship.ExportFunction(src.st, "q", "n")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Target with a DIFFERENT emp relation (7 rows).
+	dst := newNode(t)
+	relDst, err := dst.mg.CreateRelation("emp", []store.Column{{Name: "id", Type: store.ColInt}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 7; i++ {
+		if err := dst.mg.InsertRow(relDst, []store.Val{store.IntVal(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oid, err := ship.Import(dst.st, bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err = dst.m.Apply(machine.Ref{OID: oid}, nil)
+	if err != nil || v != machine.Value(machine.Int(7)) {
+		t.Fatalf("shipped n() against target data = %v, %v", v, err)
+	}
+
+	// Without the relation in the target, import fails cleanly.
+	empty := newNode(t)
+	if _, err := ship.Import(empty.st, bundle); !errors.Is(err, ship.ErrUnresolved) {
+		t.Errorf("import without relation: %v, want ErrUnresolved", err)
+	}
+}
+
+func TestShippedCodeIsStillOptimizable(t *testing.T) {
+	// PTML travels with the code: the TARGET node can reflectively
+	// optimize the imported function against ITS bindings.
+	src := newNode(t)
+	src.install(t, `
+module app export gauss
+let gauss(n : Int) : Int =
+  begin var s := 0; for i = 1 upto n do s := s + i end; s end
+end`)
+	bundle, err := ship.ExportFunction(src.st, "app", "gauss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := newNode(t)
+	oid, err := ship.Import(dst.st, bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro := reflectopt.New(dst.st, reflectopt.Options{CheckInvariants: true})
+	res, err := ro.OptimizeAndInstall(dst.m, oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inlined == 0 {
+		t.Error("imported code could not be optimized across barriers")
+	}
+	v, err := dst.m.Apply(machine.Ref{OID: oid}, []machine.Value{machine.Int(100)})
+	if err != nil || v != machine.Value(machine.Int(5050)) {
+		t.Fatalf("optimized shipped gauss = %v, %v", v, err)
+	}
+}
+
+func TestImportRejectsGarbage(t *testing.T) {
+	dst := newNode(t)
+	for _, data := range [][]byte{nil, []byte("XX"), []byte("TYSHIP01")} {
+		if _, err := ship.Import(dst.st, data); err == nil {
+			t.Errorf("Import(%q) succeeded", data)
+		}
+	}
+}
+
+func mustRoot(t *testing.T, st *store.Store, name string) store.OID {
+	t.Helper()
+	oid, ok := st.Root(name)
+	if !ok {
+		t.Fatalf("root %s missing", name)
+	}
+	return oid
+}

@@ -1,0 +1,163 @@
+package stanford
+
+import (
+	"testing"
+)
+
+// TestAllRegimesAgree is the suite's correctness anchor: every program
+// must produce the same result under every regime, and the programs with
+// known answers must produce them.
+func TestAllRegimesAgree(t *testing.T) {
+	regimes := []Regime{RegimeNone, RegimeLocal, RegimeDynamic, RegimeDirect}
+	results := make(map[string]map[Regime]int64)
+	for _, regime := range regimes {
+		s, err := NewSuite(regime)
+		if err != nil {
+			t.Fatalf("suite %s: %v", regime, err)
+		}
+		for _, p := range Programs() {
+			got, _, err := s.Run(p.Name)
+			if err != nil {
+				t.Fatalf("%s under %s: %v", p.Name, regime, err)
+			}
+			if results[p.Name] == nil {
+				results[p.Name] = make(map[Regime]int64)
+			}
+			results[p.Name][regime] = got
+		}
+		s.Close()
+	}
+	for _, p := range Programs() {
+		base := results[p.Name][RegimeNone]
+		if p.Want != 0 && base != p.Want {
+			t.Errorf("%s = %d, want %d", p.Name, base, p.Want)
+		}
+		for _, regime := range regimes[1:] {
+			if got := results[p.Name][regime]; got != base {
+				t.Errorf("%s: regime %s gives %d, none gives %d", p.Name, regime, got, base)
+			}
+		}
+	}
+}
+
+// TestE1LocalOptimizationIsInsignificant checks the paper's §6 negative
+// result: local optimization yields no significant speedup because the
+// scalar and array operations hide behind dynamically bound libraries.
+func TestE1LocalOptimizationIsInsignificant(t *testing.T) {
+	none, err := NewSuite(RegimeNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer none.Close()
+	local, err := NewSuite(RegimeLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+
+	for _, p := range Programs() {
+		_, sNone, err := none.Run(p.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, sLocal, err := local.Run(p.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(sNone) / float64(sLocal)
+		t.Logf("E1 %-7s none=%8d local=%8d speedup=%.3f×", p.Name, sNone, sLocal, ratio)
+		// "No significant speedup": well under 1.5× on every program.
+		if ratio > 1.5 {
+			t.Errorf("%s: local optimization gained %.2f×, contradicting E1's shape", p.Name, ratio)
+		}
+	}
+}
+
+// TestE2DynamicOptimizationDoubles checks the paper's §6 positive result:
+// dynamic (runtime) optimization more than doubles the execution speed.
+func TestE2DynamicOptimizationDoubles(t *testing.T) {
+	none, err := NewSuite(RegimeNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer none.Close()
+	dyn, err := NewSuite(RegimeDynamic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dyn.Close()
+
+	var totalNone, totalDyn int64
+	for _, p := range Programs() {
+		_, sNone, err := none.Run(p.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, sDyn, err := dyn.Run(p.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalNone += sNone
+		totalDyn += sDyn
+		t.Logf("E2 %-7s none=%8d dynamic=%8d speedup=%.2f×", p.Name, sNone, sDyn, float64(sNone)/float64(sDyn))
+	}
+	overall := float64(totalNone) / float64(totalDyn)
+	t.Logf("E2 overall speedup %.2f×", overall)
+	if overall < 2.0 {
+		t.Errorf("dynamic optimization speedup %.2f×, paper reports >2×", overall)
+	}
+}
+
+// TestE3CodeSizeDoubles checks the paper's §6 code-size claim: attaching
+// the persistent TML encoding roughly doubles the code size (1.2 MB vs
+// 600 kB for the whole Tycoon system).
+func TestE3CodeSizeDoubles(t *testing.T) {
+	s, err := NewSuite(RegimeLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	tam, ptml, err := s.CodeSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tam == 0 || ptml == 0 {
+		t.Fatalf("sizes: tam=%d ptml=%d", tam, ptml)
+	}
+	ratio := float64(tam+ptml) / float64(tam)
+	t.Logf("E3 code size: tam=%d bytes, ptml=%d bytes, total/executable = %.2f×", tam, ptml, ratio)
+	if ratio < 1.5 || ratio > 3.0 {
+		t.Errorf("code size ratio %.2f×, paper reports ≈2×", ratio)
+	}
+}
+
+// TestDirectIsUpperBound sanity-checks the ablation: dynamic optimization
+// approaches (but does not beat by much) the direct-primitive compilation
+// that never paid the abstraction barrier in the first place.
+func TestDirectIsUpperBound(t *testing.T) {
+	dyn, err := NewSuite(RegimeDynamic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dyn.Close()
+	direct, err := NewSuite(RegimeDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+
+	for _, p := range Programs() {
+		_, sDyn, err := dyn.Run(p.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, sDirect, err := direct.Run(p.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-7s dynamic=%8d direct=%8d", p.Name, sDyn, sDirect)
+		if float64(sDyn) > 2.5*float64(sDirect) {
+			t.Errorf("%s: dynamic (%d steps) is far from the direct bound (%d steps)", p.Name, sDyn, sDirect)
+		}
+	}
+}

@@ -1,0 +1,437 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// This file implements the on-disk log format:
+//
+//	header:  8-byte magic "TYCOONST", u32 version
+//	record:  u8 tag, then
+//	  tag 1 (object): u64 oid, u8 kind, u32 len, payload
+//	  tag 2 (root):   u32 len, name bytes, u64 oid
+//
+// All integers are little-endian. Replay applies records in order with
+// last-writer-wins semantics; a torn record at the tail (from a crash
+// mid-append) is detected by the length prefix and ignored.
+
+var magic = [8]byte{'T', 'Y', 'C', 'O', 'O', 'N', 'S', 'T'}
+
+const formatVersion = 1
+
+const (
+	recObject byte = 1
+	recRoot   byte = 2
+)
+
+type encoder struct{ buf bytes.Buffer }
+
+func (e *encoder) u8(v byte) { e.buf.WriteByte(v) }
+func (e *encoder) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	e.buf.Write(b[:])
+}
+func (e *encoder) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	e.buf.Write(b[:])
+}
+func (e *encoder) i64(v int64)   { e.u64(uint64(v)) }
+func (e *encoder) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *encoder) str(s string)  { e.u32(uint32(len(s))); e.buf.WriteString(s) }
+func (e *encoder) bytesField(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf.Write(b)
+}
+
+func (e *encoder) val(v Val) {
+	e.u8(byte(v.Kind))
+	switch v.Kind {
+	case ValNil:
+	case ValInt:
+		e.i64(v.Int)
+	case ValReal:
+		e.f64(v.Real)
+	case ValBool:
+		if v.Bool {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+	case ValChar:
+		e.u8(v.Ch)
+	case ValStr:
+		e.str(v.Str)
+	case ValRef:
+		e.u64(uint64(v.Ref))
+	}
+}
+
+func (e *encoder) vals(vs []Val) {
+	e.u32(uint32(len(vs)))
+	for _, v := range vs {
+		e.val(v)
+	}
+}
+
+type decoder struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("store: truncated %s at offset %d", what, d.pos)
+	}
+}
+
+func (d *decoder) u8() byte {
+	if d.err != nil || d.pos+1 > len(d.b) {
+		d.fail("u8")
+		return 0
+	}
+	v := d.b[d.pos]
+	d.pos++
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || d.pos+4 > len(d.b) {
+		d.fail("u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.pos:])
+	d.pos += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || d.pos+8 > len(d.b) {
+		d.fail("u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.pos:])
+	d.pos += 8
+	return v
+}
+
+func (d *decoder) i64() int64   { return int64(d.u64()) }
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *decoder) str() string {
+	n := int(d.u32())
+	if d.err != nil || d.pos+n > len(d.b) {
+		d.fail("string")
+		return ""
+	}
+	s := string(d.b[d.pos : d.pos+n])
+	d.pos += n
+	return s
+}
+
+func (d *decoder) bytesField() []byte {
+	n := int(d.u32())
+	if d.err != nil || d.pos+n > len(d.b) {
+		d.fail("bytes")
+		return nil
+	}
+	b := append([]byte(nil), d.b[d.pos:d.pos+n]...)
+	d.pos += n
+	return b
+}
+
+func (d *decoder) val() Val {
+	k := ValKind(d.u8())
+	v := Val{Kind: k}
+	switch k {
+	case ValNil:
+	case ValInt:
+		v.Int = d.i64()
+	case ValReal:
+		v.Real = d.f64()
+	case ValBool:
+		v.Bool = d.u8() != 0
+	case ValChar:
+		v.Ch = d.u8()
+	case ValStr:
+		v.Str = d.str()
+	case ValRef:
+		v.Ref = OID(d.u64())
+	default:
+		d.fail("val kind")
+	}
+	return v
+}
+
+func (d *decoder) vals() []Val {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || n > len(d.b) {
+		d.fail("val count")
+		return nil
+	}
+	vs := make([]Val, 0, n)
+	for i := 0; i < n; i++ {
+		vs = append(vs, d.val())
+	}
+	return vs
+}
+
+// EncodePayload serialises an object payload (without the record
+// header); package ship uses it to put objects on the wire.
+func EncodePayload(obj Object) []byte { return encodeObject(obj) }
+
+// DecodePayload deserialises an object payload produced by EncodePayload.
+func DecodePayload(kind Kind, payload []byte) (Object, error) {
+	return decodeObject(kind, payload)
+}
+
+// encodeObject serialises an object payload (without the record header).
+func encodeObject(obj Object) []byte {
+	var e encoder
+	switch o := obj.(type) {
+	case *Tuple:
+		e.vals(o.Fields)
+	case *Array:
+		e.vals(o.Elems)
+	case *ByteArray:
+		e.bytesField(o.Bytes)
+	case *Module:
+		e.str(o.Name)
+		e.u32(uint32(len(o.Exports)))
+		for _, ex := range o.Exports {
+			e.str(ex.Name)
+			e.val(ex.Val)
+		}
+	case *Closure:
+		e.str(o.Name)
+		e.u64(uint64(o.Code))
+		e.u64(uint64(o.PTML))
+		e.u32(uint32(o.Cost))
+		e.u32(uint32(o.Savings))
+		e.u32(uint32(len(o.Bindings)))
+		for _, b := range o.Bindings {
+			e.str(b.Name)
+			e.val(b.Val)
+		}
+	case *Relation:
+		e.str(o.Name)
+		e.u32(uint32(len(o.Schema)))
+		for _, c := range o.Schema {
+			e.str(c.Name)
+			e.u8(byte(c.Type))
+		}
+		e.u32(uint32(len(o.Indexes)))
+		for _, ix := range o.Indexes {
+			e.u32(uint32(ix.Column))
+		}
+		e.u32(uint32(len(o.Rows)))
+		for _, row := range o.Rows {
+			e.vals(row)
+		}
+	case *Blob:
+		e.bytesField(o.Bytes)
+	default:
+		panic(fmt.Sprintf("store: cannot encode %T", obj))
+	}
+	return e.buf.Bytes()
+}
+
+// decodeObject deserialises an object payload.
+func decodeObject(kind Kind, payload []byte) (Object, error) {
+	d := &decoder{b: payload}
+	var obj Object
+	switch kind {
+	case KindTuple:
+		obj = &Tuple{Fields: d.vals()}
+	case KindArray:
+		obj = &Array{Elems: d.vals()}
+	case KindByteArray:
+		obj = &ByteArray{Bytes: d.bytesField()}
+	case KindModule:
+		m := &Module{Name: d.str()}
+		n := int(d.u32())
+		for i := 0; i < n && d.err == nil; i++ {
+			m.Exports = append(m.Exports, Export{Name: d.str(), Val: d.val()})
+		}
+		obj = m
+	case KindClosure:
+		c := &Closure{Name: d.str()}
+		c.Code = OID(d.u64())
+		c.PTML = OID(d.u64())
+		c.Cost = int32(d.u32())
+		c.Savings = int32(d.u32())
+		n := int(d.u32())
+		for i := 0; i < n && d.err == nil; i++ {
+			c.Bindings = append(c.Bindings, Binding{Name: d.str(), Val: d.val()})
+		}
+		obj = c
+	case KindRelation:
+		r := &Relation{Name: d.str()}
+		ns := int(d.u32())
+		for i := 0; i < ns && d.err == nil; i++ {
+			r.Schema = append(r.Schema, Column{Name: d.str(), Type: ColType(d.u8())})
+		}
+		ni := int(d.u32())
+		for i := 0; i < ni && d.err == nil; i++ {
+			r.Indexes = append(r.Indexes, IndexSpec{Column: int(d.u32())})
+		}
+		nr := int(d.u32())
+		for i := 0; i < nr && d.err == nil; i++ {
+			r.Rows = append(r.Rows, d.vals())
+		}
+		obj = r
+	case KindBlob:
+		obj = &Blob{Bytes: d.bytesField()}
+	default:
+		return nil, fmt.Errorf("store: unknown object kind %d", kind)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return obj, nil
+}
+
+// Commit appends every dirty object (and the root table, if changed) to
+// the log and syncs the file. In-memory stores just clear the dirty set.
+func (s *Store) Commit() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.file == nil {
+		s.dirty = make(map[OID]bool)
+		s.rootsDirty = false
+		return nil
+	}
+	if len(s.dirty) == 0 && !s.rootsDirty {
+		return nil
+	}
+	// Write the header if the file is empty.
+	info, err := s.file.Stat()
+	if err != nil {
+		return fmt.Errorf("store: stat: %w", err)
+	}
+	var out bytes.Buffer
+	if info.Size() == 0 {
+		out.Write(magic[:])
+		var vb [4]byte
+		binary.LittleEndian.PutUint32(vb[:], formatVersion)
+		out.Write(vb[:])
+	}
+	// Deterministic record order keeps logs reproducible.
+	oids := make([]OID, 0, len(s.dirty))
+	for oid := range s.dirty {
+		oids = append(oids, oid)
+	}
+	sortOIDs(oids)
+	for _, oid := range oids {
+		obj, ok := s.objects[oid]
+		if !ok {
+			continue
+		}
+		payload := encodeObject(obj)
+		var e encoder
+		e.u8(recObject)
+		e.u64(uint64(oid))
+		e.u8(byte(obj.Kind()))
+		e.bytesField(payload)
+		out.Write(e.buf.Bytes())
+	}
+	if s.rootsDirty {
+		for _, name := range rootNames(s.roots) {
+			var e encoder
+			e.u8(recRoot)
+			e.str(name)
+			e.u64(uint64(s.roots[name]))
+			out.Write(e.buf.Bytes())
+		}
+	}
+	if _, err := s.file.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("store: seek: %w", err)
+	}
+	if _, err := s.file.Write(out.Bytes()); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	if err := s.file.Sync(); err != nil {
+		return fmt.Errorf("store: sync: %w", err)
+	}
+	s.dirty = make(map[OID]bool)
+	s.rootsDirty = false
+	return nil
+}
+
+// replay loads the log into memory, tolerating a torn tail record.
+func (s *Store) replay() error {
+	data, err := io.ReadAll(s.file)
+	if err != nil {
+		return fmt.Errorf("store: read log: %w", err)
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	if len(data) < 12 || !bytes.Equal(data[:8], magic[:]) {
+		return fmt.Errorf("store: %s is not a Tycoon store", s.path)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != formatVersion {
+		return fmt.Errorf("store: %s has format version %d, want %d", s.path, v, formatVersion)
+	}
+	pos := 12
+	for pos < len(data) {
+		tag := data[pos]
+		switch tag {
+		case recObject:
+			// u8 tag + u64 oid + u8 kind + u32 len
+			if pos+14 > len(data) {
+				return nil // torn tail
+			}
+			oid := OID(binary.LittleEndian.Uint64(data[pos+1:]))
+			kind := Kind(data[pos+9])
+			n := int(binary.LittleEndian.Uint32(data[pos+10:]))
+			if pos+14+n > len(data) {
+				return nil // torn tail
+			}
+			obj, err := decodeObject(kind, data[pos+14:pos+14+n])
+			if err != nil {
+				return fmt.Errorf("store: oid 0x%x: %w", uint64(oid), err)
+			}
+			s.objects[oid] = obj
+			if oid >= s.next {
+				s.next = oid + 1
+			}
+			pos += 14 + n
+		case recRoot:
+			if pos+5 > len(data) {
+				return nil
+			}
+			n := int(binary.LittleEndian.Uint32(data[pos+1:]))
+			if pos+5+n+8 > len(data) {
+				return nil
+			}
+			name := string(data[pos+5 : pos+5+n])
+			oid := OID(binary.LittleEndian.Uint64(data[pos+5+n:]))
+			s.roots[name] = oid
+			pos += 5 + n + 8
+		default:
+			return fmt.Errorf("store: corrupt log: unknown record tag %d at offset %d", tag, pos)
+		}
+	}
+	return nil
+}
+
+func sortOIDs(oids []OID) {
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+}
+
+func rootNames(roots map[string]OID) []string {
+	names := make([]string, 0, len(roots))
+	for n := range roots {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

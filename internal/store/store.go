@@ -1,0 +1,507 @@
+// Package store implements the persistent object store of the Tycoon
+// system. TML terms reference complex values — tables, indexes, modules,
+// ADT values, closures, compiled code — through object identifiers (OIDs),
+// and the reflective optimizer of paper §4.1 reads those objects back at
+// runtime to establish R-value bindings.
+//
+// The store is log-structured: every committed object state is appended to
+// a single file as a self-delimiting record, and Open replays the log with
+// last-writer-wins semantics. This keeps recovery trivial (a torn tail
+// record is truncated) while giving the durability the paper's persistent
+// code representations need. An empty path yields a purely in-memory store
+// with identical semantics minus durability.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// OID identifies an object in the store. OID 0 is the nil reference and is
+// never allocated.
+type OID uint64
+
+// Nil is the null object identifier.
+const Nil OID = 0
+
+// Kind discriminates the persistent object kinds.
+type Kind uint8
+
+// The object kinds.
+const (
+	KindTuple     Kind = iota + 1 // immutable record of slots
+	KindArray                     // mutable array of slots
+	KindByteArray                 // mutable byte array
+	KindModule                    // named module with exported bindings
+	KindClosure                   // procedure closure: code + R-value bindings
+	KindRelation                  // bulk data: schema + rows + index specs
+	KindBlob                      // uninterpreted bytes (PTML, TAM code)
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindTuple:
+		return "tuple"
+	case KindArray:
+		return "array"
+	case KindByteArray:
+		return "bytearray"
+	case KindModule:
+		return "module"
+	case KindClosure:
+		return "closure"
+	case KindRelation:
+		return "relation"
+	case KindBlob:
+		return "blob"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ValKind discriminates slot values.
+type ValKind uint8
+
+// The slot value kinds.
+const (
+	ValNil ValKind = iota
+	ValInt
+	ValReal
+	ValBool
+	ValChar
+	ValStr
+	ValRef // OID reference
+)
+
+// Val is a scalar or reference held in an object slot, a relation field,
+// a module export or a closure binding.
+type Val struct {
+	Kind ValKind
+	Int  int64
+	Real float64
+	Bool bool
+	Ch   byte
+	Str  string
+	Ref  OID
+}
+
+// Convenience constructors for slot values.
+
+// IntVal returns an integer slot value.
+func IntVal(v int64) Val { return Val{Kind: ValInt, Int: v} }
+
+// RealVal returns a real slot value.
+func RealVal(v float64) Val { return Val{Kind: ValReal, Real: v} }
+
+// BoolVal returns a boolean slot value.
+func BoolVal(v bool) Val { return Val{Kind: ValBool, Bool: v} }
+
+// CharVal returns a character slot value.
+func CharVal(v byte) Val { return Val{Kind: ValChar, Ch: v} }
+
+// StrVal returns a string slot value.
+func StrVal(v string) Val { return Val{Kind: ValStr, Str: v} }
+
+// RefVal returns an OID reference slot value.
+func RefVal(v OID) Val { return Val{Kind: ValRef, Ref: v} }
+
+// NilVal returns the nil slot value.
+func NilVal() Val { return Val{Kind: ValNil} }
+
+// Eq reports deep equality of two slot values.
+func (v Val) Eq(w Val) bool {
+	if v.Kind != w.Kind {
+		return false
+	}
+	switch v.Kind {
+	case ValNil:
+		return true
+	case ValInt:
+		return v.Int == w.Int
+	case ValReal:
+		return v.Real == w.Real
+	case ValBool:
+		return v.Bool == w.Bool
+	case ValChar:
+		return v.Ch == w.Ch
+	case ValStr:
+		return v.Str == w.Str
+	case ValRef:
+		return v.Ref == w.Ref
+	}
+	return false
+}
+
+// String renders the slot value for diagnostics.
+func (v Val) String() string {
+	switch v.Kind {
+	case ValNil:
+		return "nil"
+	case ValInt:
+		return fmt.Sprintf("%d", v.Int)
+	case ValReal:
+		return fmt.Sprintf("%g", v.Real)
+	case ValBool:
+		return fmt.Sprintf("%t", v.Bool)
+	case ValChar:
+		return fmt.Sprintf("%q", v.Ch)
+	case ValStr:
+		return fmt.Sprintf("%q", v.Str)
+	case ValRef:
+		return fmt.Sprintf("<oid 0x%08x>", uint64(v.Ref))
+	}
+	return "?"
+}
+
+// Object is implemented by every persistent object kind.
+type Object interface {
+	Kind() Kind
+	// clone returns a deep copy; Snapshot uses it to hand out isolated
+	// object states.
+	clone() Object
+}
+
+// Snapshot returns a deep copy of an object, isolated from subsequent
+// in-place mutation of the stored original.
+func Snapshot(obj Object) Object { return obj.clone() }
+
+// Tuple is an immutable record of slots; the front end lowers TL tuple
+// values to it.
+type Tuple struct {
+	Fields []Val
+}
+
+// Kind reports KindTuple.
+func (*Tuple) Kind() Kind { return KindTuple }
+
+func (t *Tuple) clone() Object {
+	return &Tuple{Fields: append([]Val(nil), t.Fields...)}
+}
+
+// Array is a mutable array of slots (the array primitive of Fig. 2).
+type Array struct {
+	Elems []Val
+}
+
+// Kind reports KindArray.
+func (*Array) Kind() Kind { return KindArray }
+
+func (a *Array) clone() Object {
+	return &Array{Elems: append([]Val(nil), a.Elems...)}
+}
+
+// ByteArray is a mutable byte array (the new primitive of Fig. 2).
+type ByteArray struct {
+	Bytes []byte
+}
+
+// Kind reports KindByteArray.
+func (*ByteArray) Kind() Kind { return KindByteArray }
+
+func (b *ByteArray) clone() Object {
+	return &ByteArray{Bytes: append([]byte(nil), b.Bytes...)}
+}
+
+// Export is one exported binding of a module.
+type Export struct {
+	Name string
+	Val  Val
+}
+
+// Module is a named module value: Tycoon has first-class modules, and
+// linking binds module OIDs into the closure records of importing code.
+type Module struct {
+	Name    string
+	Exports []Export
+}
+
+// Kind reports KindModule.
+func (*Module) Kind() Kind { return KindModule }
+
+func (m *Module) clone() Object {
+	return &Module{Name: m.Name, Exports: append([]Export(nil), m.Exports...)}
+}
+
+// Lookup finds an exported binding by name.
+func (m *Module) Lookup(name string) (Val, bool) {
+	for _, e := range m.Exports {
+		if e.Name == name {
+			return e.Val, true
+		}
+	}
+	return Val{}, false
+}
+
+// Binding is one R-value binding of a closure record: the source-level
+// name of a free variable and the value it was linked to. The reflective
+// optimizer re-establishes these bindings in TML (paper §4.1).
+type Binding struct {
+	Name string
+	Val  Val
+}
+
+// Closure is the persistent representation of a compiled procedure: the
+// executable code (a Blob of TAM code), the attached persistent TML tree
+// (a Blob of PTML; paper Fig. 3), the R-value bindings of its free
+// variables, and derived attributes cached by the optimizer (costs,
+// savings, …; paper §4.1) to speed up repeated optimization.
+type Closure struct {
+	Name     string
+	Code     OID // TAM code blob
+	PTML     OID // persistent TML blob; Nil if stripped
+	Bindings []Binding
+	// Cost and Savings are the cached derived optimizer attributes.
+	Cost    int32
+	Savings int32
+}
+
+// Kind reports KindClosure.
+func (*Closure) Kind() Kind { return KindClosure }
+
+func (c *Closure) clone() Object {
+	d := *c
+	d.Bindings = append([]Binding(nil), c.Bindings...)
+	return &d
+}
+
+// ColType is the type of a relation column.
+type ColType uint8
+
+// The column types.
+const (
+	ColInt ColType = iota + 1
+	ColReal
+	ColBool
+	ColStr
+)
+
+// Column describes one relation attribute.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// IndexSpec declares a hash index on one column. The index structure
+// itself is rebuilt at load time by package relalg; only the declaration
+// persists, which is exactly the runtime binding knowledge the query
+// optimizer consults (paper §4.2).
+type IndexSpec struct {
+	Column int
+}
+
+// Relation is a bulk data object: schema, rows and index declarations.
+type Relation struct {
+	Name    string
+	Schema  []Column
+	Rows    [][]Val
+	Indexes []IndexSpec
+}
+
+// Kind reports KindRelation.
+func (*Relation) Kind() Kind { return KindRelation }
+
+func (r *Relation) clone() Object {
+	d := &Relation{
+		Name:    r.Name,
+		Schema:  append([]Column(nil), r.Schema...),
+		Indexes: append([]IndexSpec(nil), r.Indexes...),
+		Rows:    make([][]Val, len(r.Rows)),
+	}
+	for i, row := range r.Rows {
+		d.Rows[i] = append([]Val(nil), row...)
+	}
+	return d
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (r *Relation) ColIndex(name string) int {
+	for i, c := range r.Schema {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// HasIndexOn reports whether an index is declared on the given column.
+func (r *Relation) HasIndexOn(col int) bool {
+	for _, ix := range r.Indexes {
+		if ix.Column == col {
+			return true
+		}
+	}
+	return false
+}
+
+// Blob is an uninterpreted byte sequence (PTML encodings, TAM code).
+type Blob struct {
+	Bytes []byte
+}
+
+// Kind reports KindBlob.
+func (*Blob) Kind() Kind { return KindBlob }
+
+func (b *Blob) clone() Object {
+	return &Blob{Bytes: append([]byte(nil), b.Bytes...)}
+}
+
+// ErrNotFound is returned when an OID does not resolve.
+var ErrNotFound = errors.New("store: object not found")
+
+// Store is a log-structured persistent object store. All methods are safe
+// for concurrent use.
+type Store struct {
+	mu         sync.RWMutex
+	path       string
+	file       *os.File
+	objects    map[OID]Object
+	roots      map[string]OID
+	dirty      map[OID]bool
+	rootsDirty bool
+	next       OID
+}
+
+// Open opens (or creates) the store file at path, replaying its log.
+// An empty path creates an in-memory store.
+func Open(path string) (*Store, error) {
+	s := &Store{
+		path:    path,
+		objects: make(map[OID]Object),
+		roots:   make(map[string]OID),
+		dirty:   make(map[OID]bool),
+		next:    1,
+	}
+	if path == "" {
+		return s, nil
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", path, err)
+	}
+	s.file = f
+	if err := s.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Close commits pending changes and releases the store file.
+func (s *Store) Close() error {
+	if err := s.Commit(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.file != nil {
+		err := s.file.Close()
+		s.file = nil
+		return err
+	}
+	return nil
+}
+
+// Alloc stores obj under a fresh OID.
+func (s *Store) Alloc(obj Object) OID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	oid := s.next
+	s.next++
+	s.objects[oid] = obj
+	s.dirty[oid] = true
+	return oid
+}
+
+// Get resolves an OID. The returned object is the live in-store value:
+// callers that mutate it must call Update to make the change durable.
+func (s *Store) Get(oid OID) (Object, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	obj, ok := s.objects[oid]
+	if !ok {
+		return nil, fmt.Errorf("%w: oid 0x%x", ErrNotFound, uint64(oid))
+	}
+	return obj, nil
+}
+
+// MustGet is Get for internal callers holding OIDs they allocated.
+func (s *Store) MustGet(oid OID) Object {
+	obj, err := s.Get(oid)
+	if err != nil {
+		panic(err)
+	}
+	return obj
+}
+
+// Update records a new state for oid; the object is written out on the
+// next Commit.
+func (s *Store) Update(oid OID, obj Object) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.objects[oid]; !ok {
+		return fmt.Errorf("%w: oid 0x%x", ErrNotFound, uint64(oid))
+	}
+	s.objects[oid] = obj
+	s.dirty[oid] = true
+	return nil
+}
+
+// MarkDirty schedules an in-place mutated object for the next Commit.
+func (s *Store) MarkDirty(oid OID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.objects[oid]; ok {
+		s.dirty[oid] = true
+	}
+}
+
+// SetRoot binds a name in the persistent root table (database names,
+// module tables, benchmark corpora).
+func (s *Store) SetRoot(name string, oid OID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.roots[name] = oid
+	s.rootsDirty = true
+}
+
+// Root resolves a persistent root name.
+func (s *Store) Root(name string) (OID, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	oid, ok := s.roots[name]
+	return oid, ok
+}
+
+// Roots lists the root names, sorted.
+func (s *Store) Roots() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.roots))
+	for n := range s.roots {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len reports the number of live objects.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.objects)
+}
+
+// OIDs returns all live OIDs in ascending order (for the tmldump tool).
+func (s *Store) OIDs() []OID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	oids := make([]OID, 0, len(s.objects))
+	for oid := range s.objects {
+		oids = append(oids, oid)
+	}
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	return oids
+}

@@ -1,0 +1,459 @@
+package tl
+
+// This file defines the TL abstract syntax tree and the type
+// representation used by the checker.
+
+// Type is a TL type.
+type Type interface {
+	String() string
+	equal(Type) bool
+}
+
+// Scalar types are singletons.
+type scalarType struct{ name string }
+
+func (t *scalarType) String() string { return t.name }
+func (t *scalarType) equal(o Type) bool {
+	s, ok := o.(*scalarType)
+	return ok && s.name == t.name
+}
+
+// The scalar types.
+var (
+	IntT  Type = &scalarType{"Int"}
+	RealT Type = &scalarType{"Real"}
+	BoolT Type = &scalarType{"Bool"}
+	CharT Type = &scalarType{"Char"}
+	StrT  Type = &scalarType{"String"}
+	OkT   Type = &scalarType{"Ok"}
+)
+
+// ArrayT is Array(Elem).
+type ArrayT struct{ Elem Type }
+
+func (t *ArrayT) String() string { return "Array(" + t.Elem.String() + ")" }
+func (t *ArrayT) equal(o Type) bool {
+	a, ok := o.(*ArrayT)
+	return ok && t.Elem.equal(a.Elem)
+}
+
+// Field is a named field of a tuple or relation type.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// TupleT is Tuple f₁ : T₁, … end.
+type TupleT struct{ Fields []Field }
+
+// String renders the tuple type.
+func (t *TupleT) String() string {
+	s := "Tuple("
+	for i, f := range t.Fields {
+		if i > 0 {
+			s += ", "
+		}
+		s += f.Name + ": " + f.Type.String()
+	}
+	return s + ")"
+}
+
+func (t *TupleT) equal(o Type) bool {
+	u, ok := o.(*TupleT)
+	if !ok || len(t.Fields) != len(u.Fields) {
+		return false
+	}
+	for i := range t.Fields {
+		if t.Fields[i].Name != u.Fields[i].Name || !t.Fields[i].Type.equal(u.Fields[i].Type) {
+			return false
+		}
+	}
+	return true
+}
+
+// Index returns the position of a field, or -1.
+func (t *TupleT) Index(name string) int {
+	for i, f := range t.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// RelT is Rel(f₁ : T₁, …): a relation whose rows are flat tuples of
+// scalar fields.
+type RelT struct{ Fields []Field }
+
+// String renders the relation type.
+func (t *RelT) String() string {
+	s := "Rel("
+	for i, f := range t.Fields {
+		if i > 0 {
+			s += ", "
+		}
+		s += f.Name + ": " + f.Type.String()
+	}
+	return s + ")"
+}
+
+func (t *RelT) equal(o Type) bool {
+	u, ok := o.(*RelT)
+	if !ok || len(t.Fields) != len(u.Fields) {
+		return false
+	}
+	for i := range t.Fields {
+		if t.Fields[i].Name != u.Fields[i].Name || !t.Fields[i].Type.equal(u.Fields[i].Type) {
+			return false
+		}
+	}
+	return true
+}
+
+// Row returns the tuple type of one row.
+func (t *RelT) Row() *TupleT { return &TupleT{Fields: t.Fields} }
+
+// Index returns the position of a column, or -1.
+func (t *RelT) Index(name string) int {
+	for i, f := range t.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// NamedT is an unresolved type reference (T or mod.T); the checker
+// replaces it with the declared type.
+type NamedT struct {
+	Mod, Name string
+}
+
+// String renders the reference.
+func (t *NamedT) String() string {
+	if t.Mod != "" {
+		return t.Mod + "." + t.Name
+	}
+	return t.Name
+}
+
+func (t *NamedT) equal(o Type) bool {
+	u, ok := o.(*NamedT)
+	return ok && t.Mod == u.Mod && t.Name == u.Name
+}
+
+// FunT is Fun(P₁, …) : R.
+type FunT struct {
+	Params []Type
+	Ret    Type
+}
+
+// String renders the function type.
+func (t *FunT) String() string {
+	s := "Fun("
+	for i, p := range t.Params {
+		if i > 0 {
+			s += ", "
+		}
+		s += p.String()
+	}
+	return s + "): " + t.Ret.String()
+}
+
+func (t *FunT) equal(o Type) bool {
+	u, ok := o.(*FunT)
+	if !ok || len(t.Params) != len(u.Params) || !t.Ret.equal(u.Ret) {
+		return false
+	}
+	for i := range t.Params {
+		if !t.Params[i].equal(u.Params[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Expr is a TL expression.
+type Expr interface{ exprLine() int }
+
+type exprBase struct{ Line int }
+
+func (e exprBase) exprLine() int { return e.Line }
+
+// Literal expressions.
+type (
+	// IntLit is an integer literal.
+	IntLit struct {
+		exprBase
+		Val int64
+	}
+	// RealLit is a real literal.
+	RealLit struct {
+		exprBase
+		Val float64
+	}
+	// BoolLit is true or false.
+	BoolLit struct {
+		exprBase
+		Val bool
+	}
+	// CharLit is a character literal.
+	CharLit struct {
+		exprBase
+		Val byte
+	}
+	// StrLit is a string literal.
+	StrLit struct {
+		exprBase
+		Val string
+	}
+	// OkLit is the unit literal ok.
+	OkLit struct{ exprBase }
+)
+
+// Ident references a local binding, a module-level declaration, or a
+// top-level rel declaration.
+type Ident struct {
+	exprBase
+	Name string
+}
+
+// ModRef is mod.name — a reference to an exported member of another
+// module.
+type ModRef struct {
+	exprBase
+	Mod, Name string
+}
+
+// Call applies a function expression to arguments.
+type Call struct {
+	exprBase
+	Fn   Expr
+	Args []Expr
+}
+
+// Binary is a binary operator expression (arithmetic, comparison,
+// logical and/or with short-circuit semantics).
+type Binary struct {
+	exprBase
+	Op   string
+	L, R Expr
+}
+
+// Unary is -e or not e.
+type Unary struct {
+	exprBase
+	Op string
+	E  Expr
+}
+
+// If is if C then A [elsif…] [else B] end.
+type If struct {
+	exprBase
+	Cond       Expr
+	Then, Else []Expr // Else nil for one-armed if (result Ok)
+}
+
+// While is while C do body end.
+type While struct {
+	exprBase
+	Cond Expr
+	Body []Expr
+}
+
+// For is for i = Lo upto|downto Hi do body end.
+type For struct {
+	exprBase
+	Var    string
+	Lo, Hi Expr
+	Down   bool
+	Body   []Expr
+}
+
+// Case is case E of v₁ => … | v₂ => … else … end; tags are literals.
+type Case struct {
+	exprBase
+	Scrut    Expr
+	Tags     []Expr // literal expressions
+	Branches [][]Expr
+	Else     []Expr // nil if absent
+}
+
+// Try is try body handle x => handler end.
+type Try struct {
+	exprBase
+	Body    []Expr
+	ExcVar  string
+	Handler []Expr
+}
+
+// Raise is raise E.
+type Raise struct {
+	exprBase
+	E Expr
+}
+
+// Block is begin e₁; …; eₙ end; its value is the last expression's.
+type Block struct {
+	exprBase
+	Body []Expr
+}
+
+// Let is a local immutable binding (plain or function form).
+type Let struct {
+	exprBase
+	Name   string
+	Type   Type // nil: inferred
+	Params []Param
+	Ret    Type // function form only
+	IsFun  bool
+	Init   Expr   // plain form
+	Body   []Expr // function form
+}
+
+// VarDecl is a local mutable binding var x := e.
+type VarDecl struct {
+	exprBase
+	Name string
+	Type Type // nil: inferred
+	Init Expr
+}
+
+// Assign is x := e (x must be a var) or a[i] := e.
+type Assign struct {
+	exprBase
+	Target Expr // Ident or Index
+	Val    Expr
+}
+
+// Index is a[i].
+type Index struct {
+	exprBase
+	Arr, I Expr
+}
+
+// FieldAccess is t.name on a tuple value.
+type FieldAccess struct {
+	exprBase
+	E    Expr
+	Name string
+}
+
+// TupleLit is tuple e₁, …, eₙ end; fields take the names of variable
+// expressions (paper §4.1 example: tuple x y end) and _i otherwise.
+type TupleLit struct {
+	exprBase
+	Elems []Expr
+}
+
+// FunLit is fun(params) : T => expr.
+type FunLit struct {
+	exprBase
+	Params []Param
+	Ret    Type
+	Body   []Expr
+}
+
+// Select is select Target from X in Rel [, Y in Rel2] [where Pred] end.
+// With a second binding the query is a θ-join; the row variables may then
+// only be used through field accesses (x.f), never as whole tuples.
+type Select struct {
+	exprBase
+	Target Expr
+	Var    string
+	Rel    Expr
+	Var2   string // join binding; empty for single-relation selects
+	Rel2   Expr
+	Pred   Expr // nil if absent
+}
+
+// Exists is exists x in Rel where Pred end.
+type Exists struct {
+	exprBase
+	Var  string
+	Rel  Expr
+	Pred Expr
+}
+
+// Foreach is foreach x in Rel do body end.
+type Foreach struct {
+	exprBase
+	Var  string
+	Rel  Expr
+	Body []Expr
+}
+
+// Insert is insert E into Rel.
+type Insert struct {
+	exprBase
+	Tuple Expr
+	Rel   Expr
+}
+
+// Builtin is one of the built-in pseudo-functions (count, empty).
+type Builtin struct {
+	exprBase
+	Name string
+	Args []Expr
+}
+
+// PrimCall is __prim "name" (args…), available to library modules only.
+type PrimCall struct {
+	exprBase
+	Prim string
+	Args []Expr
+}
+
+// Param is one formal parameter.
+type Param struct {
+	Name string
+	Type Type
+}
+
+// Decl is a top-level or module-level declaration.
+type Decl interface{ declLine() int }
+
+type declBase struct{ Line int }
+
+func (d declBase) declLine() int { return d.Line }
+
+// FunDecl is let f(params) : T = body.
+type FunDecl struct {
+	declBase
+	Name   string
+	Params []Param
+	Ret    Type
+	Body   []Expr
+}
+
+// ConstDecl is a module-level let name = expr.
+type ConstDecl struct {
+	declBase
+	Name string
+	Type Type // nil: inferred
+	Init Expr
+}
+
+// TypeDecl is type T = ….
+type TypeDecl struct {
+	declBase
+	Name string
+	Type Type
+}
+
+// RelDecl is rel name : Rel(...) — a named persistent relation whose
+// binding to a store object is established at link time (the runtime
+// binding knowledge of paper §4.2).
+type RelDecl struct {
+	declBase
+	Name string
+	Type *RelT
+}
+
+// Module is one compilation unit.
+type Module struct {
+	Name    string
+	Line    int
+	Exports []string
+	Decls   []Decl
+}

@@ -1,0 +1,1170 @@
+package tl
+
+import "fmt"
+
+// This file implements the TL type checker. The checker enforces the
+// static discipline the TML well-formedness rules presuppose (paper §2.2:
+// "this property is statically enforced by the compiler front end") and
+// resolves names: locals, module-level declarations (mutually visible),
+// imported module members (mod.f) and persistent relation declarations.
+
+// MemberSig describes one exported module member. Its position in the
+// Members slice is the export index compiled code uses to fetch the member
+// from the module value at runtime — the abstraction barrier of §4.1.
+type MemberSig struct {
+	Name string
+	Type Type
+}
+
+// ModuleSig is the statically known interface of a module: member
+// signatures and exported named types. The member *values* are bound at
+// link time only.
+type ModuleSig struct {
+	Name    string
+	Members []MemberSig
+	Types   map[string]Type
+}
+
+// MemberIndex returns a member's export index, or -1.
+func (s *ModuleSig) MemberIndex(name string) int {
+	for i, m := range s.Members {
+		if m.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Member returns a member's signature.
+func (s *ModuleSig) Member(name string) (MemberSig, bool) {
+	i := s.MemberIndex(name)
+	if i < 0 {
+		return MemberSig{}, false
+	}
+	return s.Members[i], true
+}
+
+type symKind uint8
+
+const (
+	symLocal   symKind = iota // immutable local (let, parameters, loop vars)
+	symMutable                // var binding, compiled through a cell
+	symFun                    // module-level function of this module
+	symConst                  // module-level constant of this module
+	symRel                    // persistent relation declaration
+	symJoinRow                // join-query row variable: field access only
+)
+
+type symbol struct {
+	Name string
+	Kind symKind
+	Type Type
+}
+
+// modAccess is a resolved reference to an exported member of another
+// module: the member is fetched from the module value by export index at
+// runtime.
+type modAccess struct {
+	Mod    string
+	Member string
+	Index  int
+	Type   Type
+}
+
+// checked carries the checker's annotations into code generation.
+type checked struct {
+	ast        *Module
+	sig        *ModuleSig
+	types      map[Expr]Type
+	idents     map[*Ident]*symbol
+	modAccess  map[*FieldAccess]*modAccess
+	fieldIdx   map[*FieldAccess]int
+	tupleNames map[*TupleLit][]string
+	builtins   map[*Call]string
+	// binders records the symbol(s) introduced at each binding site, in
+	// declaration order, keyed by the AST node (Expr or Decl); code
+	// generation keys its environment by these symbol pointers.
+	binders  map[any][]*symbol
+	decls    map[string]*symbol
+	rels     map[string]*RelDecl
+	typeDefs map[string]Type
+}
+
+// checker performs the pass.
+type checker struct {
+	out    *checked
+	sigs   map[string]*ModuleSig
+	scopes []map[string]*symbol
+	// allowPrim permits __prim (library modules only).
+	allowPrim bool
+	// inConst marks checking of a constant initialiser, where sibling
+	// function references are forbidden (constants are evaluated at
+	// installation time, before function closures exist).
+	inConst bool
+}
+
+// Check type-checks a module against the signatures of previously
+// compiled modules. allowPrim enables the __prim escape hatch used by the
+// standard library.
+func Check(m *Module, sigs map[string]*ModuleSig, allowPrim bool) (*checked, error) {
+	c := &checker{
+		out: &checked{
+			ast:        m,
+			types:      make(map[Expr]Type),
+			idents:     make(map[*Ident]*symbol),
+			modAccess:  make(map[*FieldAccess]*modAccess),
+			fieldIdx:   make(map[*FieldAccess]int),
+			tupleNames: make(map[*TupleLit][]string),
+			builtins:   make(map[*Call]string),
+			binders:    make(map[any][]*symbol),
+			decls:      make(map[string]*symbol),
+			rels:       make(map[string]*RelDecl),
+			typeDefs:   make(map[string]Type),
+		},
+		sigs:      sigs,
+		allowPrim: allowPrim,
+	}
+	if err := c.module(m); err != nil {
+		return nil, err
+	}
+	return c.out, nil
+}
+
+func (c *checker) module(m *Module) error {
+	// Pass 1: collect type declarations (so later decls may reference
+	// them), then relation and value declarations.
+	for _, d := range m.Decls {
+		if td, ok := d.(*TypeDecl); ok {
+			rt, err := c.resolveType(td.Type, td.declLine())
+			if err != nil {
+				return err
+			}
+			if _, dup := c.out.typeDefs[td.Name]; dup {
+				return errf(td.declLine(), "type %s declared twice", td.Name)
+			}
+			c.out.typeDefs[td.Name] = rt
+		}
+	}
+	for _, d := range m.Decls {
+		switch d := d.(type) {
+		case *FunDecl:
+			params := make([]Type, len(d.Params))
+			for i := range d.Params {
+				rt, err := c.resolveType(d.Params[i].Type, d.declLine())
+				if err != nil {
+					return err
+				}
+				d.Params[i].Type = rt
+				params[i] = rt
+			}
+			ret, err := c.resolveType(d.Ret, d.declLine())
+			if err != nil {
+				return err
+			}
+			d.Ret = ret
+			if _, dup := c.out.decls[d.Name]; dup {
+				return errf(d.declLine(), "%s declared twice", d.Name)
+			}
+			c.out.decls[d.Name] = &symbol{Name: d.Name, Kind: symFun, Type: &FunT{Params: params, Ret: ret}}
+		case *ConstDecl:
+			if _, dup := c.out.decls[d.Name]; dup {
+				return errf(d.declLine(), "%s declared twice", d.Name)
+			}
+			// Type filled in pass 2 when inferred.
+			if d.Type != nil {
+				rt, err := c.resolveType(d.Type, d.declLine())
+				if err != nil {
+					return err
+				}
+				d.Type = rt
+			}
+			c.out.decls[d.Name] = &symbol{Name: d.Name, Kind: symConst, Type: d.Type}
+		case *RelDecl:
+			rt, err := c.resolveType(d.Type, d.declLine())
+			if err != nil {
+				return err
+			}
+			d.Type = rt.(*RelT)
+			if _, dup := c.out.rels[d.Name]; dup {
+				return errf(d.declLine(), "relation %s declared twice", d.Name)
+			}
+			c.out.rels[d.Name] = d
+			c.out.decls[d.Name] = &symbol{Name: d.Name, Kind: symRel, Type: d.Type}
+		case *TypeDecl:
+			// handled above
+		}
+	}
+
+	// Pass 2: check bodies. Constants first (their types may be
+	// inferred), in declaration order; constants may not reference
+	// functions (they are evaluated at installation time).
+	for _, d := range m.Decls {
+		cd, ok := d.(*ConstDecl)
+		if !ok {
+			continue
+		}
+		c.inConst = true
+		t, err := c.expr(cd.Init, cd.Type)
+		c.inConst = false
+		if err != nil {
+			return err
+		}
+		if cd.Type != nil && !cd.Type.equal(t) {
+			return errf(cd.declLine(), "constant %s declared %s but initialised with %s", cd.Name, cd.Type, t)
+		}
+		cd.Type = t
+		c.out.decls[cd.Name].Type = t
+	}
+	for _, d := range m.Decls {
+		fd, ok := d.(*FunDecl)
+		if !ok {
+			continue
+		}
+		c.push()
+		for _, p := range fd.Params {
+			sym := &symbol{Name: p.Name, Kind: symLocal, Type: p.Type}
+			c.bind(sym)
+			c.out.binders[fd] = append(c.out.binders[fd], sym)
+		}
+		got, err := c.seq(fd.Body, fd.Ret)
+		c.pop()
+		if err != nil {
+			return err
+		}
+		if !fd.Ret.equal(got) && !fd.Ret.equal(OkT) {
+			return errf(fd.declLine(), "function %s declared %s but returns %s", fd.Name, fd.Ret, got)
+		}
+	}
+
+	// Pass 3: build the module signature from the export list.
+	sig := &ModuleSig{Name: m.Name, Types: make(map[string]Type)}
+	for _, name := range m.Exports {
+		if t, ok := c.out.typeDefs[name]; ok {
+			sig.Types[name] = t
+			continue
+		}
+		sym, ok := c.out.decls[name]
+		if !ok {
+			return errf(m.Line, "module %s exports undeclared %s", m.Name, name)
+		}
+		if sym.Kind == symRel {
+			return errf(m.Line, "relation %s cannot be exported; relations bind by name at link time", name)
+		}
+		sig.Members = append(sig.Members, MemberSig{Name: name, Type: sym.Type})
+	}
+	c.out.sig = sig
+	return nil
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, make(map[string]*symbol)) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) bind(s *symbol) { c.scopes[len(c.scopes)-1][s.Name] = s }
+
+func (c *checker) resolve(name string) (*symbol, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s, true
+		}
+	}
+	if s, ok := c.out.decls[name]; ok {
+		return s, true
+	}
+	return nil, false
+}
+
+// resolveType replaces named type references by their declarations.
+func (c *checker) resolveType(t Type, line int) (Type, error) {
+	switch t := t.(type) {
+	case nil:
+		return nil, errf(line, "missing type")
+	case *NamedT:
+		if t.Mod == "" {
+			if rt, ok := c.out.typeDefs[t.Name]; ok {
+				return rt, nil
+			}
+			return nil, errf(line, "unknown type %s", t.Name)
+		}
+		sig, ok := c.sigs[t.Mod]
+		if !ok {
+			return nil, errf(line, "unknown module %s", t.Mod)
+		}
+		rt, ok := sig.Types[t.Name]
+		if !ok {
+			return nil, errf(line, "module %s exports no type %s", t.Mod, t.Name)
+		}
+		return rt, nil
+	case *ArrayT:
+		elem, err := c.resolveType(t.Elem, line)
+		if err != nil {
+			return nil, err
+		}
+		return &ArrayT{Elem: elem}, nil
+	case *TupleT:
+		fields := make([]Field, len(t.Fields))
+		for i, f := range t.Fields {
+			ft, err := c.resolveType(f.Type, line)
+			if err != nil {
+				return nil, err
+			}
+			fields[i] = Field{Name: f.Name, Type: ft}
+		}
+		return &TupleT{Fields: fields}, nil
+	case *RelT:
+		fields := make([]Field, len(t.Fields))
+		for i, f := range t.Fields {
+			ft, err := c.resolveType(f.Type, line)
+			if err != nil {
+				return nil, err
+			}
+			if !isScalar(ft) {
+				return nil, errf(line, "relation column %s must be scalar, got %s", f.Name, ft)
+			}
+			fields[i] = Field{Name: f.Name, Type: ft}
+		}
+		return &RelT{Fields: fields}, nil
+	case *FunT:
+		params := make([]Type, len(t.Params))
+		for i, pt := range t.Params {
+			rt, err := c.resolveType(pt, line)
+			if err != nil {
+				return nil, err
+			}
+			params[i] = rt
+		}
+		ret, err := c.resolveType(t.Ret, line)
+		if err != nil {
+			return nil, err
+		}
+		return &FunT{Params: params, Ret: ret}, nil
+	default:
+		return t, nil
+	}
+}
+
+func isScalar(t Type) bool {
+	switch t {
+	case IntT, RealT, BoolT, CharT, StrT:
+		return true
+	}
+	return false
+}
+
+// seq checks an expression sequence; its type is the last item's. expect
+// is threaded to the final item (for __prim).
+func (c *checker) seq(body []Expr, expect Type) (Type, error) {
+	c.push()
+	defer c.pop()
+	var t Type = OkT
+	for i, e := range body {
+		var exp Type
+		if i == len(body)-1 {
+			exp = expect
+		}
+		var err error
+		t, err = c.item(e, exp)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// item checks a sequence element, introducing let/var bindings into the
+// current scope.
+func (c *checker) item(e Expr, expect Type) (Type, error) {
+	switch e := e.(type) {
+	case *Let:
+		if e.IsFun {
+			params := make([]Type, len(e.Params))
+			for i := range e.Params {
+				rt, err := c.resolveType(e.Params[i].Type, e.exprLine())
+				if err != nil {
+					return nil, err
+				}
+				e.Params[i].Type = rt
+				params[i] = rt
+			}
+			ret, err := c.resolveType(e.Ret, e.exprLine())
+			if err != nil {
+				return nil, err
+			}
+			e.Ret = ret
+			fn := &FunT{Params: params, Ret: ret}
+			// Bind before checking the body: local functions may recurse.
+			self := &symbol{Name: e.Name, Kind: symLocal, Type: fn}
+			c.bind(self)
+			c.out.binders[e] = append(c.out.binders[e], self)
+			c.push()
+			for _, p := range e.Params {
+				sym := &symbol{Name: p.Name, Kind: symLocal, Type: p.Type}
+				c.bind(sym)
+				c.out.binders[e] = append(c.out.binders[e], sym)
+			}
+			got, err := c.seq(e.Body, ret)
+			c.pop()
+			if err != nil {
+				return nil, err
+			}
+			if !ret.equal(got) && !ret.equal(OkT) {
+				return nil, errf(e.exprLine(), "local function %s declared %s but returns %s", e.Name, ret, got)
+			}
+			c.out.types[e] = OkT
+			return OkT, nil
+		}
+		var declared Type
+		if e.Type != nil {
+			rt, err := c.resolveType(e.Type, e.exprLine())
+			if err != nil {
+				return nil, err
+			}
+			declared = rt
+			e.Type = rt
+		}
+		t, err := c.expr(e.Init, declared)
+		if err != nil {
+			return nil, err
+		}
+		if declared != nil && !declared.equal(t) {
+			return nil, errf(e.exprLine(), "let %s declared %s but initialised with %s", e.Name, declared, t)
+		}
+		e.Type = t
+		sym := &symbol{Name: e.Name, Kind: symLocal, Type: t}
+		c.bind(sym)
+		c.out.binders[e] = []*symbol{sym}
+		c.out.types[e] = OkT
+		return OkT, nil
+	case *VarDecl:
+		var declared Type
+		if e.Type != nil {
+			rt, err := c.resolveType(e.Type, e.exprLine())
+			if err != nil {
+				return nil, err
+			}
+			declared = rt
+			e.Type = rt
+		}
+		t, err := c.expr(e.Init, declared)
+		if err != nil {
+			return nil, err
+		}
+		if declared != nil && !declared.equal(t) {
+			return nil, errf(e.exprLine(), "var %s declared %s but initialised with %s", e.Name, declared, t)
+		}
+		e.Type = t
+		sym := &symbol{Name: e.Name, Kind: symMutable, Type: t}
+		c.bind(sym)
+		c.out.binders[e] = []*symbol{sym}
+		c.out.types[e] = OkT
+		return OkT, nil
+	default:
+		return c.expr(e, expect)
+	}
+}
+
+// expr type-checks an expression. expect is a hint consumed by __prim
+// and raise; it never weakens checking elsewhere.
+func (c *checker) expr(e Expr, expect Type) (Type, error) {
+	t, err := c.exprInner(e, expect)
+	if err != nil {
+		return nil, err
+	}
+	c.out.types[e] = t
+	return t, nil
+}
+
+func (c *checker) exprInner(e Expr, expect Type) (Type, error) {
+	switch e := e.(type) {
+	case *IntLit:
+		return IntT, nil
+	case *RealLit:
+		return RealT, nil
+	case *BoolLit:
+		return BoolT, nil
+	case *CharLit:
+		return CharT, nil
+	case *StrLit:
+		return StrT, nil
+	case *OkLit:
+		return OkT, nil
+	case *Ident:
+		sym, ok := c.resolve(e.Name)
+		if !ok {
+			if _, isMod := c.sigs[e.Name]; isMod {
+				return nil, errf(e.exprLine(), "module %s used as a value; select a member with %s.name", e.Name, e.Name)
+			}
+			return nil, errf(e.exprLine(), "undeclared identifier %s", e.Name)
+		}
+		if sym.Type == nil {
+			return nil, errf(e.exprLine(), "%s used before its type is known", e.Name)
+		}
+		if c.inConst && sym.Kind == symFun {
+			return nil, errf(e.exprLine(), "constant initialiser may not reference function %s", e.Name)
+		}
+		if sym.Kind == symJoinRow {
+			return nil, errf(e.exprLine(), "join row variable %s may only be used through field access", e.Name)
+		}
+		c.out.idents[e] = sym
+		return sym.Type, nil
+	case *Binary:
+		return c.binary(e)
+	case *Unary:
+		t, err := c.expr(e.E, nil)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case "-":
+			if t != IntT && t != RealT {
+				return nil, errf(e.exprLine(), "unary - on %s", t)
+			}
+			return t, nil
+		case "not":
+			if t != BoolT {
+				return nil, errf(e.exprLine(), "not on %s", t)
+			}
+			return BoolT, nil
+		}
+		return nil, errf(e.exprLine(), "unknown unary %s", e.Op)
+	case *If:
+		ct, err := c.expr(e.Cond, BoolT)
+		if err != nil {
+			return nil, err
+		}
+		if ct != BoolT {
+			return nil, errf(e.exprLine(), "if condition is %s, want Bool", ct)
+		}
+		tt, err := c.seq(e.Then, expect)
+		if err != nil {
+			return nil, err
+		}
+		if e.Else == nil {
+			return OkT, nil
+		}
+		et, err := c.seq(e.Else, expect)
+		if err != nil {
+			return nil, err
+		}
+		if tt.equal(et) {
+			return tt, nil
+		}
+		return OkT, nil
+	case *While:
+		ct, err := c.expr(e.Cond, BoolT)
+		if err != nil {
+			return nil, err
+		}
+		if ct != BoolT {
+			return nil, errf(e.exprLine(), "while condition is %s, want Bool", ct)
+		}
+		if _, err := c.seq(e.Body, nil); err != nil {
+			return nil, err
+		}
+		return OkT, nil
+	case *For:
+		lo, err := c.expr(e.Lo, nil)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := c.expr(e.Hi, nil)
+		if err != nil {
+			return nil, err
+		}
+		if lo != IntT || hi != IntT {
+			return nil, errf(e.exprLine(), "for bounds must be Int, got %s and %s", lo, hi)
+		}
+		c.push()
+		loopSym := &symbol{Name: e.Var, Kind: symLocal, Type: IntT}
+		c.bind(loopSym)
+		c.out.binders[e] = []*symbol{loopSym}
+		_, err = c.seq(e.Body, nil)
+		c.pop()
+		if err != nil {
+			return nil, err
+		}
+		return OkT, nil
+	case *Case:
+		return c.caseExpr(e, expect)
+	case *Try:
+		tt, err := c.seq(e.Body, expect)
+		if err != nil {
+			return nil, err
+		}
+		c.push()
+		excSym := &symbol{Name: e.ExcVar, Kind: symLocal, Type: StrT}
+		c.bind(excSym)
+		c.out.binders[e] = []*symbol{excSym}
+		ht, err := c.seq(e.Handler, expect)
+		c.pop()
+		if err != nil {
+			return nil, err
+		}
+		if tt.equal(ht) {
+			return tt, nil
+		}
+		return OkT, nil
+	case *Raise:
+		t, err := c.expr(e.E, nil)
+		if err != nil {
+			return nil, err
+		}
+		if !isScalar(t) {
+			return nil, errf(e.exprLine(), "raise value must be scalar, got %s", t)
+		}
+		// raise never returns; it adopts the expected type.
+		if expect != nil {
+			return expect, nil
+		}
+		return OkT, nil
+	case *Block:
+		return c.seq(e.Body, expect)
+	case *Assign:
+		return c.assign(e)
+	case *Index:
+		at, err := c.expr(e.Arr, nil)
+		if err != nil {
+			return nil, err
+		}
+		it, err := c.expr(e.I, nil)
+		if err != nil {
+			return nil, err
+		}
+		if it != IntT {
+			return nil, errf(e.exprLine(), "index must be Int, got %s", it)
+		}
+		switch at := at.(type) {
+		case *ArrayT:
+			return at.Elem, nil
+		default:
+			if at == StrT {
+				return CharT, nil
+			}
+			return nil, errf(e.exprLine(), "indexing a %s", at)
+		}
+	case *FieldAccess:
+		return c.fieldAccess(e)
+	case *TupleLit:
+		// With a contextual tuple type of matching arity (declared return
+		// type, insert target, annotated let), the literal adopts its
+		// field names — the paper's tuple x y end relies on the variable-
+		// name convention, which remains the fallback.
+		var expected *TupleT
+		if et, ok := expect.(*TupleT); ok && len(et.Fields) == len(e.Elems) {
+			expected = et
+		}
+		var fields []Field
+		var names []string
+		for i, el := range e.Elems {
+			var hint Type
+			if expected != nil {
+				hint = expected.Fields[i].Type
+			}
+			t, err := c.expr(el, hint)
+			if err != nil {
+				return nil, err
+			}
+			name := fmt.Sprintf("_%d", i)
+			switch el := el.(type) {
+			case *Ident:
+				name = el.Name
+			case *FieldAccess:
+				// Target lists like tuple e.id, e.sal end adopt the
+				// projected column names.
+				name = el.Name
+			}
+			if expected != nil && expected.Fields[i].Type.equal(t) {
+				name = expected.Fields[i].Name
+			}
+			names = append(names, name)
+			fields = append(fields, Field{Name: name, Type: t})
+		}
+		c.out.tupleNames[e] = names
+		return &TupleT{Fields: fields}, nil
+	case *FunLit:
+		params := make([]Type, len(e.Params))
+		for i := range e.Params {
+			rt, err := c.resolveType(e.Params[i].Type, e.exprLine())
+			if err != nil {
+				return nil, err
+			}
+			e.Params[i].Type = rt
+			params[i] = rt
+		}
+		ret, err := c.resolveType(e.Ret, e.exprLine())
+		if err != nil {
+			return nil, err
+		}
+		e.Ret = ret
+		c.push()
+		for _, p := range e.Params {
+			sym := &symbol{Name: p.Name, Kind: symLocal, Type: p.Type}
+			c.bind(sym)
+			c.out.binders[e] = append(c.out.binders[e], sym)
+		}
+		got, err := c.seq(e.Body, ret)
+		c.pop()
+		if err != nil {
+			return nil, err
+		}
+		if !ret.equal(got) && !ret.equal(OkT) {
+			return nil, errf(e.exprLine(), "fun declared %s but returns %s", ret, got)
+		}
+		return &FunT{Params: params, Ret: ret}, nil
+	case *Call:
+		return c.call(e)
+	case *Select:
+		return c.selectExpr(e)
+	case *Exists:
+		_, _, err := c.queryScope(e, e.Var, e.Rel, e.Pred, e.exprLine())
+		if err != nil {
+			return nil, err
+		}
+		return BoolT, nil
+	case *Foreach:
+		rt, err := c.relOf(e.Rel, e.exprLine())
+		if err != nil {
+			return nil, err
+		}
+		c.push()
+		rowSym := &symbol{Name: e.Var, Kind: symLocal, Type: rt.Row()}
+		c.bind(rowSym)
+		c.out.binders[e] = []*symbol{rowSym}
+		_, err = c.seq(e.Body, nil)
+		c.pop()
+		if err != nil {
+			return nil, err
+		}
+		return OkT, nil
+	case *Insert:
+		rt, err := c.relOf(e.Rel, e.exprLine())
+		if err != nil {
+			return nil, err
+		}
+		tt, err := c.expr(e.Tuple, rt.Row())
+		if err != nil {
+			return nil, err
+		}
+		tup, ok := tt.(*TupleT)
+		if !ok || len(tup.Fields) != len(rt.Fields) {
+			return nil, errf(e.exprLine(), "insert of %s into %s", tt, rt)
+		}
+		for i := range tup.Fields {
+			if !tup.Fields[i].Type.equal(rt.Fields[i].Type) {
+				return nil, errf(e.exprLine(), "insert column %d: %s vs %s",
+					i, tup.Fields[i].Type, rt.Fields[i].Type)
+			}
+		}
+		return OkT, nil
+	case *PrimCall:
+		if !c.allowPrim {
+			return nil, errf(e.exprLine(), "__prim is reserved for library modules")
+		}
+		for _, a := range e.Args {
+			if _, err := c.expr(a, nil); err != nil {
+				return nil, err
+			}
+		}
+		if expect == nil {
+			return nil, errf(e.exprLine(), "__prim needs an expected type (annotate the enclosing function)")
+		}
+		return expect, nil
+	default:
+		return nil, errf(e.exprLine(), "unexpected expression %T", e)
+	}
+}
+
+func (c *checker) binary(e *Binary) (Type, error) {
+	lt, err := c.expr(e.L, nil)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := c.expr(e.R, nil)
+	if err != nil {
+		return nil, err
+	}
+	switch e.Op {
+	case "+", "-", "*", "/":
+		if lt == IntT && rt == IntT {
+			return IntT, nil
+		}
+		if lt == RealT && rt == RealT {
+			return RealT, nil
+		}
+		if e.Op == "+" && lt == StrT && rt == StrT {
+			return StrT, nil
+		}
+		return nil, errf(e.exprLine(), "%s on %s and %s", e.Op, lt, rt)
+	case "%":
+		if lt == IntT && rt == IntT {
+			return IntT, nil
+		}
+		return nil, errf(e.exprLine(), "%% on %s and %s", lt, rt)
+	case "<", "<=", ">", ">=":
+		if lt.equal(rt) && (lt == IntT || lt == RealT || lt == CharT || lt == StrT) {
+			return BoolT, nil
+		}
+		return nil, errf(e.exprLine(), "%s on %s and %s", e.Op, lt, rt)
+	case "=", "<>":
+		if lt.equal(rt) && isScalar(lt) {
+			return BoolT, nil
+		}
+		return nil, errf(e.exprLine(), "%s on %s and %s", e.Op, lt, rt)
+	case "and", "or":
+		if lt == BoolT && rt == BoolT {
+			return BoolT, nil
+		}
+		return nil, errf(e.exprLine(), "%s on %s and %s", e.Op, lt, rt)
+	}
+	return nil, errf(e.exprLine(), "unknown operator %s", e.Op)
+}
+
+func (c *checker) assign(e *Assign) (Type, error) {
+	vt, err := c.expr(e.Val, nil)
+	if err != nil {
+		return nil, err
+	}
+	switch target := e.Target.(type) {
+	case *Ident:
+		sym, ok := c.resolve(target.Name)
+		if !ok {
+			return nil, errf(e.exprLine(), "undeclared identifier %s", target.Name)
+		}
+		if sym.Kind != symMutable {
+			return nil, errf(e.exprLine(), "%s is not assignable (declare it with var)", target.Name)
+		}
+		if !sym.Type.equal(vt) {
+			return nil, errf(e.exprLine(), "assigning %s to %s of type %s", vt, target.Name, sym.Type)
+		}
+		c.out.idents[target] = sym
+		c.out.types[target] = sym.Type
+		return OkT, nil
+	case *Index:
+		at, err := c.expr(target.Arr, nil)
+		if err != nil {
+			return nil, err
+		}
+		it, err := c.expr(target.I, nil)
+		if err != nil {
+			return nil, err
+		}
+		if it != IntT {
+			return nil, errf(e.exprLine(), "index must be Int")
+		}
+		arr, ok := at.(*ArrayT)
+		if !ok {
+			return nil, errf(e.exprLine(), "assigning into a %s", at)
+		}
+		if !arr.Elem.equal(vt) {
+			return nil, errf(e.exprLine(), "assigning %s into Array(%s)", vt, arr.Elem)
+		}
+		c.out.types[target] = arr.Elem
+		return OkT, nil
+	default:
+		return nil, errf(e.exprLine(), "bad assignment target %T", e.Target)
+	}
+}
+
+func (c *checker) caseExpr(e *Case, expect Type) (Type, error) {
+	st, err := c.expr(e.Scrut, nil)
+	if err != nil {
+		return nil, err
+	}
+	if st != IntT && st != CharT && st != BoolT && st != StrT {
+		return nil, errf(e.exprLine(), "case scrutinee must be a discrete scalar, got %s", st)
+	}
+	var result Type
+	for i, tag := range e.Tags {
+		switch tag.(type) {
+		case *IntLit, *CharLit, *BoolLit, *StrLit:
+		default:
+			return nil, errf(e.exprLine(), "case tag %d is not a literal", i)
+		}
+		tt, err := c.expr(tag, nil)
+		if err != nil {
+			return nil, err
+		}
+		if !tt.equal(st) {
+			return nil, errf(e.exprLine(), "case tag %d has type %s, scrutinee %s", i, tt, st)
+		}
+		bt, err := c.seq(e.Branches[i], expect)
+		if err != nil {
+			return nil, err
+		}
+		if result == nil {
+			result = bt
+		} else if !result.equal(bt) {
+			result = OkT
+		}
+	}
+	if e.Else != nil {
+		et, err := c.seq(e.Else, expect)
+		if err != nil {
+			return nil, err
+		}
+		if result == nil || !result.equal(et) {
+			result = OkT
+		}
+	} else if !boolExhaustive(st, e.Tags) {
+		// Without an else the fall-through raises; using the value would
+		// be unsound unless the case is exhaustive (only decidable for
+		// booleans) — so the case is Ok-typed.
+		result = OkT
+	}
+	if result == nil {
+		result = OkT
+	}
+	return result, nil
+}
+
+// boolExhaustive reports whether a case over a Bool scrutinee covers both
+// truth values (the only finitely enumerable scrutinee type).
+func boolExhaustive(scrut Type, tags []Expr) bool {
+	if scrut != BoolT {
+		return false
+	}
+	var sawTrue, sawFalse bool
+	for _, tag := range tags {
+		if b, ok := tag.(*BoolLit); ok {
+			if b.Val {
+				sawTrue = true
+			} else {
+				sawFalse = true
+			}
+		}
+	}
+	return sawTrue && sawFalse
+}
+
+// fieldAccess distinguishes module member selection (mod.f) from tuple
+// field access (t.x).
+func (c *checker) fieldAccess(e *FieldAccess) (Type, error) {
+	if id, ok := e.E.(*Ident); ok {
+		if _, isLocal := c.resolve(id.Name); !isLocal {
+			if sig, isMod := c.sigs[id.Name]; isMod {
+				idx := sig.MemberIndex(e.Name)
+				if idx < 0 {
+					return nil, errf(e.exprLine(), "module %s exports no member %s", id.Name, e.Name)
+				}
+				acc := &modAccess{Mod: id.Name, Member: e.Name, Index: idx, Type: sig.Members[idx].Type}
+				c.out.modAccess[e] = acc
+				return acc.Type, nil
+			}
+		}
+	}
+	var t Type
+	if id, ok := e.E.(*Ident); ok {
+		if sym, found := c.resolve(id.Name); found && sym.Kind == symJoinRow {
+			// Join row variables bypass the bare-use restriction here.
+			c.out.idents[id] = sym
+			c.out.types[id] = sym.Type
+			t = sym.Type
+		}
+	}
+	if t == nil {
+		var err error
+		t, err = c.expr(e.E, nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	tup, ok := t.(*TupleT)
+	if !ok {
+		return nil, errf(e.exprLine(), "field access .%s on %s", e.Name, t)
+	}
+	idx := tup.Index(e.Name)
+	if idx < 0 {
+		return nil, errf(e.exprLine(), "%s has no field %s", t, e.Name)
+	}
+	c.out.fieldIdx[e] = idx
+	return tup.Fields[idx].Type, nil
+}
+
+func (c *checker) call(e *Call) (Type, error) {
+	// Builtins: print, count, empty.
+	if id, ok := e.Fn.(*Ident); ok {
+		if _, shadowed := c.resolve(id.Name); !shadowed {
+			switch id.Name {
+			case "print":
+				if len(e.Args) != 1 {
+					return nil, errf(e.exprLine(), "print takes one argument")
+				}
+				t, err := c.expr(e.Args[0], nil)
+				if err != nil {
+					return nil, err
+				}
+				if !isScalar(t) && !t.equal(OkT) {
+					return nil, errf(e.exprLine(), "print on %s", t)
+				}
+				c.out.builtins[e] = "print"
+				return OkT, nil
+			case "count":
+				if len(e.Args) != 1 {
+					return nil, errf(e.exprLine(), "count takes one relation")
+				}
+				if _, err := c.relOf(e.Args[0], e.exprLine()); err != nil {
+					return nil, err
+				}
+				c.out.builtins[e] = "count"
+				return IntT, nil
+			case "empty":
+				if len(e.Args) != 1 {
+					return nil, errf(e.exprLine(), "empty takes one relation")
+				}
+				if _, err := c.relOf(e.Args[0], e.exprLine()); err != nil {
+					return nil, err
+				}
+				c.out.builtins[e] = "empty"
+				return BoolT, nil
+			case "newArray":
+				if len(e.Args) != 2 {
+					return nil, errf(e.exprLine(), "newArray takes a size and an initial value")
+				}
+				nt, err := c.expr(e.Args[0], nil)
+				if err != nil {
+					return nil, err
+				}
+				if nt != IntT {
+					return nil, errf(e.exprLine(), "newArray size is %s, want Int", nt)
+				}
+				et, err := c.expr(e.Args[1], nil)
+				if err != nil {
+					return nil, err
+				}
+				c.out.builtins[e] = "newArray"
+				return &ArrayT{Elem: et}, nil
+			case "len":
+				if len(e.Args) != 1 {
+					return nil, errf(e.exprLine(), "len takes one argument")
+				}
+				at, err := c.expr(e.Args[0], nil)
+				if err != nil {
+					return nil, err
+				}
+				switch at.(type) {
+				case *ArrayT:
+				default:
+					if at != StrT {
+						return nil, errf(e.exprLine(), "len on %s", at)
+					}
+				}
+				c.out.builtins[e] = "len"
+				return IntT, nil
+			}
+		}
+	}
+	ft, err := c.expr(e.Fn, nil)
+	if err != nil {
+		return nil, err
+	}
+	fun, ok := ft.(*FunT)
+	if !ok {
+		return nil, errf(e.exprLine(), "calling a %s", ft)
+	}
+	if len(e.Args) != len(fun.Params) {
+		return nil, errf(e.exprLine(), "call with %d arguments, want %d", len(e.Args), len(fun.Params))
+	}
+	for i, a := range e.Args {
+		at, err := c.expr(a, fun.Params[i])
+		if err != nil {
+			return nil, err
+		}
+		if !at.equal(fun.Params[i]) {
+			return nil, errf(e.exprLine(), "argument %d has type %s, want %s", i+1, at, fun.Params[i])
+		}
+	}
+	return fun.Ret, nil
+}
+
+func (c *checker) relOf(e Expr, line int) (*RelT, error) {
+	t, err := c.expr(e, nil)
+	if err != nil {
+		return nil, err
+	}
+	rt, ok := t.(*RelT)
+	if !ok {
+		return nil, errf(line, "expected a relation, got %s", t)
+	}
+	return rt, nil
+}
+
+func (c *checker) queryScope(node any, v string, rel, pred Expr, line int) (*RelT, Type, error) {
+	rt, err := c.relOf(rel, line)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.push()
+	defer c.pop()
+	rowSym := &symbol{Name: v, Kind: symLocal, Type: rt.Row()}
+	c.bind(rowSym)
+	c.out.binders[node] = []*symbol{rowSym}
+	if pred != nil {
+		pt, err := c.expr(pred, BoolT)
+		if err != nil {
+			return nil, nil, err
+		}
+		if pt != BoolT {
+			return nil, nil, errf(line, "query predicate is %s, want Bool", pt)
+		}
+	}
+	return rt, nil, nil
+}
+
+func (c *checker) selectExpr(e *Select) (Type, error) {
+	rt, err := c.relOf(e.Rel, e.exprLine())
+	if err != nil {
+		return nil, err
+	}
+	c.push()
+	defer c.pop()
+	kind := symLocal
+	if e.Var2 != "" {
+		// θ-join: both row variables are restricted to field accesses so
+		// that the code generator can address them as offsets into the
+		// concatenated row.
+		kind = symJoinRow
+	}
+	rowSym := &symbol{Name: e.Var, Kind: kind, Type: rt.Row()}
+	c.bind(rowSym)
+	c.out.binders[e] = []*symbol{rowSym}
+	if e.Var2 != "" {
+		rt2, err := c.relOf(e.Rel2, e.exprLine())
+		if err != nil {
+			return nil, err
+		}
+		if e.Var2 == e.Var {
+			return nil, errf(e.exprLine(), "join bindings must use distinct names")
+		}
+		rowSym2 := &symbol{Name: e.Var2, Kind: symJoinRow, Type: rt2.Row()}
+		c.bind(rowSym2)
+		c.out.binders[e] = append(c.out.binders[e], rowSym2)
+	}
+	if e.Pred != nil {
+		pt, err := c.expr(e.Pred, BoolT)
+		if err != nil {
+			return nil, err
+		}
+		if pt != BoolT {
+			return nil, errf(e.exprLine(), "where predicate is %s, want Bool", pt)
+		}
+	}
+	tt, err := c.expr(e.Target, nil)
+	if err != nil {
+		return nil, err
+	}
+	switch tt := tt.(type) {
+	case *TupleT:
+		fields := make([]Field, len(tt.Fields))
+		for i, f := range tt.Fields {
+			if !isScalar(f.Type) {
+				return nil, errf(e.exprLine(), "select target field %s must be scalar, got %s", f.Name, f.Type)
+			}
+			fields[i] = f
+		}
+		return &RelT{Fields: fields}, nil
+	default:
+		if isScalar(tt) {
+			return &RelT{Fields: []Field{{Name: "it", Type: tt}}}, nil
+		}
+		return nil, errf(e.exprLine(), "select target must be a tuple or scalar, got %s", tt)
+	}
+}

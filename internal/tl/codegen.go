@@ -1,0 +1,237 @@
+package tl
+
+import (
+	"fmt"
+
+	"tycoon/internal/tml"
+)
+
+// This file implements the CPS code generator: checked TL functions
+// become TML proc abstractions λ(v₁…vₙ ce cc) app.
+//
+// Exceptions are expressed purely by continuation passing (paper §2.3):
+// every function threads an exception continuation ce, try installs a new
+// one, raise invokes the current one, and primitives that can fail (÷0,
+// overflow) receive it as their exception continuation.
+//
+// The crucial policy is ScalarMode. In LibCalls mode (the Tycoon system's
+// actual strategy, §6) every source-level integer, real, string and array
+// operation compiles into a fetch of the operation from a dynamically
+// bound library module followed by an indirect call:
+//
+//	a + b   ⇒   ([] int_mod ADD cont(f) (f a b ce cont(t) …))
+//
+// so a local, statically optimized function still pays the abstraction
+// barrier on every operation — which is exactly why local optimization
+// buys nothing (E1) and runtime re-optimization against the linked module
+// values more than doubles performance (E2). DirectPrims mode compiles
+// straight to the primitives and serves as the ablation upper bound.
+// Compiler-generated control arithmetic (loop counters, cell access,
+// tuple field fetch) always uses direct primitives, like the paper's
+// Fig. 2 loop example.
+
+// ScalarMode selects the compilation strategy for scalar and array
+// operations.
+type ScalarMode uint8
+
+// The scalar modes.
+const (
+	// LibCalls factors operations into dynamically bound library modules.
+	LibCalls ScalarMode = iota
+	// DirectPrims compiles operations to TML primitives directly.
+	DirectPrims
+)
+
+// FreeKind classifies the free variables of a compiled function, i.e. the
+// entries of its R-value binding table (paper §4.1).
+type FreeKind uint8
+
+// The free variable kinds.
+const (
+	// FreeModule binds a module value (its export vector).
+	FreeModule FreeKind = iota
+	// FreeDecl binds a sibling declaration of the same module.
+	FreeDecl
+	// FreeRel binds a named persistent relation.
+	FreeRel
+)
+
+// FreeRef is one required binding of a compiled function.
+type FreeRef struct {
+	Var  *tml.Var
+	Kind FreeKind
+	Name string
+}
+
+// FuncUnit is one compiled function: a closed TML proc abstraction plus
+// the bindings its free variables require at link time.
+type FuncUnit struct {
+	Name     string
+	Abs      *tml.Abs
+	Free     []*FreeRef
+	Type     *FunT
+	Exported bool
+}
+
+// ConstUnit is one module-level constant: a nullary proc evaluated at
+// installation time.
+type ConstUnit struct {
+	Name     string
+	Abs      *tml.Abs // proc(ce cc) computing the value
+	Free     []*FreeRef
+	Type     Type
+	Exported bool
+}
+
+// ModuleUnit is the output of compiling one module.
+type ModuleUnit struct {
+	Name   string
+	Sig    *ModuleSig
+	Funcs  []*FuncUnit
+	Consts []*ConstUnit
+	Rels   []*RelDecl
+}
+
+// Compiler compiles TL modules against previously compiled signatures.
+type Compiler struct {
+	// Sigs holds the signatures of modules this unit may import.
+	Sigs map[string]*ModuleSig
+	// Mode selects the scalar compilation strategy (see ScalarMode).
+	Mode ScalarMode
+	// AllowPrim permits __prim (library modules only).
+	AllowPrim bool
+}
+
+// NewCompiler returns a compiler in the paper's LibCalls mode with no
+// known modules.
+func NewCompiler() *Compiler {
+	return &Compiler{Sigs: make(map[string]*ModuleSig)}
+}
+
+// Compile parses, checks and compiles one module, and registers its
+// signature for subsequent units.
+func (c *Compiler) Compile(src string) (*ModuleUnit, error) {
+	ast, err := ParseModule(src)
+	if err != nil {
+		return nil, err
+	}
+	if _, dup := c.Sigs[ast.Name]; dup {
+		return nil, errf(ast.Line, "module %s compiled twice", ast.Name)
+	}
+	chk, err := Check(ast, c.Sigs, c.AllowPrim)
+	if err != nil {
+		return nil, err
+	}
+	unit := &ModuleUnit{Name: ast.Name, Sig: chk.sig}
+	exported := make(map[string]bool, len(ast.Exports))
+	for _, e := range ast.Exports {
+		exported[e] = true
+	}
+	for _, d := range ast.Decls {
+		switch d := d.(type) {
+		case *FunDecl:
+			fu, err := c.compileFun(chk, d)
+			if err != nil {
+				return nil, err
+			}
+			fu.Exported = exported[d.Name]
+			unit.Funcs = append(unit.Funcs, fu)
+		case *ConstDecl:
+			cu, err := c.compileConst(chk, d)
+			if err != nil {
+				return nil, err
+			}
+			cu.Exported = exported[d.Name]
+			unit.Consts = append(unit.Consts, cu)
+		case *RelDecl:
+			unit.Rels = append(unit.Rels, d)
+		}
+	}
+	c.Sigs[ast.Name] = chk.sig
+	return unit, nil
+}
+
+// kont receives the TML value of a compiled subexpression and produces
+// the application consuming it.
+type kont func(tml.Value) (*tml.App, error)
+
+// fnCg is the per-function code generation state.
+type fnCg struct {
+	c    *Compiler
+	chk  *checked
+	g    *tml.VarGen
+	ce   tml.Value // current exception continuation
+	env  map[*symbol]tml.Value
+	free map[string]*FreeRef
+	// order of first use, so binding tables are deterministic
+	freeList []*FreeRef
+	// rowOffset addresses join row variables as offsets into the
+	// concatenated row the join primitive passes to its predicate.
+	rowOffset map[*symbol]int
+}
+
+func (c *Compiler) newFnCg(chk *checked) *fnCg {
+	return &fnCg{
+		c:         c,
+		chk:       chk,
+		g:         tml.NewVarGen(),
+		env:       make(map[*symbol]tml.Value),
+		free:      make(map[string]*FreeRef),
+		rowOffset: make(map[*symbol]int),
+	}
+}
+
+func (c *Compiler) compileFun(chk *checked, d *FunDecl) (*FuncUnit, error) {
+	f := c.newFnCg(chk)
+	params := make([]*tml.Var, 0, len(d.Params)+2)
+	for _, p := range d.Params {
+		v := f.g.Fresh(p.Name)
+		params = append(params, v)
+	}
+	ce := f.g.FreshCont("ce")
+	cc := f.g.FreshCont("cc")
+	params = append(params, ce, cc)
+	f.ce = ce
+	for i, sym := range chk.binders[d] {
+		f.env[sym] = params[i]
+	}
+	body, err := f.seq(d.Body, func(v tml.Value) (*tml.App, error) {
+		return tml.NewApp(cc, v), nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tl: function %s: %w", d.Name, err)
+	}
+	return &FuncUnit{
+		Name: d.Name,
+		Abs:  &tml.Abs{Params: params, Body: body},
+		Free: f.freeList,
+		Type: &FunT{Params: paramTypes(d.Params), Ret: d.Ret},
+	}, nil
+}
+
+func (c *Compiler) compileConst(chk *checked, d *ConstDecl) (*ConstUnit, error) {
+	f := c.newFnCg(chk)
+	ce := f.g.FreshCont("ce")
+	cc := f.g.FreshCont("cc")
+	f.ce = ce
+	body, err := f.expr(d.Init, func(v tml.Value) (*tml.App, error) {
+		return tml.NewApp(cc, v), nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tl: constant %s: %w", d.Name, err)
+	}
+	return &ConstUnit{
+		Name: d.Name,
+		Abs:  &tml.Abs{Params: []*tml.Var{ce, cc}, Body: body},
+		Free: f.freeList,
+		Type: d.Type,
+	}, nil
+}
+
+func paramTypes(ps []Param) []Type {
+	out := make([]Type, len(ps))
+	for i, p := range ps {
+		out[i] = p.Type
+	}
+	return out
+}

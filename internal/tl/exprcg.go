@@ -1,0 +1,1107 @@
+package tl
+
+import (
+	"fmt"
+
+	"tycoon/internal/prim"
+	"tycoon/internal/tml"
+)
+
+// This file implements the CPS expression compiler. Every compile method
+// takes a continuation function k that receives the TML value of the
+// subexpression and produces the application consuming it — the classic
+// higher-order one-pass CPS transform.
+
+// unit is the TML unit literal shared by the generator.
+func unitVal() tml.Value { return tml.Unit() }
+
+// freeVar interns a required binding and returns its TML variable.
+func (f *fnCg) freeVar(kind FreeKind, name string) *tml.Var {
+	key := fmt.Sprintf("%d:%s", kind, name)
+	if fr, ok := f.free[key]; ok {
+		return fr.Var
+	}
+	fr := &FreeRef{Var: f.g.Fresh(name), Kind: kind, Name: name}
+	f.free[key] = fr
+	f.freeList = append(f.freeList, fr)
+	return fr.Var
+}
+
+// join introduces an explicit join continuation so that a value consumer
+// k appears exactly once in the output even when control splits
+// (conditionals, short-circuit operators, comparisons):
+//
+//	((λ(j) build(j)) cont(t) k(t))
+func (f *fnCg) join(k kont, build func(j tml.Value) (*tml.App, error)) (*tml.App, error) {
+	t := f.g.Fresh("t")
+	kb, err := k(t)
+	if err != nil {
+		return nil, err
+	}
+	jAbs := &tml.Abs{Params: []*tml.Var{t}, Body: kb}
+	j := f.g.FreshCont("j")
+	body, err := build(j)
+	if err != nil {
+		return nil, err
+	}
+	return tml.NewApp(&tml.Abs{Params: []*tml.Var{j}, Body: body}, jAbs), nil
+}
+
+// cont1 builds cont(t) k(t).
+func (f *fnCg) cont1(name string, k kont) (*tml.Abs, error) {
+	t := f.g.Fresh(name)
+	kb, err := k(t)
+	if err != nil {
+		return nil, err
+	}
+	return &tml.Abs{Params: []*tml.Var{t}, Body: kb}, nil
+}
+
+// cont0 builds cont() body.
+func cont0(body *tml.App) *tml.Abs { return &tml.Abs{Body: body} }
+
+// seq compiles an expression sequence; intermediate values are discarded
+// and k receives the last one.
+func (f *fnCg) seq(items []Expr, k kont) (*tml.App, error) {
+	if len(items) == 0 {
+		return k(unitVal())
+	}
+	if len(items) == 1 {
+		return f.item(items[0], k)
+	}
+	return f.item(items[0], func(tml.Value) (*tml.App, error) {
+		return f.seq(items[1:], k)
+	})
+}
+
+// item compiles one sequence element, extending the environment for
+// binding forms.
+func (f *fnCg) item(e Expr, k kont) (*tml.App, error) {
+	switch e := e.(type) {
+	case *Let:
+		if e.IsFun {
+			return f.localFun(e, k)
+		}
+		sym := f.chk.binders[e][0]
+		return f.expr(e.Init, func(v tml.Value) (*tml.App, error) {
+			if _, isAbs := v.(*tml.Abs); isAbs {
+				// An abstraction value needs a real binder: aliasing
+				// would duplicate the node at every use, violating the
+				// unique binding rule.
+				x := f.g.Fresh(e.Name)
+				f.env[sym] = x
+				rest, err := k(unitVal())
+				if err != nil {
+					return nil, err
+				}
+				return tml.NewApp(&tml.Abs{Params: []*tml.Var{x}, Body: rest}, v), nil
+			}
+			// Atomic values alias for free (constant/copy propagation is
+			// built into the encoding).
+			f.env[sym] = v
+			return k(unitVal())
+		})
+	case *VarDecl:
+		sym := f.chk.binders[e][0]
+		return f.expr(e.Init, func(v tml.Value) (*tml.App, error) {
+			cell, err := f.cont1("cell", func(cv tml.Value) (*tml.App, error) {
+				f.env[sym] = cv
+				return k(unitVal())
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Mutable variables live in a one-slot array (compiler
+			// internal: direct primitive).
+			return tml.NewApp(tml.NewPrim("array"), v, cell), nil
+		})
+	default:
+		return f.expr(e, k)
+	}
+}
+
+// localFun compiles a (possibly recursive) local function binding.
+func (f *fnCg) localFun(e *Let, k kont) (*tml.App, error) {
+	binders := f.chk.binders[e]
+	selfSym, paramSyms := binders[0], binders[1:]
+	selfVar := f.g.Fresh(e.Name)
+	f.env[selfSym] = selfVar
+	abs, err := f.procFor(paramSyms, e.Body)
+	if err != nil {
+		return nil, err
+	}
+	rest, err := k(unitVal())
+	if err != nil {
+		return nil, err
+	}
+	if tml.Count(abs, selfVar) == 0 {
+		// Non-recursive: a plain binding the optimizer can inline.
+		return tml.NewApp(&tml.Abs{Params: []*tml.Var{selfVar}, Body: rest}, abs), nil
+	}
+	// Recursive: tie through the Y fixed point combinator (paper §2.3).
+	c0 := f.g.FreshCont("c0")
+	c := f.g.FreshCont("c")
+	knot := tml.NewApp(c, cont0(rest), abs)
+	yArg := &tml.Abs{Params: []*tml.Var{c0, selfVar, c}, Body: knot}
+	return tml.NewApp(tml.NewPrim("Y"), yArg), nil
+}
+
+// procFor compiles a nested procedure with the given parameter symbols.
+func (f *fnCg) procFor(paramSyms []*symbol, body []Expr) (*tml.Abs, error) {
+	params := make([]*tml.Var, 0, len(paramSyms)+2)
+	for _, sym := range paramSyms {
+		v := f.g.Fresh(sym.Name)
+		f.env[sym] = v
+		params = append(params, v)
+	}
+	ce := f.g.FreshCont("ce")
+	cc := f.g.FreshCont("cc")
+	params = append(params, ce, cc)
+	saved := f.ce
+	f.ce = ce
+	app, err := f.seq(body, func(v tml.Value) (*tml.App, error) {
+		return tml.NewApp(cc, v), nil
+	})
+	f.ce = saved
+	if err != nil {
+		return nil, err
+	}
+	return &tml.Abs{Params: params, Body: app}, nil
+}
+
+// exprs compiles a list of expressions left to right.
+func (f *fnCg) exprs(es []Expr, k func([]tml.Value) (*tml.App, error)) (*tml.App, error) {
+	vals := make([]tml.Value, 0, len(es))
+	var step func(i int) (*tml.App, error)
+	step = func(i int) (*tml.App, error) {
+		if i == len(es) {
+			return k(vals)
+		}
+		return f.expr(es[i], func(v tml.Value) (*tml.App, error) {
+			vals = append(vals, v)
+			return step(i + 1)
+		})
+	}
+	return step(0)
+}
+
+// expr compiles one expression.
+func (f *fnCg) expr(e Expr, k kont) (*tml.App, error) {
+	switch e := e.(type) {
+	case *IntLit:
+		return k(tml.Int(e.Val))
+	case *RealLit:
+		return k(tml.Real(e.Val))
+	case *BoolLit:
+		return k(tml.Bool(e.Val))
+	case *CharLit:
+		return k(tml.Char(e.Val))
+	case *StrLit:
+		return k(tml.Str(e.Val))
+	case *OkLit:
+		return k(unitVal())
+	case *Ident:
+		return f.ident(e, k)
+	case *Binary:
+		return f.binary(e, k)
+	case *Unary:
+		return f.unary(e, k)
+	case *If:
+		return f.ifExpr(e, k)
+	case *While:
+		return f.whileExpr(e, k)
+	case *For:
+		return f.forExpr(e, k)
+	case *Case:
+		return f.caseExpr(e, k)
+	case *Try:
+		return f.tryExpr(e, k)
+	case *Raise:
+		// Control transfers to the current exception continuation; k is
+		// dead code and deliberately dropped.
+		return f.expr(e.E, func(v tml.Value) (*tml.App, error) {
+			return tml.NewApp(f.ce, v), nil
+		})
+	case *Block:
+		return f.seq(e.Body, k)
+	case *Assign:
+		return f.assign(e, k)
+	case *Index:
+		return f.indexRead(e, k)
+	case *FieldAccess:
+		return f.fieldAccess(e, k)
+	case *TupleLit:
+		return f.exprs(e.Elems, func(vs []tml.Value) (*tml.App, error) {
+			row, err := f.cont1("row", k)
+			if err != nil {
+				return nil, err
+			}
+			args := append(append([]tml.Value(nil), vs...), tml.Value(row))
+			return tml.NewApp(tml.NewPrim("vector"), args...), nil
+		})
+	case *FunLit:
+		abs, err := f.procFor(f.chk.binders[e], e.Body)
+		if err != nil {
+			return nil, err
+		}
+		return k(abs)
+	case *Call:
+		return f.call(e, k)
+	case *Select:
+		return f.selectExpr(e, k)
+	case *Exists:
+		return f.existsExpr(e, k)
+	case *Foreach:
+		return f.foreachExpr(e, k)
+	case *Insert:
+		return f.insertExpr(e, k)
+	case *PrimCall:
+		return f.primCall(e, k)
+	default:
+		return nil, fmt.Errorf("tl: cannot compile %T", e)
+	}
+}
+
+func (f *fnCg) ident(e *Ident, k kont) (*tml.App, error) {
+	sym, ok := f.chk.idents[e]
+	if !ok {
+		return nil, fmt.Errorf("tl: unresolved identifier %s", e.Name)
+	}
+	switch sym.Kind {
+	case symLocal:
+		v, ok := f.env[sym]
+		if !ok {
+			return nil, fmt.Errorf("tl: %s has no environment entry", e.Name)
+		}
+		return k(v)
+	case symMutable:
+		cell, ok := f.env[sym]
+		if !ok {
+			return nil, fmt.Errorf("tl: var %s has no cell", e.Name)
+		}
+		// Mutable variables live in one-slot arrays, and array access is a
+		// library operation (paper §6: "even operations on integers and
+		// arrays are factored out into dynamically bound libraries").
+		if f.c.Mode == LibCalls {
+			return f.libCall("array", "get", []tml.Value{cell, tml.Int(0)}, k)
+		}
+		get, err := f.cont1("t", k)
+		if err != nil {
+			return nil, err
+		}
+		return tml.NewApp(tml.NewPrim("[]"), cell, tml.Int(0), get), nil
+	case symFun, symConst:
+		// Sibling declaration of this module: a free variable bound at
+		// link time to the sibling's persistent value.
+		return k(f.freeVar(FreeDecl, sym.Name))
+	case symRel:
+		return k(f.freeVar(FreeRel, sym.Name))
+	default:
+		return nil, fmt.Errorf("tl: unexpected symbol kind %d for %s", sym.Kind, e.Name)
+	}
+}
+
+// fieldAccess compiles both module member selection and tuple field
+// access.
+func (f *fnCg) fieldAccess(e *FieldAccess, k kont) (*tml.App, error) {
+	if acc, ok := f.chk.modAccess[e]; ok {
+		return f.modMember(acc.Mod, acc.Index, k)
+	}
+	idx, ok := f.chk.fieldIdx[e]
+	if !ok {
+		return nil, fmt.Errorf("tl: unresolved field access .%s", e.Name)
+	}
+	if id, isIdent := e.E.(*Ident); isIdent {
+		if sym := f.chk.idents[id]; sym != nil {
+			if off, isJoin := f.rowOffset[sym]; isJoin {
+				row, ok := f.env[sym]
+				if !ok {
+					return nil, fmt.Errorf("tl: join row %s has no environment entry", id.Name)
+				}
+				get, err := f.cont1("t", k)
+				if err != nil {
+					return nil, err
+				}
+				return tml.NewApp(tml.NewPrim("[]"), row, tml.Int(int64(idx+off)), get), nil
+			}
+		}
+	}
+	return f.expr(e.E, func(tv tml.Value) (*tml.App, error) {
+		get, err := f.cont1("t", k)
+		if err != nil {
+			return nil, err
+		}
+		return tml.NewApp(tml.NewPrim("[]"), tv, tml.Int(int64(idx)), get), nil
+	})
+}
+
+// modMember fetches export #idx from a module value: the abstraction
+// barrier of paper §4.1, paid on every access until the reflective
+// optimizer folds it away.
+func (f *fnCg) modMember(mod string, idx int, k kont) (*tml.App, error) {
+	mv := f.freeVar(FreeModule, mod)
+	get, err := f.cont1("t", k)
+	if err != nil {
+		return nil, err
+	}
+	return tml.NewApp(tml.NewPrim("[]"), mv, tml.Int(int64(idx)), get), nil
+}
+
+// libCall fetches a library operation from its module and applies it.
+func (f *fnCg) libCall(mod, member string, args []tml.Value, k kont) (*tml.App, error) {
+	sig, ok := f.c.Sigs[mod]
+	if !ok {
+		return nil, fmt.Errorf("tl: library module %s not compiled (compile tyclib first or use DirectPrims)", mod)
+	}
+	idx := sig.MemberIndex(member)
+	if idx < 0 {
+		return nil, fmt.Errorf("tl: library module %s has no member %s", mod, member)
+	}
+	return f.modMember(mod, idx, func(fn tml.Value) (*tml.App, error) {
+		ret, err := f.cont1("t", k)
+		if err != nil {
+			return nil, err
+		}
+		callArgs := append(append([]tml.Value(nil), args...), f.ce, tml.Value(ret))
+		return tml.NewApp(fn, callArgs...), nil
+	})
+}
+
+// branchBool materialises a boolean from a two-continuation primitive:
+// (p args cont()(j true) cont()(j false)).
+func (f *fnCg) branchBool(primName string, args []tml.Value, negate bool, k kont) (*tml.App, error) {
+	return f.join(k, func(j tml.Value) (*tml.App, error) {
+		tBranch := cont0(tml.NewApp(j, tml.Bool(!negate)))
+		fBranch := cont0(tml.NewApp(j, tml.Bool(negate)))
+		all := append(append([]tml.Value(nil), args...), tml.Value(tBranch), tml.Value(fBranch))
+		return tml.NewApp(tml.NewPrim(primName), all...), nil
+	})
+}
+
+// libOpNames maps TL operators to library member names.
+var libOpNames = map[string]string{
+	"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "mod",
+	"<": "lt", "<=": "le", ">": "gt", ">=": "ge", "=": "eq", "<>": "ne",
+}
+
+var strLibNames = map[string]string{
+	"+": "cat", "=": "eq", "<>": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge",
+}
+
+func (f *fnCg) binary(e *Binary, k kont) (*tml.App, error) {
+	switch e.Op {
+	case "and":
+		// Short-circuit: if L then R else false.
+		return f.join(k, func(j tml.Value) (*tml.App, error) {
+			return f.expr(e.L, func(lv tml.Value) (*tml.App, error) {
+				rApp, err := f.expr(e.R, func(rv tml.Value) (*tml.App, error) {
+					return tml.NewApp(j, rv), nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				return tml.NewApp(tml.NewPrim("if"), lv,
+					cont0(rApp), cont0(tml.NewApp(j, tml.Bool(false)))), nil
+			})
+		})
+	case "or":
+		return f.join(k, func(j tml.Value) (*tml.App, error) {
+			return f.expr(e.L, func(lv tml.Value) (*tml.App, error) {
+				rApp, err := f.expr(e.R, func(rv tml.Value) (*tml.App, error) {
+					return tml.NewApp(j, rv), nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				return tml.NewApp(tml.NewPrim("if"), lv,
+					cont0(tml.NewApp(j, tml.Bool(true))), cont0(rApp)), nil
+			})
+		})
+	}
+	lt := f.chk.types[e.L]
+	return f.expr(e.L, func(lv tml.Value) (*tml.App, error) {
+		return f.expr(e.R, func(rv tml.Value) (*tml.App, error) {
+			return f.scalarOp(e.Op, lt, lv, rv, k)
+		})
+	})
+}
+
+// scalarOp compiles one scalar operation according to the ScalarMode.
+func (f *fnCg) scalarOp(op string, operand Type, a, b tml.Value, k kont) (*tml.App, error) {
+	switch operand {
+	case IntT:
+		if f.c.Mode == LibCalls {
+			return f.libCall("int", libOpNames[op], []tml.Value{a, b}, k)
+		}
+		switch op {
+		case "+", "-", "*", "/", "%":
+			ret, err := f.cont1("t", k)
+			if err != nil {
+				return nil, err
+			}
+			return tml.NewApp(tml.NewPrim(op), a, b, f.ce, ret), nil
+		case "<", "<=", ">", ">=":
+			return f.branchBool(op, []tml.Value{a, b}, false, k)
+		case "=":
+			return f.branchBool("==", []tml.Value{a, b}, false, k)
+		case "<>":
+			return f.branchBool("==", []tml.Value{a, b}, true, k)
+		}
+	case RealT:
+		if f.c.Mode == LibCalls {
+			return f.libCall("real", libOpNames[op], []tml.Value{a, b}, k)
+		}
+		switch op {
+		case "+", "-", "*", "/":
+			ret, err := f.cont1("t", k)
+			if err != nil {
+				return nil, err
+			}
+			return tml.NewApp(tml.NewPrim("r"+op), a, b, f.ce, ret), nil
+		case "<", "<=", ">", ">=":
+			return f.branchBool("r"+op, []tml.Value{a, b}, false, k)
+		case "=":
+			return f.branchBool("==", []tml.Value{a, b}, false, k)
+		case "<>":
+			return f.branchBool("==", []tml.Value{a, b}, true, k)
+		}
+	case StrT:
+		if f.c.Mode == LibCalls {
+			if m, ok := strLibNames[op]; ok {
+				return f.libCall("str", m, []tml.Value{a, b}, k)
+			}
+		}
+		switch op {
+		case "+":
+			ret, err := f.cont1("t", k)
+			if err != nil {
+				return nil, err
+			}
+			return tml.NewApp(tml.NewPrim("s+"), a, b, ret), nil
+		case "=":
+			return f.branchBool("s=", []tml.Value{a, b}, false, k)
+		case "<>":
+			return f.branchBool("s=", []tml.Value{a, b}, true, k)
+		case "<":
+			return f.branchBool("s<", []tml.Value{a, b}, false, k)
+		case ">":
+			return f.branchBool("s<", []tml.Value{b, a}, false, k)
+		case ">=":
+			return f.branchBool("s<", []tml.Value{a, b}, true, k)
+		case "<=":
+			return f.branchBool("s<", []tml.Value{b, a}, true, k)
+		}
+	case CharT:
+		// Character operations are compiler-internal: identity through ==
+		// and ordering through char2int + integer comparison.
+		switch op {
+		case "=":
+			return f.branchBool("==", []tml.Value{a, b}, false, k)
+		case "<>":
+			return f.branchBool("==", []tml.Value{a, b}, true, k)
+		case "<", "<=", ">", ">=":
+			ai, err := f.cont1("ai", func(av tml.Value) (*tml.App, error) {
+				bi, err := f.cont1("bi", func(bv tml.Value) (*tml.App, error) {
+					return f.branchBool(op, []tml.Value{av, bv}, false, k)
+				})
+				if err != nil {
+					return nil, err
+				}
+				return tml.NewApp(tml.NewPrim("char2int"), b, bi), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			return tml.NewApp(tml.NewPrim("char2int"), a, ai), nil
+		}
+	case BoolT:
+		switch op {
+		case "=":
+			return f.branchBool("==", []tml.Value{a, b}, false, k)
+		case "<>":
+			return f.branchBool("==", []tml.Value{a, b}, true, k)
+		}
+	}
+	return nil, fmt.Errorf("tl: no compilation for %s on %s", op, operand)
+}
+
+func (f *fnCg) unary(e *Unary, k kont) (*tml.App, error) {
+	t := f.chk.types[e.E]
+	return f.expr(e.E, func(v tml.Value) (*tml.App, error) {
+		switch e.Op {
+		case "-":
+			if t == IntT {
+				if f.c.Mode == LibCalls {
+					return f.libCall("int", "neg", []tml.Value{v}, k)
+				}
+				ret, err := f.cont1("t", k)
+				if err != nil {
+					return nil, err
+				}
+				return tml.NewApp(tml.NewPrim("neg"), v, f.ce, ret), nil
+			}
+			if f.c.Mode == LibCalls {
+				return f.libCall("real", "neg", []tml.Value{v}, k)
+			}
+			ret, err := f.cont1("t", k)
+			if err != nil {
+				return nil, err
+			}
+			return tml.NewApp(tml.NewPrim("rneg"), v, ret), nil
+		case "not":
+			ret, err := f.cont1("t", k)
+			if err != nil {
+				return nil, err
+			}
+			return tml.NewApp(tml.NewPrim("not"), v, ret), nil
+		}
+		return nil, fmt.Errorf("tl: unknown unary %s", e.Op)
+	})
+}
+
+func (f *fnCg) ifExpr(e *If, k kont) (*tml.App, error) {
+	return f.join(k, func(j tml.Value) (*tml.App, error) {
+		return f.expr(e.Cond, func(cv tml.Value) (*tml.App, error) {
+			thenApp, err := f.seq(e.Then, func(v tml.Value) (*tml.App, error) {
+				return tml.NewApp(j, v), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			var elseApp *tml.App
+			if e.Else == nil {
+				elseApp = tml.NewApp(j, unitVal())
+			} else {
+				elseApp, err = f.seq(e.Else, func(v tml.Value) (*tml.App, error) {
+					return tml.NewApp(j, v), nil
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+			return tml.NewApp(tml.NewPrim("if"), cv, cont0(thenApp), cont0(elseApp)), nil
+		})
+	})
+}
+
+func (f *fnCg) whileExpr(e *While, k kont) (*tml.App, error) {
+	return f.join(k, func(j tml.Value) (*tml.App, error) {
+		c0 := f.g.FreshCont("c0")
+		loop := f.g.FreshCont("loop")
+		c := f.g.FreshCont("c")
+		iter, err := f.expr(e.Cond, func(cv tml.Value) (*tml.App, error) {
+			body, err := f.seq(e.Body, func(tml.Value) (*tml.App, error) {
+				return tml.NewApp(loop), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			return tml.NewApp(tml.NewPrim("if"), cv,
+				cont0(body), cont0(tml.NewApp(j, unitVal()))), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		knot := tml.NewApp(c, cont0(tml.NewApp(loop)), cont0(iter))
+		yArg := &tml.Abs{Params: []*tml.Var{c0, loop, c}, Body: knot}
+		return tml.NewApp(tml.NewPrim("Y"), yArg), nil
+	})
+}
+
+// forExpr compiles the paper's §2.3 loop shape: the loop head is a
+// continuation bound through Y, the counter arithmetic uses direct
+// primitives.
+func (f *fnCg) forExpr(e *For, k kont) (*tml.App, error) {
+	sym := f.chk.binders[e][0]
+	return f.join(k, func(j tml.Value) (*tml.App, error) {
+		return f.expr(e.Lo, func(lo tml.Value) (*tml.App, error) {
+			return f.expr(e.Hi, func(hi tml.Value) (*tml.App, error) {
+				c0 := f.g.FreshCont("c0")
+				loop := f.g.FreshCont("for")
+				c := f.g.FreshCont("c")
+				i := f.g.Fresh(e.Var)
+				f.env[sym] = i
+
+				cmp, step := ">", "+"
+				if e.Down {
+					cmp, step = "<", "-"
+				}
+				body, err := f.seq(e.Body, func(tml.Value) (*tml.App, error) {
+					next, err := f.cont1("i", func(iv tml.Value) (*tml.App, error) {
+						return tml.NewApp(loop, iv), nil
+					})
+					if err != nil {
+						return nil, err
+					}
+					return tml.NewApp(tml.NewPrim(step), i, tml.Int(1), f.ce, next), nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				head := tml.NewApp(tml.NewPrim(cmp), i, hi,
+					cont0(tml.NewApp(j, unitVal())), cont0(body))
+				loopAbs := &tml.Abs{Params: []*tml.Var{i}, Body: head}
+				knot := tml.NewApp(c, cont0(tml.NewApp(loop, lo)), loopAbs)
+				yArg := &tml.Abs{Params: []*tml.Var{c0, loop, c}, Body: knot}
+				return tml.NewApp(tml.NewPrim("Y"), yArg), nil
+			})
+		})
+	})
+}
+
+func (f *fnCg) caseExpr(e *Case, k kont) (*tml.App, error) {
+	return f.join(k, func(j tml.Value) (*tml.App, error) {
+		return f.expr(e.Scrut, func(sv tml.Value) (*tml.App, error) {
+			args := []tml.Value{sv}
+			for _, tag := range e.Tags {
+				switch tag := tag.(type) {
+				case *IntLit:
+					args = append(args, tml.Int(tag.Val))
+				case *CharLit:
+					args = append(args, tml.Char(tag.Val))
+				case *BoolLit:
+					args = append(args, tml.Bool(tag.Val))
+				case *StrLit:
+					args = append(args, tml.Str(tag.Val))
+				default:
+					return nil, fmt.Errorf("tl: case tag %T", tag)
+				}
+			}
+			for _, branch := range e.Branches {
+				bApp, err := f.seq(branch, func(v tml.Value) (*tml.App, error) {
+					return tml.NewApp(j, v), nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, cont0(bApp))
+			}
+			if e.Else != nil {
+				eApp, err := f.seq(e.Else, func(v tml.Value) (*tml.App, error) {
+					return tml.NewApp(j, v), nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, cont0(eApp))
+			}
+			return tml.NewApp(tml.NewPrim("=="), args...), nil
+		})
+	})
+}
+
+// tryExpr installs a handler by rebinding the exception continuation — the
+// paper's continuation-passing exception model (§2.3): the old handler is
+// stored automatically in the lexical environment.
+func (f *fnCg) tryExpr(e *Try, k kont) (*tml.App, error) {
+	excSym := f.chk.binders[e][0]
+	return f.join(k, func(j tml.Value) (*tml.App, error) {
+		x := f.g.Fresh(e.ExcVar)
+		f.env[excSym] = x
+		hApp, err := f.seq(e.Handler, func(v tml.Value) (*tml.App, error) {
+			return tml.NewApp(j, v), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		handler := &tml.Abs{Params: []*tml.Var{x}, Body: hApp}
+
+		ce2 := f.g.FreshCont("ce")
+		saved := f.ce
+		f.ce = ce2
+		body, err := f.seq(e.Body, func(v tml.Value) (*tml.App, error) {
+			return tml.NewApp(j, v), nil
+		})
+		f.ce = saved
+		if err != nil {
+			return nil, err
+		}
+		return tml.NewApp(&tml.Abs{Params: []*tml.Var{ce2}, Body: body}, handler), nil
+	})
+}
+
+func (f *fnCg) assign(e *Assign, k kont) (*tml.App, error) {
+	switch target := e.Target.(type) {
+	case *Ident:
+		sym := f.chk.idents[target]
+		cell, ok := f.env[sym]
+		if !ok {
+			return nil, fmt.Errorf("tl: var %s has no cell", target.Name)
+		}
+		return f.expr(e.Val, func(v tml.Value) (*tml.App, error) {
+			if f.c.Mode == LibCalls {
+				return f.libCall("array", "set", []tml.Value{cell, tml.Int(0), v},
+					func(tml.Value) (*tml.App, error) { return k(unitVal()) })
+			}
+			done, err := f.cont1("u", func(tml.Value) (*tml.App, error) {
+				return k(unitVal())
+			})
+			if err != nil {
+				return nil, err
+			}
+			return tml.NewApp(tml.NewPrim("[:=]"), cell, tml.Int(0), v, done), nil
+		})
+	case *Index:
+		return f.expr(target.Arr, func(av tml.Value) (*tml.App, error) {
+			return f.expr(target.I, func(iv tml.Value) (*tml.App, error) {
+				return f.expr(e.Val, func(v tml.Value) (*tml.App, error) {
+					if f.c.Mode == LibCalls {
+						return f.libCall("array", "set", []tml.Value{av, iv, v},
+							func(tml.Value) (*tml.App, error) { return k(unitVal()) })
+					}
+					done, err := f.cont1("u", func(tml.Value) (*tml.App, error) {
+						return k(unitVal())
+					})
+					if err != nil {
+						return nil, err
+					}
+					return tml.NewApp(tml.NewPrim("[:=]"), av, iv, v, done), nil
+				})
+			})
+		})
+	default:
+		return nil, fmt.Errorf("tl: bad assignment target %T", e.Target)
+	}
+}
+
+func (f *fnCg) indexRead(e *Index, k kont) (*tml.App, error) {
+	arrT := f.chk.types[e.Arr]
+	return f.expr(e.Arr, func(av tml.Value) (*tml.App, error) {
+		return f.expr(e.I, func(iv tml.Value) (*tml.App, error) {
+			if arrT == StrT {
+				ret, err := f.cont1("t", k)
+				if err != nil {
+					return nil, err
+				}
+				return tml.NewApp(tml.NewPrim("s[]"), av, iv, f.ce, ret), nil
+			}
+			if f.c.Mode == LibCalls {
+				return f.libCall("array", "get", []tml.Value{av, iv}, k)
+			}
+			ret, err := f.cont1("t", k)
+			if err != nil {
+				return nil, err
+			}
+			return tml.NewApp(tml.NewPrim("[]"), av, iv, ret), nil
+		})
+	})
+}
+
+func (f *fnCg) call(e *Call, k kont) (*tml.App, error) {
+	if b, ok := f.chk.builtins[e]; ok {
+		return f.builtin(b, e, k)
+	}
+	return f.expr(e.Fn, func(fv tml.Value) (*tml.App, error) {
+		return f.exprs(e.Args, func(args []tml.Value) (*tml.App, error) {
+			ret, err := f.cont1("t", k)
+			if err != nil {
+				return nil, err
+			}
+			all := append(append([]tml.Value(nil), args...), f.ce, tml.Value(ret))
+			return tml.NewApp(fv, all...), nil
+		})
+	})
+}
+
+func (f *fnCg) builtin(name string, e *Call, k kont) (*tml.App, error) {
+	switch name {
+	case "print":
+		return f.expr(e.Args[0], func(v tml.Value) (*tml.App, error) {
+			ret, err := f.cont1("u", k)
+			if err != nil {
+				return nil, err
+			}
+			return tml.NewApp(tml.NewPrim("print"), v, ret), nil
+		})
+	case "count", "empty":
+		return f.expr(e.Args[0], func(rv tml.Value) (*tml.App, error) {
+			ret, err := f.cont1("t", k)
+			if err != nil {
+				return nil, err
+			}
+			return tml.NewApp(tml.NewPrim(name), rv, f.ce, ret), nil
+		})
+	case "newArray":
+		return f.expr(e.Args[0], func(nv tml.Value) (*tml.App, error) {
+			return f.expr(e.Args[1], func(iv tml.Value) (*tml.App, error) {
+				if f.c.Mode == LibCalls {
+					return f.libCall("array", "new", []tml.Value{nv, iv}, k)
+				}
+				ret, err := f.cont1("a", k)
+				if err != nil {
+					return nil, err
+				}
+				return tml.NewApp(tml.NewPrim("anew"), nv, iv, ret), nil
+			})
+		})
+	case "len":
+		argT := f.chk.types[e.Args[0]]
+		return f.expr(e.Args[0], func(av tml.Value) (*tml.App, error) {
+			if argT == StrT {
+				ret, err := f.cont1("n", k)
+				if err != nil {
+					return nil, err
+				}
+				return tml.NewApp(tml.NewPrim("slen"), av, ret), nil
+			}
+			if f.c.Mode == LibCalls {
+				return f.libCall("array", "size", []tml.Value{av}, k)
+			}
+			ret, err := f.cont1("n", k)
+			if err != nil {
+				return nil, err
+			}
+			return tml.NewApp(tml.NewPrim("size"), av, ret), nil
+		})
+	default:
+		return nil, fmt.Errorf("tl: unknown builtin %s", name)
+	}
+}
+
+// selectExpr compiles the embedded query into the paper's §4.2 TML shape:
+//
+//	(select proc(x ce cc)(Pred…) Rel ce cont(tempRel)
+//	  (project proc(x ce cc)(Target…) tempRel ce cc))
+func (f *fnCg) selectExpr(e *Select, k kont) (*tml.App, error) {
+	if e.Var2 != "" {
+		return f.joinExpr(e, k)
+	}
+	rowSym := f.chk.binders[e][0]
+	return f.expr(e.Rel, func(rv tml.Value) (*tml.App, error) {
+		targetAbs, err := f.queryProc(rowSym, func(cc tml.Value) (*tml.App, error) {
+			return f.expr(e.Target, func(tv tml.Value) (*tml.App, error) {
+				if _, isTuple := f.chk.types[e.Target].(*TupleT); isTuple {
+					return tml.NewApp(cc, tv), nil
+				}
+				// Scalar target: wrap into a one-column row.
+				row, err := f.cont1("row", func(rowv tml.Value) (*tml.App, error) {
+					return tml.NewApp(cc, rowv), nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				return tml.NewApp(tml.NewPrim("vector"), tv, row), nil
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+		ret, err := f.cont1("res", k)
+		if err != nil {
+			return nil, err
+		}
+		if e.Pred == nil {
+			return tml.NewApp(tml.NewPrim("project"), targetAbs, rv, f.ce, ret), nil
+		}
+		predAbs, err := f.queryProc(rowSym, func(cc tml.Value) (*tml.App, error) {
+			return f.expr(e.Pred, func(pv tml.Value) (*tml.App, error) {
+				return tml.NewApp(cc, pv), nil
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+		tmp, err := f.cont1("tempRel", func(tmpv tml.Value) (*tml.App, error) {
+			return tml.NewApp(tml.NewPrim("project"), targetAbs, tmpv, f.ce, ret), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return tml.NewApp(tml.NewPrim("select"), predAbs, rv, f.ce, tmp), nil
+	})
+}
+
+// joinExpr compiles select T from x in R, y in S [where P] end into the
+// θ-join primitive: the predicate and target receive the concatenated
+// row, with the row variables addressed by field offsets.
+func (f *fnCg) joinExpr(e *Select, k kont) (*tml.App, error) {
+	symX, symY := f.chk.binders[e][0], f.chk.binders[e][1]
+	widthX := len(symX.Type.(*TupleT).Fields)
+	return f.expr(e.Rel, func(r1 tml.Value) (*tml.App, error) {
+		return f.expr(e.Rel2, func(r2 tml.Value) (*tml.App, error) {
+			bindRow := func(row *tml.Var) {
+				f.env[symX] = row
+				f.env[symY] = row
+				f.rowOffset[symX] = 0
+				f.rowOffset[symY] = widthX
+			}
+			predAbs, err := f.joinProc(e.Var+e.Var2, bindRow, func(cc tml.Value) (*tml.App, error) {
+				if e.Pred == nil {
+					return tml.NewApp(cc, tml.Bool(true)), nil
+				}
+				return f.expr(e.Pred, func(pv tml.Value) (*tml.App, error) {
+					return tml.NewApp(cc, pv), nil
+				})
+			})
+			if err != nil {
+				return nil, err
+			}
+			targetAbs, err := f.joinProc(e.Var+e.Var2, bindRow, func(cc tml.Value) (*tml.App, error) {
+				return f.expr(e.Target, func(tv tml.Value) (*tml.App, error) {
+					if _, isTuple := f.chk.types[e.Target].(*TupleT); isTuple {
+						return tml.NewApp(cc, tv), nil
+					}
+					row, err := f.cont1("row", func(rowv tml.Value) (*tml.App, error) {
+						return tml.NewApp(cc, rowv), nil
+					})
+					if err != nil {
+						return nil, err
+					}
+					return tml.NewApp(tml.NewPrim("vector"), tv, row), nil
+				})
+			})
+			if err != nil {
+				return nil, err
+			}
+			ret, err := f.cont1("res", k)
+			if err != nil {
+				return nil, err
+			}
+			tmp, err := f.cont1("tempRel", func(tmpv tml.Value) (*tml.App, error) {
+				return tml.NewApp(tml.NewPrim("project"), targetAbs, tmpv, f.ce, ret), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			return tml.NewApp(tml.NewPrim("join"), predAbs, r1, r2, f.ce, tmp), nil
+		})
+	})
+}
+
+// joinProc builds proc(row ce cc) body with the join row bound by bind.
+func (f *fnCg) joinProc(name string, bind func(*tml.Var), gen func(cc tml.Value) (*tml.App, error)) (*tml.Abs, error) {
+	row := f.g.Fresh(name)
+	bind(row)
+	ce := f.g.FreshCont("ce")
+	cc := f.g.FreshCont("cc")
+	saved := f.ce
+	f.ce = ce
+	body, err := gen(cc)
+	f.ce = saved
+	if err != nil {
+		return nil, err
+	}
+	return &tml.Abs{Params: []*tml.Var{row, ce, cc}, Body: body}, nil
+}
+
+// queryProc builds proc(x ce cc) body where body is produced by gen given
+// the normal continuation.
+func (f *fnCg) queryProc(rowSym *symbol, gen func(cc tml.Value) (*tml.App, error)) (*tml.Abs, error) {
+	x := f.g.Fresh(rowSym.Name)
+	f.env[rowSym] = x
+	ce := f.g.FreshCont("ce")
+	cc := f.g.FreshCont("cc")
+	saved := f.ce
+	f.ce = ce
+	body, err := gen(cc)
+	f.ce = saved
+	if err != nil {
+		return nil, err
+	}
+	return &tml.Abs{Params: []*tml.Var{x, ce, cc}, Body: body}, nil
+}
+
+func (f *fnCg) existsExpr(e *Exists, k kont) (*tml.App, error) {
+	rowSym := f.chk.binders[e][0]
+	return f.expr(e.Rel, func(rv tml.Value) (*tml.App, error) {
+		predAbs, err := f.queryProc(rowSym, func(cc tml.Value) (*tml.App, error) {
+			return f.expr(e.Pred, func(pv tml.Value) (*tml.App, error) {
+				return tml.NewApp(cc, pv), nil
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+		ret, err := f.cont1("b", k)
+		if err != nil {
+			return nil, err
+		}
+		return tml.NewApp(tml.NewPrim("exists"), predAbs, rv, f.ce, ret), nil
+	})
+}
+
+func (f *fnCg) foreachExpr(e *Foreach, k kont) (*tml.App, error) {
+	rowSym := f.chk.binders[e][0]
+	return f.expr(e.Rel, func(rv tml.Value) (*tml.App, error) {
+		bodyAbs, err := f.queryProc(rowSym, func(cc tml.Value) (*tml.App, error) {
+			return f.seq(e.Body, func(v tml.Value) (*tml.App, error) {
+				return tml.NewApp(cc, v), nil
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+		ret, err := f.cont1("u", func(tml.Value) (*tml.App, error) {
+			return k(unitVal())
+		})
+		if err != nil {
+			return nil, err
+		}
+		return tml.NewApp(tml.NewPrim("foreach"), bodyAbs, rv, f.ce, ret), nil
+	})
+}
+
+func (f *fnCg) insertExpr(e *Insert, k kont) (*tml.App, error) {
+	return f.expr(e.Rel, func(rv tml.Value) (*tml.App, error) {
+		return f.expr(e.Tuple, func(tv tml.Value) (*tml.App, error) {
+			ret, err := f.cont1("u", func(tml.Value) (*tml.App, error) {
+				return k(unitVal())
+			})
+			if err != nil {
+				return nil, err
+			}
+			return tml.NewApp(tml.NewPrim("rinsert"), rv, tv, f.ce, ret), nil
+		})
+	})
+}
+
+// primCall compiles the __prim escape hatch used by library modules.
+func (f *fnCg) primCall(e *PrimCall, k kont) (*tml.App, error) {
+	desc, ok := prim.Lookup(e.Prim)
+	if !ok {
+		return nil, fmt.Errorf("tl: __prim %q is not a registered primitive", e.Prim)
+	}
+	return f.exprs(e.Args, func(args []tml.Value) (*tml.App, error) {
+		if e.Prim == "==" {
+			// (== a b): identity test materialised as a boolean.
+			if len(args) != 2 {
+				return nil, fmt.Errorf("tl: __prim \"==\" takes two arguments")
+			}
+			return f.branchBool("==", args, false, k)
+		}
+		switch desc.NConts {
+		case 0:
+			// Control transfer (raise); the continuation is dead.
+			return tml.NewApp(tml.NewPrim(e.Prim), args...), nil
+		case 1:
+			ret, err := f.cont1("t", k)
+			if err != nil {
+				return nil, err
+			}
+			all := append(append([]tml.Value(nil), args...), tml.Value(ret))
+			return tml.NewApp(tml.NewPrim(e.Prim), all...), nil
+		case 2:
+			if isBranchPrim(e.Prim) {
+				return f.branchBool(e.Prim, args, false, k)
+			}
+			ret, err := f.cont1("t", k)
+			if err != nil {
+				return nil, err
+			}
+			all := append(append([]tml.Value(nil), args...), f.ce, tml.Value(ret))
+			return tml.NewApp(tml.NewPrim(e.Prim), all...), nil
+		default:
+			return nil, fmt.Errorf("tl: __prim %q has a variadic continuation list", e.Prim)
+		}
+	})
+}
+
+// isBranchPrim reports whether a two-continuation primitive branches
+// (true/false) rather than following the (ce, cc) convention.
+func isBranchPrim(name string) bool {
+	switch name {
+	case "<", ">", "<=", ">=", "r<", "r>", "r<=", "r>=", "s=", "s<", "if":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,231 @@
+// Package tl implements the compiler front end for TL, the Tycoon-style
+// database programming language of the paper: lexer, parser, type checker
+// and CPS code generator producing TML.
+//
+// The code generator follows the compilation strategy the paper's
+// evaluation depends on (§6): integer, real, boolean, character, string
+// and array operations are factored out into dynamically bound library
+// modules, so a locally optimized function still performs a module-field
+// fetch and an indirect call per scalar operation. Only the reflective
+// runtime optimizer (paper §4.1) can see through those bindings.
+package tl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tInt
+	tReal
+	tChar
+	tStr
+	tPunct // operators and delimiters
+	tKeyword
+)
+
+type token struct {
+	kind tokKind
+	text string
+	ival int64
+	rval float64
+	line int
+}
+
+var keywords = map[string]bool{
+	"module": true, "export": true, "import": true, "let": true, "var": true,
+	"type": true, "if": true, "then": true, "else": true, "elsif": true,
+	"end": true, "while": true, "do": true, "for": true, "upto": true,
+	"downto": true, "case": true, "of": true, "try": true, "handle": true,
+	"raise": true, "begin": true, "and": true, "or": true, "not": true,
+	"true": true, "false": true, "ok": true, "select": true, "from": true,
+	"where": true, "exists": true, "foreach": true, "in": true,
+	"insert": true, "into": true, "fun": true, "rel": true, "tuple": true,
+	"__prim": true,
+}
+
+// punctuation, longest first for maximal munch.
+var puncts = []string{
+	":=", "=>", "<=", ">=", "<>", "(", ")", "[", "]", "{", "}",
+	",", ";", ":", ".", "+", "-", "*", "/", "%", "<", ">", "=", "|",
+}
+
+// Error is a front-end diagnostic with a source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+// Error formats the diagnostic.
+func (e *Error) Error() string { return fmt.Sprintf("tl: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenizes src. Comments run from "--" to end of line and between
+// "(*" and "*)".
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '(' && i+1 < len(src) && src[i+1] == '*':
+			depth := 1
+			j := i + 2
+			for j < len(src) && depth > 0 {
+				switch {
+				case src[j] == '\n':
+					line++
+					j++
+				case src[j] == '(' && j+1 < len(src) && src[j+1] == '*':
+					depth++
+					j += 2
+				case src[j] == '*' && j+1 < len(src) && src[j+1] == ')':
+					depth--
+					j += 2
+				default:
+					j++
+				}
+			}
+			if depth > 0 {
+				return nil, errf(line, "unterminated comment")
+			}
+			i = j
+		case c == '\'':
+			if i+2 < len(src) && src[i+1] == '\\' {
+				// Escaped character: '\n', '\t', '\\', '\''.
+				if i+3 >= len(src) || src[i+3] != '\'' {
+					return nil, errf(line, "malformed character literal")
+				}
+				var ch byte
+				switch src[i+2] {
+				case 'n':
+					ch = '\n'
+				case 't':
+					ch = '\t'
+				case '\\':
+					ch = '\\'
+				case '\'':
+					ch = '\''
+				case '0':
+					ch = 0
+				default:
+					return nil, errf(line, "unknown escape '\\%c'", src[i+2])
+				}
+				toks = append(toks, token{kind: tChar, ival: int64(ch), line: line})
+				i += 4
+			} else if i+2 < len(src) && src[i+2] == '\'' {
+				toks = append(toks, token{kind: tChar, ival: int64(src[i+1]), line: line})
+				i += 3
+			} else {
+				return nil, errf(line, "malformed character literal")
+			}
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				if src[j] == '\\' {
+					j++
+				}
+				if src[j] == '\n' {
+					return nil, errf(line, "newline in string literal")
+				}
+				j++
+			}
+			if j >= len(src) {
+				return nil, errf(line, "unterminated string literal")
+			}
+			s, err := strconv.Unquote(src[i : j+1])
+			if err != nil {
+				return nil, errf(line, "bad string literal: %v", err)
+			}
+			toks = append(toks, token{kind: tStr, text: s, line: line})
+			i = j + 1
+		case c >= '0' && c <= '9':
+			j := i
+			isReal := false
+			for j < len(src) {
+				d := src[j]
+				if d >= '0' && d <= '9' {
+					j++
+				} else if d == '.' && j+1 < len(src) && src[j+1] >= '0' && src[j+1] <= '9' {
+					isReal = true
+					j++
+				} else if (d == 'e' || d == 'E') && isReal {
+					j++
+					if j < len(src) && (src[j] == '+' || src[j] == '-') {
+						j++
+					}
+				} else {
+					break
+				}
+			}
+			text := src[i:j]
+			if isReal {
+				r, err := strconv.ParseFloat(text, 64)
+				if err != nil {
+					return nil, errf(line, "bad real literal %q", text)
+				}
+				toks = append(toks, token{kind: tReal, rval: r, text: text, line: line})
+			} else {
+				v, err := strconv.ParseInt(text, 10, 64)
+				if err != nil {
+					return nil, errf(line, "bad integer literal %q", text)
+				}
+				toks = append(toks, token{kind: tInt, ival: v, text: text, line: line})
+			}
+			i = j
+		case isIdentStart(c):
+			j := i
+			for j < len(src) && isIdentChar(src[j]) {
+				j++
+			}
+			word := src[i:j]
+			kind := tIdent
+			if keywords[word] {
+				kind = tKeyword
+			}
+			toks = append(toks, token{kind: kind, text: word, line: line})
+			i = j
+		default:
+			matched := false
+			for _, p := range puncts {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, token{kind: tPunct, text: p, line: line})
+					i += len(p)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, errf(line, "unexpected character %q", c)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tEOF, line: line})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

@@ -1,0 +1,1045 @@
+package tl
+
+// This file implements the recursive descent parser for TL.
+//
+// Grammar sketch (see the test suite for worked examples):
+//
+//	module  := 'module' ID ['export' ID {',' ID}] {decl} 'end'
+//	decl    := 'let' ID '(' params ')' [':' type] '=' expr
+//	         | 'let' ID [':' type] '=' expr
+//	         | 'type' ID '=' type
+//	         | 'rel' ID ':' 'Rel' '(' fields ')'
+//	seq     := item {';' item} [';']
+//	item    := 'let' … | 'var' ID [':' type] ':=' expr
+//	         | expr [':=' expr]
+//	expr    := precedence climbing over or/and, comparisons, +- */%,
+//	           unary - and not, postfix call/index/field
+//	primary := literal | ID | '(' expr ')' | 'if' | 'while' | 'for'
+//	         | 'case' | 'try' | 'begin' | 'raise' | 'tuple' | 'fun'
+//	         | 'select' | 'exists' | 'foreach' | 'insert' | '__prim'
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// ParseModule parses one TL compilation unit.
+func ParseModule(src string) (*Module, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	m, err := p.module()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tEOF, "") {
+		return nil, errf(p.peek().line, "trailing input after module: %q", p.peek().text)
+	}
+	return m, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.peek()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	t := p.peek()
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = map[tokKind]string{tIdent: "identifier", tInt: "integer", tStr: "string"}[kind]
+		}
+		return t, errf(t.line, "expected %q, got %q", want, t.text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) kw(word string) bool { return p.accept(tKeyword, word) }
+
+func (p *parser) expectKw(word string) error {
+	_, err := p.expect(tKeyword, word)
+	return err
+}
+
+func (p *parser) module() (*Module, error) {
+	if err := p.expectKw("module"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Name: name.text, Line: name.line}
+	if p.kw("export") {
+		for {
+			id, err := p.expect(tIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			m.Exports = append(m.Exports, id.text)
+			if !p.accept(tPunct, ",") {
+				break
+			}
+		}
+	}
+	for !p.at(tKeyword, "end") {
+		if p.at(tEOF, "") {
+			return nil, errf(p.peek().line, "unexpected end of input in module %s", m.Name)
+		}
+		d, err := p.decl()
+		if err != nil {
+			return nil, err
+		}
+		m.Decls = append(m.Decls, d)
+	}
+	p.next() // end
+	return m, nil
+}
+
+func (p *parser) decl() (Decl, error) {
+	t := p.peek()
+	switch {
+	case p.kw("let"):
+		name, err := p.expect(tIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(tPunct, "(") {
+			params, err := p.params()
+			if err != nil {
+				return nil, err
+			}
+			ret := Type(OkT)
+			if p.accept(tPunct, ":") {
+				ret, err = p.typ()
+				if err != nil {
+					return nil, err
+				}
+			}
+			if _, err := p.expect(tPunct, "="); err != nil {
+				return nil, err
+			}
+			body, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return &FunDecl{declBase: declBase{Line: name.line}, Name: name.text,
+				Params: params, Ret: ret, Body: []Expr{body}}, nil
+		}
+		var typ Type
+		if p.accept(tPunct, ":") {
+			typ, err = p.typ()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tPunct, "="); err != nil {
+			return nil, err
+		}
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &ConstDecl{declBase: declBase{Line: name.line}, Name: name.text, Type: typ, Init: init}, nil
+	case p.kw("type"):
+		name, err := p.expect(tIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, "="); err != nil {
+			return nil, err
+		}
+		typ, err := p.typ()
+		if err != nil {
+			return nil, err
+		}
+		return &TypeDecl{declBase: declBase{Line: name.line}, Name: name.text, Type: typ}, nil
+	case p.kw("rel"):
+		name, err := p.expect(tIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, ":"); err != nil {
+			return nil, err
+		}
+		typ, err := p.typ()
+		if err != nil {
+			return nil, err
+		}
+		rt, ok := typ.(*RelT)
+		if !ok {
+			return nil, errf(name.line, "rel declaration %s needs a Rel(...) type", name.text)
+		}
+		return &RelDecl{declBase: declBase{Line: name.line}, Name: name.text, Type: rt}, nil
+	default:
+		return nil, errf(t.line, "expected declaration, got %q", t.text)
+	}
+}
+
+func (p *parser) params() ([]Param, error) {
+	var params []Param
+	if p.accept(tPunct, ")") {
+		return params, nil
+	}
+	for {
+		// Grouped form: a, b : Int
+		var names []string
+		for {
+			id, err := p.expect(tIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			names = append(names, id.text)
+			if !p.accept(tPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tPunct, ":"); err != nil {
+			return nil, err
+		}
+		typ, err := p.typ()
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range names {
+			params = append(params, Param{Name: n, Type: typ})
+		}
+		if p.accept(tPunct, ")") {
+			return params, nil
+		}
+		if _, err := p.expect(tPunct, ","); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) fields(terminator string, termKind tokKind) ([]Field, error) {
+	var fields []Field
+	for {
+		var names []string
+		for {
+			id, err := p.expect(tIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			names = append(names, id.text)
+			if !p.accept(tPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tPunct, ":"); err != nil {
+			return nil, err
+		}
+		typ, err := p.typ()
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range names {
+			fields = append(fields, Field{Name: n, Type: typ})
+		}
+		if p.at(termKind, terminator) {
+			p.next()
+			return fields, nil
+		}
+		if _, err := p.expect(tPunct, ","); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) typ() (Type, error) {
+	t := p.peek()
+	if t.kind == tIdent {
+		p.next()
+		switch t.text {
+		case "Int":
+			return IntT, nil
+		case "Real":
+			return RealT, nil
+		case "Bool":
+			return BoolT, nil
+		case "Char":
+			return CharT, nil
+		case "String":
+			return StrT, nil
+		case "Ok":
+			return OkT, nil
+		case "Array":
+			if _, err := p.expect(tPunct, "("); err != nil {
+				return nil, err
+			}
+			elem, err := p.typ()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tPunct, ")"); err != nil {
+				return nil, err
+			}
+			return &ArrayT{Elem: elem}, nil
+		case "Tuple":
+			fields, err := p.fields("end", tKeyword)
+			if err != nil {
+				return nil, err
+			}
+			return &TupleT{Fields: fields}, nil
+		case "Rel":
+			if _, err := p.expect(tPunct, "("); err != nil {
+				return nil, err
+			}
+			fields, err := p.fields(")", tPunct)
+			if err != nil {
+				return nil, err
+			}
+			return &RelT{Fields: fields}, nil
+		case "Fun":
+			if _, err := p.expect(tPunct, "("); err != nil {
+				return nil, err
+			}
+			var params []Type
+			if !p.accept(tPunct, ")") {
+				for {
+					pt, err := p.typ()
+					if err != nil {
+						return nil, err
+					}
+					params = append(params, pt)
+					if p.accept(tPunct, ")") {
+						break
+					}
+					if _, err := p.expect(tPunct, ","); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if _, err := p.expect(tPunct, ":"); err != nil {
+				return nil, err
+			}
+			ret, err := p.typ()
+			if err != nil {
+				return nil, err
+			}
+			return &FunT{Params: params, Ret: ret}, nil
+		default:
+			if p.accept(tPunct, ".") {
+				inner, err := p.expect(tIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				return &NamedT{Mod: t.text, Name: inner.text}, nil
+			}
+			return &NamedT{Name: t.text}, nil
+		}
+	}
+	return nil, errf(t.line, "expected type, got %q", t.text)
+}
+
+// seq parses an expression sequence until (not consuming) one of the
+// given stop keywords.
+func (p *parser) seq(stops ...string) ([]Expr, error) {
+	isStop := func() bool {
+		t := p.peek()
+		if t.kind == tEOF {
+			return true
+		}
+		for _, s := range stops {
+			if (t.kind == tKeyword && t.text == s) || (t.kind == tPunct && t.text == s) {
+				return true
+			}
+		}
+		return false
+	}
+	var body []Expr
+	for {
+		if isStop() {
+			if len(body) == 0 {
+				return nil, errf(p.peek().line, "empty expression sequence")
+			}
+			return body, nil
+		}
+		item, err := p.seqItem()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, item)
+		if !p.accept(tPunct, ";") {
+			if isStop() {
+				return body, nil
+			}
+			return nil, errf(p.peek().line, "expected ';' or end of sequence, got %q", p.peek().text)
+		}
+	}
+}
+
+// seqItem parses one sequence element: a local let, a var declaration, an
+// assignment or a plain expression.
+func (p *parser) seqItem() (Expr, error) {
+	t := p.peek()
+	switch {
+	case p.kw("let"):
+		name, err := p.expect(tIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(tPunct, "(") {
+			params, err := p.params()
+			if err != nil {
+				return nil, err
+			}
+			ret := Type(OkT)
+			if p.accept(tPunct, ":") {
+				ret, err = p.typ()
+				if err != nil {
+					return nil, err
+				}
+			}
+			if _, err := p.expect(tPunct, "="); err != nil {
+				return nil, err
+			}
+			body, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return &Let{exprBase: exprBase{Line: name.line}, Name: name.text,
+				IsFun: true, Params: params, Ret: ret, Body: []Expr{body}}, nil
+		}
+		var typ Type
+		if p.accept(tPunct, ":") {
+			typ, err = p.typ()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tPunct, "="); err != nil {
+			return nil, err
+		}
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &Let{exprBase: exprBase{Line: name.line}, Name: name.text, Type: typ, Init: init}, nil
+	case p.kw("var"):
+		name, err := p.expect(tIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		var typ Type
+		if p.accept(tPunct, ":") {
+			typ, err = p.typ()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tPunct, ":="); err != nil {
+			return nil, err
+		}
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &VarDecl{exprBase: exprBase{Line: name.line}, Name: name.text, Type: typ, Init: init}, nil
+	default:
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(tPunct, ":=") {
+			val, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			switch e.(type) {
+			case *Ident, *Index:
+				return &Assign{exprBase: exprBase{Line: t.line}, Target: e, Val: val}, nil
+			default:
+				return nil, errf(t.line, "assignment target must be a variable or array element")
+			}
+		}
+		return e, nil
+	}
+}
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	e, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tKeyword, "or") {
+		line := p.next().line
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		e = &Binary{exprBase: exprBase{Line: line}, Op: "or", L: e, R: r}
+	}
+	return e, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	e, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tKeyword, "and") {
+		line := p.next().line
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		e = &Binary{exprBase: exprBase{Line: line}, Op: "and", L: e, R: r}
+	}
+	return e, nil
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	e, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tPunct {
+		switch t.text {
+		case "<", "<=", ">", ">=", "=", "<>":
+			p.next()
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{exprBase: exprBase{Line: t.line}, Op: t.text, L: e, R: r}, nil
+		}
+	}
+	return e, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	e, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tPunct && (t.text == "+" || t.text == "-") {
+			p.next()
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			e = &Binary{exprBase: exprBase{Line: t.line}, Op: t.text, L: e, R: r}
+			continue
+		}
+		return e, nil
+	}
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	e, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tPunct && (t.text == "*" || t.text == "/" || t.text == "%") {
+			p.next()
+			r, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			e = &Binary{exprBase: exprBase{Line: t.line}, Op: t.text, L: e, R: r}
+			continue
+		}
+		return e, nil
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	t := p.peek()
+	if t.kind == tPunct && t.text == "-" {
+		p.next()
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{exprBase: exprBase{Line: t.line}, Op: "-", E: e}, nil
+	}
+	if t.kind == tKeyword && t.text == "not" {
+		p.next()
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{exprBase: exprBase{Line: t.line}, Op: "not", E: e}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		switch {
+		case p.accept(tPunct, "("):
+			var args []Expr
+			if !p.accept(tPunct, ")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.accept(tPunct, ")") {
+						break
+					}
+					if _, err := p.expect(tPunct, ","); err != nil {
+						return nil, err
+					}
+				}
+			}
+			e = &Call{exprBase: exprBase{Line: t.line}, Fn: e, Args: args}
+		case p.accept(tPunct, "["):
+			i, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tPunct, "]"); err != nil {
+				return nil, err
+			}
+			e = &Index{exprBase: exprBase{Line: t.line}, Arr: e, I: i}
+		case p.accept(tPunct, "."):
+			id, err := p.expect(tIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			e = &FieldAccess{exprBase: exprBase{Line: t.line}, E: e, Name: id.text}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tInt:
+		p.next()
+		return &IntLit{exprBase{t.line}, t.ival}, nil
+	case tReal:
+		p.next()
+		return &RealLit{exprBase{t.line}, t.rval}, nil
+	case tChar:
+		p.next()
+		return &CharLit{exprBase{t.line}, byte(t.ival)}, nil
+	case tStr:
+		p.next()
+		return &StrLit{exprBase{t.line}, t.text}, nil
+	case tIdent:
+		p.next()
+		return &Ident{exprBase{t.line}, t.text}, nil
+	case tPunct:
+		if t.text == "(" {
+			p.next()
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tPunct, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tKeyword:
+		switch t.text {
+		case "true", "false":
+			p.next()
+			return &BoolLit{exprBase{t.line}, t.text == "true"}, nil
+		case "ok":
+			p.next()
+			return &OkLit{exprBase{t.line}}, nil
+		case "if":
+			return p.ifExpr()
+		case "while":
+			return p.whileExpr()
+		case "for":
+			return p.forExpr()
+		case "case":
+			return p.caseExpr()
+		case "try":
+			return p.tryExpr()
+		case "begin":
+			p.next()
+			body, err := p.seq("end")
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("end"); err != nil {
+				return nil, err
+			}
+			return &Block{exprBase{t.line}, body}, nil
+		case "raise":
+			p.next()
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return &Raise{exprBase{t.line}, e}, nil
+		case "tuple":
+			p.next()
+			var elems []Expr
+			for {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				elems = append(elems, e)
+				if p.kw("end") {
+					return &TupleLit{exprBase{t.line}, elems}, nil
+				}
+				if _, err := p.expect(tPunct, ","); err != nil {
+					return nil, err
+				}
+			}
+		case "fun":
+			p.next()
+			if _, err := p.expect(tPunct, "("); err != nil {
+				return nil, err
+			}
+			params, err := p.params()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tPunct, ":"); err != nil {
+				return nil, err
+			}
+			ret, err := p.typ()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tPunct, "=>"); err != nil {
+				return nil, err
+			}
+			body, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return &FunLit{exprBase{t.line}, params, ret, []Expr{body}}, nil
+		case "select":
+			p.next()
+			target, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("from"); err != nil {
+				return nil, err
+			}
+			id, err := p.expect(tIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("in"); err != nil {
+				return nil, err
+			}
+			rel, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			var id2 string
+			var rel2 Expr
+			if p.accept(tPunct, ",") {
+				tok2, err := p.expect(tIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				id2 = tok2.text
+				if err := p.expectKw("in"); err != nil {
+					return nil, err
+				}
+				rel2, err = p.expr()
+				if err != nil {
+					return nil, err
+				}
+			}
+			var pred Expr
+			if p.kw("where") {
+				pred, err = p.expr()
+				if err != nil {
+					return nil, err
+				}
+			}
+			if err := p.expectKw("end"); err != nil {
+				return nil, err
+			}
+			return &Select{exprBase{t.line}, target, id.text, rel, id2, rel2, pred}, nil
+		case "exists":
+			p.next()
+			id, err := p.expect(tIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("in"); err != nil {
+				return nil, err
+			}
+			rel, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("where"); err != nil {
+				return nil, err
+			}
+			pred, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("end"); err != nil {
+				return nil, err
+			}
+			return &Exists{exprBase{t.line}, id.text, rel, pred}, nil
+		case "foreach":
+			p.next()
+			id, err := p.expect(tIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("in"); err != nil {
+				return nil, err
+			}
+			rel, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("do"); err != nil {
+				return nil, err
+			}
+			body, err := p.seq("end")
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("end"); err != nil {
+				return nil, err
+			}
+			return &Foreach{exprBase{t.line}, id.text, rel, body}, nil
+		case "insert":
+			p.next()
+			tup, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("into"); err != nil {
+				return nil, err
+			}
+			rel, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return &Insert{exprBase{t.line}, tup, rel}, nil
+		case "__prim":
+			p.next()
+			name, err := p.expect(tStr, "")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tPunct, "("); err != nil {
+				return nil, err
+			}
+			var args []Expr
+			if !p.accept(tPunct, ")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.accept(tPunct, ")") {
+						break
+					}
+					if _, err := p.expect(tPunct, ","); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return &PrimCall{exprBase{t.line}, name.text, args}, nil
+		}
+	}
+	return nil, errf(t.line, "unexpected token %q", t.text)
+}
+
+func (p *parser) ifExpr() (Expr, error) {
+	t := p.next() // if / elsif
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("then"); err != nil {
+		return nil, err
+	}
+	then, err := p.seq("else", "elsif", "end")
+	if err != nil {
+		return nil, err
+	}
+	node := &If{exprBase: exprBase{Line: t.line}, Cond: cond, Then: then}
+	switch {
+	case p.at(tKeyword, "elsif"):
+		rest, err := p.ifExpr() // consumes through its own end
+		if err != nil {
+			return nil, err
+		}
+		node.Else = []Expr{rest}
+		return node, nil
+	case p.kw("else"):
+		els, err := p.seq("end")
+		if err != nil {
+			return nil, err
+		}
+		node.Else = els
+	}
+	if err := p.expectKw("end"); err != nil {
+		return nil, err
+	}
+	return node, nil
+}
+
+func (p *parser) whileExpr() (Expr, error) {
+	t := p.next()
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("do"); err != nil {
+		return nil, err
+	}
+	body, err := p.seq("end")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("end"); err != nil {
+		return nil, err
+	}
+	return &While{exprBase{t.line}, cond, body}, nil
+}
+
+func (p *parser) forExpr() (Expr, error) {
+	t := p.next()
+	id, err := p.expect(tIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tPunct, "="); err != nil {
+		return nil, err
+	}
+	lo, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	down := false
+	if !p.kw("upto") {
+		if p.kw("downto") {
+			down = true
+		} else {
+			return nil, errf(p.peek().line, "expected 'upto' or 'downto'")
+		}
+	}
+	hi, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("do"); err != nil {
+		return nil, err
+	}
+	body, err := p.seq("end")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("end"); err != nil {
+		return nil, err
+	}
+	return &For{exprBase{t.line}, id.text, lo, hi, down, body}, nil
+}
+
+func (p *parser) caseExpr() (Expr, error) {
+	t := p.next()
+	scrut, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("of"); err != nil {
+		return nil, err
+	}
+	node := &Case{exprBase: exprBase{Line: t.line}, Scrut: scrut}
+	for {
+		tag, err := p.primary() // literals only; checker validates
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, "=>"); err != nil {
+			return nil, err
+		}
+		branch, err := p.seq("|", "else", "end")
+		if err != nil {
+			return nil, err
+		}
+		node.Tags = append(node.Tags, tag)
+		node.Branches = append(node.Branches, branch)
+		if p.accept(tPunct, "|") {
+			continue
+		}
+		break
+	}
+	if p.kw("else") {
+		els, err := p.seq("end")
+		if err != nil {
+			return nil, err
+		}
+		node.Else = els
+	}
+	if err := p.expectKw("end"); err != nil {
+		return nil, err
+	}
+	return node, nil
+}
+
+func (p *parser) tryExpr() (Expr, error) {
+	t := p.next()
+	body, err := p.seq("handle")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("handle"); err != nil {
+		return nil, err
+	}
+	id, err := p.expect(tIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tPunct, "=>"); err != nil {
+		return nil, err
+	}
+	handler, err := p.seq("end")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("end"); err != nil {
+		return nil, err
+	}
+	return &Try{exprBase{t.line}, body, id.text, handler}, nil
+}

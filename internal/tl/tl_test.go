@@ -1,0 +1,416 @@
+package tl
+
+import (
+	"strings"
+	"testing"
+
+	"tycoon/internal/prim"
+	_ "tycoon/internal/relalg" // registers the query primitives
+	"tycoon/internal/tml"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex(`module m -- comment
+	let x = 1 + 2.5 'a' '\n' "str" (* block (* nested *) comment *) :=`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+	}
+	want := []tokKind{tKeyword, tIdent, tKeyword, tIdent, tPunct, tInt, tPunct, tReal, tChar, tChar, tStr, tPunct, tEOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(kinds), len(want), toks)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d: kind %d, want %d (%q)", i, kinds[i], want[i], toks[i].text)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	bad := []string{
+		`"unterminated`,
+		`'ab'`,
+		`(* open`,
+		`'\q'`,
+		"\"newline\nin string\"",
+		"€",
+	}
+	for _, src := range bad {
+		if _, err := lex(src); err == nil {
+			t.Errorf("lex(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParseModuleShape(t *testing.T) {
+	src := `
+module demo export f, T
+type T = Tuple x, y : Real end
+rel emp : Rel(id : Int, name : String)
+let c = 42
+let f(a : Int, b : Int) : Int = a + b
+end`
+	m, err := ParseModule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "demo" || len(m.Exports) != 2 || len(m.Decls) != 4 {
+		t.Fatalf("module = %+v", m)
+	}
+	if _, ok := m.Decls[0].(*TypeDecl); !ok {
+		t.Error("decl 0 should be a type")
+	}
+	if rd, ok := m.Decls[1].(*RelDecl); !ok || len(rd.Type.Fields) != 2 {
+		t.Error("decl 1 should be a 2-column rel")
+	}
+	fd, ok := m.Decls[3].(*FunDecl)
+	if !ok || len(fd.Params) != 2 {
+		t.Fatalf("decl 3 = %+v", m.Decls[3])
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	src := `module m let f(a, b, c : Int) : Bool = a + b * c < a - b or a = c and not (a < b) end`
+	m, err := ParseModule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := m.Decls[0].(*FunDecl).Body[0]
+	or, ok := body.(*Binary)
+	if !ok || or.Op != "or" {
+		t.Fatalf("top = %#v, want or", body)
+	}
+	lt, ok := or.L.(*Binary)
+	if !ok || lt.Op != "<" {
+		t.Fatalf("or.L = %#v, want <", or.L)
+	}
+	plus, ok := lt.L.(*Binary)
+	if !ok || plus.Op != "+" {
+		t.Fatalf("<.L = %#v, want +", lt.L)
+	}
+	if mul, ok := plus.R.(*Binary); !ok || mul.Op != "*" {
+		t.Fatalf("+.R = %#v, want *", plus.R)
+	}
+	if and, ok := or.R.(*Binary); !ok || and.Op != "and" {
+		t.Fatalf("or.R = %#v, want and", or.R)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"let f() : Int = 1",                        // no module
+		"module m let = 3 end",                     // missing name
+		"module m let f( : Int = 1 end",            // bad params
+		"module m let f() : Int = if 1 then 2 end", // missing end for module? actually if ok
+		"module m rel r : Int end",                 // rel needs Rel type
+		"module m let f() : Int = (1 end",
+		"module m let f() : Int = case 1 of end",
+	}
+	for _, src := range bad {
+		if _, err := ParseModule(src); err == nil {
+			t.Errorf("ParseModule(%q) succeeded", src)
+		}
+	}
+}
+
+func checkModule(t *testing.T, src string, sigs map[string]*ModuleSig) (*checked, error) {
+	t.Helper()
+	m, err := ParseModule(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if sigs == nil {
+		sigs = map[string]*ModuleSig{}
+	}
+	return Check(m, sigs, false)
+}
+
+func TestCheckAccepts(t *testing.T) {
+	good := []string{
+		`module m let f(a : Int) : Int = a + 1 end`,
+		`module m let f(a : Real) : Real = a * 2.0 end`,
+		`module m let f(s : String) : Bool = s = "x" end`,
+		`module m let f(a : Int) : Int = begin var x := a; x := x + 1; x end end`,
+		`module m let f(n : Int) : Int = begin var s := 0; for i = 1 upto n do s := s + i end; s end end`,
+		`module m let f(n : Int) : Int = if n < 0 then 0 elsif n < 10 then 1 else 2 end end`,
+		`module m let f(c : Char) : Int = case c of 'a' => 1 | 'b' => 2 else 0 end end`,
+		`module m let f(n : Int) : Int = try 10 / n handle e => 0 end end`,
+		`module m let f() : Array(Int) = newArray(10, 0) end`,
+		`module m let f(a : Array(Int)) : Int = a[0] + len(a) end`,
+		`module m
+		 type P = Tuple x, y : Real end
+		 let mk(x : Real, y : Real) : P = tuple x, y end
+		 let getx(p : P) : Real = p.x
+		 end`,
+		`module m
+		 rel emp : Rel(id : Int, sal : Int)
+		 let q(k : Int) : Rel(id : Int) = select tuple e.id end from e in emp where e.sal > k end
+		 let has(k : Int) : Bool = exists e in emp where e.id = k end
+		 let tot() : Int = begin var s := 0; foreach e in emp do s := s + e.sal end; s end
+		 let add(i : Int, s : Int) : Ok = insert tuple i, s end into emp
+		 let n() : Int = count(emp)
+		 end`,
+		`module m let ap(f : Fun(Int) : Int, x : Int) : Int = f(f(x)) end`,
+		`module m let mk() : Fun(Int) : Int = fun(a : Int) : Int => a * 2 end`,
+		`module m let f(a : Int) : Ok = print(a) end`,
+	}
+	for _, src := range good {
+		if _, err := checkModule(t, src, nil); err != nil {
+			t.Errorf("Check failed for %q: %v", firstLine(src), err)
+		}
+	}
+}
+
+func firstLine(s string) string {
+	s = strings.TrimSpace(s)
+	if i := strings.IndexByte(s, '\n'); i > 0 {
+		return s[:i] + "…"
+	}
+	return s
+}
+
+func TestCheckRejects(t *testing.T) {
+	bad := []struct{ name, src string }{
+		{"type mismatch", `module m let f(a : Int) : Int = a + 1.5 end`},
+		{"undeclared", `module m let f() : Int = nope end`},
+		{"assign to let", `module m let f(a : Int) : Ok = begin let x = 1; x := 2; ok end end`},
+		{"bad condition", `module m let f(a : Int) : Int = if a then 1 else 2 end end`},
+		{"wrong arity", `module m let g(a : Int) : Int = a let f() : Int = g(1, 2) end`},
+		{"bad return", `module m let f() : Int = "s" end`},
+		{"call non-function", `module m let f(a : Int) : Int = a(1) end`},
+		{"prim outside lib", `module m let f(a : Int) : Int = __prim "+" (a, a) end`},
+		{"unknown field", `module m type P = Tuple x : Real end let f(p : P) : Real = p.z end`},
+		{"case tag type", `module m let f(a : Int) : Int = case a of 'x' => 1 else 0 end end`},
+		{"insert width", `module m rel r : Rel(a : Int, b : Int) let f() : Ok = insert tuple 1 end into r end`},
+		{"export missing", `module m export nope let f() : Int = 1 end`},
+		{"duplicate decl", `module m let f() : Int = 1 let f() : Int = 2 end`},
+		{"rel col non-scalar", `module m rel r : Rel(a : Array(Int)) end`},
+		{"mod on real", `module m let f(a : Real) : Real = a % a end`},
+	}
+	for _, tt := range bad {
+		if _, err := checkModule(t, tt.src, nil); err == nil {
+			t.Errorf("%s: Check(%q) succeeded", tt.name, firstLine(tt.src))
+		}
+	}
+}
+
+func TestCheckModuleImports(t *testing.T) {
+	sigs := map[string]*ModuleSig{
+		"mathx": {
+			Name:    "mathx",
+			Members: []MemberSig{{Name: "twice", Type: &FunT{Params: []Type{IntT}, Ret: IntT}}},
+			Types:   map[string]Type{"T": &TupleT{Fields: []Field{{Name: "v", Type: IntT}}}},
+		},
+	}
+	src := `module m
+	let f(a : Int) : Int = mathx.twice(a)
+	let g(x : mathx.T) : Int = x.v
+	end`
+	if _, err := checkModule(t, src, sigs); err != nil {
+		t.Fatalf("import check: %v", err)
+	}
+	// Unknown member.
+	if _, err := checkModule(t, `module m let f(a : Int) : Int = mathx.zzz(a) end`, sigs); err == nil {
+		t.Error("unknown member accepted")
+	}
+}
+
+// compileFor compiles a module in the given mode with the standard
+// library signatures stubbed in (enough for codegen of lib calls).
+func compileFor(t *testing.T, src string, mode ScalarMode) *ModuleUnit {
+	t.Helper()
+	c := NewCompiler()
+	c.Mode = mode
+	c.AllowPrim = true
+	// Provide minimal library signatures for LibCalls mode.
+	for _, lib := range []string{libIntStub, libRealStub, libArrayStub, libStrStub} {
+		if _, err := c.Compile(lib); err != nil {
+			t.Fatalf("lib stub: %v", err)
+		}
+	}
+	u, err := c.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return u
+}
+
+const libIntStub = `module int export add, sub, mul, div, mod, neg, lt, le, gt, ge, eq, ne
+let add(a, b : Int) : Int = __prim "+" (a, b)
+let sub(a, b : Int) : Int = __prim "-" (a, b)
+let mul(a, b : Int) : Int = __prim "*" (a, b)
+let div(a, b : Int) : Int = __prim "/" (a, b)
+let mod(a, b : Int) : Int = __prim "%" (a, b)
+let neg(a : Int) : Int = __prim "neg" (a)
+let lt(a, b : Int) : Bool = __prim "<" (a, b)
+let le(a, b : Int) : Bool = __prim "<=" (a, b)
+let gt(a, b : Int) : Bool = __prim ">" (a, b)
+let ge(a, b : Int) : Bool = __prim ">=" (a, b)
+let eq(a, b : Int) : Bool = __prim "==" (a, b)
+let ne(a, b : Int) : Bool = if __prim "==" (a, b) then false else true end
+end`
+
+const libRealStub = `module real export add, sub, mul, div, neg, lt, le, gt, ge, eq, ne
+let add(a, b : Real) : Real = __prim "r+" (a, b)
+let sub(a, b : Real) : Real = __prim "r-" (a, b)
+let mul(a, b : Real) : Real = __prim "r*" (a, b)
+let div(a, b : Real) : Real = __prim "r/" (a, b)
+let neg(a : Real) : Real = __prim "rneg" (a)
+let lt(a, b : Real) : Bool = __prim "r<" (a, b)
+let le(a, b : Real) : Bool = __prim "r<=" (a, b)
+let gt(a, b : Real) : Bool = __prim "r>" (a, b)
+let ge(a, b : Real) : Bool = __prim "r>=" (a, b)
+let eq(a, b : Real) : Bool = __prim "==" (a, b)
+let ne(a, b : Real) : Bool = if __prim "==" (a, b) then false else true end
+end`
+
+const libArrayStub = `module array export new, get, set, size
+let new(n : Int, init : Int) : Array(Int) = __prim "anew" (n, init)
+let get(a : Array(Int), i : Int) : Int = __prim "[]" (a, i)
+let set(a : Array(Int), i : Int, v : Int) : Ok = __prim "[:=]" (a, i, v)
+let size(a : Array(Int)) : Int = __prim "size" (a)
+end`
+
+const libStrStub = `module str export cat, eq, ne, lt, le, gt, ge
+let cat(a, b : String) : String = __prim "s+" (a, b)
+let eq(a, b : String) : Bool = __prim "s=" (a, b)
+let ne(a, b : String) : Bool = if __prim "s=" (a, b) then false else true end
+let lt(a, b : String) : Bool = __prim "s<" (a, b)
+let gt(a, b : String) : Bool = __prim "s<" (b, a)
+let ge(a, b : String) : Bool = if __prim "s<" (a, b) then false else true end
+let le(a, b : String) : Bool = if __prim "s<" (b, a) then false else true end
+end`
+
+func TestCodegenProducesWellFormedTML(t *testing.T) {
+	src := `module demo
+	rel emp : Rel(id : Int, sal : Int)
+	let fact(n : Int) : Int = if n < 2 then 1 else n * fact(n - 1) end
+	let sum(n : Int) : Int = begin var s := 0; for i = 1 upto n do s := s + i end; s end
+	let sort(a : Array(Int)) : Ok =
+	  begin
+	    for i = 1 upto len(a) - 1 do
+	      var j := i;
+	      while j > 0 and a[j - 1] > a[j] do
+	        let tmp = a[j];
+	        a[j] := a[j - 1];
+	        a[j - 1] := tmp;
+	        j := j - 1
+	      end
+	    end
+	  end
+	let q(k : Int) : Int = count(select tuple e.id end from e in emp where e.sal > k end)
+	let guard(n : Int) : Int = try 100 / n handle ex => 0 end
+	let pick(c : Char) : Int = case c of 'a' => 1 | 'b' => 2 else 0 end
+	let hof(f : Fun(Int) : Int, x : Int) : Int = f(f(x))
+	let mk(d : Int) : Fun(Int) : Int = fun(a : Int) : Int => a + d
+	end`
+	for _, mode := range []ScalarMode{LibCalls, DirectPrims} {
+		unit := compileFor(t, src, mode)
+		if len(unit.Funcs) != 8 {
+			t.Fatalf("mode %d: %d functions", mode, len(unit.Funcs))
+		}
+		for _, fu := range unit.Funcs {
+			var allow []*tml.Var
+			for _, fr := range fu.Free {
+				allow = append(allow, fr.Var)
+			}
+			err := tml.Check(fu.Abs, tml.CheckOpts{Signatures: prim.Signatures, AllowFree: allow})
+			if err != nil {
+				t.Errorf("mode %d: %s ill-formed: %v\n%s", mode, fu.Name, err, tml.Print(fu.Abs))
+			}
+		}
+	}
+}
+
+func TestCodegenFreeRefs(t *testing.T) {
+	src := `module demo
+	rel emp : Rel(id : Int, sal : Int)
+	let helper(a : Int) : Int = a
+	let f(a : Int) : Int = helper(a) + count(emp)
+	end`
+	unit := compileFor(t, src, LibCalls)
+	var f *FuncUnit
+	for _, fu := range unit.Funcs {
+		if fu.Name == "f" {
+			f = fu
+		}
+	}
+	kinds := map[FreeKind][]string{}
+	for _, fr := range f.Free {
+		kinds[fr.Kind] = append(kinds[fr.Kind], fr.Name)
+	}
+	if len(kinds[FreeDecl]) != 1 || kinds[FreeDecl][0] != "helper" {
+		t.Errorf("FreeDecl = %v, want [helper]", kinds[FreeDecl])
+	}
+	if len(kinds[FreeRel]) != 1 || kinds[FreeRel][0] != "emp" {
+		t.Errorf("FreeRel = %v, want [emp]", kinds[FreeRel])
+	}
+	if len(kinds[FreeModule]) == 0 {
+		t.Errorf("expected a module binding for the int library, got %v", f.Free)
+	}
+}
+
+func TestCodegenModesDiffer(t *testing.T) {
+	src := `module demo let f(a : Int) : Int = a + a * a end`
+	lib := compileFor(t, src, LibCalls)
+	direct := compileFor(t, src, DirectPrims)
+	libStr := tml.Print(lib.Funcs[0].Abs)
+	directStr := tml.Print(direct.Funcs[0].Abs)
+	if !strings.Contains(libStr, "[]") {
+		t.Errorf("LibCalls mode should fetch operations from modules:\n%s", libStr)
+	}
+	if strings.Contains(directStr, "[]") {
+		t.Errorf("DirectPrims mode should not fetch from modules:\n%s", directStr)
+	}
+	if !strings.Contains(directStr, "(+") && !strings.Contains(directStr, "(*") {
+		t.Errorf("DirectPrims mode should use primitives:\n%s", directStr)
+	}
+}
+
+func TestCodegenSelectShape(t *testing.T) {
+	// The §4.2 shape: (select pred Rel ce cont(tempRel) (project …)).
+	src := `module demo
+	rel emp : Rel(id : Int, sal : Int)
+	let q(k : Int) : Rel(id : Int) = select tuple e.id end from e in emp where e.sal > k end
+	end`
+	unit := compileFor(t, src, DirectPrims)
+	s := tml.Print(unit.Funcs[0].Abs)
+	if !strings.Contains(s, "(select") || !strings.Contains(s, "(project") {
+		t.Errorf("select/project shape missing:\n%s", s)
+	}
+	if !strings.Contains(s, "tempRel") {
+		t.Errorf("temporary relation continuation missing:\n%s", s)
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	types := []Type{
+		IntT, RealT, BoolT, CharT, StrT, OkT,
+		&ArrayT{Elem: IntT},
+		&TupleT{Fields: []Field{{Name: "x", Type: RealT}}},
+		&RelT{Fields: []Field{{Name: "id", Type: IntT}}},
+		&FunT{Params: []Type{IntT}, Ret: BoolT},
+		&NamedT{Mod: "m", Name: "T"},
+	}
+	seen := map[string]bool{}
+	for _, ty := range types {
+		s := ty.String()
+		if s == "" || seen[s] {
+			t.Errorf("bad or duplicate type string %q", s)
+		}
+		seen[s] = true
+		if !ty.equal(ty) {
+			t.Errorf("%s not equal to itself", s)
+		}
+	}
+	if IntT.equal(RealT) {
+		t.Error("Int = Real")
+	}
+	if (&ArrayT{Elem: IntT}).equal(&ArrayT{Elem: RealT}) {
+		t.Error("Array(Int) = Array(Real)")
+	}
+}

@@ -1,0 +1,173 @@
+package tml
+
+// This file implements the occurrence-counting machinery of paper §3.
+// Control and data dependencies are captured uniformly by bound variables;
+// |E|_v — the number of occurrences of v in E — is the sole precondition
+// ingredient of the subst, remove, η-reduce, Y-remove and Y-reduce rules.
+
+// Count returns |n|_v, the number of use occurrences of the variable v in
+// the node n, following the inductive definition of paper §3. Binder
+// occurrences in parameter lists are not counted.
+func Count(n Node, v *Var) int {
+	switch n := n.(type) {
+	case *Var:
+		if n == v {
+			return 1
+		}
+		return 0
+	case *Lit, *Oid, *Prim:
+		return 0
+	case *Abs:
+		return Count(n.Body, v)
+	case *App:
+		c := Count(n.Fn, v)
+		for _, a := range n.Args {
+			c += Count(a, v)
+		}
+		return c
+	default:
+		return 0
+	}
+}
+
+// Census is a use-count table for every variable occurring in a tree.
+// The optimizer computes one census per reduction sweep instead of
+// re-walking the tree for each |E|_v precondition.
+type Census map[*Var]int
+
+// NewCensus counts the use occurrences of every variable in n.
+func NewCensus(n Node) Census {
+	c := make(Census)
+	c.add(n, 1)
+	return c
+}
+
+func (c Census) add(n Node, delta int) {
+	switch n := n.(type) {
+	case *Var:
+		c[n] += delta
+	case *Lit, *Oid, *Prim:
+	case *Abs:
+		c.add(n.Body, delta)
+	case *App:
+		c.add(n.Fn, delta)
+		for _, a := range n.Args {
+			c.add(a, delta)
+		}
+	}
+}
+
+// Uses returns the recorded use count of v.
+func (c Census) Uses(v *Var) int { return c[v] }
+
+// Retract subtracts the occurrences contributed by n (used when a subtree
+// is deleted by a rewrite rule).
+func (c Census) Retract(n Node) { c.add(n, -1) }
+
+// Record adds the occurrences contributed by n (used when a subtree is
+// duplicated or introduced by a rewrite rule).
+func (c Census) Record(n Node) { c.add(n, 1) }
+
+// FreeVars returns the variables that occur free in n, i.e. used but not
+// bound by any parameter list within n. Iteration order is deterministic
+// (first-occurrence order) so that binding tables and printed diagnostics
+// are stable.
+func FreeVars(n Node) []*Var {
+	bound := make(map[*Var]bool)
+	seen := make(map[*Var]bool)
+	var free []*Var
+	var walk func(Node)
+	walk = func(n Node) {
+		switch n := n.(type) {
+		case *Var:
+			if !bound[n] && !seen[n] {
+				seen[n] = true
+				free = append(free, n)
+			}
+		case *Lit, *Oid, *Prim:
+		case *Abs:
+			for _, p := range n.Params {
+				bound[p] = true
+			}
+			walk(n.Body)
+		case *App:
+			walk(n.Fn)
+			for _, a := range n.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(n)
+	// A binder may appear after a use in traversal order only if the tree
+	// violates lexical scoping; filter conservatively so FreeVars is exact
+	// for well-formed trees and still terminates for malformed ones.
+	out := free[:0]
+	for _, v := range free {
+		if !bound[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Binders returns every variable bound by a parameter list within n, in
+// traversal order.
+func Binders(n Node) []*Var {
+	var out []*Var
+	Walk(n, func(m Node) bool {
+		if a, ok := m.(*Abs); ok {
+			out = append(out, a.Params...)
+		}
+		return true
+	})
+	return out
+}
+
+// Walk traverses n in depth-first pre-order, calling f for every node.
+// If f returns false the children of the node are not visited.
+func Walk(n Node, f func(Node) bool) {
+	if n == nil || !f(n) {
+		return
+	}
+	switch n := n.(type) {
+	case *Abs:
+		Walk(n.Body, f)
+	case *App:
+		Walk(n.Fn, f)
+		for _, a := range n.Args {
+			Walk(a, f)
+		}
+	}
+}
+
+// Size returns the number of nodes in n. The reduction rules of paper §3
+// each strictly decrease Size, which is the termination argument for the
+// reduction pass.
+func Size(n Node) int {
+	size := 0
+	Walk(n, func(Node) bool { size++; return true })
+	return size
+}
+
+// MaxVarID returns the largest variable ID occurring in n (as binder or
+// use), or 0 if n contains no variables. It seeds VarGen when a tree is
+// reconstructed from persistent storage.
+func MaxVarID(n Node) int {
+	max := 0
+	Walk(n, func(m Node) bool {
+		switch m := m.(type) {
+		case *Var:
+			if m.ID > max {
+				max = m.ID
+			}
+		case *Abs:
+			for _, p := range m.Params {
+				if p.ID > max {
+					max = p.ID
+				}
+			}
+		}
+		return true
+	})
+	return max
+}

@@ -1,0 +1,71 @@
+package tml
+
+// AlphaEqual reports whether two TML terms are equal up to consistent
+// renaming of bound variables (α-equivalence). Free variables must be
+// identical pointers, or have equal names when both occur free.
+func AlphaEqual(a, b Node) bool {
+	return alphaEq(a, b, make(map[*Var]*Var), make(map[*Var]*Var))
+}
+
+func alphaEq(a, b Node, l2r, r2l map[*Var]*Var) bool {
+	switch a := a.(type) {
+	case *Lit:
+		bb, ok := b.(*Lit)
+		return ok && a.Eq(bb)
+	case *Oid:
+		bb, ok := b.(*Oid)
+		return ok && a.Ref == bb.Ref
+	case *Prim:
+		bb, ok := b.(*Prim)
+		return ok && a.Name == bb.Name
+	case *Var:
+		bb, ok := b.(*Var)
+		if !ok {
+			return false
+		}
+		if w, bound := l2r[a]; bound {
+			return w == bb
+		}
+		if _, bound := r2l[bb]; bound {
+			return false
+		}
+		// Both free: compare identity first, then printed name so that
+		// independently parsed terms with identical free names compare
+		// equal.
+		return a == bb || a.String() == bb.String()
+	case *Abs:
+		bb, ok := b.(*Abs)
+		if !ok || len(a.Params) != len(bb.Params) {
+			return false
+		}
+		for i := range a.Params {
+			if a.Params[i].Cont != bb.Params[i].Cont {
+				return false
+			}
+			l2r[a.Params[i]] = bb.Params[i]
+			r2l[bb.Params[i]] = a.Params[i]
+		}
+		eq := alphaEq(a.Body, bb.Body, l2r, r2l)
+		for i := range a.Params {
+			delete(l2r, a.Params[i])
+			delete(r2l, bb.Params[i])
+		}
+		return eq
+	case *App:
+		bb, ok := b.(*App)
+		if !ok || len(a.Args) != len(bb.Args) {
+			return false
+		}
+		if !alphaEq(a.Fn, bb.Fn, l2r, r2l) {
+			return false
+		}
+		for i := range a.Args {
+			if !alphaEq(a.Args[i], bb.Args[i], l2r, r2l) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}

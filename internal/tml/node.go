@@ -1,0 +1,308 @@
+// Package tml implements the Tycoon Machine Language (TML), the persistent
+// continuation-passing-style (CPS) intermediate code representation described
+// in Gawecki & Matthes, "Exploiting Persistent Intermediate Code
+// Representations in Open Database Environments" (EDBT 1996).
+//
+// TML is a call-by-value λ-calculus with store semantics. Exactly six node
+// types represent a TML tree (paper §2.1):
+//
+//	Lit   literal constants (integers, characters, booleans, reals, strings)
+//	Oid   object identifiers denoting complex objects in the persistent store
+//	Var   value and continuation variables
+//	Prim  references to predefined primitive procedures
+//	Abs   λ-abstractions (procs and continuations)
+//	App   applications
+//
+// Well-formed TML trees obey the additional constraints of paper §2.2:
+// the body of an abstraction is an application, the arguments of an
+// application are values (never nested applications), identifiers are bound
+// at most once (unique binding rule), and continuations never escape.
+package tml
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Node is implemented by every TML tree node.
+type Node interface {
+	// String renders the node in the s-expression syntax accepted by Parse.
+	String() string
+	node()
+}
+
+// Value is implemented by the node types that may appear as arguments of an
+// application or in its functional position: Lit, Oid, Var, Prim and Abs.
+// Applications are deliberately excluded; the syntactic restriction that
+// actual parameters are constants, variables or abstractions is what makes
+// the TML rewrite rules sound in the presence of side effects (paper §2.1).
+type Value interface {
+	Node
+	value()
+}
+
+// LitKind discriminates the simple literal constants of TML.
+type LitKind uint8
+
+// The literal kinds. Strings are a convenience extension: the Tycoon system
+// represents strings as byte arrays in the store, and our front end lowers
+// string literals to store objects, but tests and tools benefit from an
+// inline form.
+const (
+	LitUnit LitKind = iota // the unit value, written ok
+	LitInt                 // 64-bit signed integer
+	LitChar                // a byte, written 'a'
+	LitBool                // true or false
+	LitReal                // 64-bit IEEE float
+	LitStr                 // immutable string
+)
+
+// Lit is a literal constant.
+type Lit struct {
+	Kind LitKind
+	Int  int64
+	Ch   byte
+	Bool bool
+	Real float64
+	Str  string
+}
+
+// Convenience constructors for literals.
+
+// Int returns an integer literal.
+func Int(v int64) *Lit { return &Lit{Kind: LitInt, Int: v} }
+
+// Char returns a character literal.
+func Char(c byte) *Lit { return &Lit{Kind: LitChar, Ch: c} }
+
+// Bool returns a boolean literal.
+func Bool(b bool) *Lit { return &Lit{Kind: LitBool, Bool: b} }
+
+// Real returns a floating point literal.
+func Real(r float64) *Lit { return &Lit{Kind: LitReal, Real: r} }
+
+// Str returns a string literal.
+func Str(s string) *Lit { return &Lit{Kind: LitStr, Str: s} }
+
+// Unit is the unit literal ok.
+func Unit() *Lit { return &Lit{Kind: LitUnit} }
+
+func (l *Lit) node()  {}
+func (l *Lit) value() {}
+
+// String renders the literal in parseable syntax.
+func (l *Lit) String() string {
+	switch l.Kind {
+	case LitUnit:
+		return "ok"
+	case LitInt:
+		return strconv.FormatInt(l.Int, 10)
+	case LitChar:
+		return "'" + string(rune(l.Ch)) + "'"
+	case LitBool:
+		if l.Bool {
+			return "true"
+		}
+		return "false"
+	case LitReal:
+		s := strconv.FormatFloat(l.Real, 'g', -1, 64)
+		if !hasRealMark(s) {
+			s += ".0"
+		}
+		return s
+	case LitStr:
+		return strconv.Quote(l.Str)
+	default:
+		return fmt.Sprintf("<bad lit kind %d>", l.Kind)
+	}
+}
+
+func hasRealMark(s string) bool {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '.', 'e', 'E', 'n', 'i': // ".", exponent, NaN, Inf
+			return true
+		}
+	}
+	return false
+}
+
+// Eq reports whether two literals denote the same constant.
+func (l *Lit) Eq(m *Lit) bool {
+	if l.Kind != m.Kind {
+		return false
+	}
+	switch l.Kind {
+	case LitUnit:
+		return true
+	case LitInt:
+		return l.Int == m.Int
+	case LitChar:
+		return l.Ch == m.Ch
+	case LitBool:
+		return l.Bool == m.Bool
+	case LitReal:
+		return l.Real == m.Real
+	case LitStr:
+		return l.Str == m.Str
+	}
+	return false
+}
+
+// Oid is a reference to a complex object (table, index, module, ADT value,
+// closure, …) in the persistent object store. OIDs let TML terms carry
+// runtime bindings to arbitrarily complex persistent values, which is the
+// property the reflective optimizer of paper §4.1 exploits.
+type Oid struct {
+	Ref uint64
+}
+
+// NewOid returns an object identifier node.
+func NewOid(ref uint64) *Oid { return &Oid{Ref: ref} }
+
+func (o *Oid) node()  {}
+func (o *Oid) value() {}
+
+// String renders the OID in the paper's pretty-printer syntax.
+func (o *Oid) String() string { return fmt.Sprintf("<oid 0x%08x>", o.Ref) }
+
+// Var is a value or continuation variable. Variable identity is pointer
+// identity: the binder occurrence in an Abs parameter list and every use
+// occurrence share the same *Var. The unique binding rule of paper §2.2
+// states that a *Var is bound by at most one parameter list.
+type Var struct {
+	// Name is the source-level identifier, kept for diagnostics and
+	// pretty-printing. It carries no semantic weight.
+	Name string
+	// ID is a per-generator unique number appended to the printed name
+	// (α-conversion makes every printed identifier unique, paper fn. 5).
+	ID int
+	// Cont marks continuation variables. Continuations are not first-class
+	// in TML (paper §2.2 rule 3); the well-formedness checker uses this flag
+	// to verify that continuation variables never escape.
+	Cont bool
+}
+
+func (v *Var) node()  {}
+func (v *Var) value() {}
+
+// String renders the variable as name_ID, matching the paper's listings.
+func (v *Var) String() string {
+	if v.Name == "" {
+		return "t_" + strconv.Itoa(v.ID)
+	}
+	return v.Name + "_" + strconv.Itoa(v.ID)
+}
+
+// Prim is a reference to a predefined primitive procedure (paper §2.3).
+// The primitive's calling convention, cost estimate, optimizer attributes
+// and fold function live in the primitive registry (package prim), keeping
+// the intermediate language itself minimal and adaptable.
+type Prim struct {
+	Name string
+}
+
+// NewPrim returns a primitive reference node.
+func NewPrim(name string) *Prim { return &Prim{Name: name} }
+
+func (p *Prim) node()  {}
+func (p *Prim) value() {}
+
+// String renders the primitive name.
+func (p *Prim) String() string { return p.Name }
+
+// Abs is a λ-abstraction. The body must be an application (paper Fig. 1).
+// Abstractions double as procs and continuations; the distinction is purely
+// syntactic (paper §2.2 rule 5): a continuation takes no continuation
+// parameters, a proc takes exactly two (the exception continuation ce
+// followed by the normal continuation cc, in that order).
+type Abs struct {
+	Params []*Var
+	Body   *App
+}
+
+// NewAbs returns an abstraction node.
+func NewAbs(params []*Var, body *App) *Abs { return &Abs{Params: params, Body: body} }
+
+func (a *Abs) node()  {}
+func (a *Abs) value() {}
+
+// IsCont reports whether the abstraction is (syntactically) a continuation,
+// i.e. none of its parameters is a continuation variable.
+func (a *Abs) IsCont() bool {
+	for _, p := range a.Params {
+		if p.Cont {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the abstraction using the proc/cont keywords of the
+// paper's pretty printer.
+func (a *Abs) String() string { return printNode(a) }
+
+// App is an application (val₀ val₁ … valₙ). The functional position val₀
+// must evaluate to an abstraction or primitive of matching arity; this is
+// enforced by front ends and preserved by every rewrite rule.
+type App struct {
+	Fn   Value
+	Args []Value
+}
+
+// NewApp returns an application node.
+func NewApp(fn Value, args ...Value) *App { return &App{Fn: fn, Args: args} }
+
+func (a *App) node() {}
+
+// String renders the application in parseable s-expression syntax.
+func (a *App) String() string { return printNode(a) }
+
+// VarGen generates variables with unique IDs. A single generator is
+// threaded through code generation and optimization of one program so that
+// the unique binding rule can be re-established by α-conversion whenever an
+// abstraction is copied.
+type VarGen struct {
+	next int
+}
+
+// NewVarGen returns a generator whose first variable has ID 1.
+func NewVarGen() *VarGen { return &VarGen{next: 1} }
+
+// NewVarGenAt returns a generator whose first variable has the given ID.
+// It is used when resuming code generation for a term whose maximum
+// variable ID is known (for example after decoding PTML).
+func NewVarGenAt(next int) *VarGen { return &VarGen{next: next} }
+
+// Fresh returns a new value variable.
+func (g *VarGen) Fresh(name string) *Var {
+	v := &Var{Name: name, ID: g.next}
+	g.next++
+	return v
+}
+
+// FreshCont returns a new continuation variable.
+func (g *VarGen) FreshCont(name string) *Var {
+	v := &Var{Name: name, ID: g.next, Cont: true}
+	g.next++
+	return v
+}
+
+// Like returns a fresh variable with the same name and continuation flag as
+// v; it is the α-conversion workhorse used when copying abstractions.
+func (g *VarGen) Like(v *Var) *Var {
+	w := &Var{Name: v.Name, ID: g.next, Cont: v.Cont}
+	g.next++
+	return w
+}
+
+// Next reports the ID the next fresh variable would receive.
+func (g *VarGen) Next() int { return g.next }
+
+// Skip advances the generator past id, ensuring future variables do not
+// collide with an existing tree that contains id.
+func (g *VarGen) Skip(id int) {
+	if id >= g.next {
+		g.next = id + 1
+	}
+}

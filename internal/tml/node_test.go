@@ -1,0 +1,358 @@
+package tml
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLitString(t *testing.T) {
+	tests := []struct {
+		lit  *Lit
+		want string
+	}{
+		{Int(13), "13"},
+		{Int(-5), "-5"},
+		{Char('a'), "'a'"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+		{Real(2.5), "2.5"},
+		{Real(3), "3.0"},
+		{Str("hi"), `"hi"`},
+		{Unit(), "ok"},
+	}
+	for _, tt := range tests {
+		if got := tt.lit.String(); got != tt.want {
+			t.Errorf("String(%#v) = %q, want %q", tt.lit, got, tt.want)
+		}
+	}
+}
+
+func TestLitEq(t *testing.T) {
+	tests := []struct {
+		a, b *Lit
+		want bool
+	}{
+		{Int(1), Int(1), true},
+		{Int(1), Int(2), false},
+		{Int(1), Bool(true), false},
+		{Char('a'), Char('a'), true},
+		{Char('a'), Char('b'), false},
+		{Bool(true), Bool(true), true},
+		{Bool(true), Bool(false), false},
+		{Real(1.5), Real(1.5), true},
+		{Real(1.5), Real(2.5), false},
+		{Str("x"), Str("x"), true},
+		{Str("x"), Str("y"), false},
+		{Unit(), Unit(), true},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Eq(tt.b); got != tt.want {
+			t.Errorf("Eq(%s, %s) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestOidString(t *testing.T) {
+	o := NewOid(0x5b4780)
+	if got, want := o.String(), "<oid 0x005b4780>"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestVarString(t *testing.T) {
+	g := NewVarGen()
+	v := g.Fresh("x")
+	if got, want := v.String(), "x_1"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	anon := &Var{ID: 7}
+	if got, want := anon.String(), "t_7"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestVarGen(t *testing.T) {
+	g := NewVarGen()
+	a := g.Fresh("a")
+	b := g.FreshCont("cc")
+	if a.ID == b.ID {
+		t.Fatalf("Fresh IDs collide: %d", a.ID)
+	}
+	if !b.Cont {
+		t.Error("FreshCont did not set Cont")
+	}
+	c := g.Like(b)
+	if !c.Cont || c.Name != "cc" || c.ID == b.ID {
+		t.Errorf("Like(%v) = %v", b, c)
+	}
+	g.Skip(100)
+	if d := g.Fresh("d"); d.ID != 101 {
+		t.Errorf("after Skip(100), Fresh ID = %d, want 101", d.ID)
+	}
+	g2 := NewVarGenAt(50)
+	if e := g2.Fresh("e"); e.ID != 50 {
+		t.Errorf("NewVarGenAt(50) first ID = %d, want 50", e.ID)
+	}
+}
+
+func TestAbsIsCont(t *testing.T) {
+	g := NewVarGen()
+	x := g.Fresh("x")
+	cc := g.FreshCont("cc")
+	ce := g.FreshCont("ce")
+	body := NewApp(cc, x)
+	if !(&Abs{Params: []*Var{x}, Body: body}).IsCont() {
+		t.Error("abstraction without continuation params should be a cont")
+	}
+	if (&Abs{Params: []*Var{x, ce, cc}, Body: body}).IsCont() {
+		t.Error("abstraction with continuation params should be a proc")
+	}
+}
+
+// loopTerm builds the paper's §2.3 example: for i = 1 upto 10 do f(i) end,
+// expressed through the Y primitive.
+func loopTerm(g *VarGen) *App {
+	c0 := g.FreshCont("c0")
+	forv := g.FreshCont("for")
+	c := g.FreshCont("c")
+	i := g.Fresh("i")
+	t1 := g.Fresh("t1")
+	t2 := g.Fresh("t2")
+	f := g.Fresh("f")
+	ce := g.FreshCont("ce")
+	cc := g.FreshCont("cc")
+	_ = f
+
+	// loop body: (f i ce cont(t1) (+ i 1 ce cont(t2) (for t2)))
+	recur := NewApp(forv, t2)
+	incr := NewApp(NewPrim("+"), i, Int(1), ce, &Abs{Params: []*Var{t2}, Body: recur})
+	callF := NewApp(f, i, ce, &Abs{Params: []*Var{t1}, Body: incr})
+	exit := NewApp(cc, Unit())
+	head := NewApp(NewPrim(">"), i, Int(10), &Abs{Params: nil, Body: exit}, &Abs{Params: nil, Body: callF})
+	loopHead := &Abs{Params: []*Var{i}, Body: head}
+	entry := &Abs{Params: nil, Body: NewApp(forv, Int(1))}
+	knot := NewApp(c, entry, loopHead)
+	yArg := &Abs{Params: []*Var{c0, forv, c}, Body: knot}
+	return NewApp(NewPrim("Y"), yArg)
+}
+
+func TestCount(t *testing.T) {
+	g := NewVarGen()
+	x := g.Fresh("x")
+	y := g.Fresh("y")
+	cc := g.FreshCont("cc")
+	// (λ(x)(+ x x ce cc) y): x occurs twice in the body, y once in args.
+	body := NewApp(NewPrim("+"), x, x, cc, cc)
+	app := NewApp(&Abs{Params: []*Var{x}, Body: body}, y)
+	if got := Count(app, x); got != 2 {
+		t.Errorf("Count(x) = %d, want 2", got)
+	}
+	if got := Count(app, y); got != 1 {
+		t.Errorf("Count(y) = %d, want 1", got)
+	}
+	if got := Count(app, cc); got != 2 {
+		t.Errorf("Count(cc) = %d, want 2", got)
+	}
+	if got := Count(Int(3), x); got != 0 {
+		t.Errorf("Count in literal = %d, want 0", got)
+	}
+}
+
+func TestCensusMatchesCount(t *testing.T) {
+	g := NewVarGen()
+	term := loopTerm(g)
+	census := NewCensus(term)
+	for _, v := range Binders(term) {
+		if census.Uses(v) != Count(term, v) {
+			t.Errorf("census disagrees with Count for %s: %d vs %d",
+				v, census.Uses(v), Count(term, v))
+		}
+	}
+}
+
+func TestCensusRetractRecord(t *testing.T) {
+	g := NewVarGen()
+	x := g.Fresh("x")
+	cc := g.FreshCont("cc")
+	app := NewApp(cc, x, x)
+	c := NewCensus(app)
+	if c.Uses(x) != 2 {
+		t.Fatalf("Uses(x) = %d, want 2", c.Uses(x))
+	}
+	c.Retract(x)
+	if c.Uses(x) != 1 {
+		t.Errorf("after Retract, Uses(x) = %d, want 1", c.Uses(x))
+	}
+	c.Record(app)
+	if c.Uses(x) != 3 {
+		t.Errorf("after Record, Uses(x) = %d, want 3", c.Uses(x))
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	g := NewVarGen()
+	term := loopTerm(g)
+	free := FreeVars(term)
+	names := make(map[string]bool)
+	for _, v := range free {
+		names[v.Name] = true
+	}
+	// f, ce and cc are free in the loop example; i, t1, t2, c0, for, c are bound.
+	for _, want := range []string{"f", "ce", "cc"} {
+		if !names[want] {
+			t.Errorf("FreeVars missing %q (got %v)", want, free)
+		}
+	}
+	if len(free) != 3 {
+		t.Errorf("FreeVars = %v, want exactly f, ce, cc", free)
+	}
+}
+
+func TestSizeAndMaxVarID(t *testing.T) {
+	g := NewVarGen()
+	term := loopTerm(g)
+	if got := Size(term); got <= 10 {
+		t.Errorf("Size = %d, suspiciously small", got)
+	}
+	if got := MaxVarID(term); got != 9 {
+		t.Errorf("MaxVarID = %d, want 9", got)
+	}
+}
+
+func TestSubstBasic(t *testing.T) {
+	g := NewVarGen()
+	x := g.Fresh("x")
+	cc := g.FreshCont("cc")
+	app := NewApp(NewPrim("+"), x, x, cc, cc)
+	out := SubstApp(app, x, Int(7))
+	want := "(+ 7 7"
+	if !strings.HasPrefix(out.String(), want) {
+		t.Errorf("Subst result %s, want prefix %s", out, want)
+	}
+	// The original tree is unchanged.
+	if Count(app, x) != 2 {
+		t.Error("Subst mutated its input")
+	}
+}
+
+func TestSubstSharing(t *testing.T) {
+	g := NewVarGen()
+	x := g.Fresh("x")
+	y := g.Fresh("y")
+	cc := g.FreshCont("cc")
+	inner := &Abs{Params: nil, Body: NewApp(cc, y)}
+	app := NewApp(cc, x, inner)
+	out := SubstApp(app, x, Int(1))
+	if out.Args[1] != Value(inner) {
+		t.Error("unchanged subtree was not shared")
+	}
+	if out == app {
+		t.Error("changed tree returned the original node")
+	}
+	// Substituting a variable that does not occur returns the original.
+	z := g.Fresh("z")
+	if SubstApp(app, z, Int(2)) != app {
+		t.Error("no-op substitution did not return the original node")
+	}
+}
+
+func TestSubstMany(t *testing.T) {
+	g := NewVarGen()
+	x := g.Fresh("x")
+	y := g.Fresh("y")
+	cc := g.FreshCont("cc")
+	app := NewApp(NewPrim("+"), x, y, cc, cc)
+	out := SubstMany(app, map[*Var]Value{x: Int(1), y: Int(2)}).(*App)
+	if got := out.String(); !strings.HasPrefix(got, "(+ 1 2") {
+		t.Errorf("SubstMany = %s", got)
+	}
+	if SubstMany(app, nil) != Node(app) {
+		t.Error("empty SubstMany should return the input")
+	}
+}
+
+func TestFreshenUniqueBinders(t *testing.T) {
+	g := NewVarGen()
+	x := g.Fresh("x")
+	cc := g.FreshCont("cc")
+	abs := &Abs{Params: []*Var{x}, Body: NewApp(cc, x)}
+	cp := FreshenAbs(abs, g)
+	if cp.Params[0] == x {
+		t.Error("Freshen did not rename the binder")
+	}
+	if cp.Params[0].Name != "x" || !strings.HasPrefix(cp.Params[0].String(), "x_") {
+		t.Errorf("fresh binder %s should keep its name", cp.Params[0])
+	}
+	if cp.Body.Args[0] != Value(cp.Params[0]) {
+		t.Error("use occurrence not renamed consistently")
+	}
+	if cp.Body.Fn != Value(cc) {
+		t.Error("free variable cc should stay shared")
+	}
+	// Freshening the loop term keeps α-equivalence.
+	term := loopTerm(g)
+	cp2 := CopyApp(term, g)
+	if !AlphaEqual(term, cp2) {
+		t.Error("freshened copy is not α-equivalent to the original")
+	}
+}
+
+func TestAlphaEqual(t *testing.T) {
+	g := NewVarGen()
+	mk := func() *Abs {
+		x := g.Fresh("x")
+		cc := g.FreshCont("k")
+		return &Abs{Params: []*Var{x}, Body: NewApp(cc, x)}
+	}
+	a, b := mk(), mk()
+	// A free variable differs between a and b (each mk creates its own k),
+	// but they print the same; AlphaEqual compares free vars by name.
+	if AlphaEqual(a, b) {
+		t.Log("free continuation variables differ by printed name; expected unequal")
+	}
+	// Same free var, different bound names: equal.
+	cc := g.FreshCont("cc")
+	x := g.Fresh("x")
+	y := g.Fresh("y")
+	a2 := &Abs{Params: []*Var{x}, Body: NewApp(cc, x)}
+	b2 := &Abs{Params: []*Var{y}, Body: NewApp(cc, y)}
+	if !AlphaEqual(a2, b2) {
+		t.Error("α-equivalent abstractions reported unequal")
+	}
+	// Different structure: unequal.
+	c2 := &Abs{Params: []*Var{g.Fresh("z")}, Body: NewApp(cc, Int(1))}
+	if AlphaEqual(a2, c2) {
+		t.Error("structurally different abstractions reported equal")
+	}
+	// Cont flag mismatch: unequal.
+	d1 := &Abs{Params: []*Var{g.FreshCont("p")}, Body: NewApp(cc)}
+	d2 := &Abs{Params: []*Var{g.Fresh("p")}, Body: NewApp(cc)}
+	if AlphaEqual(d1, d2) {
+		t.Error("continuation flag mismatch reported equal")
+	}
+	if !AlphaEqual(Int(3), Int(3)) || AlphaEqual(Int(3), Int(4)) {
+		t.Error("literal comparison broken")
+	}
+	if !AlphaEqual(NewOid(9), NewOid(9)) || AlphaEqual(NewOid(9), NewOid(8)) {
+		t.Error("OID comparison broken")
+	}
+	if !AlphaEqual(NewPrim("+"), NewPrim("+")) || AlphaEqual(NewPrim("+"), NewPrim("-")) {
+		t.Error("prim comparison broken")
+	}
+}
+
+func TestWalkPruning(t *testing.T) {
+	g := NewVarGen()
+	term := loopTerm(g)
+	full := 0
+	Walk(term, func(Node) bool { full++; return true })
+	pruned := 0
+	Walk(term, func(n Node) bool {
+		pruned++
+		_, isAbs := n.(*Abs)
+		return !isAbs
+	})
+	if pruned >= full {
+		t.Errorf("pruned walk visited %d nodes, full walk %d", pruned, full)
+	}
+}

@@ -1,0 +1,312 @@
+package tml
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// stdPrims is a minimal primitive predicate for parser tests (the real
+// registry lives in package prim; tml must not depend on it).
+func stdPrims(name string) bool {
+	switch name {
+	case "+", "-", "*", "/", "%", "<", ">", "<=", ">=", "==", "Y",
+		"array", "vector", "[]", "[:=]", "size", "if", "raise":
+		return true
+	}
+	return false
+}
+
+var testOpts = ParseOpts{IsPrim: stdPrims}
+
+func TestParseLiterals(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string
+	}{
+		{"13", "13"},
+		{"-7", "-7"},
+		{"'a'", "'a'"},
+		{"true", "true"},
+		{"false", "false"},
+		{"ok", "ok"},
+		{"2.5", "2.5"},
+		{"1e3", "1000.0"},
+		{`"hello"`, `"hello"`},
+		{"<oid 0x005b4780>", "<oid 0x005b4780>"},
+	}
+	for _, tt := range tests {
+		n, err := Parse(tt.src, testOpts)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tt.src, err)
+			continue
+		}
+		if got := n.String(); got != tt.want {
+			t.Errorf("Parse(%q) prints %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestParseApp(t *testing.T) {
+	n, err := Parse("(+ 1 2 ce cc)", testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, ok := n.(*App)
+	if !ok {
+		t.Fatalf("got %T, want *App", n)
+	}
+	if p, ok := app.Fn.(*Prim); !ok || p.Name != "+" {
+		t.Errorf("Fn = %v, want prim +", app.Fn)
+	}
+	if len(app.Args) != 4 {
+		t.Errorf("len(Args) = %d, want 4", len(app.Args))
+	}
+}
+
+func TestParseAbsBindings(t *testing.T) {
+	// The paper's first example: literals bound to variables.
+	src := "(proc(i ch oid !ce !cc) (cc i) 13 'a' <oid 0x005b4780> ce0 cc0)"
+	n, err := Parse(src, testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := n.(*App)
+	abs := app.Fn.(*Abs)
+	if len(abs.Params) != 5 {
+		t.Fatalf("params = %d, want 5", len(abs.Params))
+	}
+	if abs.Params[0].Cont || abs.Params[1].Cont || abs.Params[2].Cont {
+		t.Error("value parameters marked as continuations")
+	}
+	if !abs.Params[3].Cont || !abs.Params[4].Cont {
+		t.Error("!ce/!cc not marked as continuations")
+	}
+	// The use of cc in the body must be the same *Var as the binder.
+	inner := abs.Body
+	if inner.Fn != Value(abs.Params[4]) {
+		t.Error("use of cc does not resolve to its binder")
+	}
+}
+
+func TestParseProcDefaultConts(t *testing.T) {
+	// Without explicit markers, the trailing two parameters of a proc
+	// default to continuations (paper §2.2 rule 5).
+	n := MustParse("(proc(x ce cc) (cc x) 1 e k)", testOpts)
+	abs := n.(*App).Fn.(*Abs)
+	if abs.Params[0].Cont {
+		t.Error("x should not be a continuation")
+	}
+	if !abs.Params[1].Cont || !abs.Params[2].Cont {
+		t.Error("trailing parameters of proc should default to continuations")
+	}
+	// cont(…) never marks parameters.
+	n2 := MustParse("(cont(a b) (k a b) 1 2)", testOpts)
+	abs2 := n2.(*App).Fn.(*Abs)
+	for _, p := range abs2.Params {
+		if p.Cont {
+			t.Errorf("cont parameter %s marked as continuation", p)
+		}
+	}
+}
+
+func TestParseExplicitIDs(t *testing.T) {
+	n := MustParse("(cont(x_7) (k_9 x_7) 1)", testOpts)
+	abs := n.(*App).Fn.(*Abs)
+	if abs.Params[0].ID != 7 || abs.Params[0].Name != "x" {
+		t.Errorf("binder = %v, want x_7", abs.Params[0])
+	}
+}
+
+func TestParseYLoop(t *testing.T) {
+	// The loop example of paper §2.3 in concrete syntax.
+	src := `
+(Y proc(!c0 !for !c)
+   (c cont() (for 1)
+      cont(i)
+        (> i 10
+           cont() (cc ok)
+           cont() (f i ce cont(t1)
+                    (+ i 1 ce cont(t2) (for t2))))))`
+	n, err := Parse(src, testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := n.(*App)
+	if p, ok := app.Fn.(*Prim); !ok || p.Name != "Y" {
+		t.Fatalf("Fn = %v, want Y", app.Fn)
+	}
+	free := FreeVars(app)
+	if len(free) != 3 { // f, ce, cc
+		t.Errorf("free vars = %v, want f, ce, cc", free)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"(",
+		"()",
+		"((+ 1 2) 3)", // nested application as value
+		"(proc x (cc x))",
+		"'ab'",
+		`"unterminated`,
+		"<oid zz>",
+		"<oid 0x1",
+		"(+ 1 2",
+		"1 2", // trailing input
+		"(! 1)",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src, testOpts); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	n := MustParse("(cc 1) ; the result\n", testOpts)
+	if got := n.String(); got != "(cc_1 1)" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	srcs := []string{
+		"(+ 1 2 ce cc)",
+		"(proc(x !ce !cc) (cc x) 5 e k)",
+		"(== x 1 2 3 cont()(k 1) cont()(k 2) cont()(k 3) cont()(k 0))",
+		`(Y proc(!c0 !for !c) (c cont() (for 1) cont(i) (for i)))`,
+		"(select proc(x !ce !cc) (p x ce cc) <oid 0x00000001> e cont(r) (k r))",
+	}
+	for _, src := range srcs {
+		n1, err := Parse(src, testOpts)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		printed := Print(n1)
+		n2, err := Parse(printed, testOpts)
+		if err != nil {
+			t.Errorf("reparse of %q failed: %v\nprinted:\n%s", src, err, printed)
+			continue
+		}
+		if !AlphaEqual(n1, n2) {
+			t.Errorf("round trip not α-equal for %q:\n%s\nvs\n%s", src, printed, Print(n2))
+		}
+	}
+}
+
+func TestPrintIndentsLargeTerms(t *testing.T) {
+	g := NewVarGen()
+	term := loopTerm(g)
+	s := Print(term)
+	if !strings.Contains(s, "\n") {
+		t.Error("large term printed on one line")
+	}
+	if !strings.Contains(s, "proc(") || !strings.Contains(s, "cont(") {
+		t.Errorf("printer should differentiate proc and cont:\n%s", s)
+	}
+	// Round trip through the parser.
+	n2, err := Parse(s, testOpts)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, s)
+	}
+	if !AlphaEqual(term, n2) {
+		t.Error("printed loop term does not round-trip")
+	}
+}
+
+// genTerm builds a random well-formed arithmetic TML term of the given
+// depth: (op lit/var lit/var ce cont(t) …) chains ending in (cc t).
+func genTerm(depth int, seed int64, g *VarGen, ce, cc *Var, avail []*Var) *App {
+	pick := func(n int64) int64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		r := seed >> 33
+		if r < 0 {
+			r = -r
+		}
+		return r % n
+	}
+	operand := func() Value {
+		if len(avail) > 0 && pick(2) == 0 {
+			return avail[pick(int64(len(avail)))]
+		}
+		return Int(pick(100))
+	}
+	if depth == 0 {
+		return NewApp(cc, operand())
+	}
+	ops := []string{"+", "-", "*"}
+	op := ops[pick(int64(len(ops)))]
+	t1 := g.Fresh("t")
+	rest := genTerm(depth-1, seed, g, ce, cc, append(avail, t1))
+	return NewApp(NewPrim(op), operand(), operand(), ce, &Abs{Params: []*Var{t1}, Body: rest})
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, depthRaw uint8) bool {
+		depth := int(depthRaw % 12)
+		g := NewVarGen()
+		ce := g.FreshCont("ce")
+		cc := g.FreshCont("cc")
+		term := genTerm(depth, seed, g, ce, cc, nil)
+		printed := Print(term)
+		n2, err := Parse(printed, testOpts)
+		if err != nil {
+			t.Logf("parse error: %v\n%s", err, printed)
+			return false
+		}
+		return AlphaEqual(term, n2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFreshenPreservesAlpha(t *testing.T) {
+	f := func(seed int64, depthRaw uint8) bool {
+		depth := int(depthRaw % 10)
+		g := NewVarGen()
+		ce := g.FreshCont("ce")
+		cc := g.FreshCont("cc")
+		term := genTerm(depth, seed, g, ce, cc, nil)
+		cp := CopyApp(term, g)
+		if !AlphaEqual(term, cp) {
+			return false
+		}
+		// All binders in the copy are fresh (disjoint from the original).
+		orig := make(map[*Var]bool)
+		for _, v := range Binders(term) {
+			orig[v] = true
+		}
+		for _, v := range Binders(cp) {
+			if orig[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCensusConsistent(t *testing.T) {
+	f := func(seed int64, depthRaw uint8) bool {
+		depth := int(depthRaw % 10)
+		g := NewVarGen()
+		ce := g.FreshCont("ce")
+		cc := g.FreshCont("cc")
+		term := genTerm(depth, seed, g, ce, cc, nil)
+		census := NewCensus(term)
+		for _, v := range Binders(term) {
+			if census.Uses(v) != Count(term, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

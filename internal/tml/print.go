@@ -1,0 +1,105 @@
+package tml
+
+import "strings"
+
+// This file implements the TML pretty printer. Output follows the paper's
+// listings: abstractions print as proc(…) or cont(…) depending on the
+// purely syntactic continuation criterion of §2.2 rule 5, identifiers print
+// with their unique α-conversion suffix, and OIDs print as <oid 0x…>.
+// The output is accepted by Parse, so printing and parsing round-trip.
+
+const printWidth = 72
+
+// Print renders n as an indented s-expression.
+func Print(n Node) string {
+	var b strings.Builder
+	printInto(&b, n, 0)
+	return b.String()
+}
+
+func printNode(n Node) string { return Print(n) }
+
+// printInto writes n at the given indentation column.
+func printInto(b *strings.Builder, n Node, indent int) {
+	flat := printFlat(n)
+	if len(flat)+indent <= printWidth {
+		b.WriteString(flat)
+		return
+	}
+	switch n := n.(type) {
+	case *Abs:
+		b.WriteString(absHead(n))
+		b.WriteString("\n")
+		pad(b, indent+2)
+		printInto(b, n.Body, indent+2)
+	case *App:
+		b.WriteString("(")
+		printInto(b, n.Fn, indent+1)
+		for _, a := range n.Args {
+			b.WriteString("\n")
+			pad(b, indent+2)
+			printInto(b, a, indent+2)
+		}
+		b.WriteString(")")
+	default:
+		b.WriteString(flat)
+	}
+}
+
+func pad(b *strings.Builder, n int) {
+	for i := 0; i < n; i++ {
+		b.WriteByte(' ')
+	}
+}
+
+// printFlat renders n on a single line.
+func printFlat(n Node) string {
+	switch n := n.(type) {
+	case *Lit:
+		return n.String()
+	case *Oid:
+		return n.String()
+	case *Var:
+		return n.String()
+	case *Prim:
+		return n.String()
+	case *Abs:
+		return absHead(n) + " " + printFlat(n.Body)
+	case *App:
+		var b strings.Builder
+		b.WriteString("(")
+		b.WriteString(printFlat(n.Fn))
+		for _, a := range n.Args {
+			b.WriteString(" ")
+			b.WriteString(printFlat(a))
+		}
+		b.WriteString(")")
+		return b.String()
+	default:
+		return "<nil>"
+	}
+}
+
+// absHead renders the binder head of an abstraction, e.g. "proc(x_1 ce_2 cc_3)".
+func absHead(a *Abs) string {
+	var b strings.Builder
+	if a.IsCont() {
+		b.WriteString("cont(")
+	} else {
+		b.WriteString("proc(")
+	}
+	for i, p := range a.Params {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		if p.Cont {
+			// Explicit continuation marker; makes the proc/cont parameter
+			// flags round-trip through Parse (the paper's listings rely on
+			// naming conventions instead).
+			b.WriteString("!")
+		}
+		b.WriteString(p.String())
+	}
+	b.WriteString(")")
+	return b.String()
+}
