@@ -1,0 +1,75 @@
+// Command tycfsck checks the integrity of a persistent Tycoon store: log
+// structure and checksums, OID reachability from the root table, and
+// well-formedness of the persistent intermediate representations (PTML
+// trees, TAM code) attached to closures.
+//
+//	tycfsck -store db.tyst             # check, report findings
+//	tycfsck -store db.tyst -v          # also print per-object statistics
+//	tycfsck -store db.tyst -salvage    # repair a damaged log first
+//
+// Exit status: 0 when the store is sound (warnings allowed), 1 when
+// error findings were reported, 2 when the check itself failed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tycoon/internal/fsck"
+	"tycoon/internal/store"
+)
+
+func main() {
+	storePath := flag.String("store", "tycoon.tyst", "store file")
+	salvage := flag.Bool("salvage", false, "salvage a damaged log before checking (rewrites the store file)")
+	verbose := flag.Bool("v", false, "print statistics and warnings, not only errors")
+	flag.Parse()
+
+	if *salvage {
+		rep, err := store.Salvage(*storePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tycfsck: salvage: %v\n", err)
+			os.Exit(2)
+		}
+		switch {
+		case rep.QuarantinePath != "":
+			fmt.Printf("salvage: recovered %d records; damaged suffix (%d bytes, %s) quarantined to %s\n",
+				rep.Records, rep.QuarantinedBytes, rep.Reason, rep.QuarantinePath)
+		case rep.Rewritten:
+			fmt.Printf("salvage: rewrote log (%d records)\n", rep.Records)
+		default:
+			fmt.Println("salvage: log already clean")
+		}
+	}
+
+	rep, err := fsck.CheckPath(*storePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tycfsck: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *verbose && rep.Log != nil {
+		fmt.Printf("log: format v%d, %d bytes, %d records in %d batches\n",
+			rep.Log.Version, rep.Log.Size, rep.Log.Records, rep.Log.Batches)
+	}
+	if *verbose {
+		fmt.Printf("objects: %d total, %d reachable from %d roots, %d closures verified\n",
+			rep.Objects, rep.Reachable, rep.Roots, rep.Closures)
+	}
+	for _, f := range rep.Findings {
+		if f.Severity == fsck.Error || *verbose {
+			fmt.Println(f)
+		}
+	}
+	if !rep.OK() {
+		fmt.Fprintf(os.Stderr, "tycfsck: %s: %d errors, %d warnings\n", *storePath, rep.Errors(), rep.Warnings())
+		if rep.Log != nil && rep.Log.Damage != nil {
+			fmt.Fprintln(os.Stderr, "tycfsck: the log body is damaged; run with -salvage to recover the valid prefix")
+		}
+		os.Exit(1)
+	}
+	if *verbose {
+		fmt.Printf("%s: clean (%d warnings)\n", *storePath, rep.Warnings())
+	}
+}

@@ -1,0 +1,189 @@
+// Package iofault abstracts the file operations of the persistent store
+// behind an interface so that fault injection can be layered underneath.
+// The paper's premise — code, not just data, lives in the database — makes
+// the store the single point of failure for the whole system, so its
+// crash-consistency claims need to be *testable*: torn writes, failed
+// syncs, crashes between operations and bit flips are all faults the store
+// must survive or at least detect.
+//
+// Two implementations exist:
+//
+//   - OS() passes through to the real filesystem (package os);
+//   - MemFS simulates a filesystem with an explicit durability model
+//     (content survives a crash only once synced; names survive only once
+//     their directory is synced) and an Injector that crashes the world at
+//     a chosen operation, tearing the write in flight.
+package iofault
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+)
+
+// File is the subset of *os.File the store needs.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	// Sync flushes the file content to durable storage.
+	Sync() error
+	// Stat reports file metadata (the store only uses Size).
+	Stat() (os.FileInfo, error)
+}
+
+// FS is the subset of filesystem namespace operations the store needs.
+type FS interface {
+	// OpenFile opens a file with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove unlinks a file. Removing a missing file is an error.
+	Remove(name string) error
+	// SyncDir makes the *names* in dir durable: file creations, renames
+	// and removals are not crash-safe until the containing directory has
+	// been synced (the classic fsync-the-directory rule).
+	SyncDir(dir string) error
+}
+
+// Injected faults.
+var (
+	// ErrCrashed is returned by every operation at and after the injected
+	// crash point: the simulated machine is down.
+	ErrCrashed = errors.New("iofault: simulated crash")
+	// ErrInjected is returned by operations selected for a transient
+	// failure (a failed sync that does not take the machine down).
+	ErrInjected = errors.New("iofault: injected fault")
+)
+
+// --- real filesystem -------------------------------------------------------
+
+type osFS struct{}
+
+// OS returns the pass-through implementation backed by package os.
+func OS() FS { return osFS{} }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) SyncDir(dir string) error {
+	if dir == "" {
+		dir = "."
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// --- fault injector --------------------------------------------------------
+
+// Injector decides which filesystem operation fails and how. All mutating
+// MemFS operations (writes, syncs, opens that create, renames, removals,
+// directory syncs) draw an operation number from the injector; reads are
+// free. Operation numbering is deterministic for a deterministic workload,
+// which lets a test crash a workload at every single point in turn.
+type Injector struct {
+	mu         sync.Mutex
+	ops        int
+	crashAt    int // crash when ops reaches this value; <0 = never
+	failSyncAt int // sync op index that fails transiently; <0 = never
+	crashed    bool
+	rng        *rand.Rand
+}
+
+// NewInjector returns an injector with no faults armed. The seed drives
+// the torn-write choices made at the crash point.
+func NewInjector(seed int64) *Injector {
+	return &Injector{crashAt: -1, failSyncAt: -1, rng: rand.New(rand.NewSource(seed))}
+}
+
+// CrashAt arms a crash at the given operation index (0-based). The
+// operation with that index fails with ErrCrashed — a write in flight is
+// torn, persisting only a prefix — and every later operation fails too.
+func (in *Injector) CrashAt(op int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.crashAt = op
+	in.crashed = false
+}
+
+// FailSyncAt arms a single transient sync failure at the given operation
+// index: the sync returns ErrInjected without persisting, but the machine
+// stays up.
+func (in *Injector) FailSyncAt(op int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.failSyncAt = op
+}
+
+// Ops reports how many operations have been observed so far; running a
+// workload once with no faults armed yields the number of crash points.
+func (in *Injector) Ops() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.ops
+}
+
+// Crashed reports whether the armed crash has fired.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// step accounts one mutating operation. It reports (crash, fail): crash
+// means the operation and all later ones die with ErrCrashed; fail means
+// this one operation returns ErrInjected (only ever reported for syncs).
+func (in *Injector) step(isSync bool) (crash, fail bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return true, false
+	}
+	op := in.ops
+	in.ops++
+	if in.crashAt >= 0 && op >= in.crashAt {
+		in.crashed = true
+		return true, false
+	}
+	if isSync && op == in.failSyncAt {
+		return false, true
+	}
+	return false, false
+}
+
+// tear picks how many bytes of an n-byte write in flight at the crash
+// point actually reach the file image.
+func (in *Injector) tear(n int) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.rng == nil {
+		return 0
+	}
+	return in.rng.Intn(n + 1)
+}
+
+// pick returns a deterministic pseudo-random value in [0, n] used when
+// deciding how much unsynced data survives a crash.
+func (in *Injector) pick(n int) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.rng == nil {
+		return n
+	}
+	return in.rng.Intn(n + 1)
+}

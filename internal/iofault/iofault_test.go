@@ -1,0 +1,249 @@
+package iofault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeAll(t *testing.T, f File, b []byte) {
+	t.Helper()
+	if _, err := f.Write(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemFSBasics(t *testing.T) {
+	fs := NewMemFS(nil)
+	f, err := fs.OpenFile("a/x", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("hello "))
+	writeAll(t, f, []byte("world"))
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(f)
+	if err != nil || string(got) != "hello world" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	info, err := f.Stat()
+	if err != nil || info.Size() != 11 {
+		t.Fatalf("Stat: %v %v", info, err)
+	}
+	if _, err := fs.OpenFile("a/missing", os.O_RDONLY, 0); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("open missing = %v", err)
+	}
+	// O_TRUNC empties, O_APPEND writes at the end.
+	f2, _ := fs.OpenFile("a/x", os.O_RDWR|os.O_TRUNC, 0o644)
+	writeAll(t, f2, []byte("zz"))
+	f3, _ := fs.OpenFile("a/x", os.O_WRONLY|os.O_APPEND, 0o644)
+	writeAll(t, f3, []byte("!"))
+	if got, _ := fs.ReadFile("a/x"); string(got) != "zz!" {
+		t.Fatalf("after trunc+append: %q", got)
+	}
+}
+
+func TestMemFSDurabilityModel(t *testing.T) {
+	fs := NewMemFS(nil)
+	// Created, written, synced — but the directory is never synced: the
+	// name does not survive a crash.
+	f, _ := fs.OpenFile("u/unsynced-name", os.O_RDWR|os.O_CREATE, 0o644)
+	writeAll(t, f, []byte("data"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Created, dir synced, content synced, then more unsynced writes.
+	g, _ := fs.OpenFile("d/log", os.O_RDWR|os.O_CREATE, 0o644)
+	if err := fs.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, g, []byte("durable"))
+	if err := g.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, g, []byte("-volatile-tail"))
+
+	fs.Crash()
+
+	if _, err := fs.ReadFile("u/unsynced-name"); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("file with unsynced name survived crash: %v", err)
+	}
+	got, err := fs.ReadFile("d/log")
+	if err != nil {
+		t.Fatalf("durable file lost: %v", err)
+	}
+	full := []byte("durable-volatile-tail")
+	if len(got) < len("durable") || !bytes.HasPrefix(full, got) {
+		t.Errorf("post-crash content %q is not a prefix extension of the synced state", got)
+	}
+}
+
+func TestMemFSRenameDurability(t *testing.T) {
+	// A rename not followed by SyncDir reverts at crash; with SyncDir it
+	// survives.
+	for _, syncDir := range []bool{false, true} {
+		fs := NewMemFS(nil)
+		f, _ := fs.OpenFile("d/old", os.O_RDWR|os.O_CREATE, 0o644)
+		writeAll(t, f, []byte("v1"))
+		f.Sync()
+		fs.SyncDir("d")
+		g, _ := fs.OpenFile("d/new.tmp", os.O_RDWR|os.O_CREATE, 0o644)
+		writeAll(t, g, []byte("v2"))
+		g.Sync()
+		if err := fs.Rename("d/new.tmp", "d/old"); err != nil {
+			t.Fatal(err)
+		}
+		if syncDir {
+			fs.SyncDir("d")
+		}
+		fs.Crash()
+		got, err := fs.ReadFile("d/old")
+		if err != nil {
+			t.Fatalf("syncDir=%v: %v", syncDir, err)
+		}
+		want := "v1"
+		if syncDir {
+			want = "v2"
+		}
+		if string(got) != want {
+			t.Errorf("syncDir=%v: content %q, want %q", syncDir, got, want)
+		}
+	}
+}
+
+func TestInjectorCrashPoint(t *testing.T) {
+	inj := NewInjector(1)
+	fs := NewMemFS(inj)
+	f, _ := fs.OpenFile("d/x", os.O_RDWR|os.O_CREATE, 0o644) // op 0
+	fs.SyncDir("d")                                          // op 1
+	writeAll(t, f, []byte("aa"))                             // op 2
+	f.Sync()                                                 // op 3
+	if got := inj.Ops(); got != 4 {
+		t.Fatalf("ops = %d, want 4", got)
+	}
+
+	// Re-run the same workload crashing at the sync: the write lands
+	// volatile, the sync dies, and every later operation dies too.
+	inj2 := NewInjector(1)
+	fs2 := NewMemFS(inj2)
+	inj2.CrashAt(3)
+	f2, _ := fs2.OpenFile("d/x", os.O_RDWR|os.O_CREATE, 0o644)
+	fs2.SyncDir("d")
+	writeAll(t, f2, []byte("aa"))
+	if err := f2.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("sync at crash point = %v", err)
+	}
+	if _, err := f2.Write([]byte("bb")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write after crash = %v", err)
+	}
+	if !inj2.Crashed() {
+		t.Fatal("injector not crashed")
+	}
+	fs2.Crash()
+	// Name is durable (SyncDir preceded the crash); content is some
+	// prefix of the unsynced write.
+	got, err := fs2.ReadFile("d/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix([]byte("aa"), got) {
+		t.Errorf("post-crash content %q not a prefix of the torn write", got)
+	}
+}
+
+func TestInjectorTornWrite(t *testing.T) {
+	// Crashing inside the write itself must persist at most a prefix.
+	for seed := int64(0); seed < 8; seed++ {
+		inj := NewInjector(seed)
+		fs := NewMemFS(inj)
+		f, _ := fs.OpenFile("d/x", os.O_RDWR|os.O_CREATE, 0o644)
+		fs.SyncDir("d")
+		inj.CrashAt(2)
+		if _, err := f.Write([]byte("0123456789")); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("seed %d: write = %v", seed, err)
+		}
+		fs.Crash()
+		got, err := fs.ReadFile("d/x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.HasPrefix([]byte("0123456789"), got) {
+			t.Errorf("seed %d: torn write produced %q", seed, got)
+		}
+	}
+}
+
+func TestInjectorFailSync(t *testing.T) {
+	inj := NewInjector(0)
+	fs := NewMemFS(inj)
+	f, _ := fs.OpenFile("d/x", os.O_RDWR|os.O_CREATE, 0o644) // op 0
+	fs.SyncDir("d")                                          // op 1
+	inj.FailSyncAt(3)
+	writeAll(t, f, []byte("aa")) // op 2
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync = %v, want ErrInjected", err)
+	}
+	// Transient: the next sync succeeds and persists.
+	if err := f.Sync(); err != nil {
+		t.Fatalf("retry sync = %v", err)
+	}
+	fs.Crash()
+	if got, _ := fs.ReadFile("d/x"); string(got) != "aa" {
+		t.Errorf("content after retried sync = %q", got)
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	fs := NewMemFS(nil)
+	f, _ := fs.OpenFile("d/x", os.O_RDWR|os.O_CREATE, 0o644)
+	writeAll(t, f, []byte{0x00, 0xff})
+	f.Sync()
+	fs.SyncDir("d")
+	if err := fs.FlipBit("d/x", 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fs.ReadFile("d/x")
+	if got[0] != 0x08 {
+		t.Errorf("flipped byte = %#x", got[0])
+	}
+	fs.Crash()
+	got, _ = fs.ReadFile("d/x")
+	if got[0] != 0x08 {
+		t.Errorf("flip not durable: %#x", got[0])
+	}
+	if err := fs.FlipBit("d/x", 99, 0); err == nil {
+		t.Error("out-of-range flip accepted")
+	}
+}
+
+func TestOSFSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fs := OS()
+	path := filepath.Join(dir, "x")
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("abc"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := fs.Rename(path, path+"2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove(path + "2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(""); err != nil {
+		t.Fatal(err)
+	}
+}

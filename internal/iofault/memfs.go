@@ -1,0 +1,343 @@
+package iofault
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// MemFS is an in-memory filesystem with an explicit durability model, the
+// substrate of the store's crash-simulation harness.
+//
+// Every file has a volatile content (what reads observe) and a durable
+// content (what survives a crash): Sync promotes the volatile content to
+// durable. Independently, the *name* of a file is durable only once its
+// containing directory has been synced — a freshly created or renamed file
+// whose directory was never synced vanishes at a crash, exactly like a
+// real POSIX filesystem after power loss.
+//
+// Crash() simulates power loss plus reboot: the namespace reverts to the
+// durable one, and each surviving file reverts to its synced content plus
+// an arbitrary prefix of its unsynced writes (torn tail) — append-only
+// logs see exactly the partial-persistence behaviour they must tolerate.
+type MemFS struct {
+	mu  sync.Mutex
+	inj *Injector
+	vol map[string]*inode // volatile namespace
+	dur map[string]*inode // durable namespace (dir-synced names)
+}
+
+type inode struct {
+	data   []byte
+	synced []byte
+	writes []writeOp // unsynced writes, in order
+}
+
+type writeOp struct {
+	off int64
+	b   []byte
+}
+
+// NewMemFS returns an empty in-memory filesystem. A nil injector means no
+// faults: all operations succeed (but the durability model still applies).
+func NewMemFS(inj *Injector) *MemFS {
+	if inj == nil {
+		inj = NewInjector(0)
+	}
+	return &MemFS{
+		inj: inj,
+		vol: make(map[string]*inode),
+		dur: make(map[string]*inode),
+	}
+}
+
+// Injector returns the fault injector driving this filesystem.
+func (fs *MemFS) Injector() *Injector { return fs.inj }
+
+func norm(name string) string { return filepath.Clean(name) }
+
+// OpenFile opens a file with os.OpenFile semantics. Creating or
+// truncating counts as one injectable operation; opening an existing file
+// for reading is free.
+func (fs *MemFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	name = norm(name)
+	ino, ok := fs.vol[name]
+	mutates := (!ok && flag&os.O_CREATE != 0) || (ok && flag&os.O_TRUNC != 0)
+	if mutates {
+		if crash, _ := fs.inj.step(false); crash {
+			return nil, fmt.Errorf("open %s: %w", name, ErrCrashed)
+		}
+	} else if fs.inj.Crashed() {
+		return nil, fmt.Errorf("open %s: %w", name, ErrCrashed)
+	}
+	switch {
+	case !ok && flag&os.O_CREATE == 0:
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	case !ok:
+		ino = &inode{}
+		fs.vol[name] = ino
+	case flag&os.O_TRUNC != 0:
+		ino.data = nil
+		ino.writes = append(ino.writes, writeOp{off: -1}) // truncation marker
+	}
+	f := &memFile{fs: fs, name: name, ino: ino, flag: flag}
+	if flag&os.O_APPEND != 0 {
+		f.pos = int64(len(ino.data))
+	}
+	return f, nil
+}
+
+// Rename moves oldpath to newpath in the volatile namespace; the move is
+// durable only after SyncDir.
+func (fs *MemFS) Rename(oldpath, newpath string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	oldpath, newpath = norm(oldpath), norm(newpath)
+	if crash, _ := fs.inj.step(false); crash {
+		return fmt.Errorf("rename %s: %w", oldpath, ErrCrashed)
+	}
+	ino, ok := fs.vol[oldpath]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldpath, Err: os.ErrNotExist}
+	}
+	fs.vol[newpath] = ino
+	delete(fs.vol, oldpath)
+	return nil
+}
+
+// Remove unlinks a file from the volatile namespace.
+func (fs *MemFS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	name = norm(name)
+	if crash, _ := fs.inj.step(false); crash {
+		return fmt.Errorf("remove %s: %w", name, ErrCrashed)
+	}
+	if _, ok := fs.vol[name]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	delete(fs.vol, name)
+	return nil
+}
+
+// SyncDir makes the current names under dir durable: creations, renames
+// and removals in that directory survive a crash from here on.
+func (fs *MemFS) SyncDir(dir string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if dir == "" {
+		dir = "."
+	}
+	dir = norm(dir)
+	if crash, _ := fs.inj.step(false); crash {
+		return fmt.Errorf("syncdir %s: %w", dir, ErrCrashed)
+	}
+	for name := range fs.dur {
+		if filepath.Dir(name) == dir {
+			if _, ok := fs.vol[name]; !ok {
+				delete(fs.dur, name)
+			}
+		}
+	}
+	for name, ino := range fs.vol {
+		if filepath.Dir(name) == dir {
+			fs.dur[name] = ino
+		}
+	}
+	return nil
+}
+
+// Crash simulates power loss and reboot. The volatile namespace is
+// replaced by the durable one; each surviving file keeps its synced
+// content plus an injector-chosen prefix of its unsynced writes, the last
+// of which may itself be torn. The injector is disarmed so the filesystem
+// can be reopened and inspected.
+func (fs *MemFS) Crash() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.inj.CrashAt(-1)
+	vol := make(map[string]*inode, len(fs.dur))
+	for name, ino := range fs.dur {
+		content := append([]byte(nil), ino.synced...)
+		k := fs.inj.pick(len(ino.writes))
+		for i := 0; i < k; i++ {
+			content = applyWrite(content, ino.writes[i], len(ino.writes[i].b))
+		}
+		if k < len(ino.writes) {
+			w := ino.writes[k]
+			content = applyWrite(content, w, fs.inj.pick(len(w.b)))
+		}
+		next := &inode{data: content, synced: append([]byte(nil), content...)}
+		vol[name] = next
+		fs.dur[name] = next
+	}
+	fs.vol = vol
+}
+
+// applyWrite replays the first n bytes of one recorded write; the off==-1
+// truncation marker empties the file.
+func applyWrite(content []byte, w writeOp, n int) []byte {
+	if w.off < 0 {
+		return nil
+	}
+	end := w.off + int64(n)
+	for int64(len(content)) < end {
+		content = append(content, 0)
+	}
+	copy(content[w.off:end], w.b[:n])
+	return content
+}
+
+// FlipBit flips one bit of a file in both the volatile and durable image,
+// simulating media corruption underneath the store.
+func (fs *MemFS) FlipBit(name string, off int64, bit uint) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ino, ok := fs.vol[norm(name)]
+	if !ok {
+		return &os.PathError{Op: "flipbit", Path: name, Err: os.ErrNotExist}
+	}
+	if off < 0 || off >= int64(len(ino.data)) {
+		return fmt.Errorf("iofault: flipbit offset %d out of range", off)
+	}
+	ino.data[off] ^= 1 << (bit % 8)
+	if off < int64(len(ino.synced)) {
+		ino.synced[off] ^= 1 << (bit % 8)
+	}
+	return nil
+}
+
+// Names lists the volatile namespace, sorted (for tests and diagnostics).
+func (fs *MemFS) Names() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	names := make([]string, 0, len(fs.vol))
+	for n := range fs.vol {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ReadFile returns a copy of the volatile content of a file.
+func (fs *MemFS) ReadFile(name string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ino, ok := fs.vol[norm(name)]
+	if !ok {
+		return nil, &os.PathError{Op: "read", Path: name, Err: os.ErrNotExist}
+	}
+	return append([]byte(nil), ino.data...), nil
+}
+
+// --- file handle -----------------------------------------------------------
+
+type memFile struct {
+	fs   *MemFS
+	name string
+	ino  *inode
+	pos  int64
+	flag int
+}
+
+func (f *memFile) Read(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.fs.inj.Crashed() {
+		return 0, ErrCrashed
+	}
+	if f.pos >= int64(len(f.ino.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.ino.data[f.pos:])
+	f.pos += int64(n)
+	return n, nil
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.flag&os.O_APPEND != 0 {
+		f.pos = int64(len(f.ino.data))
+	}
+	crashedBefore := f.fs.inj.Crashed()
+	if crash, _ := f.fs.inj.step(false); crash {
+		if !crashedBefore {
+			// Torn write: the write in flight at the crash point gets a
+			// prefix of its buffer into the file image. Writes attempted
+			// after the crash reach nothing — the machine is down.
+			n := f.fs.inj.tear(len(p))
+			w := writeOp{off: f.pos, b: append([]byte(nil), p[:n]...)}
+			f.ino.writes = append(f.ino.writes, w)
+			f.ino.data = applyWrite(f.ino.data, w, n)
+		}
+		return 0, fmt.Errorf("write %s: %w", f.name, ErrCrashed)
+	}
+	w := writeOp{off: f.pos, b: append([]byte(nil), p...)}
+	f.ino.writes = append(f.ino.writes, w)
+	f.ino.data = applyWrite(f.ino.data, w, len(p))
+	f.pos += int64(len(p))
+	return len(p), nil
+}
+
+func (f *memFile) Seek(offset int64, whence int) (int64, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = f.pos
+	case io.SeekEnd:
+		base = int64(len(f.ino.data))
+	default:
+		return 0, fmt.Errorf("iofault: bad whence %d", whence)
+	}
+	if base+offset < 0 {
+		return 0, fmt.Errorf("iofault: negative seek")
+	}
+	f.pos = base + offset
+	return f.pos, nil
+}
+
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	crash, fail := f.fs.inj.step(true)
+	if crash {
+		return fmt.Errorf("sync %s: %w", f.name, ErrCrashed)
+	}
+	if fail {
+		return fmt.Errorf("sync %s: %w", f.name, ErrInjected)
+	}
+	f.ino.synced = append([]byte(nil), f.ino.data...)
+	f.ino.writes = nil
+	return nil
+}
+
+func (f *memFile) Close() error { return nil }
+
+func (f *memFile) Stat() (os.FileInfo, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	return memInfo{name: filepath.Base(f.name), size: int64(len(f.ino.data))}, nil
+}
+
+type memInfo struct {
+	name string
+	size int64
+}
+
+func (i memInfo) Name() string       { return i.name }
+func (i memInfo) Size() int64        { return i.size }
+func (i memInfo) Mode() os.FileMode  { return 0o644 }
+func (i memInfo) ModTime() time.Time { return time.Time{} }
+func (i memInfo) IsDir() bool        { return false }
+func (i memInfo) Sys() any           { return nil }

@@ -1,0 +1,62 @@
+package ptml
+
+import (
+	"testing"
+
+	"tycoon/internal/prim"
+	"tycoon/internal/tml"
+)
+
+// FuzzDecode drives the PTML decoder with arbitrary bytes: it must never
+// panic, never allocate absurdly, and everything it accepts must be a
+// well-formed TML term that round-trips through Encode.
+func FuzzDecode(f *testing.F) {
+	// Seed with valid encodings of representative terms so the fuzzer
+	// starts from deep in the accepted language.
+	seeds := []string{
+		"(f x)",
+		"proc(x !ce !cc) (+ x 1 ce cc)",
+		"proc(x !ce !cc) (+ x y ce cont(t) (* t 2 ce cc))",
+		"proc(n !ce !cc) (Y proc(!c0 !loop !c) (c cont() (loop 1 0) cont(i acc) (> i n cont() (cc acc) cont() (+ acc i ce cont(a2) (+ i 1 ce cont(i2) (loop i2 a2))))))",
+		`(g "hello" 'c' 3.5 #t nil)`,
+	}
+	for _, src := range seeds {
+		n, err := tml.Parse(src, tml.ParseOpts{IsPrim: prim.IsPrim})
+		if err != nil {
+			f.Fatalf("Parse(%q): %v", src, err)
+		}
+		data, err := Encode(n)
+		if err != nil {
+			f.Fatalf("Encode(%q): %v", src, err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{magicByte, formatVersion})
+	f.Add([]byte{magicByte, formatVersion, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, free, err := Decode(data, nil)
+		if err != nil {
+			return
+		}
+		// Accepted input must re-encode: the decoder reconstructs a real
+		// term, not an inconsistent tree.
+		if _, err := Encode(n); err != nil {
+			t.Fatalf("decoded term does not re-encode: %v", err)
+		}
+		// The scoping rules the decoder enforces structurally must hold:
+		// no variable outside the declared free list may occur free.
+		for _, v := range tml.FreeVars(n) {
+			found := false
+			for _, fv := range free {
+				if v == fv {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("decoded term has undeclared free variable %s", v)
+			}
+		}
+	})
+}

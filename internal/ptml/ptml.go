@@ -240,11 +240,22 @@ func Decode(data []byte, gen *tml.VarGen) (tml.Node, []*tml.Var, error) {
 	}
 	d := &decoder{b: data, pos: 2, gen: gen}
 	nstr := d.uvarint()
+	// Every string-table entry takes at least its one-byte length, so a
+	// declared count beyond the remaining input is certainly corrupt; the
+	// cap keeps hostile headers from driving large allocations.
+	if d.err == nil && nstr > uint64(len(d.b)-d.pos) {
+		return nil, nil, fmt.Errorf("%w: absurd string count %d", ErrCorrupt, nstr)
+	}
 	for i := uint64(0); i < nstr && d.err == nil; i++ {
 		n := d.uvarint()
 		d.strs = append(d.strs, d.take(int(n)))
 	}
 	nfree := d.uvarint()
+	// A free-variable entry is a string index plus a continuation flag:
+	// at least two bytes.
+	if d.err == nil && nfree > uint64(len(d.b)-d.pos)/2 {
+		return nil, nil, fmt.Errorf("%w: absurd free-variable count %d", ErrCorrupt, nfree)
+	}
 	var free []*tml.Var
 	for i := uint64(0); i < nfree && d.err == nil; i++ {
 		name := d.string()
@@ -321,13 +332,20 @@ func baseName(printed string) string {
 }
 
 type decoder struct {
-	b    []byte
-	pos  int
-	err  error
-	strs []string
-	vars []*tml.Var
-	gen  *tml.VarGen
+	b     []byte
+	pos   int
+	err   error
+	strs  []string
+	vars  []*tml.Var
+	gen   *tml.VarGen
+	depth int
 }
+
+// maxDepth bounds the tree-recursion depth of the decoder: legitimate
+// optimizer output nests a few hundred levels at most, while a crafted
+// blob of nested applications could otherwise overflow the goroutine
+// stack.
+const maxDepth = 10000
 
 func (d *decoder) fail(format string, args ...any) {
 	if d.err == nil {
@@ -394,6 +412,12 @@ func (d *decoder) string() string {
 }
 
 func (d *decoder) node() tml.Node {
+	d.depth++
+	defer func() { d.depth-- }()
+	if d.depth > maxDepth {
+		d.fail("tree deeper than %d", maxDepth)
+		return nil
+	}
 	tag := d.u8()
 	if d.err != nil {
 		return nil
@@ -436,7 +460,9 @@ func (d *decoder) node() tml.Node {
 		if d.err != nil {
 			return nil
 		}
-		if np > uint64(len(d.b)) {
+		// A parameter is a string index plus a continuation flag: at
+		// least two bytes of remaining input each.
+		if np > uint64(len(d.b)-d.pos)/2 {
 			d.fail("absurd parameter count %d", np)
 			return nil
 		}
@@ -473,7 +499,9 @@ func (d *decoder) node() tml.Node {
 		if d.err != nil {
 			return nil
 		}
-		if na > uint64(len(d.b)) {
+		// Every argument takes at least its one-byte tag of remaining
+		// input.
+		if na > uint64(len(d.b)-d.pos) {
 			d.fail("absurd argument count %d", na)
 			return nil
 		}

@@ -24,6 +24,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 
 	"tycoon/internal/machine"
 	"tycoon/internal/ptml"
@@ -31,18 +32,43 @@ import (
 	"tycoon/internal/tml"
 )
 
-// ErrBadBundle wraps bundle decoding failures.
+// ErrBadBundle wraps structural bundle decoding failures (bad magic,
+// malformed entries).
 var ErrBadBundle = errors.New("ship: corrupt bundle")
+
+// ErrCorruptBundle is the sentinel wrapped by CorruptBundleError: the
+// bundle was damaged in transit (truncation, bit flips) and its v2
+// integrity envelope caught it.
+var ErrCorruptBundle = errors.New("ship: bundle damaged in transit")
 
 // ErrUnresolved reports a by-name dependency missing in the target store.
 var ErrUnresolved = errors.New("ship: unresolved dependency")
 
+// CorruptBundleError reports damage detected by the v2 bundle envelope.
+type CorruptBundleError struct {
+	Reason string
+}
+
+func (e *CorruptBundleError) Error() string { return "ship: corrupt bundle: " + e.Reason }
+
+// Unwrap makes errors.Is(err, ErrCorruptBundle) hold.
+func (e *CorruptBundleError) Unwrap() error { return ErrCorruptBundle }
+
 const (
-	bundleMagic   = "TYSHIP01"
+	// bundleMagic tags the current bundle format: the magic, a u32 body
+	// length, the body, and a CRC32C (Castagnoli) of the body. Bundles
+	// cross machine boundaries, so unlike the store log they get no second
+	// chance at detecting rot — Import verifies before touching the store.
+	bundleMagic = "TYSHIP02"
+	// bundleMagicV1 tags the legacy unchecksummed format, still imported.
+	bundleMagicV1 = "TYSHIP01"
+
 	entryObject   = byte(1) // shipped by value
 	entryRelation = byte(2) // resolved by name in the target
 	entryModule   = byte(3) // resolved by name in the target
 )
+
+var bundleCRC = crc32.MakeTable(crc32.Castagnoli)
 
 // Export serialises the transitive code closure of root.
 func Export(st *store.Store, root store.OID) ([]byte, error) {
@@ -50,22 +76,61 @@ func Export(st *store.Store, root store.OID) ([]byte, error) {
 	if err := e.visit(root); err != nil {
 		return nil, err
 	}
-	var out bytes.Buffer
-	out.WriteString(bundleMagic)
-	putU32(&out, uint32(len(e.entries)))
+	var body bytes.Buffer
+	putU32(&body, uint32(len(e.entries)))
 	for _, ent := range e.entries {
-		out.WriteByte(ent.kind)
+		body.WriteByte(ent.kind)
 		if ent.kind == entryRelation || ent.kind == entryModule {
-			putStr(&out, ent.relName)
+			putStr(&body, ent.relName)
 			continue
 		}
-		out.WriteByte(byte(ent.obj.Kind()))
+		body.WriteByte(byte(ent.obj.Kind()))
 		payload := encodeShipped(ent.obj, e.index)
-		putU32(&out, uint32(len(payload)))
-		out.Write(payload)
+		putU32(&body, uint32(len(payload)))
+		body.Write(payload)
 	}
-	// The root is always entry 0 (visit order).
+	// The root is always entry 0 (visit order). Wrap the body in the v2
+	// integrity envelope: length up front, checksum at the end.
+	var out bytes.Buffer
+	out.WriteString(bundleMagic)
+	putU32(&out, uint32(body.Len()))
+	out.Write(body.Bytes())
+	putU32(&out, crc32.Checksum(body.Bytes(), bundleCRC))
 	return out.Bytes(), nil
+}
+
+// bundleBody validates a bundle's envelope and returns its entry stream.
+// V2 bundles are length- and checksum-verified; v1 bundles pass through
+// unchecked (they carry no integrity data).
+func bundleBody(bundle []byte) ([]byte, error) {
+	mlen := len(bundleMagic)
+	if len(bundle) < mlen {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadBundle)
+	}
+	switch string(bundle[:mlen]) {
+	case bundleMagicV1:
+		return bundle[mlen:], nil
+	case bundleMagic:
+		if len(bundle) < mlen+4+4 {
+			return nil, &CorruptBundleError{Reason: "truncated envelope"}
+		}
+		n := int(binary.LittleEndian.Uint32(bundle[mlen:]))
+		if len(bundle) != mlen+4+n+4 {
+			return nil, &CorruptBundleError{
+				Reason: fmt.Sprintf("envelope frames %d body bytes, bundle has %d", n, len(bundle)-mlen-8),
+			}
+		}
+		buf := bundle[mlen+4 : mlen+4+n]
+		want := binary.LittleEndian.Uint32(bundle[mlen+4+n:])
+		if got := crc32.Checksum(buf, bundleCRC); got != want {
+			return nil, &CorruptBundleError{
+				Reason: fmt.Sprintf("checksum mismatch (computed %08x, recorded %08x)", got, want),
+			}
+		}
+		return buf, nil
+	default:
+		return nil, fmt.Errorf("%w: bad magic", ErrBadBundle)
+	}
 }
 
 type entry struct {
@@ -153,11 +218,18 @@ func refsOf(obj store.Object) []store.OID {
 // Import replays a bundle into st and returns the new OID of the
 // bundle's root object.
 func Import(st *store.Store, bundle []byte) (store.OID, error) {
-	if len(bundle) < len(bundleMagic)+4 || string(bundle[:len(bundleMagic)]) != bundleMagic {
-		return store.Nil, fmt.Errorf("%w: bad magic", ErrBadBundle)
+	body, err := bundleBody(bundle)
+	if err != nil {
+		return store.Nil, err
 	}
-	r := &reader{b: bundle, pos: len(bundleMagic)}
+	r := &reader{b: body}
 	n := int(r.u32())
+	// Every entry takes at least two bytes; a larger declared count is
+	// corrupt and must not drive a huge allocation (v1 bundles have no
+	// checksum to catch this earlier).
+	if r.err == nil && (n < 0 || n > len(body)) {
+		return store.Nil, fmt.Errorf("%w: absurd entry count %d", ErrBadBundle, n)
+	}
 	type pending struct {
 		kind    store.Kind
 		payload []byte

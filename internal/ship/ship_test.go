@@ -225,6 +225,74 @@ func TestImportRejectsGarbage(t *testing.T) {
 	}
 }
 
+// exportTriple builds a source node and exports app.triple for the
+// corruption tests.
+func exportTriple(t *testing.T) []byte {
+	t.Helper()
+	src := newNode(t)
+	src.install(t, `
+module app export triple
+let triple(n : Int) : Int = n * 3
+end`)
+	bundle, err := ship.ExportFunction(src.st, "app", "triple")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bundle
+}
+
+func TestImportDetectsTruncation(t *testing.T) {
+	bundle := exportTriple(t)
+	dst := newNode(t)
+	for cut := 0; cut < len(bundle); cut++ {
+		_, err := ship.Import(dst.st, bundle[:cut])
+		if err == nil {
+			t.Fatalf("bundle truncated to %d/%d bytes imported", cut, len(bundle))
+		}
+		// Once the magic is intact, the v2 envelope attributes the
+		// failure to transit damage, typed for the caller.
+		if cut >= 8 && !errors.Is(err, ship.ErrCorruptBundle) {
+			t.Fatalf("truncation to %d bytes: err = %v, want ErrCorruptBundle", cut, err)
+		}
+	}
+}
+
+func TestImportDetectsBitFlip(t *testing.T) {
+	bundle := exportTriple(t)
+	dst := newNode(t)
+	for off := 0; off < len(bundle); off++ {
+		mut := append([]byte(nil), bundle...)
+		mut[off] ^= 0x20
+		_, err := ship.Import(dst.st, mut)
+		if err == nil {
+			t.Fatalf("bundle with bit flipped at offset %d imported", off)
+		}
+		if off >= 8 && !errors.Is(err, ship.ErrCorruptBundle) {
+			t.Fatalf("bit flip at offset %d: err = %v, want ErrCorruptBundle", off, err)
+		}
+		var ce *ship.CorruptBundleError
+		if off >= 8 && !errors.As(err, &ce) {
+			t.Fatalf("bit flip at offset %d: err is not a *CorruptBundleError: %v", off, err)
+		}
+	}
+}
+
+func TestImportLegacyV1Bundle(t *testing.T) {
+	// A v1 bundle is the v2 body without the integrity envelope; the
+	// importer must still accept it (stores in the field hold v1 exports).
+	bundle := exportTriple(t)
+	legacy := append([]byte("TYSHIP01"), bundle[12:len(bundle)-4]...)
+	dst := newNode(t)
+	oid, err := ship.Import(dst.st, legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := dst.m.Apply(machine.Ref{OID: oid}, []machine.Value{machine.Int(14)})
+	if err != nil || v != machine.Value(machine.Int(42)) {
+		t.Fatalf("legacy bundle triple(14) = %v, %v", v, err)
+	}
+}
+
 func mustRoot(t *testing.T, st *store.Store, name string) store.OID {
 	t.Helper()
 	oid, ok := st.Root(name)

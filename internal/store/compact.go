@@ -1,10 +1,9 @@
 package store
 
 import (
-	"bytes"
-	"encoding/binary"
 	"fmt"
 	"os"
+	"path/filepath"
 )
 
 // Compact rewrites the log so that it contains exactly one record per
@@ -12,12 +11,14 @@ import (
 // record per committed object state (last-writer-wins on replay), so
 // long-lived stores — the paper's systems run for years; the Tycoon
 // system state is itself persistent — periodically reclaim the
-// superseded states.
+// superseded states. Compaction always writes the current log format, so
+// it doubles as the migration path for v1 logs.
 //
 // The rewrite goes through a temporary file in the same directory and
-// replaces the log atomically with os.Rename; a crash during compaction
-// leaves the original intact. Pending (uncommitted) changes are committed
-// first. In-memory stores compact trivially.
+// replaces the log atomically with an fsynced rename; a crash during
+// compaction leaves either the original or the fully written replacement,
+// never a mix. Pending (uncommitted) changes are committed first.
+// In-memory stores compact trivially.
 func (s *Store) Compact() error {
 	if err := s.Commit(); err != nil {
 		return err
@@ -29,41 +30,13 @@ func (s *Store) Compact() error {
 	}
 
 	tmpPath := s.path + ".compact"
-	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	tmp, err := s.fsys.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: compact: %w", err)
 	}
-	defer os.Remove(tmpPath) // no-op after successful rename
+	defer s.fsys.Remove(tmpPath) // no-op after successful rename
 
-	var out bytes.Buffer
-	out.Write(magic[:])
-	var vb [4]byte
-	binary.LittleEndian.PutUint32(vb[:], formatVersion)
-	out.Write(vb[:])
-
-	oids := make([]OID, 0, len(s.objects))
-	for oid := range s.objects {
-		oids = append(oids, oid)
-	}
-	sortOIDs(oids)
-	for _, oid := range oids {
-		payload := encodeObject(s.objects[oid])
-		var e encoder
-		e.u8(recObject)
-		e.u64(uint64(oid))
-		e.u8(byte(s.objects[oid].Kind()))
-		e.bytesField(payload)
-		out.Write(e.buf.Bytes())
-	}
-	for _, name := range rootNames(s.roots) {
-		var e encoder
-		e.u8(recRoot)
-		e.str(name)
-		e.u64(uint64(s.roots[name]))
-		out.Write(e.buf.Bytes())
-	}
-
-	if _, err := tmp.Write(out.Bytes()); err != nil {
+	if _, err := tmp.Write(encodeFullLog(s.objects, s.roots)); err != nil {
 		tmp.Close()
 		return fmt.Errorf("store: compact write: %w", err)
 	}
@@ -74,17 +47,23 @@ func (s *Store) Compact() error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("store: compact close: %w", err)
 	}
-	if err := os.Rename(tmpPath, s.path); err != nil {
+	if err := s.fsys.Rename(tmpPath, s.path); err != nil {
 		return fmt.Errorf("store: compact rename: %w", err)
+	}
+	// The rename is durable only once the directory entry is: without
+	// this fsync a power loss could resurrect the old (or no) log.
+	if err := s.fsys.SyncDir(filepath.Dir(s.path)); err != nil {
+		return fmt.Errorf("store: compact sync dir: %w", err)
 	}
 	// Reopen the handle on the new file.
 	old := s.file
-	f, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
+	f, err := s.fsys.OpenFile(s.path, os.O_RDWR, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: compact reopen: %w", err)
 	}
 	old.Close()
 	s.file = f
+	s.version = currentVersion
 	return nil
 }
 
@@ -101,4 +80,13 @@ func (s *Store) LogSize() (int64, error) {
 		return 0, err
 	}
 	return info.Size(), nil
+}
+
+// Version reports the on-disk log format version (v1 logs keep appending
+// v1 records until Compact migrates them; in-memory stores report the
+// current version).
+func (s *Store) Version() uint32 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
 }

@@ -4,30 +4,13 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
-	"io"
 	"math"
 	"sort"
 )
 
-// This file implements the on-disk log format:
-//
-//	header:  8-byte magic "TYCOONST", u32 version
-//	record:  u8 tag, then
-//	  tag 1 (object): u64 oid, u8 kind, u32 len, payload
-//	  tag 2 (root):   u32 len, name bytes, u64 oid
-//
-// All integers are little-endian. Replay applies records in order with
-// last-writer-wins semantics; a torn record at the tail (from a crash
-// mid-append) is detected by the length prefix and ignored.
-
-var magic = [8]byte{'T', 'Y', 'C', 'O', 'O', 'N', 'S', 'T'}
-
-const formatVersion = 1
-
-const (
-	recObject byte = 1
-	recRoot   byte = 2
-)
+// This file implements the object payload codec shared by the on-disk log
+// (log.go) and the code-shipping bundle format (package ship). All
+// integers are little-endian.
 
 type encoder struct{ buf bytes.Buffer }
 
@@ -172,7 +155,10 @@ func (d *decoder) val() Val {
 
 func (d *decoder) vals() []Val {
 	n := int(d.u32())
-	if d.err != nil || n < 0 || n > len(d.b) {
+	// Cap the declared count against the remaining input: every value
+	// takes at least one byte, so a larger count is certainly corrupt and
+	// must not drive a huge allocation.
+	if d.err != nil || n < 0 || n > len(d.b)-d.pos {
 		d.fail("val count")
 		return nil
 	}
@@ -296,131 +282,6 @@ func decodeObject(kind Kind, payload []byte) (Object, error) {
 		return nil, d.err
 	}
 	return obj, nil
-}
-
-// Commit appends every dirty object (and the root table, if changed) to
-// the log and syncs the file. In-memory stores just clear the dirty set.
-func (s *Store) Commit() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.file == nil {
-		s.dirty = make(map[OID]bool)
-		s.rootsDirty = false
-		return nil
-	}
-	if len(s.dirty) == 0 && !s.rootsDirty {
-		return nil
-	}
-	// Write the header if the file is empty.
-	info, err := s.file.Stat()
-	if err != nil {
-		return fmt.Errorf("store: stat: %w", err)
-	}
-	var out bytes.Buffer
-	if info.Size() == 0 {
-		out.Write(magic[:])
-		var vb [4]byte
-		binary.LittleEndian.PutUint32(vb[:], formatVersion)
-		out.Write(vb[:])
-	}
-	// Deterministic record order keeps logs reproducible.
-	oids := make([]OID, 0, len(s.dirty))
-	for oid := range s.dirty {
-		oids = append(oids, oid)
-	}
-	sortOIDs(oids)
-	for _, oid := range oids {
-		obj, ok := s.objects[oid]
-		if !ok {
-			continue
-		}
-		payload := encodeObject(obj)
-		var e encoder
-		e.u8(recObject)
-		e.u64(uint64(oid))
-		e.u8(byte(obj.Kind()))
-		e.bytesField(payload)
-		out.Write(e.buf.Bytes())
-	}
-	if s.rootsDirty {
-		for _, name := range rootNames(s.roots) {
-			var e encoder
-			e.u8(recRoot)
-			e.str(name)
-			e.u64(uint64(s.roots[name]))
-			out.Write(e.buf.Bytes())
-		}
-	}
-	if _, err := s.file.Seek(0, io.SeekEnd); err != nil {
-		return fmt.Errorf("store: seek: %w", err)
-	}
-	if _, err := s.file.Write(out.Bytes()); err != nil {
-		return fmt.Errorf("store: append: %w", err)
-	}
-	if err := s.file.Sync(); err != nil {
-		return fmt.Errorf("store: sync: %w", err)
-	}
-	s.dirty = make(map[OID]bool)
-	s.rootsDirty = false
-	return nil
-}
-
-// replay loads the log into memory, tolerating a torn tail record.
-func (s *Store) replay() error {
-	data, err := io.ReadAll(s.file)
-	if err != nil {
-		return fmt.Errorf("store: read log: %w", err)
-	}
-	if len(data) == 0 {
-		return nil
-	}
-	if len(data) < 12 || !bytes.Equal(data[:8], magic[:]) {
-		return fmt.Errorf("store: %s is not a Tycoon store", s.path)
-	}
-	if v := binary.LittleEndian.Uint32(data[8:12]); v != formatVersion {
-		return fmt.Errorf("store: %s has format version %d, want %d", s.path, v, formatVersion)
-	}
-	pos := 12
-	for pos < len(data) {
-		tag := data[pos]
-		switch tag {
-		case recObject:
-			// u8 tag + u64 oid + u8 kind + u32 len
-			if pos+14 > len(data) {
-				return nil // torn tail
-			}
-			oid := OID(binary.LittleEndian.Uint64(data[pos+1:]))
-			kind := Kind(data[pos+9])
-			n := int(binary.LittleEndian.Uint32(data[pos+10:]))
-			if pos+14+n > len(data) {
-				return nil // torn tail
-			}
-			obj, err := decodeObject(kind, data[pos+14:pos+14+n])
-			if err != nil {
-				return fmt.Errorf("store: oid 0x%x: %w", uint64(oid), err)
-			}
-			s.objects[oid] = obj
-			if oid >= s.next {
-				s.next = oid + 1
-			}
-			pos += 14 + n
-		case recRoot:
-			if pos+5 > len(data) {
-				return nil
-			}
-			n := int(binary.LittleEndian.Uint32(data[pos+1:]))
-			if pos+5+n+8 > len(data) {
-				return nil
-			}
-			name := string(data[pos+5 : pos+5+n])
-			oid := OID(binary.LittleEndian.Uint64(data[pos+5+n:]))
-			s.roots[name] = oid
-			pos += 5 + n + 8
-		default:
-			return fmt.Errorf("store: corrupt log: unknown record tag %d at offset %d", tag, pos)
-		}
-	}
-	return nil
 }
 
 func sortOIDs(oids []OID) {

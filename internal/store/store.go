@@ -6,18 +6,27 @@
 //
 // The store is log-structured: every committed object state is appended to
 // a single file as a self-delimiting record, and Open replays the log with
-// last-writer-wins semantics. This keeps recovery trivial (a torn tail
-// record is truncated) while giving the durability the paper's persistent
-// code representations need. An empty path yields a purely in-memory store
-// with identical semantics minus durability.
+// last-writer-wins semantics. Since format v2 every record carries a
+// CRC32C checksum and every Commit is framed by a batch trailer, so replay
+// rolls back half-written commits, detects bit rot as a typed ErrCorrupt
+// (rather than decoding garbage), and a salvage mode recovers the longest
+// valid prefix of a damaged log (see log.go). An empty path yields a
+// purely in-memory store with identical semantics minus durability.
+//
+// All file access goes through an iofault.FS, so the crash-simulation
+// harness can run the store over a filesystem that tears writes, fails
+// syncs and crashes at arbitrary points.
 package store
 
 import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
+
+	"tycoon/internal/iofault"
 )
 
 // OID identifies an object in the store. OID 0 is the nil reference and is
@@ -355,8 +364,10 @@ var ErrNotFound = errors.New("store: object not found")
 // for concurrent use.
 type Store struct {
 	mu         sync.RWMutex
+	fsys       iofault.FS
 	path       string
-	file       *os.File
+	file       iofault.File
+	version    uint32 // on-disk log format version (v1 logs stay v1 until Compact)
 	objects    map[OID]Object
 	roots      map[string]OID
 	dirty      map[OID]bool
@@ -366,9 +377,15 @@ type Store struct {
 
 // Open opens (or creates) the store file at path, replaying its log.
 // An empty path creates an in-memory store.
-func Open(path string) (*Store, error) {
+func Open(path string) (*Store, error) { return OpenFS(iofault.OS(), path) }
+
+// OpenFS is Open over an explicit filesystem; the crash-simulation
+// harness passes an iofault.MemFS.
+func OpenFS(fsys iofault.FS, path string) (*Store, error) {
 	s := &Store{
+		fsys:    fsys,
 		path:    path,
+		version: currentVersion,
 		objects: make(map[OID]Object),
 		roots:   make(map[string]OID),
 		dirty:   make(map[OID]bool),
@@ -377,11 +394,24 @@ func Open(path string) (*Store, error) {
 	if path == "" {
 		return s, nil
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: open %s: %w", path, err)
 	}
 	s.file = f
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: stat %s: %w", path, err)
+	}
+	if info.Size() == 0 {
+		// A freshly created log is not durable until the directory entry
+		// is: fsync the directory so the file survives a power loss.
+		if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: sync dir for %s: %w", path, err)
+		}
+	}
 	if err := s.replay(); err != nil {
 		f.Close()
 		return nil, err
