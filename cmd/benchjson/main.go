@@ -1,0 +1,110 @@
+// Command benchjson converts `go test -bench` text output (stdin) into a
+// JSON artifact for CI archival and cross-run comparison.
+//
+//	go test -bench E1 . | benchjson > BENCH_pipeline.json
+//
+// The artifact embeds the verbatim benchmark text under "raw", so it
+// stays benchstat-friendly: extract two artifacts' .raw fields into
+// files and diff them with benchstat as usual.
+//
+//	jq -r .raw old.json > old.txt; jq -r .raw new.json > new.txt
+//	benchstat old.txt new.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name without the "Benchmark" prefix.
+	Name string `json:"name"`
+	// Iterations is b.N for the recorded run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value ("ns/op", "steps/call", …).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Artifact is the emitted document.
+type Artifact struct {
+	// Env records the goos/goarch/pkg/cpu header lines.
+	Env map[string]string `json:"env"`
+	// Benchmarks are the parsed result lines, in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// Raw is the verbatim `go test -bench` output, for benchstat.
+	Raw string `json:"raw"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	src, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	art := Artifact{Env: map[string]string{}, Raw: string(src)}
+
+	sc := bufio.NewScanner(strings.NewReader(art.Raw))
+	for sc.Scan() {
+		line := sc.Text()
+		if k, v, ok := strings.Cut(line, ": "); ok && isEnvKey(k) {
+			art.Env[k] = v
+			continue
+		}
+		if b, ok := parseBenchLine(line); ok {
+			art.Benchmarks = append(art.Benchmarks, b)
+		}
+	}
+	if len(art.Benchmarks) == 0 {
+		log.Fatal("no benchmark result lines in input")
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func isEnvKey(k string) bool {
+	switch k {
+	case "goos", "goarch", "pkg", "cpu":
+		return true
+	}
+	return false
+}
+
+// parseBenchLine parses "BenchmarkName-8  100  123 ns/op  42 steps/call".
+func parseBenchLine(line string) (Benchmark, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Benchmark{}, false
+	}
+	fields := strings.Fields(line)
+	// Name, iterations, and at least one value-unit pair.
+	if len(fields) < 4 || (len(fields)-2)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Name:       strings.TrimPrefix(fields[0], "Benchmark"),
+		Iterations: iters,
+		Metrics:    make(map[string]float64, (len(fields)-2)/2),
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

@@ -1,13 +1,18 @@
 // Command tmlopt reads a TML term in s-expression syntax (a file, or
 // standard input when no file is given), runs the optimizer of paper §3
-// over it, and prints the optimized term with rewrite statistics.
+// over it through the compilation pipeline, and prints the optimized
+// term with rewrite statistics.
 //
-//	tmlopt [-no-expand] [-no-fold] [-rounds N] [-query] [-quiet] [file]
+//	tmlopt [-no-expand] [-no-fold] [-rounds N] [-query] [-stats] [-quiet] [file]
 //
 // Example:
 //
 //	echo '(cont(x) (+ x 1 e k) 41)' | tmlopt
 //	⇒ (k_2 42)
+//
+// With -stats, a per-pass table of the pipeline run is printed: one row
+// per reduce/expand pass with its rewrite count, node-count delta and
+// wall-clock time.
 package main
 
 import (
@@ -16,8 +21,12 @@ import (
 	"io"
 	"log"
 	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
 
 	"tycoon/internal/opt"
+	"tycoon/internal/pipeline"
 	"tycoon/internal/prim"
 	"tycoon/internal/qopt"
 	_ "tycoon/internal/relalg" // registers the query primitives
@@ -31,6 +40,7 @@ func main() {
 	noFold := flag.Bool("no-fold", false, "disable the fold rule (ablation)")
 	rounds := flag.Int("rounds", 0, "reduction/expansion round limit (0 = default)")
 	query := flag.Bool("query", false, "enable the static query rewrite rules of §4.2")
+	stats := flag.Bool("stats", false, "print the per-pass rewrite/timing table of the pipeline run")
 	quiet := flag.Bool("quiet", false, "print only the optimized term")
 	flag.Parse()
 
@@ -53,22 +63,65 @@ func main() {
 		log.Fatal(err)
 	}
 
-	opts := opt.Options{
-		MaxRounds:   *rounds,
-		NoExpansion: *noExpand,
-		NoFold:      *noFold,
+	job := pipeline.Job{
+		Name: "tmlopt",
+		Source: func(gen *tml.VarGen) (*tml.Abs, error) {
+			gen.Skip(tml.MaxVarID(app))
+			return &tml.Abs{Body: app}, nil
+		},
+		Opt: opt.Options{
+			MaxRounds:   *rounds,
+			NoExpansion: *noExpand,
+			NoFold:      *noFold,
+		},
 	}
 	if *query {
-		opts.Extra = qopt.StaticRules()
+		job.Packs = []pipeline.RulePack{qopt.StaticPack()}
 	}
-	out, stats, err := opt.Optimize(app, opts)
+	res, err := pipeline.New(nil, pipeline.Config{}).Run(job)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if !*quiet {
 		fmt.Println("; input")
 		fmt.Println(tml.Print(app))
-		fmt.Println("; optimized —", stats)
+		fmt.Println("; optimized —", res.Opt)
 	}
-	fmt.Println(tml.Print(out))
+	if *stats {
+		printPassTable(os.Stdout, res.Stats)
+	}
+	fmt.Println(tml.Print(res.Abs.Body))
+}
+
+// printPassTable renders the pipeline's per-pass instrumentation.
+func printPassTable(w io.Writer, s *pipeline.Stats) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "; pass\trewrites\tnodes\ttime\trules")
+	for _, ps := range s.Passes {
+		nodes := fmt.Sprintf("%d", ps.NodesAfter)
+		if ps.NodesBefore != 0 && ps.NodesBefore != ps.NodesAfter {
+			nodes = fmt.Sprintf("%d→%d", ps.NodesBefore, ps.NodesAfter)
+		}
+		fmt.Fprintf(tw, "; %s\t%d\t%s\t%s\t%s\n",
+			ps.Name, ps.Rewrites, nodes, ps.Duration.Round(1000), ruleSummary(ps.Rules))
+	}
+	fmt.Fprintf(tw, "; total\t%d\t\t%s\t\n", s.Rewrites(), s.Total.Round(1000))
+	tw.Flush()
+}
+
+// ruleSummary renders a pass's per-rule counts as "fold×3 subst×1".
+func ruleSummary(rules map[string]int) string {
+	if len(rules) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(rules))
+	for n := range rules {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		parts = append(parts, fmt.Sprintf("%s×%d", n, rules[n]))
+	}
+	return strings.Join(parts, " ")
 }

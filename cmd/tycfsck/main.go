@@ -4,7 +4,8 @@
 // trees, TAM code) attached to closures.
 //
 //	tycfsck -store db.tyst             # check, report findings
-//	tycfsck -store db.tyst -v          # also print per-object statistics
+//	tycfsck -store db.tyst -v          # also print statistics and the
+//	                                   # canonical PTML hash per closure
 //	tycfsck -store db.tyst -salvage    # repair a damaged log first
 //
 // Exit status: 0 when the store is sound (warnings allowed), 1 when
@@ -56,6 +57,12 @@ func main() {
 	if *verbose {
 		fmt.Printf("objects: %d total, %d reachable from %d roots, %d closures verified\n",
 			rep.Objects, rep.Reachable, rep.Roots, rep.Closures)
+		// Canonical α-invariant content hashes: closures printing the same
+		// hash carry identical intermediate code up to renaming, and hit
+		// the same optimized-code cache entry.
+		for _, ch := range rep.Hashes {
+			fmt.Printf("closure 0x%x %s ptml %s\n", uint64(ch.OID), ch.Name, ch.Hash.Short())
+		}
 	}
 	for _, f := range rep.Findings {
 		if f.Severity == fsck.Error || *verbose {

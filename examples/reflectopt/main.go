@@ -68,4 +68,14 @@ func main() {
 		v.Show(), stepsOpt, float64(stepsAbs)/float64(stepsOpt))
 	fmt.Printf("\ncross-barrier inlines: %d\nrewrites: %s\n", res.Inlined, res.Stats)
 	fmt.Printf("\noptimized TML (cf. the paper's §4.1 listing):\n%s\n", tml.Print(res.Abs))
+
+	// A second reflect.optimize of the unchanged function is served from
+	// the pipeline's content-addressed cache: same code, zero passes run.
+	res2, err := sys.OptimizeFunction("geom", "abs")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cs := sys.OptCacheStats()
+	fmt.Printf("\nre-optimize: cache hit = %v (%d passes ran); cache: %d hits / %d misses\n",
+		res2.CacheHit, len(res2.Pipeline.Passes), cs.Hits, cs.Misses)
 }

@@ -56,6 +56,16 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s", f.Severity, f.Message)
 }
 
+// ClosureHash records the canonical α-invariant content hash of one
+// closure's PTML tree (ptml.HashNode). Two closures with the same hash
+// carry the same intermediate code up to bound-variable renaming — the
+// identity the pipeline's optimized-code cache is keyed on.
+type ClosureHash struct {
+	OID  store.OID
+	Name string
+	Hash ptml.Hash
+}
+
 // Report is the result of a store check.
 type Report struct {
 	// Log is the structural log verification result (nil when the check
@@ -67,6 +77,10 @@ type Report struct {
 	Reachable   int // objects reachable from the roots
 	Unreachable int // objects not reachable from any root (warnings)
 	Closures    int // closures whose code/PTML were verified
+
+	// Hashes lists the canonical content hash of every closure whose
+	// PTML decoded, in OID order.
+	Hashes []ClosureHash
 
 	Findings []Finding
 }
@@ -229,6 +243,7 @@ func checkClosure(st *store.Store, rep *Report, oid store.OID, clo *store.Closur
 		rep.errf(oid, "closure %s: PTML undecodable: %v", clo.Name, err)
 		return
 	}
+	rep.Hashes = append(rep.Hashes, ClosureHash{OID: oid, Name: clo.Name, Hash: ptml.HashNode(node)})
 	if err := tml.Check(node, tml.CheckOpts{Signatures: prim.Signatures, AllowFree: free}); err != nil {
 		rep.errf(oid, "closure %s: PTML tree ill-formed: %v", clo.Name, err)
 	}

@@ -78,6 +78,17 @@ func TestCheckCleanStore(t *testing.T) {
 	if rep.Log == nil || !rep.Log.Clean() {
 		t.Errorf("log report: %+v", rep.Log)
 	}
+	if len(rep.Hashes) != 1 || rep.Hashes[0].Name != "f" || rep.Hashes[0].Hash.IsZero() {
+		t.Errorf("closure hashes: %+v", rep.Hashes)
+	}
+	// The recorded hash must equal the canonical hash of the stored blob.
+	n, err := tml.Parse("proc(x !ce !cc) (+ x y ce cc)", popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ptml.HashNode(n); rep.Hashes[0].Hash != want {
+		t.Errorf("hash %s != canonical %s", rep.Hashes[0].Hash.Short(), want.Short())
+	}
 }
 
 func TestCheckDanglingRootAndReference(t *testing.T) {

@@ -2,16 +2,18 @@
 // for every function it generates TAM code, attaches the compact PTML
 // tree, resolves the R-value binding table, and records derived optimizer
 // attributes — the compiler back end of paper Fig. 3. Static (local)
-// optimization happens here, per function, before code generation.
+// optimization, code generation and the persistent encodings all run as
+// one job through the shared compilation pipeline (package pipeline), so
+// installation is instrumented pass-by-pass exactly like reflective
+// re-optimization.
 package linker
 
 import (
 	"fmt"
 
 	"tycoon/internal/machine"
-	"tycoon/internal/opt"
+	"tycoon/internal/pipeline"
 	"tycoon/internal/prim"
-	"tycoon/internal/ptml"
 	"tycoon/internal/store"
 	"tycoon/internal/tl"
 	"tycoon/internal/tml"
@@ -46,8 +48,9 @@ type Config struct {
 
 // Linker installs modules into one store.
 type Linker struct {
-	st  *store.Store
-	cfg Config
+	st   *store.Store
+	cfg  Config
+	pipe *pipeline.Pipeline
 }
 
 // New returns a linker over st.
@@ -55,7 +58,11 @@ func New(st *store.Store, cfg Config) *Linker {
 	if cfg.Reg == nil {
 		cfg.Reg = prim.Default
 	}
-	return &Linker{st: st, cfg: cfg}
+	// Installation jobs carry no cache key (every install persists fresh
+	// blobs), so the pipeline is used purely as the instrumented pass
+	// sequencer here; caching serves the reflective path.
+	pipe := pipeline.New(st, pipeline.Config{Reg: cfg.Reg, CacheEntries: -1})
+	return &Linker{st: st, cfg: cfg, pipe: pipe}
 }
 
 // ModuleRoot is the store-root prefix for installed modules.
@@ -130,32 +137,33 @@ func (l *Linker) InstallModule(unit *tl.ModuleUnit) (store.OID, error) {
 	return oid, nil
 }
 
-// buildClosure optimizes, compiles and persists one function.
+// buildClosure optimizes, compiles and persists one function by running
+// it as a job through the compilation pipeline: optional local
+// optimization (OptLocal), TAM code generation, and both persistent
+// encodings in one instrumented sequence.
 func (l *Linker) buildClosure(name string, abs *tml.Abs, free []*tl.FreeRef, declVals map[string]store.Val) (*store.Closure, error) {
-	optimized, stats, err := l.optimizeAbs(abs)
+	res, err := l.pipe.Run(pipeline.Job{
+		Name: name,
+		Source: func(gen *tml.VarGen) (*tml.Abs, error) {
+			gen.Skip(tml.MaxVarID(abs))
+			return abs, nil
+		},
+		SkipOptimize: l.cfg.Level == OptNone,
+		Codegen:      true,
+		EncodeTAM:    true,
+		EncodePTML:   !l.cfg.StripPTML,
+	})
 	if err != nil {
 		return nil, err
 	}
-	prog, err := machine.CompileProc(optimized, name, l.cfg.Reg)
-	if err != nil {
-		return nil, err
-	}
-	code, err := machine.EncodeProgram(prog)
-	if err != nil {
-		return nil, err
-	}
-	codeOID := l.st.Alloc(&store.Blob{Bytes: code})
+	codeOID := l.st.Alloc(&store.Blob{Bytes: res.Code})
 
 	ptmlOID := store.Nil
 	if !l.cfg.StripPTML {
-		data, err := ptml.Encode(optimized)
-		if err != nil {
-			return nil, err
-		}
-		ptmlOID = l.st.Alloc(&store.Blob{Bytes: data})
+		ptmlOID = l.st.Alloc(&store.Blob{Bytes: res.PTML})
 	}
 
-	bindings, err := l.resolveBindings(prog.EntryBlock().FreeNames, free, declVals)
+	bindings, err := l.resolveBindings(res.Prog.EntryBlock().FreeNames, free, declVals)
 	if err != nil {
 		return nil, err
 	}
@@ -165,24 +173,12 @@ func (l *Linker) buildClosure(name string, abs *tml.Abs, free []*tl.FreeRef, dec
 		PTML:     ptmlOID,
 		Bindings: bindings,
 	}
-	if stats != nil {
+	if res.Opt != nil {
 		// Derived attributes cached for repeated optimization (paper §4.1).
-		clo.Cost = int32(stats.CostAfter)
-		clo.Savings = int32(stats.CostBefore - stats.CostAfter)
+		clo.Cost = int32(res.Opt.CostAfter)
+		clo.Savings = int32(res.Opt.CostBefore - res.Opt.CostAfter)
 	}
 	return clo, nil
-}
-
-func (l *Linker) optimizeAbs(abs *tml.Abs) (*tml.Abs, *opt.Stats, error) {
-	if l.cfg.Level == OptNone {
-		return abs, nil, nil
-	}
-	gen := tml.NewVarGenAt(tml.MaxVarID(abs) + 1)
-	body, stats, err := opt.Optimize(abs.Body, opt.Options{Reg: l.cfg.Reg, Gen: gen})
-	if err != nil {
-		return nil, nil, err
-	}
-	return &tml.Abs{Params: abs.Params, Body: body}, stats, nil
 }
 
 // resolveBindings produces the closure record's [identifier, value] pairs

@@ -14,7 +14,10 @@ import (
 
 // linkClosure resolves a persistent closure record into a runtime value.
 func (m *Machine) linkClosure(oid store.OID) (Value, error) {
-	if v, ok := m.linked[oid]; ok {
+	m.linkMu.Lock()
+	v, ok := m.linked[oid]
+	m.linkMu.Unlock()
+	if ok {
 		return v, nil
 	}
 	if m.Store == nil {
@@ -41,12 +44,20 @@ func (m *Machine) linkClosure(oid store.OID) (Value, error) {
 		}
 		free[i] = FromStoreVal(val)
 	}
-	v := &TAMClosure{Prog: prog, Blk: prog.Entry, Free: free, Name: clo.Name}
+	built := Value(&TAMClosure{Prog: prog, Blk: prog.Entry, Free: free, Name: clo.Name})
+	m.linkMu.Lock()
+	defer m.linkMu.Unlock()
+	// A concurrent linker (or OverrideLink from the reflective optimizer)
+	// may have installed a value meanwhile; first writer wins so an
+	// installed override is never clobbered by a stale lazy link.
+	if v, ok := m.linked[oid]; ok {
+		return v, nil
+	}
 	if m.linked == nil {
 		m.linked = make(map[store.OID]Value)
 	}
-	m.linked[oid] = v
-	return v, nil
+	m.linked[oid] = built
+	return built, nil
 }
 
 func bindingByName(bs []store.Binding, name string) (store.Val, bool) {
@@ -60,7 +71,10 @@ func bindingByName(bs []store.Binding, name string) (store.Val, bool) {
 
 // program decodes (with caching) a TAM code blob.
 func (m *Machine) program(oid store.OID) (*Program, error) {
-	if p, ok := m.programs[oid]; ok {
+	m.linkMu.Lock()
+	p, ok := m.programs[oid]
+	m.linkMu.Unlock()
+	if ok {
 		return p, nil
 	}
 	obj, err := m.Store.Get(oid)
@@ -71,20 +85,27 @@ func (m *Machine) program(oid store.OID) (*Program, error) {
 	if !ok {
 		return nil, rtErr("link", "code oid 0x%x is a %s, not a blob", uint64(oid), obj.Kind())
 	}
-	p, err := DecodeProgram(blob.Bytes)
+	decoded, err := DecodeProgram(blob.Bytes)
 	if err != nil {
 		return nil, err
+	}
+	m.linkMu.Lock()
+	defer m.linkMu.Unlock()
+	if p, ok := m.programs[oid]; ok {
+		return p, nil
 	}
 	if m.programs == nil {
 		m.programs = make(map[store.OID]*Program)
 	}
-	m.programs[oid] = p
-	return p, nil
+	m.programs[oid] = decoded
+	return decoded, nil
 }
 
 // Relink invalidates the link caches for one OID (after the reflective
 // optimizer replaced its code) or for everything when oid is Nil.
 func (m *Machine) Relink(oid store.OID) {
+	m.linkMu.Lock()
+	defer m.linkMu.Unlock()
 	if oid == store.Nil {
 		m.linked = nil
 		m.programs = nil
@@ -97,6 +118,8 @@ func (m *Machine) Relink(oid store.OID) {
 // linking; the reflective optimizer uses this to install dynamically
 // optimized code without touching the persistent original.
 func (m *Machine) OverrideLink(oid store.OID, v Value) {
+	m.linkMu.Lock()
+	defer m.linkMu.Unlock()
 	if m.linked == nil {
 		m.linked = make(map[store.OID]Value)
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"tycoon/internal/prim"
 	"tycoon/internal/store"
@@ -29,6 +30,12 @@ type Machine struct {
 	handlers []Value // dynamic exception handler stack
 	steps    int64
 	execs    map[string]ExecFunc
+	// linkMu guards linked and programs: the reflective optimizer may
+	// install new code (OverrideLink) from another goroutine while the
+	// machine is lazily linking, and concurrent optimizations may race
+	// on the shared caches. Execution state (handlers, steps) remains
+	// single-goroutine per machine.
+	linkMu sync.Mutex
 	// linked caches swizzled closures per OID; programs caches decoded
 	// TAM code blobs (see link.go).
 	linked   map[store.OID]Value

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"tycoon/internal/prim"
 	"tycoon/internal/tml"
@@ -72,8 +73,31 @@ type Options struct {
 	// rules of package qopt).
 	Extra []Rule
 	// CheckInvariants re-verifies well-formedness after every pass; for
-	// tests and debugging.
+	// tests and debugging. A violation is reported against the pass that
+	// introduced it (e.g. "reduce#3"), not at codegen.
 	CheckInvariants bool
+	// OnPass, when non-nil, receives one record per optimizer pass —
+	// each reduction fixpoint and each expansion sweep — as the pass
+	// completes. The compilation pipeline (package pipeline) uses it for
+	// per-pass instrumentation; per-pass node counts are only computed
+	// when the hook is set.
+	OnPass func(PassInfo)
+}
+
+// PassInfo describes one completed optimizer pass for Options.OnPass.
+type PassInfo struct {
+	// Name is "reduce" or "expand".
+	Name string
+	// Round is the 1-based reduction/expansion round the pass belongs to.
+	Round int
+	// Rewrites is the number of rule applications the pass performed.
+	Rewrites int
+	// Rules holds the per-rule application counts of this pass alone.
+	Rules map[string]int
+	// NodesBefore and NodesAfter are tree node counts around the pass.
+	NodesBefore, NodesAfter int
+	// Duration is the wall-clock time of the pass.
+	Duration time.Duration
 }
 
 // Defaults for Options.
@@ -173,8 +197,8 @@ func (o *optimizer) run(app *tml.App) (*tml.App, error) {
 	o.stats.CostBefore = Cost(app, o.reg)
 	for round := 0; ; round++ {
 		o.stats.Rounds = round + 1
-		app = o.reduceFixpoint(app)
-		if err := o.check(app, "reduction"); err != nil {
+		app = o.pass("reduce", round+1, app, o.reduceFixpoint)
+		if err := o.check(app, fmt.Sprintf("reduce#%d", round+1)); err != nil {
 			return nil, err
 		}
 		if o.opts.NoExpansion || round+1 >= o.opts.MaxRounds || o.penalty >= o.opts.PenaltyLimit {
@@ -182,8 +206,10 @@ func (o *optimizer) run(app *tml.App) (*tml.App, error) {
 		}
 		o.changed = false
 		o.perBinder = make(map[*tml.Var]int)
-		app = o.expandApp(app, make(map[*tml.Var]*tml.Abs), round)
-		if err := o.check(app, "expansion"); err != nil {
+		app = o.pass("expand", round+1, app, func(a *tml.App) *tml.App {
+			return o.expandApp(a, make(map[*tml.Var]*tml.Abs), round)
+		})
+		if err := o.check(app, fmt.Sprintf("expand#%d", round+1)); err != nil {
 			return nil, err
 		}
 		if !o.changed {
@@ -196,16 +222,69 @@ func (o *optimizer) run(app *tml.App) (*tml.App, error) {
 	return app, nil
 }
 
-func (o *optimizer) check(app *tml.App, phase string) error {
+func (o *optimizer) check(app *tml.App, pass string) error {
 	if !o.opts.CheckInvariants {
 		return nil
 	}
 	free := tml.FreeVars(app)
 	err := tml.Check(app, tml.CheckOpts{Signatures: o.reg.Signatures, AllowFree: free})
 	if err != nil {
-		return fmt.Errorf("opt: invariant broken after %s pass: %w", phase, err)
+		return fmt.Errorf("opt: invariant broken after pass %s: %w", pass, err)
 	}
 	return nil
+}
+
+// pass runs one optimizer pass, reporting per-pass instrumentation to
+// Options.OnPass when set.
+func (o *optimizer) pass(name string, round int, app *tml.App, run func(*tml.App) *tml.App) *tml.App {
+	if o.opts.OnPass == nil {
+		return run(app)
+	}
+	before := tml.Size(app)
+	snap := copyRules(o.stats.Rules)
+	start := time.Now()
+	out := run(app)
+	elapsed := time.Since(start)
+	delta := diffRules(o.stats.Rules, snap)
+	total := 0
+	for _, c := range delta {
+		total += c
+	}
+	o.opts.OnPass(PassInfo{
+		Name:        name,
+		Round:       round,
+		Rewrites:    total,
+		Rules:       delta,
+		NodesBefore: before,
+		NodesAfter:  tml.Size(out),
+		Duration:    elapsed,
+	})
+	return out
+}
+
+func copyRules(m map[string]int) map[string]int {
+	if len(m) == 0 {
+		return nil
+	}
+	c := make(map[string]int, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// diffRules reports the counts accumulated since snap.
+func diffRules(now, snap map[string]int) map[string]int {
+	var d map[string]int
+	for k, v := range now {
+		if delta := v - snap[k]; delta > 0 {
+			if d == nil {
+				d = make(map[string]int)
+			}
+			d[k] = delta
+		}
+	}
+	return d
 }
 
 // reduceFixpoint runs reduction sweeps until no rule fires.

@@ -1,0 +1,82 @@
+package pipeline
+
+import "sync"
+
+// entry is one cached pipeline result, tagged with the binding epoch it
+// was computed at. Cached Result values (tree, program, closure) are
+// shared read-only between callers; the per-call Stats record is rebuilt
+// on every hit so callers can verify that no passes ran.
+type entry struct {
+	res   *Result
+	epoch uint64
+}
+
+// hit derives the caller-visible result of a cache hit: the shared
+// artifacts with a fresh Stats record showing zero executed passes.
+func (e *entry) hit() *Result {
+	r := *e.res
+	r.CacheHit = true
+	r.Stats = &Stats{CacheHit: true}
+	return &r
+}
+
+// cache is a bounded content-addressed map with FIFO eviction. Epoch
+// validation happens at lookup: an entry computed under an older binding
+// epoch is discarded, never returned.
+type cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[Key]*entry
+	order   []Key // insertion order for FIFO eviction
+	evicted int64
+}
+
+func newCache(max int) *cache {
+	return &cache{max: max, entries: make(map[Key]*entry)}
+}
+
+func (c *cache) get(k Key, epoch uint64) (*entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if !ok {
+		return nil, false
+	}
+	if e.epoch != epoch {
+		// The binding epoch advanced since this entry was computed: some
+		// Update/SetRoot may have changed a folded binding. Invalidate.
+		delete(c.entries, k)
+		c.evicted++
+		return nil, false
+	}
+	return e, true
+}
+
+func (c *cache) put(k Key, e *entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[k]; !exists {
+		for len(c.entries) >= c.max && len(c.order) > 0 {
+			victim := c.order[0]
+			c.order = c.order[1:]
+			if _, ok := c.entries[victim]; ok {
+				delete(c.entries, victim)
+				c.evicted++
+			}
+		}
+		c.order = append(c.order, k)
+	}
+	c.entries[k] = e
+}
+
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+func (c *cache) evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evicted
+}

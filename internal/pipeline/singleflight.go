@@ -1,0 +1,43 @@
+package pipeline
+
+import "sync"
+
+// flightGroup deduplicates concurrent pipeline runs of the same key: the
+// first caller executes, later callers block on the same call and share
+// its result. A minimal reimplementation of the well-known singleflight
+// pattern specialised to cache entries (no external dependency).
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[Key]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	res  *entry
+	err  error
+}
+
+// do runs fn once per concurrently-identical key. shared reports that
+// this caller received another caller's result.
+func (g *flightGroup) do(k Key, fn func() (*entry, error)) (res *entry, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[Key]*flightCall)
+	}
+	if c, ok := g.calls[k]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.res, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[k] = c
+	g.mu.Unlock()
+
+	c.res, c.err = fn()
+	close(c.done)
+
+	g.mu.Lock()
+	delete(g.calls, k)
+	g.mu.Unlock()
+	return c.res, false, c.err
+}

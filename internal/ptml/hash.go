@@ -1,0 +1,190 @@
+package ptml
+
+// This file implements the canonical, α-invariant content hash of TML
+// trees. The compilation pipeline's optimized-code cache is
+// content-addressed by this hash (together with a binding and an options
+// fingerprint), so that two closures whose persistent trees differ only
+// in the IDs picked by α-conversion — for example the same PTML blob
+// decoded twice, or the same source installed into two stores — share
+// one cache entry. tycfsck prints the hash per closure so operators can
+// compare persistent code across stores.
+//
+// Canonicalisation mirrors the PTML encoding itself: bound variables are
+// identified by a dense index (free variables first, then binders in
+// pre-order), so binder names and α-conversion suffixes never enter the
+// hash. Free variables are identified by their full printed name — the
+// name keys the closure record's R-value binding table and is therefore
+// semantically significant.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+
+	"tycoon/internal/tml"
+)
+
+// Hash is a canonical content hash of a TML tree (or, via HashRaw, of an
+// uninterpreted code blob).
+type Hash [sha256.Size]byte
+
+// String renders the hash in hex.
+func (h Hash) String() string { return hex.EncodeToString(h[:]) }
+
+// Short renders the leading 12 hex digits, enough for human comparison.
+func (h Hash) Short() string { return hex.EncodeToString(h[:6]) }
+
+// IsZero reports whether the hash is unset.
+func (h Hash) IsZero() bool { return h == Hash{} }
+
+// Domain-separation tags: a tree hash can never collide with a raw-bytes
+// hash of identical content.
+const (
+	domainTree byte = 'T'
+	domainRaw  byte = 'R'
+)
+
+// HashNode computes the canonical α-invariant hash of a TML tree.
+// α-equivalent trees (equal up to consistent renaming of bound
+// variables) hash equal; trees differing in structure, literals, OIDs,
+// primitives or free-variable names hash differently.
+func HashNode(n tml.Node) Hash {
+	hw := &hashWriter{h: sha256.New(), idx: make(map[*tml.Var]uint64)}
+	hw.h.Write([]byte{domainTree})
+	free := tml.FreeVars(n)
+	hw.uvarint(uint64(len(free)))
+	for _, v := range free {
+		hw.idx[v] = uint64(len(hw.idx))
+		hw.str(v.String())
+		hw.bool(v.Cont)
+	}
+	hw.node(n)
+	var out Hash
+	hw.h.Sum(out[:0])
+	return out
+}
+
+// CanonicalHash decodes a PTML blob and returns the canonical hash of
+// its tree. Because decoding α-converts internal binders, the result is
+// independent of the variable IDs the encoder happened to see.
+func CanonicalHash(data []byte) (Hash, error) {
+	n, _, err := Decode(data, nil)
+	if err != nil {
+		return Hash{}, err
+	}
+	return HashNode(n), nil
+}
+
+// HashRaw hashes uninterpreted bytes (for example a TAM code blob) in a
+// domain separated from tree hashes; the pipeline cache keys closures
+// optimized from decompiled code this way.
+func HashRaw(data []byte) Hash {
+	h := sha256.New()
+	h.Write([]byte{domainRaw})
+	h.Write(data)
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+type hashWriter struct {
+	h   hash.Hash
+	buf [binary.MaxVarintLen64]byte
+	idx map[*tml.Var]uint64
+	// depth counts binders in scope; a binder's index is nfree+depth at
+	// the moment it is bound, exactly as in the PTML encoding.
+	depth int
+}
+
+func (w *hashWriter) uvarint(v uint64) {
+	n := binary.PutUvarint(w.buf[:], v)
+	w.h.Write(w.buf[:n])
+}
+
+func (w *hashWriter) varint(v int64) {
+	n := binary.PutVarint(w.buf[:], v)
+	w.h.Write(w.buf[:n])
+}
+
+func (w *hashWriter) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.h.Write([]byte(s))
+}
+
+func (w *hashWriter) bool(b bool) {
+	if b {
+		w.h.Write([]byte{1})
+	} else {
+		w.h.Write([]byte{0})
+	}
+}
+
+func (w *hashWriter) node(n tml.Node) {
+	switch n := n.(type) {
+	case *tml.Lit:
+		w.lit(n)
+	case *tml.Oid:
+		w.h.Write([]byte{tagOid})
+		w.uvarint(n.Ref)
+	case *tml.Var:
+		i, ok := w.idx[n]
+		if !ok {
+			// A variable outside every binder and absent from FreeVars
+			// cannot occur in a tree FreeVars walked; defensively hash
+			// its printed name.
+			w.h.Write([]byte{tagVar})
+			w.str(n.String())
+			return
+		}
+		w.h.Write([]byte{tagVar})
+		w.uvarint(i)
+	case *tml.Prim:
+		w.h.Write([]byte{tagPrim})
+		w.str(n.Name)
+	case *tml.Abs:
+		w.h.Write([]byte{tagAbs})
+		w.uvarint(uint64(len(n.Params)))
+		for _, p := range n.Params {
+			w.idx[p] = uint64(len(w.idx))
+			w.depth++
+			// Only the continuation flag of a binder is semantic; its
+			// name and ID are α-convertible and excluded.
+			w.bool(p.Cont)
+		}
+		w.node(n.Body)
+		for _, p := range n.Params {
+			delete(w.idx, p)
+			w.depth--
+		}
+	case *tml.App:
+		w.h.Write([]byte{tagApp})
+		w.uvarint(uint64(len(n.Args)))
+		w.node(n.Fn)
+		for _, a := range n.Args {
+			w.node(a)
+		}
+	}
+}
+
+func (w *hashWriter) lit(l *tml.Lit) {
+	switch l.Kind {
+	case tml.LitUnit:
+		w.h.Write([]byte{tagUnit})
+	case tml.LitInt:
+		w.h.Write([]byte{tagInt})
+		w.varint(l.Int)
+	case tml.LitChar:
+		w.h.Write([]byte{tagChar, l.Ch})
+	case tml.LitBool:
+		w.h.Write([]byte{tagBool})
+		w.bool(l.Bool)
+	case tml.LitReal:
+		w.h.Write([]byte{tagReal})
+		w.uvarint(math.Float64bits(l.Real))
+	case tml.LitStr:
+		w.h.Write([]byte{tagStr})
+		w.str(l.Str)
+	}
+}

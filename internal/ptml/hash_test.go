@@ -1,0 +1,115 @@
+package ptml
+
+import (
+	"testing"
+
+	"tycoon/internal/tml"
+)
+
+// parse builds a term for hash tests; free variables stay free.
+func parse(t *testing.T, src string) *tml.App {
+	t.Helper()
+	app, err := tml.ParseApp(src, tml.ParseOpts{IsPrim: func(name string) bool {
+		switch name {
+		case "+", "*", "[]", "if":
+			return true
+		}
+		return false
+	}})
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return app
+}
+
+func TestHashAlphaInvariance(t *testing.T) {
+	app := parse(t, "(cont(x) (+ x 1 e k) 41)")
+	// Freshening α-converts every bound variable to new IDs.
+	gen := tml.NewVarGenAt(1000)
+	renamed := tml.NewApp(tml.Freshen(app.Fn, gen), app.Args...)
+	h1, h2 := HashNode(app), HashNode(renamed)
+	if h1 != h2 {
+		t.Errorf("α-converted tree hashes differ: %s vs %s", h1.Short(), h2.Short())
+	}
+}
+
+func TestHashDistinguishesStructure(t *testing.T) {
+	a := parse(t, "(cont(x) (+ x 1 e k) 41)")
+	b := parse(t, "(cont(x) (+ x 2 e k) 41)")
+	c := parse(t, "(cont(x) (* x 1 e k) 41)")
+	ha, hb, hc := HashNode(a), HashNode(b), HashNode(c)
+	if ha == hb {
+		t.Error("literal change not reflected in hash")
+	}
+	if ha == hc {
+		t.Error("primitive change not reflected in hash")
+	}
+}
+
+func TestHashFreeVariableNamesSignificant(t *testing.T) {
+	// Free variables key the closure record's binding table, so their
+	// printed names must enter the hash.
+	a := parse(t, "(k_1 x_2)")
+	b := parse(t, "(k_1 y_3)")
+	if HashNode(a) == HashNode(b) {
+		t.Error("free-variable rename not reflected in hash")
+	}
+}
+
+func TestCanonicalHashStableAcrossDecodes(t *testing.T) {
+	app := parse(t, "(cont(x) (cont(y) (+ x y e k) 1) 41)")
+	data, err := Encode(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, err := CanonicalHash(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decoding twice yields differently α-converted trees; the canonical
+	// hash must agree, and must agree with the hash of the original.
+	h1, err := CanonicalHash(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h0 != h1 {
+		t.Errorf("two decodes hash differently: %s vs %s", h0.Short(), h1.Short())
+	}
+	if want := HashNode(app); h0 != want {
+		t.Errorf("decoded hash %s != source hash %s", h0.Short(), want.Short())
+	}
+	// Re-encoding a decode must also be stable.
+	n, _, err := Decode(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := Encode(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := CanonicalHash(data2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != h0 {
+		t.Errorf("re-encoded blob hashes differently: %s vs %s", h2.Short(), h0.Short())
+	}
+}
+
+func TestHashRawDomainSeparation(t *testing.T) {
+	if HashRaw(nil) == (Hash{}) {
+		t.Error("raw hash of empty input is zero")
+	}
+	app := parse(t, "(k_1 1)")
+	data, err := Encode(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := CanonicalHash(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch == HashRaw(data) {
+		t.Error("tree and raw domains collide")
+	}
+}

@@ -18,6 +18,7 @@ package qopt
 
 import (
 	"tycoon/internal/opt"
+	"tycoon/internal/pipeline"
 	"tycoon/internal/store"
 	"tycoon/internal/tml"
 )
@@ -38,6 +39,19 @@ func RuntimeRules(st *store.Store) []opt.Rule {
 	ix := &indexRule{st: st}
 	rules = append(rules, opt.Rule{Name: "index-scan", Apply: ix.apply})
 	return rules
+}
+
+// StaticPack packages the purely algebraic rules for the compilation
+// pipeline (compile-time query optimization).
+func StaticPack() pipeline.RulePack {
+	return pipeline.RulePack{Name: "qopt-static", Rules: StaticRules()}
+}
+
+// RuntimePack packages the full rule set — including the index rule that
+// consults runtime binding knowledge — for the pipeline's reflective
+// jobs (paper §4.2: query optimization delayed until bindings exist).
+func RuntimePack(st *store.Store) pipeline.RulePack {
+	return pipeline.RulePack{Name: "qopt-runtime", Rules: RuntimeRules(st)}
 }
 
 // isPrim reports whether app applies the named primitive.

@@ -28,6 +28,7 @@ import (
 
 	"tycoon/internal/machine"
 	"tycoon/internal/opt"
+	"tycoon/internal/pipeline"
 	"tycoon/internal/prim"
 	"tycoon/internal/ptml"
 	"tycoon/internal/qopt"
@@ -65,8 +66,12 @@ type Options struct {
 	// Closures installed with StripPTML become optimizable again, at the
 	// cost of a non-isomorphic (occasionally duplicated) tree.
 	FromCode bool
-	// CheckInvariants verifies well-formedness after optimization.
+	// CheckInvariants verifies well-formedness after every optimizer
+	// pass, reported against the pass that introduced the violation.
 	CheckInvariants bool
+	// CacheEntries bounds the pipeline's optimized-code cache; 0 means
+	// pipeline.DefaultCacheEntries, negative disables caching.
+	CacheEntries int
 }
 
 // Default inlining bounds.
@@ -76,10 +81,17 @@ const (
 	DefaultMaxInlineSize   = 60_000
 )
 
-// Optimizer performs reflective optimization against one store.
+// Optimizer performs reflective optimization against one store. It is
+// safe for concurrent use: runs of the same closure against the same
+// bindings are deduplicated and cached by the underlying pipeline.
 type Optimizer struct {
 	st   *store.Store
 	opts Options
+	pipe *pipeline.Pipeline
+	// optionsFP folds every Options field that changes the output into
+	// the cache key, so two optimizers with different settings over the
+	// same store never share entries.
+	optionsFP uint64
 }
 
 // New returns a dynamic optimizer over st.
@@ -96,7 +108,18 @@ func New(st *store.Store, opts Options) *Optimizer {
 	if opts.MaxInlineSize == 0 {
 		opts.MaxInlineSize = DefaultMaxInlineSize
 	}
-	return &Optimizer{st: st, opts: opts}
+	pipe := pipeline.New(st, pipeline.Config{
+		Reg:             opts.Reg,
+		CheckWellformed: opts.CheckInvariants,
+		CacheEntries:    opts.CacheEntries,
+	})
+	fp := pipeline.FingerprintOptions(
+		opts.InlinePerOID, opts.InlineRecursive, opts.MaxInlineSize,
+		opts.NoQueryRules, opts.FromCode, opts.CheckInvariants,
+		opts.Opt.MaxRounds, opts.Opt.InlineBudget, opts.Opt.PenaltyLimit,
+		opts.Opt.NoExpansion, opts.Opt.NoFold, opts.Opt.SubstUnrestricted,
+		len(opts.Opt.Extra))
+	return &Optimizer{st: st, opts: opts, pipe: pipe, optionsFP: fp}
 }
 
 // Result is the outcome of one reflective optimization.
@@ -109,62 +132,136 @@ type Result struct {
 	Stats *opt.Stats
 	// Inlined counts persistent closures inlined across barriers.
 	Inlined int
+	// Pipeline is the per-pass instrumentation of this run; on a cache
+	// hit it records zero passes.
+	Pipeline *pipeline.Stats
+	// CacheHit reports that the optimized code was served from the
+	// pipeline cache without re-running the optimizer.
+	CacheHit bool
+}
+
+// CacheStats reports the underlying pipeline's cache counters.
+func (o *Optimizer) CacheStats() pipeline.CacheStats {
+	return o.pipe.CacheStats()
+}
+
+// cacheKey content-addresses one reflective optimization: the canonical
+// α-invariant hash of the closure's source (PTML tree, or raw code blob
+// when decompiling), the fingerprint of its R-value binding table, and
+// the optimizer options. A zero key (closure without the needed blob)
+// bypasses the cache; Optimize then reports the real error.
+func (o *Optimizer) cacheKey(oid store.OID) pipeline.Key {
+	obj, err := o.st.Get(oid)
+	if err != nil {
+		return pipeline.Key{}
+	}
+	clo, ok := obj.(*store.Closure)
+	if !ok {
+		return pipeline.Key{}
+	}
+	var src ptml.Hash
+	if o.opts.FromCode {
+		blob, ok := o.blob(clo.Code)
+		if !ok {
+			return pipeline.Key{}
+		}
+		src = ptml.HashRaw(blob)
+	} else {
+		if clo.PTML == store.Nil {
+			return pipeline.Key{}
+		}
+		blob, ok := o.blob(clo.PTML)
+		if !ok {
+			return pipeline.Key{}
+		}
+		h, err := ptml.CanonicalHash(blob)
+		if err != nil {
+			return pipeline.Key{}
+		}
+		src = h
+	}
+	return pipeline.Key{
+		Source:   src,
+		Bindings: pipeline.BindingFingerprint(clo.Bindings),
+		Options:  o.optionsFP,
+	}
+}
+
+func (o *Optimizer) blob(oid store.OID) ([]byte, bool) {
+	obj, err := o.st.Get(oid)
+	if err != nil {
+		return nil, false
+	}
+	b, ok := obj.(*store.Blob)
+	if !ok {
+		return nil, false
+	}
+	return b.Bytes, true
 }
 
 // Optimize reflectively optimizes the persistent closure denoted by oid
 // and returns newly generated code. The persistent original is left
 // untouched except for its cached derived attributes (cost, savings).
+// Repeat optimization of an unchanged closure is a cache hit: no
+// reduce/expand passes run, and concurrent calls on the same closure do
+// the work exactly once.
 func (o *Optimizer) Optimize(oid store.OID) (*Result, error) {
-	gen := tml.NewVarGen()
-	abs, err := o.reconstruct(oid, gen)
-	if err != nil {
-		return nil, err
-	}
-
 	state := &inlineState{counts: make(map[store.OID]int)}
-	rules := []opt.Rule{
+	reflectPack := pipeline.RulePack{Name: "reflect", Rules: []opt.Rule{
 		{Name: "fold-field", Apply: o.foldField},
 		{Name: "link-inline", Apply: func(ctx *opt.Ctx, app *tml.App) (*tml.App, bool) {
 			return o.linkInline(ctx, app, state)
 		}},
-	}
+	}}
+	packs := []pipeline.RulePack{reflectPack}
 	if !o.opts.NoQueryRules {
-		rules = append(rules, qopt.RuntimeRules(o.st)...)
+		packs = append(packs, qopt.RuntimePack(o.st))
 	}
 
 	optOpts := o.opts.Opt
-	optOpts.Reg = o.opts.Reg
-	optOpts.Gen = gen
-	optOpts.Extra = append(rules, optOpts.Extra...)
 	optOpts.CheckInvariants = o.opts.CheckInvariants
 
-	body, stats, err := opt.Optimize(abs.Body, optOpts)
+	job := pipeline.Job{
+		Name: optName(o.st, oid),
+		Source: func(gen *tml.VarGen) (*tml.Abs, error) {
+			return o.reconstruct(oid, gen)
+		},
+		Opt:           optOpts,
+		Packs:         packs,
+		Codegen:       true,
+		RequireClosed: true,
+		Key:           o.cacheKey(oid),
+	}
+	res, err := o.pipe.Run(job)
 	if err != nil {
-		return nil, fmt.Errorf("reflectopt: %w", err)
+		return nil, err
 	}
-	optAbs := &tml.Abs{Params: abs.Params, Body: body}
 
-	prog, err := machine.CompileProc(optAbs, optName(o.st, oid), o.opts.Reg)
-	if err != nil {
-		return nil, fmt.Errorf("reflectopt: codegen: %w", err)
+	// Derive the cross-barrier inline count from the rule statistics so
+	// it survives cache hits (state.total is only filled on execution).
+	inlined := 0
+	if res.Opt != nil {
+		inlined = res.Opt.Rules["link-inline"]
 	}
-	if n := len(prog.EntryBlock().FreeNames); n != 0 {
-		return nil, fmt.Errorf("reflectopt: %d unresolved free variables after rebinding: %v",
-			n, prog.EntryBlock().FreeNames)
-	}
-	clo := &machine.TAMClosure{Prog: prog, Blk: prog.Entry, Name: optName(o.st, oid)}
 
-	// Cache derived attributes in the persistent system state (paper
-	// §4.1: "the optimizer attaches several derived attributes (costs,
-	// savings, …) to the generated code").
-	if obj, err := o.st.Get(oid); err == nil {
-		if sc, ok := obj.(*store.Closure); ok {
-			sc.Cost = int32(stats.CostAfter)
-			sc.Savings = int32(stats.CostBefore - stats.CostAfter)
-			o.st.MarkDirty(oid)
-		}
+	if !res.CacheHit && res.Opt != nil {
+		// Cache derived attributes in the persistent system state (paper
+		// §4.1: "the optimizer attaches several derived attributes
+		// (costs, savings, …) to the generated code"). Attrs are
+		// metadata, not bindings: SetClosureAttrs does not advance the
+		// binding epoch, so writing them never invalidates the entry
+		// that produced them.
+		_ = o.st.SetClosureAttrs(oid, int32(res.Opt.CostAfter),
+			int32(res.Opt.CostBefore-res.Opt.CostAfter))
 	}
-	return &Result{Abs: optAbs, Closure: clo, Stats: stats, Inlined: state.total}, nil
+	return &Result{
+		Abs:      res.Abs,
+		Closure:  res.Closure,
+		Stats:    res.Opt,
+		Inlined:  inlined,
+		Pipeline: res.Stats,
+		CacheHit: res.CacheHit,
+	}, nil
 }
 
 // OptimizeAndInstall optimizes and then overrides the machine's link

@@ -373,6 +373,12 @@ type Store struct {
 	dirty      map[OID]bool
 	rootsDirty bool
 	next       OID
+	// epoch counts binding-relevant mutations (Update, SetRoot). The
+	// compilation pipeline's optimized-code cache tags every entry with
+	// the epoch it was computed at and discards it once the epoch has
+	// advanced, so optimized code can never survive a change to the
+	// R-value bindings it folded in.
+	epoch uint64
 }
 
 // Open opens (or creates) the store file at path, replaying its log.
@@ -476,6 +482,45 @@ func (s *Store) Update(oid OID, obj Object) error {
 	}
 	s.objects[oid] = obj
 	s.dirty[oid] = true
+	s.epoch++
+	return nil
+}
+
+// BindingEpoch reports the store's binding epoch: a counter advanced by
+// every mutation that can change the R-value bindings reachable from
+// compiled code (Update and SetRoot). In-place mutation of mutable
+// objects via MarkDirty — array stores, relation row inserts — does not
+// advance it, because mutable objects are never folded into optimized
+// code (paper §4.1 folds immutable modules and tuples only), so such
+// changes cannot invalidate cached optimization results.
+func (s *Store) BindingEpoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
+
+// SetClosureAttrs records the optimizer's derived attributes on a
+// closure (paper §4.1: costs, savings) without advancing the binding
+// epoch — the attributes are cached metadata, not bindings, and writing
+// them back must not invalidate the very cache entry just computed. The
+// closure object is replaced rather than mutated in place, so concurrent
+// readers holding the previous snapshot stay race-free.
+func (s *Store) SetClosureAttrs(oid OID, cost, savings int32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj, ok := s.objects[oid]
+	if !ok {
+		return fmt.Errorf("%w: oid 0x%x", ErrNotFound, uint64(oid))
+	}
+	clo, ok := obj.(*Closure)
+	if !ok {
+		return fmt.Errorf("store: oid 0x%x is a %s, not a closure", uint64(oid), obj.Kind())
+	}
+	next := clo.clone().(*Closure)
+	next.Cost = cost
+	next.Savings = savings
+	s.objects[oid] = next
+	s.dirty[oid] = true
 	return nil
 }
 
@@ -495,6 +540,7 @@ func (s *Store) SetRoot(name string, oid OID) {
 	defer s.mu.Unlock()
 	s.roots[name] = oid
 	s.rootsDirty = true
+	s.epoch++
 }
 
 // Root resolves a persistent root name.

@@ -22,6 +22,7 @@ package tml
 import (
 	"fmt"
 	"strconv"
+	"sync/atomic"
 )
 
 // Node is implemented by every TML tree node.
@@ -261,48 +262,58 @@ func (a *App) String() string { return printNode(a) }
 // VarGen generates variables with unique IDs. A single generator is
 // threaded through code generation and optimization of one program so that
 // the unique binding rule can be re-established by α-conversion whenever an
-// abstraction is copied.
+// abstraction is copied. ID allocation is atomic, so one generator may be
+// shared by concurrent compilations (the pipeline runs module installation
+// and reflective optimization in parallel); the trees being rewritten are
+// still owned by a single goroutine each.
 type VarGen struct {
-	next int
+	next atomic.Int64
 }
 
 // NewVarGen returns a generator whose first variable has ID 1.
-func NewVarGen() *VarGen { return &VarGen{next: 1} }
+func NewVarGen() *VarGen { return NewVarGenAt(1) }
 
 // NewVarGenAt returns a generator whose first variable has the given ID.
 // It is used when resuming code generation for a term whose maximum
 // variable ID is known (for example after decoding PTML).
-func NewVarGenAt(next int) *VarGen { return &VarGen{next: next} }
+func NewVarGenAt(next int) *VarGen {
+	g := &VarGen{}
+	g.next.Store(int64(next))
+	return g
+}
+
+// id atomically claims the next fresh ID.
+func (g *VarGen) id() int { return int(g.next.Add(1)) - 1 }
 
 // Fresh returns a new value variable.
 func (g *VarGen) Fresh(name string) *Var {
-	v := &Var{Name: name, ID: g.next}
-	g.next++
-	return v
+	return &Var{Name: name, ID: g.id()}
 }
 
 // FreshCont returns a new continuation variable.
 func (g *VarGen) FreshCont(name string) *Var {
-	v := &Var{Name: name, ID: g.next, Cont: true}
-	g.next++
-	return v
+	return &Var{Name: name, ID: g.id(), Cont: true}
 }
 
 // Like returns a fresh variable with the same name and continuation flag as
 // v; it is the α-conversion workhorse used when copying abstractions.
 func (g *VarGen) Like(v *Var) *Var {
-	w := &Var{Name: v.Name, ID: g.next, Cont: v.Cont}
-	g.next++
-	return w
+	return &Var{Name: v.Name, ID: g.id(), Cont: v.Cont}
 }
 
 // Next reports the ID the next fresh variable would receive.
-func (g *VarGen) Next() int { return g.next }
+func (g *VarGen) Next() int { return int(g.next.Load()) }
 
 // Skip advances the generator past id, ensuring future variables do not
 // collide with an existing tree that contains id.
 func (g *VarGen) Skip(id int) {
-	if id >= g.next {
-		g.next = id + 1
+	for {
+		cur := g.next.Load()
+		if int64(id) < cur {
+			return
+		}
+		if g.next.CompareAndSwap(cur, int64(id)+1) {
+			return
+		}
 	}
 }

@@ -1,0 +1,26 @@
+#!/bin/sh
+# bench_pipeline.sh — run the pipeline-relevant benchmark set (E1 static
+# regimes, E2 dynamic regimes, F3 optimize/compile round trip) and write
+# a benchstat-friendly JSON artifact.
+#
+#   scripts/bench_pipeline.sh [out.json]
+#
+# Environment:
+#   BENCH_TIME   -benchtime value (default 1x: one measured iteration —
+#                the suite reports deterministic steps/call, so a single
+#                iteration is meaningful; raise for stable ns/op)
+#   BENCH_COUNT  -count value (default 1; raise for benchstat variance)
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_pipeline.json}"
+benchtime="${BENCH_TIME:-1x}"
+count="${BENCH_COUNT:-1}"
+
+txt="$(mktemp)"
+trap 'rm -f "$txt"' EXIT
+
+go test -run '^$' -bench 'BenchmarkE1|BenchmarkE2|BenchmarkF3' \
+  -benchtime "$benchtime" -count "$count" . | tee "$txt"
+go run ./cmd/benchjson <"$txt" >"$out"
+echo "wrote $out"

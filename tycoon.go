@@ -26,6 +26,7 @@ import (
 
 	"tycoon/internal/linker"
 	"tycoon/internal/machine"
+	"tycoon/internal/pipeline"
 	"tycoon/internal/reflectopt"
 	"tycoon/internal/relalg"
 	"tycoon/internal/store"
@@ -218,13 +219,25 @@ func (s *System) FunctionOID(module, fn string) (OID, error) {
 
 // OptimizeFunction reflectively optimizes an exported function across its
 // module abstraction barriers (paper §4.1) and installs the new code for
-// all subsequent calls through this system.
+// all subsequent calls through this system. Repeat optimization of an
+// unchanged function is served from the pipeline's content-addressed
+// cache (Result.CacheHit), and concurrent calls deduplicate the work.
 func (s *System) OptimizeFunction(module, fn string) (*reflectopt.Result, error) {
 	oid, err := s.FunctionOID(module, fn)
 	if err != nil {
 		return nil, err
 	}
 	return s.Reflect.OptimizeAndInstall(s.Machine, oid)
+}
+
+// OptCacheStats is the optimized-code cache counters of the reflective
+// optimizer's compilation pipeline.
+type OptCacheStats = pipeline.CacheStats
+
+// OptCacheStats reports cache hit/miss/dedup counters of the reflective
+// optimizer.
+func (s *System) OptCacheStats() OptCacheStats {
+	return s.Reflect.CacheStats()
 }
 
 // CreateRelation creates a persistent relation (with optional hash
