@@ -1,0 +1,85 @@
+// Execution-kernel benchmarks: wall clock, allocations, and steps/call
+// of the relational operators' hot path (select, join, exists,
+// indexscan). These are the benchmarks behind bench/BENCH_exec.json —
+// unlike E5–E7, which compare optimizer plans, this lane measures the
+// physical execution cost of one fixed plan, so engine-level changes
+// (batched kernels, frame reuse, value interning) show up here while
+// steps/call stays constant.
+package tycoon
+
+import (
+	"fmt"
+	"testing"
+
+	"tycoon/internal/store"
+	"tycoon/internal/tml"
+)
+
+func execSelectSrc(oid store.OID) string {
+	return `
+(select proc(x !ce !cc)
+          ([] x 1 cont(a) (< a 50 cont() (cc true) cont() (cc false)))
+        ` + tml.NewOid(uint64(oid)).String() + ` e k)`
+}
+
+func execJoinSrc(oid store.OID) string {
+	o := tml.NewOid(uint64(oid)).String()
+	return `
+(join proc(x !ce !cc)
+        ([] x 0 cont(a) ([] x 2 cont(b)
+          (== a b cont() (cc true) cont() (cc false))))
+      ` + o + ` ` + o + ` e k)`
+}
+
+func execExistsSrc(oid store.OID) string {
+	// val is always < 97, so the existential scans every row.
+	return `
+(exists proc(x !ce !cc)
+          ([] x 1 cont(a) (> a 100 cont() (cc true) cont() (cc false)))
+        ` + tml.NewOid(uint64(oid)).String() + ` e k)`
+}
+
+func execIndexScanSrc(oid store.OID) string {
+	return `(indexscan ` + tml.NewOid(uint64(oid)).String() + ` 0 123 e k)`
+}
+
+func benchExecQuery(b *testing.B, n int, src func(store.OID) string) {
+	w := getQueryWorld(b, n)
+	app := parseQuery(b, src(w.oid))
+	runQueryTerm(b, w, app) // warm caches outside the timed region
+	w.sys.ResetSteps()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runQueryTerm(b, w, app)
+	}
+	b.ReportMetric(float64(w.sys.Steps())/float64(b.N), "steps/call")
+}
+
+// BenchmarkExec_Select measures σ_{val<50}(t): one interpreted predicate
+// closure applied to every row.
+func BenchmarkExec_Select(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchExecQuery(b, n, execSelectSrc)
+		})
+	}
+}
+
+// BenchmarkExec_Join measures the nested-loop self-join t200 ⋈_{id=id}
+// t200: 40 000 predicate evaluations, 200 result rows.
+func BenchmarkExec_Join(b *testing.B) {
+	benchExecQuery(b, 200, execJoinSrc)
+}
+
+// BenchmarkExec_Exists measures a full-scan existential (the predicate
+// never holds, so there is no early exit).
+func BenchmarkExec_Exists(b *testing.B) {
+	benchExecQuery(b, 10000, execExistsSrc)
+}
+
+// BenchmarkExec_IndexScan measures the physical index access path on a
+// warm manager; the index must not be rebuilt between iterations.
+func BenchmarkExec_IndexScan(b *testing.B) {
+	benchExecQuery(b, 10000, execIndexScanSrc)
+}

@@ -14,6 +14,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"io"
 	"log"
 	"os"
@@ -33,6 +34,9 @@ type Benchmark struct {
 
 // Artifact is the emitted document.
 type Artifact struct {
+	// Lane names the benchmark lane the artifact belongs to
+	// ("pipeline", "exec"), so baselines are never diffed across lanes.
+	Lane string `json:"lane,omitempty"`
 	// Env records the goos/goarch/pkg/cpu header lines.
 	Env map[string]string `json:"env"`
 	// Benchmarks are the parsed result lines, in input order.
@@ -44,11 +48,13 @@ type Artifact struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
+	lane := flag.String("lane", "", "benchmark lane name to record in the artifact")
+	flag.Parse()
 	src, err := io.ReadAll(os.Stdin)
 	if err != nil {
 		log.Fatal(err)
 	}
-	art := Artifact{Env: map[string]string{}, Raw: string(src)}
+	art := Artifact{Lane: *lane, Env: map[string]string{}, Raw: string(src)}
 
 	sc := bufio.NewScanner(strings.NewReader(art.Raw))
 	for sc.Scan() {

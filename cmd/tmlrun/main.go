@@ -2,7 +2,7 @@
 // runs it, optionally after reflective runtime optimization across its
 // module abstraction barriers (paper §4.1).
 //
-//	tmlrun -store db.tyst [-opt] [-steps] module.function [int args…]
+//	tmlrun -store db.tyst [-opt] [-steps] [-profile] module.function [int args…]
 package main
 
 import (
@@ -12,6 +12,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"tycoon/internal/linker"
 	"tycoon/internal/machine"
@@ -26,6 +27,7 @@ func main() {
 	storePath := flag.String("store", "tycoon.tyst", "store file")
 	dynOpt := flag.Bool("opt", false, "reflectively optimize before running")
 	showSteps := flag.Bool("steps", false, "report abstract machine steps")
+	profile := flag.Bool("profile", false, "report steps, engine transfers, frame allocations and wall time")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		log.Fatal("usage: tmlrun -store db.tyst [-opt] module.function [int args…]")
@@ -74,12 +76,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "optimized: %s (%d cross-barrier inlines)\n", res.Stats, res.Inlined)
 	}
 
+	start := time.Now()
 	result, err := m.CallExport(modOID, fnName, args)
+	elapsed := time.Since(start)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(result.Show())
 	if *showSteps {
 		fmt.Fprintf(os.Stderr, "%d machine steps\n", m.Steps())
+	}
+	if *profile {
+		p := m.Profile()
+		fmt.Fprintf(os.Stderr, "profile: %d steps, %d engine transfers, %d frames allocated, %d frames reused, %s wall time\n",
+			p.Steps, p.Transfers, p.FramesAlloc, p.FramesReuse, elapsed)
 	}
 }

@@ -117,7 +117,7 @@ func registerIntExecs() {
 			if !ok {
 				return cc(0, Str(fmt.Sprintf("%s: arithmetic fault on %d, %d", op.name, a, b))), nil
 			}
-			return cc(1, Int(r)), nil
+			return cc(1, IntValue(r)), nil
 		}
 	}
 	stdExecs["neg"] = func(m *Machine, vals, conts []Value) (Outcome, error) {
@@ -128,7 +128,7 @@ func registerIntExecs() {
 		if a == math.MinInt64 {
 			return cc(0, Str("neg: overflow")), nil
 		}
-		return cc(1, Int(-a)), nil
+		return cc(1, IntValue(-a)), nil
 	}
 
 	cmps := map[string]func(a, b int64) bool{
@@ -175,7 +175,7 @@ func registerBitExecs() {
 			if err != nil {
 				return Outcome{}, err
 			}
-			return cc(0, Int(eval(a, b))), nil
+			return cc(0, IntValue(eval(a, b))), nil
 		}
 	}
 }
@@ -186,14 +186,14 @@ func registerConvExecs() {
 		if !ok {
 			return Outcome{}, rtErr("char2int", "expected char, got %s", vals[0].Show())
 		}
-		return cc(0, Int(int64(c))), nil
+		return cc(0, IntValue(int64(c))), nil
 	}
 	stdExecs["int2char"] = func(m *Machine, vals, conts []Value) (Outcome, error) {
 		i, err := wantInt("int2char", vals[0])
 		if err != nil {
 			return Outcome{}, err
 		}
-		return cc(0, Char(byte(i))), nil
+		return cc(0, CharValue(byte(i))), nil
 	}
 	stdExecs["int2real"] = func(m *Machine, vals, conts []Value) (Outcome, error) {
 		i, err := wantInt("int2real", vals[0])
@@ -210,7 +210,7 @@ func registerConvExecs() {
 		if math.IsNaN(r) || r > math.MaxInt64 || r < math.MinInt64 {
 			return cc(0, Str("real2int: out of range")), nil
 		}
-		return cc(1, Int(int64(r))), nil
+		return cc(1, IntValue(int64(r))), nil
 	}
 }
 
@@ -269,7 +269,7 @@ func registerArrayExecs() {
 			if i < 0 || i >= int64(len(a.B)) {
 				return m.throw("b[]", Str(fmt.Sprintf("index %d out of range [0,%d)", i, len(a.B))))
 			}
-			return cc(0, Char(a.B[i])), nil
+			return cc(0, CharValue(a.B[i])), nil
 		case Ref:
 			obj, err := m.fetch("b[]", a)
 			if err != nil {
@@ -282,7 +282,7 @@ func registerArrayExecs() {
 			if i < 0 || i >= int64(len(ba.Bytes)) {
 				return m.throw("b[]", Str("index out of range"))
 			}
-			return cc(0, Char(ba.Bytes[i])), nil
+			return cc(0, CharValue(ba.Bytes[i])), nil
 		default:
 			return Outcome{}, rtErr("b[]", "expected byte array, got %s", vals[0].Show())
 		}
@@ -302,7 +302,7 @@ func registerArrayExecs() {
 				return m.throw("b[:=]", Str("index out of range"))
 			}
 			a.B[i] = byte(ch)
-			return cc(0, Unit{}), nil
+			return cc(0, unitVal), nil
 		case Ref:
 			obj, err := m.fetch("b[:=]", a)
 			if err != nil {
@@ -317,7 +317,7 @@ func registerArrayExecs() {
 			}
 			ba.Bytes[i] = byte(ch)
 			m.Store.MarkDirty(a.OID)
-			return cc(0, Unit{}), nil
+			return cc(0, unitVal), nil
 		default:
 			return Outcome{}, rtErr("b[:=]", "expected byte array, got %s", vals[0].Show())
 		}
@@ -325,13 +325,13 @@ func registerArrayExecs() {
 	stdExecs["size"] = func(m *Machine, vals, conts []Value) (Outcome, error) {
 		switch a := vals[0].(type) {
 		case *Array:
-			return cc(0, Int(int64(len(a.Elems)))), nil
+			return cc(0, IntValue(int64(len(a.Elems)))), nil
 		case *Vector:
-			return cc(0, Int(int64(len(a.Elems)))), nil
+			return cc(0, IntValue(int64(len(a.Elems)))), nil
 		case *Bytes:
-			return cc(0, Int(int64(len(a.B)))), nil
+			return cc(0, IntValue(int64(len(a.B)))), nil
 		case Str:
-			return cc(0, Int(int64(len(a)))), nil
+			return cc(0, IntValue(int64(len(a)))), nil
 		case Ref:
 			obj, err := m.fetch("size", a)
 			if err != nil {
@@ -339,13 +339,13 @@ func registerArrayExecs() {
 			}
 			switch o := obj.(type) {
 			case *store.Array:
-				return cc(0, Int(int64(len(o.Elems)))), nil
+				return cc(0, IntValue(int64(len(o.Elems)))), nil
 			case *store.Tuple:
-				return cc(0, Int(int64(len(o.Fields)))), nil
+				return cc(0, IntValue(int64(len(o.Fields)))), nil
 			case *store.ByteArray:
-				return cc(0, Int(int64(len(o.Bytes)))), nil
+				return cc(0, IntValue(int64(len(o.Bytes)))), nil
 			case *store.Relation:
-				return cc(0, Int(int64(len(o.Rows)))), nil
+				return cc(0, IntValue(int64(len(o.Rows)))), nil
 			default:
 				return Outcome{}, rtErr("size", "object is %s", obj.Kind())
 			}
@@ -379,7 +379,7 @@ func registerArrayExecs() {
 			return m.throw("move", Str("range out of bounds"))
 		}
 		copy(dst.Elems[doff:doff+n], src.Elems[soff:soff+n])
-		return cc(0, Unit{}), nil
+		return cc(0, unitVal), nil
 	}
 	stdExecs["bmove"] = func(m *Machine, vals, conts []Value) (Outcome, error) {
 		src, ok := vals[0].(*Bytes)
@@ -407,7 +407,7 @@ func registerArrayExecs() {
 			return m.throw("bmove", Str("range out of bounds"))
 		}
 		copy(dst.B[doff:doff+n], src.B[soff:soff+n])
-		return cc(0, Unit{}), nil
+		return cc(0, unitVal), nil
 	}
 }
 
@@ -469,7 +469,7 @@ func execIndexStore(m *Machine, vals, conts []Value) (Outcome, error) {
 			return m.throw("[:=]", Str(fmt.Sprintf("index %d out of range [0,%d)", i, len(a.Elems))))
 		}
 		a.Elems[i] = vals[2]
-		return cc(0, Unit{}), nil
+		return cc(0, unitVal), nil
 	case Ref:
 		obj, err := m.fetch("[:=]", a)
 		if err != nil {
@@ -488,7 +488,7 @@ func execIndexStore(m *Machine, vals, conts []Value) (Outcome, error) {
 		}
 		arr.Elems[i] = sv
 		m.Store.MarkDirty(a.OID)
-		return cc(0, Unit{}), nil
+		return cc(0, unitVal), nil
 	default:
 		return Outcome{}, rtErr("[:=]", "expected mutable array, got %s", vals[0].Show())
 	}
@@ -650,7 +650,7 @@ func registerBoolExecs() {
 		if err != nil {
 			return Outcome{}, err
 		}
-		return cc(0, Bool(a && b)), nil
+		return cc(0, BoolValue(a && b)), nil
 	}
 	stdExecs["or"] = func(m *Machine, vals, conts []Value) (Outcome, error) {
 		a, err := wantBool("or", vals[0])
@@ -661,14 +661,14 @@ func registerBoolExecs() {
 		if err != nil {
 			return Outcome{}, err
 		}
-		return cc(0, Bool(a || b)), nil
+		return cc(0, BoolValue(a || b)), nil
 	}
 	stdExecs["not"] = func(m *Machine, vals, conts []Value) (Outcome, error) {
 		a, err := wantBool("not", vals[0])
 		if err != nil {
 			return Outcome{}, err
 		}
-		return cc(0, Bool(!a)), nil
+		return cc(0, BoolValue(!a)), nil
 	}
 	stdExecs["if"] = func(m *Machine, vals, conts []Value) (Outcome, error) {
 		a, err := wantBool("if", vals[0])
@@ -727,7 +727,7 @@ func registerStringExecs() {
 		if err != nil {
 			return Outcome{}, err
 		}
-		return cc(0, Int(int64(len(a)))), nil
+		return cc(0, IntValue(int64(len(a)))), nil
 	}
 	stdExecs["s[]"] = func(m *Machine, vals, conts []Value) (Outcome, error) {
 		a, err := wantStr("s[]", vals[0])
@@ -741,7 +741,7 @@ func registerStringExecs() {
 		if i < 0 || i >= int64(len(a)) {
 			return cc(0, Str("s[]: index out of range")), nil
 		}
-		return cc(1, Char(a[i])), nil
+		return cc(1, CharValue(a[i])), nil
 	}
 	stdExecs["int2str"] = func(m *Machine, vals, conts []Value) (Outcome, error) {
 		i, err := wantInt("int2str", vals[0])
@@ -764,6 +764,6 @@ func registerIOExecs() {
 		if m.Out != nil {
 			fmt.Fprintln(m.Out, vals[0].Show())
 		}
-		return cc(0, Unit{}), nil
+		return cc(0, unitVal), nil
 	}
 }

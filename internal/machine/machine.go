@@ -30,6 +30,25 @@ type Machine struct {
 	handlers []Value // dynamic exception handler stack
 	steps    int64
 	execs    map[string]ExecFunc
+	// noFast disables the fused primitive fast path: set when a
+	// machine-local executor shadows a primitive the code generator fused,
+	// so the override is always honoured.
+	noFast bool
+	// Execution profile counters (single-goroutine, like steps).
+	transfers   int64
+	framesAlloc int64
+	framesReuse int64
+	// freeFrames is the TAM frame free-list: a block whose frame provably
+	// does not escape (CodeBlock.frameSafe) returns it here when control
+	// leaves the block, and transfer reuses it for the next activation —
+	// self-recursive tail calls and batched predicate evaluation run
+	// without frame allocation.
+	freeFrames [][]Value
+	// valArena is a stack-disciplined scratch buffer for the value
+	// arguments of primitive executions. Executors must not retain the
+	// vals slice beyond the call (elements may be retained freely); all
+	// executors in this repository obey that contract.
+	valArena []Value
 	// linkMu guards linked and programs: the reflective optimizer may
 	// install new code (OverrideLink) from another goroutine while the
 	// machine is lazily linking, and concurrent optimizations may race
@@ -96,6 +115,21 @@ func (m *Machine) ResetSteps() { m.steps = 0 }
 // traversal and materialisation show up in the work measure.
 func (m *Machine) Tick() error { return m.tick() }
 
+// TickN charges n abstract machine steps at once: the bulk operators
+// charge one fixed-size batch of rows up front, which moves the budget
+// check out of the row loop without changing the total work measure.
+func (m *Machine) TickN(n int) error {
+	m.steps += int64(n)
+	max := m.MaxSteps
+	if max == 0 {
+		max = DefaultMaxSteps
+	}
+	if m.steps > max {
+		return ErrStepBudget
+	}
+	return nil
+}
+
 func (m *Machine) tick() error {
 	m.steps++
 	max := m.MaxSteps
@@ -106,6 +140,81 @@ func (m *Machine) tick() error {
 		return ErrStepBudget
 	}
 	return nil
+}
+
+// Profile is a snapshot of the machine's execution counters: abstract
+// steps, engine transfers (control transfers dispatched between closure
+// activations), and TAM frame allocation/reuse. tmlrun -profile prints
+// it; the allocation-budget tests assert on it.
+type Profile struct {
+	Steps       int64
+	Transfers   int64
+	FramesAlloc int64
+	FramesReuse int64
+}
+
+// Profile reports the machine's execution counters.
+func (m *Machine) Profile() Profile {
+	return Profile{Steps: m.steps, Transfers: m.transfers,
+		FramesAlloc: m.framesAlloc, FramesReuse: m.framesReuse}
+}
+
+// ResetProfile clears all execution counters, including steps.
+func (m *Machine) ResetProfile() {
+	m.steps, m.transfers, m.framesAlloc, m.framesReuse = 0, 0, 0, 0
+}
+
+// maxPooledFrames bounds the frame free-list; beyond it dead frames are
+// left to the garbage collector.
+const maxPooledFrames = 64
+
+// getFrame returns a zeroed frame of n slots, preferring the free-list.
+func (m *Machine) getFrame(n int) []Value {
+	for i := len(m.freeFrames) - 1; i >= 0; i-- {
+		f := m.freeFrames[i]
+		if cap(f) >= n {
+			last := len(m.freeFrames) - 1
+			m.freeFrames[i] = m.freeFrames[last]
+			m.freeFrames[last] = nil
+			m.freeFrames = m.freeFrames[:last]
+			f = f[:n]
+			clear(f)
+			m.framesReuse++
+			return f
+		}
+	}
+	m.framesAlloc++
+	return make([]Value, n)
+}
+
+// putFrame recycles a frame whose block has exited and whose escape
+// analysis (CodeBlock.frameSafe) proved no reference to it survives.
+func (m *Machine) putFrame(f []Value) {
+	if cap(f) == 0 || len(m.freeFrames) >= maxPooledFrames {
+		return
+	}
+	m.freeFrames = append(m.freeFrames, f)
+}
+
+// arenaPush reserves n scratch slots for primitive value arguments.
+// Discipline is strictly stack-like: a primitive that re-enters the
+// machine (the query executors evaluating predicates) pushes above the
+// caller's reservation and pops back to it before returning.
+func (m *Machine) arenaPush(n int) (int, []Value) {
+	base := len(m.valArena)
+	if cap(m.valArena) < base+n {
+		grown := make([]Value, base, 2*(base+n)+8)
+		copy(grown, m.valArena)
+		m.valArena = grown
+	}
+	m.valArena = m.valArena[:base+n]
+	return base, m.valArena[base : base+n]
+}
+
+// arenaPop releases a reservation, clearing it so values are not retained.
+func (m *Machine) arenaPop(base int) {
+	clear(m.valArena[base:])
+	m.valArena = m.valArena[:base]
 }
 
 // PushHandler installs a new exception handler continuation.
@@ -147,10 +256,17 @@ type ExecFunc func(m *Machine, vals, conts []Value) (Outcome, error)
 
 // RegisterExec adds a primitive executor; the relational substrate
 // registers the query primitives this way, mirroring how new primitives
-// extend the compile-time registry (paper §2.3).
+// extend the compile-time registry (paper §2.3). Executors must follow
+// the descriptor flags of their primitive: retaining a continuation
+// argument requires CapturesConts, retaining a value argument requires
+// RetainsVals — the TAM's frame reuse and inert-continuation passing
+// rely on them.
 func (m *Machine) RegisterExec(name string, f ExecFunc) {
 	if m.execs == nil {
 		m.execs = make(map[string]ExecFunc)
+	}
+	if _, fused := fastExecs[name]; fused {
+		m.noFast = true
 	}
 	m.execs[name] = f
 }
@@ -177,23 +293,25 @@ func (m *Machine) fetch(op string, r Ref) (store.Object, error) {
 	return obj, nil
 }
 
-// FromStoreVal converts a store slot value to a runtime value.
+// FromStoreVal converts a store slot value to a runtime value. Scalars
+// come from the interning tables, so converting a row of small integers
+// and booleans allocates nothing.
 func FromStoreVal(v store.Val) Value {
 	switch v.Kind {
 	case store.ValInt:
-		return Int(v.Int)
+		return IntValue(v.Int)
 	case store.ValReal:
 		return Real(v.Real)
 	case store.ValBool:
-		return Bool(v.Bool)
+		return BoolValue(v.Bool)
 	case store.ValChar:
-		return Char(v.Ch)
+		return CharValue(v.Ch)
 	case store.ValStr:
 		return Str(v.Str)
 	case store.ValRef:
 		return Ref{OID: v.Ref}
 	default:
-		return Unit{}
+		return unitVal
 	}
 }
 

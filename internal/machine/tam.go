@@ -84,6 +84,19 @@ type Instr struct {
 	// ParamSlots, for OpCont, are the parameter slots of the reified
 	// label (results are written there when the continuation is invoked).
 	ParamSlots []int
+
+	// Execution metadata computed by prepareProgram (derived, never
+	// serialised; the zero values select the safe generic path).
+	//
+	// fast, when non-nil, is the fused load-slot/apply-primitive/jump
+	// executor for this OpPrim: the superinstruction the codegen emits
+	// for the predicate-body shapes the optimizer produces.
+	fast fastFn
+	// contsInert marks an OpPrim whose continuation arguments are all
+	// local join points and whose executor never retains a continuation:
+	// the executor receives a shared placeholder slice instead of freshly
+	// reified TAMConts.
+	contsInert bool
 }
 
 // CodeBlock is the compiled form of one proc abstraction plus all the
@@ -102,6 +115,22 @@ type CodeBlock struct {
 	// the paper's §6 "reconstruct a TML representation by examining the
 	// persistent executable code representation".
 	Labels []LabelInfo
+
+	// Escape analysis computed by prepareProgram (derived, never
+	// serialised; the zero values are the conservative answers).
+	//
+	// frameSafe reports that no reference to an activation's frame can
+	// survive the activation: the block reifies no continuation (OpCont)
+	// and calls no continuation-capturing primitive. The VM recycles
+	// frames of frameSafe blocks on its free-list when control leaves.
+	frameSafe bool
+	// rowSafe reports that the first parameter — the row tuple in the
+	// batched query calling convention — is never retained beyond the
+	// activation (not captured, not stored by a retaining primitive, not
+	// passed to an unknown procedure or continuation), so the caller may
+	// reuse one tuple buffer across calls. It applies to flat tuples of
+	// scalars, which is what the relational substrate passes.
+	rowSafe bool
 }
 
 // LabelInfo describes one join point of a block.
@@ -114,6 +143,10 @@ type LabelInfo struct {
 type Program struct {
 	Blocks []*CodeBlock
 	Entry  int
+
+	// prepared records that prepareProgram has run; programs are
+	// immutable (and shared across goroutines) once published.
+	prepared bool
 }
 
 // EntryBlock returns the entry code block.
@@ -172,16 +205,47 @@ func (c *Cell) Show() string {
 // Free variables of the abstraction become the entry closure's captures,
 // in the order reported by the entry block's FreeNames.
 func CompileProc(abs *tml.Abs, name string, reg *prim.Registry) (*Program, error) {
+	prog, _, err := compileProcFree(abs, name, reg)
+	return prog, err
+}
+
+// compileProcFree is CompileProc keeping the captured free variables of
+// the entry block (in capture order, aligned with FreeNames).
+func compileProcFree(abs *tml.Abs, name string, reg *prim.Registry) (*Program, []*tml.Var, error) {
 	if reg == nil {
 		reg = prim.Default
 	}
 	c := &compiler{prog: &Program{}, reg: reg}
-	entry, _, err := c.compileAbs(abs, name, nil)
+	entry, free, err := c.compileAbs(abs, name, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.prog.Entry = entry
+	prepareProgram(c.prog, reg)
+	return c.prog, free, nil
+}
+
+// CompileClosure compiles an interpreted closure into an equivalent TAM
+// closure, resolving its captured free variables from the closure's
+// environment. The batched query kernels use it to compile predicate
+// closures on the fly once a scan is large enough to amortise the
+// compilation; the caller is responsible for checking that compilation
+// preserves the abstract step count (see StepNeutral in batch.go).
+func CompileClosure(clo *Closure, reg *prim.Registry) (*TAMClosure, error) {
+	prog, freeVars, err := compileProcFree(clo.Abs, clo.Name, reg)
 	if err != nil {
 		return nil, err
 	}
-	c.prog.Entry = entry
-	return c.prog, nil
+	entry := prog.EntryBlock()
+	free := make([]Value, len(freeVars))
+	for i, v := range freeVars {
+		val, ok := clo.Env.Lookup(v)
+		if !ok {
+			return nil, rtErr("compile", "%s: unbound free variable %s", entry.Name, v)
+		}
+		free[i] = val
+	}
+	return &TAMClosure{Prog: prog, Blk: prog.Entry, Free: free, Name: clo.Name}, nil
 }
 
 type compiler struct {

@@ -58,7 +58,13 @@ func (m *Machine) transfer(fn Value, args []Value) (execState, bool, Value, erro
 				return execState{}, true, nil, err
 			}
 		}
-		return execState{app: f.Abs.Body, env: f.Env.Extend(f.Abs.Params, args)}, false, nil, nil
+		m.transfers++
+		// The environment frame retains the argument slice, but callers
+		// (the TAM call instruction, the batched kernels) pass reused
+		// scratch buffers — bind a private copy.
+		bound := make([]Value, len(args))
+		copy(bound, args)
+		return execState{app: f.Abs.Body, env: f.Env.Extend(f.Abs.Params, bound)}, false, nil, nil
 	case *TAMClosure:
 		if err := m.tick(); err != nil {
 			return execState{}, true, nil, err
@@ -68,7 +74,8 @@ func (m *Machine) transfer(fn Value, args []Value) (execState, bool, Value, erro
 			return execState{}, true, nil, rtErr("apply", "%s expects %d arguments, got %d",
 				f.Show(), blk.NParams, len(args))
 		}
-		frame := make([]Value, blk.NSlots)
+		m.transfers++
+		frame := m.getFrame(blk.NSlots)
 		copy(frame, args)
 		return execState{tam: tamState{prog: f.Prog, blk: f.Blk, frame: frame, free: f.Free}}, false, nil, nil
 	case *TAMCont:
@@ -76,6 +83,7 @@ func (m *Machine) transfer(fn Value, args []Value) (execState, bool, Value, erro
 			return execState{}, true, nil, rtErr("apply", "continuation expects %d results, got %d",
 				len(f.ParamSlots), len(args))
 		}
+		m.transfers++
 		for i, s := range f.ParamSlots {
 			f.Frame[s] = args[i]
 		}
@@ -174,39 +182,69 @@ func (m *Machine) runTAM(ts tamState) (execState, bool, Value, error) {
 			if err := m.tick(); err != nil {
 				return execState{}, true, nil, err
 			}
-			vals := make([]Value, len(in.Srcs))
+			base, vals := m.arenaPush(len(in.Srcs))
 			for i, s := range in.Srcs {
 				vals[i] = ts.load(s, true)
 			}
-			conts := make([]Value, len(in.Conts))
-			for i, ref := range in.Conts {
-				if ref.IsLabel {
-					// Lazily reified only if the executor requests a
-					// Tail to it — represent labels with a sentinel the
-					// executor never inspects (handler primitives receive
-					// real values; their conts are labels only for the
-					// local continue branch).
-					conts[i] = &TAMCont{Prog: ts.prog, Blk: ts.blk, PC: ref.PC,
-						Frame: ts.frame, Free: ts.free, ParamSlots: ref.ParamSlots}
-				} else {
-					conts[i] = ts.load(ref.Src, true)
+			if f := in.fast; f != nil && !m.noFast {
+				// Fused load-slot/apply-primitive/jump superinstruction:
+				// every continuation is a local join point, so a branch is
+				// a frame write and a jump. The fast executor declines
+				// (branch < 0) on anything but the common case, and the
+				// generic executor below re-executes the call — sound
+				// because fast executors are pure and the step was charged
+				// once, above.
+				branch, result, nres := f(m, vals, len(in.Conts))
+				if branch >= 0 {
+					ref := &in.Conts[branch]
+					if nres == len(ref.ParamSlots) {
+						m.arenaPop(base)
+						if nres == 1 {
+							ts.frame[ref.ParamSlots[0]] = result
+						}
+						ts.pc = ref.PC
+						continue
+					}
+				}
+			}
+			var conts []Value
+			if in.contsInert {
+				// The executor never retains or inspects a continuation
+				// argument (beyond its count): pass shared placeholders
+				// instead of reifying the join points over this frame.
+				conts = inertConts[len(in.Conts)]
+			} else {
+				conts = make([]Value, len(in.Conts))
+				for i, ref := range in.Conts {
+					if ref.IsLabel {
+						conts[i] = &TAMCont{Prog: ts.prog, Blk: ts.blk, PC: ref.PC,
+							Frame: ts.frame, Free: ts.free, ParamSlots: ref.ParamSlots}
+					} else {
+						conts[i] = ts.load(ref.Src, true)
+					}
 				}
 			}
 			exec, ok := m.exec(in.Prim)
 			if !ok {
+				m.arenaPop(base)
 				return execState{}, true, nil, rtErr(in.Prim, "no executor registered")
 			}
 			out, err := exec(m, vals, conts)
+			m.arenaPop(base)
 			if err != nil {
 				return execState{}, true, nil, err
 			}
 			if out.Tail != nil {
+				if blk.frameSafe {
+					m.putFrame(ts.frame)
+					ts.frame = nil
+				}
 				return m.transfer(out.Tail.Fn, out.Tail.Args)
 			}
 			if out.Branch < 0 || out.Branch >= len(in.Conts) {
 				return execState{}, true, nil, rtErr(in.Prim, "selected continuation %d of %d", out.Branch, len(in.Conts))
 			}
-			ref := in.Conts[out.Branch]
+			ref := &in.Conts[out.Branch]
 			if ref.IsLabel {
 				if len(ref.ParamSlots) != len(out.Results) {
 					return execState{}, true, nil, rtErr(in.Prim, "label expects %d results, got %d",
@@ -218,14 +256,27 @@ func (m *Machine) runTAM(ts tamState) (execState, bool, Value, error) {
 				ts.pc = ref.PC
 				continue
 			}
-			return m.transfer(conts[out.Branch], out.Results)
+			k := ts.load(ref.Src, true)
+			if blk.frameSafe {
+				m.putFrame(ts.frame)
+				ts.frame = nil
+			}
+			return m.transfer(k, out.Results)
 		case OpCall:
 			fn := ts.load(in.Fn, true)
-			args := make([]Value, len(in.Srcs))
+			base, args := m.arenaPush(len(in.Srcs))
 			for i, s := range in.Srcs {
 				args[i] = ts.load(s, true)
 			}
+			// The arguments are loaded out of the frame, so a frame-safe
+			// block's frame can be recycled before the transfer — a
+			// self-recursive tail call reuses the very frame it leaves.
+			if blk.frameSafe {
+				m.putFrame(ts.frame)
+				ts.frame = nil
+			}
 			next, done, result, err := m.transfer(fn, args)
+			m.arenaPop(base)
 			if err != nil || done {
 				return execState{}, done, result, err
 			}

@@ -148,6 +148,52 @@ func showSeq(kind string, elems []Value) string {
 	return b.String()
 }
 
+// Value interning. Boxing a scalar into the Value interface allocates;
+// on the query hot path every row conversion and every primitive result
+// would pay that cost. The tables below prebox the values that dominate
+// those paths — small integers (row keys, loop counters), booleans
+// (predicate results), characters and unit — so FromStoreVal and the
+// executors can return shared boxes. Interning is sound because scalars
+// are immutable and compare by value, never by identity.
+var (
+	smallInts [512]Value // -256 … 255
+	charVals  [256]Value
+	trueVal   Value = Bool(true)
+	falseVal  Value = Bool(false)
+	unitVal   Value = Unit{}
+)
+
+func init() {
+	for i := range smallInts {
+		smallInts[i] = Int(i - 256)
+	}
+	for i := range charVals {
+		charVals[i] = Char(i)
+	}
+}
+
+// IntValue boxes an integer, sharing the box for small values.
+func IntValue(i int64) Value {
+	if i >= -256 && i < 256 {
+		return smallInts[i+256]
+	}
+	return Int(i)
+}
+
+// BoolValue boxes a boolean without allocating.
+func BoolValue(b bool) Value {
+	if b {
+		return trueVal
+	}
+	return falseVal
+}
+
+// CharValue boxes a character without allocating.
+func CharValue(c byte) Value { return charVals[c] }
+
+// UnitValue returns the shared unit box.
+func UnitValue() Value { return unitVal }
+
 // Env is a chain of binding frames. Frames are small (procedure parameter
 // lists), so lookup is a linear scan by binder pointer.
 type Env struct {

@@ -17,11 +17,24 @@
 package qopt
 
 import (
+	"tycoon/internal/machine"
 	"tycoon/internal/opt"
 	"tycoon/internal/pipeline"
 	"tycoon/internal/store"
 	"tycoon/internal/tml"
 )
+
+// Batchable reports whether a query predicate procedure — proc(x ce cc)
+// in the calling convention of the relational primitives — will run on
+// the batched, compiled kernel of the relational substrate. The kernel
+// compiles a predicate only when compilation provably preserves the
+// abstract step count, so batchability is exactly step-neutrality
+// (machine.StepNeutral) of a three-parameter procedure: the normal form
+// the optimizer's expansion passes produce. The reflective optimizer
+// reports the mark per optimized closure (reflectopt.Result.Batchable).
+func Batchable(pred *tml.Abs) bool {
+	return pred != nil && len(pred.Params) == 3 && machine.StepNeutral(pred)
+}
 
 // StaticRules returns the rules that need no runtime bindings.
 func StaticRules() []opt.Rule {

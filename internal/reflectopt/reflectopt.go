@@ -138,6 +138,10 @@ type Result struct {
 	// CacheHit reports that the optimized code was served from the
 	// pipeline cache without re-running the optimizer.
 	CacheHit bool
+	// Batchable marks the optimized procedure as a query predicate that
+	// the relational substrate will run on its batched, compiled kernel
+	// (qopt.Batchable: step-neutral proc(x ce cc)).
+	Batchable bool
 }
 
 // CacheStats reports the underlying pipeline's cache counters.
@@ -255,12 +259,13 @@ func (o *Optimizer) Optimize(oid store.OID) (*Result, error) {
 			int32(res.Opt.CostBefore-res.Opt.CostAfter))
 	}
 	return &Result{
-		Abs:      res.Abs,
-		Closure:  res.Closure,
-		Stats:    res.Opt,
-		Inlined:  inlined,
-		Pipeline: res.Stats,
-		CacheHit: res.CacheHit,
+		Abs:       res.Abs,
+		Closure:   res.Closure,
+		Stats:     res.Opt,
+		Inlined:   inlined,
+		Pipeline:  res.Stats,
+		CacheHit:  res.CacheHit,
+		Batchable: qopt.Batchable(res.Abs),
 	}, nil
 }
 

@@ -1,0 +1,229 @@
+package relalg
+
+import (
+	"testing"
+
+	"tycoon/internal/machine"
+	"tycoon/internal/prim"
+	"tycoon/internal/store"
+	"tycoon/internal/tml"
+)
+
+// parseOnce parses a query term and binds its free variables to halt
+// continuations, so tests can re-run the same term without paying (or
+// measuring) the parser.
+func parseOnce(t *testing.T, src string) (*tml.App, *machine.Env) {
+	t.Helper()
+	app, err := tml.ParseApp(src, tml.ParseOpts{IsPrim: prim.IsPrim})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	free := tml.FreeVars(app)
+	vals := make([]machine.Value, len(free))
+	for i, v := range free {
+		if v.Name == "k" {
+			vals[i] = &machine.Halt{}
+		} else {
+			vals[i] = &machine.Halt{Err: true}
+		}
+	}
+	return app, (*machine.Env)(nil).Extend(free, vals)
+}
+
+// TestIndexCacheReuse is the regression test for the index rebuild bug:
+// a second index scan over an unchanged relation must serve the cached
+// index, an insert must extend it in place, and an identity change must
+// rebuild it exactly once.
+func TestIndexCacheReuse(t *testing.T) {
+	st, mg, m, oid := world(t, 200)
+	scan := "(indexscan " + oidStr(oid) + " 0 123 e k)"
+
+	if _, err := run(t, m, scan); err != nil {
+		t.Fatal(err)
+	}
+	s := mg.IndexStats()
+	if s.Builds != 1 || s.Hits != 0 {
+		t.Fatalf("first scan: %+v, want exactly one build", s)
+	}
+
+	// Second scan over the unchanged relation: cache hit, no rebuild.
+	if _, err := run(t, m, scan); err != nil {
+		t.Fatal(err)
+	}
+	s = mg.IndexStats()
+	if s.Builds != 1 {
+		t.Errorf("second scan rebuilt the index: %+v", s)
+	}
+	if s.Hits != 1 {
+		t.Errorf("second scan missed the cache: %+v", s)
+	}
+
+	// Insert through the manager: the index is maintained, and the next
+	// scan still hits (neither build nor extension — InsertRow already
+	// appended the new posting).
+	if err := mg.InsertRow(oid, []store.Val{store.IntVal(123), store.IntVal(7)}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := run(t, m, scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(v.(*Rel).Rows); got != 2 {
+		t.Fatalf("scan after insert matched %d rows, want 2", got)
+	}
+	s = mg.IndexStats()
+	if s.Builds != 1 {
+		t.Errorf("scan after maintained insert rebuilt: %+v", s)
+	}
+
+	// Rows appended behind the manager's back extend the index tail
+	// instead of rebuilding it.
+	rel := st.MustGet(oid).(*store.Relation)
+	rel.Rows = append(rel.Rows, []store.Val{store.IntVal(123), store.IntVal(8)})
+	v, err = run(t, m, scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(v.(*Rel).Rows); got != 3 {
+		t.Fatalf("scan after raw append matched %d rows, want 3", got)
+	}
+	s = mg.IndexStats()
+	if s.Builds != 1 || s.Extends != 1 {
+		t.Errorf("raw append should extend, not rebuild: %+v", s)
+	}
+
+	// Truncation breaks the validity horizon: exactly one invalidating
+	// rebuild, after which scans hit again.
+	rel.Rows = rel.Rows[:100]
+	if _, err := run(t, m, scan); err != nil {
+		t.Fatal(err)
+	}
+	s = mg.IndexStats()
+	if s.Builds != 2 || s.Invalidations != 1 {
+		t.Errorf("truncation should force one rebuild: %+v", s)
+	}
+	if _, err := run(t, m, scan); err != nil {
+		t.Fatal(err)
+	}
+	if got := mg.IndexStats(); got.Builds != 2 {
+		t.Errorf("scan after rebuild rebuilt again: %+v", got)
+	}
+}
+
+// parityQueries are the operator shapes the step-parity guard runs both
+// batched and row-at-a-time.
+func parityQueries(oid store.OID) map[string]string {
+	o := oidStr(oid)
+	return map[string]string{
+		"select": `(select proc(x !ce !cc)
+			([] x 1 cont(a) (< a 5 cont()(cc true) cont()(cc false))) ` + o + ` e k)`,
+		"project": `(project proc(x !ce !cc)
+			([] x 0 cont(a) (+ a 100 ce cont(b) (vector b cont(row) (cc row))))
+			` + o + ` e k)`,
+		"join": `(join proc(x !ce !cc)
+			([] x 0 cont(a) ([] x 2 cont(b) (== a b cont()(cc true) cont()(cc false))))
+			` + o + ` ` + o + ` e k)`,
+		"exists": `(exists proc(x !ce !cc)
+			([] x 1 cont(a) (> a 100 cont()(cc true) cont()(cc false))) ` + o + ` e k)`,
+		"foreach": `(foreach proc(x !ce !cc) (cc unit) ` + o + ` e k)`,
+	}
+}
+
+// TestBatchStepParity proves that batched execution is a pure
+// representation change: for every operator the abstract step count and
+// the result are identical whether predicates run on the batched
+// compiled kernel or through one machine.Apply per row.
+func TestBatchStepParity(t *testing.T) {
+	type outcome struct {
+		steps int64
+		show  string
+	}
+	measure := func(noBatch bool) map[string]outcome {
+		_, mg, m, oid := world(t, 300)
+		mg.NoBatch = noBatch
+		out := make(map[string]outcome)
+		for name, src := range parityQueries(oid) {
+			m.ResetSteps()
+			v, err := run(t, m, src)
+			if err != nil {
+				t.Fatalf("%s (noBatch=%v): %v", name, noBatch, err)
+			}
+			out[name] = outcome{steps: m.Steps(), show: v.Show()}
+		}
+		return out
+	}
+	batched, rowAtATime := measure(false), measure(true)
+	for name, b := range batched {
+		r := rowAtATime[name]
+		if b.steps != r.steps {
+			t.Errorf("%s: batched %d steps, row-at-a-time %d steps", name, b.steps, r.steps)
+		}
+		if b.show != r.show {
+			t.Errorf("%s: results differ: %s vs %s", name, b.show, r.show)
+		}
+	}
+}
+
+// TestBatchStepParityOnException checks the parity holds on the
+// exceptional path too: a predicate that raises mid-scan aborts both
+// execution modes at the same abstract step.
+func TestBatchStepParityOnException(t *testing.T) {
+	src := func(oid store.OID) string {
+		return `(select proc(x !ce !cc)
+			([] x 0 cont(a) (== a 150 cont()(ce "boom") cont()(cc true)))
+			` + oidStr(oid) + ` e k)`
+	}
+	steps := func(noBatch bool) int64 {
+		_, mg, m, oid := world(t, 300)
+		mg.NoBatch = noBatch
+		m.ResetSteps()
+		if _, err := run(t, m, src(oid)); err == nil {
+			t.Fatalf("noBatch=%v: expected unhandled exception", noBatch)
+		}
+		return m.Steps()
+	}
+	if b, r := steps(false), steps(true); b != r {
+		t.Errorf("exception path: batched %d steps, row-at-a-time %d", b, r)
+	}
+}
+
+// allocsPerQuery reports heap allocations per full execution of src on a
+// warm machine (indexes built, kernel compilation exercised once).
+func allocsPerQuery(t *testing.T, m *machine.Machine, env *machine.Env, app *tml.App) float64 {
+	t.Helper()
+	if _, err := m.RunApp(app, env); err != nil { // warm caches
+		t.Fatal(err)
+	}
+	return testing.AllocsPerRun(20, func() {
+		if _, err := m.RunApp(app, env); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestSelectAllocBudget pins the allocation budget of the select hot
+// path: scanning 256 rows of interned scalars must cost well under one
+// allocation per row (the pre-batching executor cost ~18 per row).
+func TestSelectAllocBudget(t *testing.T) {
+	_, _, m, oid := world(t, 256)
+	app, env := parseOnce(t, `(select proc(x !ce !cc)
+		([] x 1 cont(a) (< a 5 cont()(cc true) cont()(cc false)))
+		`+oidStr(oid)+` e k)`)
+	if got := allocsPerQuery(t, m, env, app); got > 100 {
+		t.Errorf("select over 256 rows: %.0f allocs, budget 100", got)
+	}
+}
+
+// TestJoinAllocBudget pins the join hot path: a 64×64 nested-loop join
+// (4096 predicate calls) must stay under a small constant budget — the
+// concatenated probe tuple is reused, and only kept pairs materialise.
+func TestJoinAllocBudget(t *testing.T) {
+	_, _, m, oid := world(t, 64)
+	o := oidStr(oid)
+	app, env := parseOnce(t, `(join proc(x !ce !cc)
+		([] x 0 cont(a) ([] x 2 cont(b) (== a b cont()(cc true) cont()(cc false))))
+		`+o+` `+o+` e k)`)
+	if got := allocsPerQuery(t, m, env, app); got > 256 {
+		t.Errorf("join 64x64: %.0f allocs, budget 256", got)
+	}
+}

@@ -10,15 +10,31 @@
 // evaluating them re-enters the machine, which is what makes program and
 // query execution — and therefore program and query *optimization* —
 // mutually recursive (Fig. 4).
+//
+// The operators process rows in fixed-size batches (DESIGN.md §9): the
+// traversal cost of a batch is charged up front with one TickN, and the
+// predicate is driven through a machine.Batch, which reuses one argument
+// buffer and — when the predicate compiles step-neutrally to TAM code —
+// one recycled frame per call instead of re-entering the tree
+// interpreter per row.
 package relalg
 
 import (
 	"fmt"
+	"sync"
 
 	"tycoon/internal/machine"
 	"tycoon/internal/prim"
 	"tycoon/internal/store"
 )
+
+// batchSize is the number of rows whose traversal cost is charged as one
+// TickN and processed per batch.
+const batchSize = 256
+
+// compileThreshold is the scan size above which compiling a predicate
+// closure to TAM code amortises; smaller scans run interpreted.
+const compileThreshold = 32
 
 func init() {
 	// Compile-time descriptors (paper §2.3: new primitives extend the
@@ -32,7 +48,7 @@ func init() {
 	prim.Default.Register(&prim.Desc{Name: "empty", NVals: 1, NConts: 2, Cost: 4, Effect: prim.Reader})
 	prim.Default.Register(&prim.Desc{Name: "count", NVals: 1, NConts: 2, Cost: 4, Effect: prim.Reader})
 	prim.Default.Register(&prim.Desc{Name: "foreach", NVals: 2, NConts: 2, Cost: 64, Effect: prim.Writer})
-	prim.Default.Register(&prim.Desc{Name: "rinsert", NVals: 2, NConts: 2, Cost: 16, Effect: prim.Writer})
+	prim.Default.Register(&prim.Desc{Name: "rinsert", NVals: 2, NConts: 2, Cost: 16, Effect: prim.Writer, RetainsVals: true})
 	// (indexscan rel col key ce cc): introduced only by the query
 	// optimizer when the runtime binding shows an index (paper §4.2).
 	prim.Default.Register(&prim.Desc{Name: "indexscan", NVals: 3, NConts: 2, Cost: 8, Effect: prim.Reader})
@@ -52,16 +68,52 @@ func (r *Rel) Show() string { return fmt.Sprintf("rel(%d rows)", len(r.Rows)) }
 // provides the query executors. One Manager serves one store.
 type Manager struct {
 	st *store.Store
+	// NoBatch disables the batched kernels: every predicate call goes
+	// through machine.Apply on a fresh tuple. The step-parity tests use
+	// it to prove that batching is a pure representation change.
+	NoBatch bool
+
+	// mu guards indexes and stats (machines sharing one store share the
+	// manager).
+	mu sync.Mutex
 	// indexes caches hash indexes per relation OID and column: the
-	// runtime binding knowledge the query optimizer consults.
-	indexes map[store.OID]map[int]hashIndex
+	// runtime binding knowledge the query optimizer consults. Each entry
+	// remembers the relation object and row count it was built against,
+	// so a reloaded relation or rows inserted behind the manager's back
+	// invalidate (or extend) the cache instead of serving stale matches.
+	indexes map[store.OID]map[int]*cachedIndex
+	stats   IndexStats
 }
 
 type hashIndex map[store.Val][]int
 
+// cachedIndex is one hash index together with the validity horizon it
+// was built against.
+type cachedIndex struct {
+	rel  *store.Relation // object identity the index was built on
+	rows int             // rows covered; fewer live rows forces a rebuild
+	ix   hashIndex
+}
+
+// IndexStats counts index cache activity; the regression tests assert
+// that repeated scans hit instead of rebuilding.
+type IndexStats struct {
+	Builds        int64 // full builds
+	Extends       int64 // incremental tail extensions after appends
+	Invalidations int64 // rebuilds forced by object identity or row loss
+	Hits          int64 // served unchanged
+}
+
 // NewManager returns a manager over st.
 func NewManager(st *store.Store) *Manager {
-	return &Manager{st: st, indexes: make(map[store.OID]map[int]hashIndex)}
+	return &Manager{st: st, indexes: make(map[store.OID]map[int]*cachedIndex)}
+}
+
+// IndexStats returns a snapshot of the index cache counters.
+func (mg *Manager) IndexStats() IndexStats {
+	mg.mu.Lock()
+	defer mg.mu.Unlock()
+	return mg.stats
 }
 
 // Register attaches the query executors to a machine.
@@ -109,33 +161,60 @@ func (mg *Manager) InsertRow(oid store.OID, row []store.Val) error {
 	idx := len(rel.Rows)
 	rel.Rows = append(rel.Rows, row)
 	mg.st.MarkDirty(oid)
+	mg.mu.Lock()
 	if cols, ok := mg.indexes[oid]; ok {
-		for col, ix := range cols {
-			ix[row[col]] = append(ix[row[col]], idx)
+		for col, c := range cols {
+			// Maintain only indexes that are current for this relation
+			// object; anything else is caught by validation on next use.
+			if c.rel == rel && c.rows == idx {
+				c.ix[row[col]] = append(c.ix[row[col]], idx)
+				c.rows = idx + 1
+			}
 		}
 	}
+	mg.mu.Unlock()
 	return nil
 }
 
-// index returns (building lazily) the hash index on the given column of a
-// persistent relation, or nil when none is declared.
+// index returns (building lazily, caching with validation) the hash
+// index on the given column of a persistent relation, or nil when none
+// is declared. A cached index is served unchanged when the relation
+// object and row count still match, extended in place when rows were
+// appended behind the manager's back, and rebuilt when the relation was
+// reloaded (new object identity) or truncated.
 func (mg *Manager) index(oid store.OID, rel *store.Relation, col int) hashIndex {
 	if !rel.HasIndexOn(col) {
 		return nil
 	}
+	mg.mu.Lock()
+	defer mg.mu.Unlock()
 	cols, ok := mg.indexes[oid]
 	if !ok {
-		cols = make(map[int]hashIndex)
+		cols = make(map[int]*cachedIndex)
 		mg.indexes[oid] = cols
 	}
-	ix, ok := cols[col]
-	if !ok {
-		ix = make(hashIndex, len(rel.Rows))
-		for i, row := range rel.Rows {
-			ix[row[col]] = append(ix[row[col]], i)
+	if c, ok := cols[col]; ok && c.rel == rel && c.rows <= len(rel.Rows) {
+		if c.rows == len(rel.Rows) {
+			mg.stats.Hits++
+			return c.ix
 		}
-		cols[col] = ix
+		for i := c.rows; i < len(rel.Rows); i++ {
+			key := rel.Rows[i][col]
+			c.ix[key] = append(c.ix[key], i)
+		}
+		c.rows = len(rel.Rows)
+		mg.stats.Extends++
+		return c.ix
 	}
+	if _, stale := cols[col]; stale {
+		mg.stats.Invalidations++
+	}
+	ix := make(hashIndex, len(rel.Rows))
+	for i, row := range rel.Rows {
+		ix[row[col]] = append(ix[row[col]], i)
+	}
+	cols[col] = &cachedIndex{rel: rel, rows: len(rel.Rows), ix: ix}
+	mg.stats.Builds++
 	return ix
 }
 
@@ -170,16 +249,84 @@ func rowValue(row []store.Val) machine.Value {
 	return &machine.Vector{Elems: elems}
 }
 
-// applyPred evaluates a predicate closure on one row; a TML exception
-// raised by the predicate propagates as err.
-func applyPred(m *machine.Machine, pred machine.Value, row []store.Val) (bool, error) {
-	v, err := m.Apply(pred, []machine.Value{rowValue(row)})
-	if err != nil {
-		return false, err
+// kernel drives one predicate or target closure over many rows. It wraps
+// a machine.Batch (shared continuations, recycled TAM frames) and, when
+// the compiled predicate provably does not retain its row tuple, reuses
+// one tuple buffer for every row of the scan.
+type kernel struct {
+	m     *machine.Machine
+	fn    machine.Value
+	batch *machine.Batch
+	buf   machine.Vector // reused row tuple (reuse only)
+	reuse bool
+	args  [1]machine.Value
+}
+
+// newKernel prepares fn for a scan of nrows rows. With NoBatch set the
+// kernel degrades to one machine.Apply per row on a fresh tuple — the
+// row-at-a-time semantics the parity tests compare against.
+func (mg *Manager) newKernel(m *machine.Machine, fn machine.Value, nrows int) *kernel {
+	k := &kernel{m: m, fn: fn}
+	if mg.NoBatch {
+		return k
 	}
+	k.batch = m.NewBatch(fn, 1, nrows >= compileThreshold)
+	k.reuse = k.batch.RowSafe()
+	return k
+}
+
+// call applies the kernel closure to one row.
+func (k *kernel) call(row []store.Val) (machine.Value, error) {
+	if k.batch == nil {
+		return k.m.Apply(k.fn, []machine.Value{rowValue(row)})
+	}
+	if k.reuse {
+		elems := k.buf.Elems[:0]
+		for _, v := range row {
+			elems = append(elems, machine.FromStoreVal(v))
+		}
+		k.buf.Elems = elems
+		k.args[0] = &k.buf
+	} else {
+		k.args[0] = rowValue(row)
+	}
+	return k.batch.Call(k.args[:])
+}
+
+// callPair applies the kernel closure to the concatenation of two rows
+// without materialising the concatenated store row (the join only
+// materialises pairs the predicate keeps).
+func (k *kernel) callPair(r1, r2 []store.Val) (machine.Value, error) {
+	if k.batch == nil {
+		row := append(append([]store.Val(nil), r1...), r2...)
+		return k.m.Apply(k.fn, []machine.Value{rowValue(row)})
+	}
+	var elems []machine.Value
+	if k.reuse {
+		elems = k.buf.Elems[:0]
+	} else {
+		elems = make([]machine.Value, 0, len(r1)+len(r2))
+	}
+	for _, v := range r1 {
+		elems = append(elems, machine.FromStoreVal(v))
+	}
+	for _, v := range r2 {
+		elems = append(elems, machine.FromStoreVal(v))
+	}
+	if k.reuse {
+		k.buf.Elems = elems
+		k.args[0] = &k.buf
+	} else {
+		k.args[0] = &machine.Vector{Elems: elems}
+	}
+	return k.batch.Call(k.args[:])
+}
+
+// boolResult coerces a predicate result.
+func boolResult(op string, v machine.Value) (bool, error) {
 	b, ok := v.(machine.Bool)
 	if !ok {
-		return false, fmt.Errorf("relalg: predicate returned %s, want boolean", v.Show())
+		return false, fmt.Errorf("relalg: %s predicate returned %s, want boolean", op, v.Show())
 	}
 	return bool(b), nil
 }
@@ -207,17 +354,26 @@ func (mg *Manager) execSelect(m *machine.Machine, vals, conts []machine.Value) (
 		return machine.Outcome{}, err
 	}
 	out := &Rel{Schema: schema}
-	for _, row := range rows {
-		if err := m.Tick(); err != nil {
+	k := mg.newKernel(m, pred, len(rows))
+	for len(rows) > 0 {
+		n := min(batchSize, len(rows))
+		if err := m.TickN(n); err != nil {
 			return machine.Outcome{}, err
 		}
-		keep, err := applyPred(m, pred, row)
-		if err != nil {
-			return outEx(err)
+		for _, row := range rows[:n] {
+			v, err := k.call(row)
+			if err != nil {
+				return outEx(err)
+			}
+			keep, err := boolResult("select", v)
+			if err != nil {
+				return machine.Outcome{}, err
+			}
+			if keep {
+				out.Rows = append(out.Rows, row)
+			}
 		}
-		if keep {
-			out.Rows = append(out.Rows, row)
-		}
+		rows = rows[n:]
 	}
 	return ok1(out), nil
 }
@@ -231,27 +387,32 @@ func (mg *Manager) execProject(m *machine.Machine, vals, conts []machine.Value) 
 		return machine.Outcome{}, err
 	}
 	out := &Rel{}
-	for _, row := range rows {
-		if err := m.Tick(); err != nil {
+	k := mg.newKernel(m, fn, len(rows))
+	for len(rows) > 0 {
+		n := min(batchSize, len(rows))
+		if err := m.TickN(n); err != nil {
 			return machine.Outcome{}, err
 		}
-		v, err := m.Apply(fn, []machine.Value{rowValue(row)})
-		if err != nil {
-			return outEx(err)
-		}
-		vec, ok := v.(*machine.Vector)
-		if !ok {
-			return machine.Outcome{}, fmt.Errorf("relalg: project target returned %s, want tuple", v.Show())
-		}
-		newRow := make([]store.Val, len(vec.Elems))
-		for i, el := range vec.Elems {
-			sv, err := machine.ToStoreVal(el)
+		for _, row := range rows[:n] {
+			v, err := k.call(row)
 			if err != nil {
-				return machine.Outcome{}, fmt.Errorf("relalg: project: %w", err)
+				return outEx(err)
 			}
-			newRow[i] = sv
+			vec, ok := v.(*machine.Vector)
+			if !ok {
+				return machine.Outcome{}, fmt.Errorf("relalg: project target returned %s, want tuple", v.Show())
+			}
+			newRow := make([]store.Val, len(vec.Elems))
+			for i, el := range vec.Elems {
+				sv, err := machine.ToStoreVal(el)
+				if err != nil {
+					return machine.Outcome{}, fmt.Errorf("relalg: project: %w", err)
+				}
+				newRow[i] = sv
+			}
+			out.Rows = append(out.Rows, newRow)
 		}
-		out.Rows = append(out.Rows, newRow)
+		rows = rows[n:]
 	}
 	// Synthesise a positional schema; the front end's type checker owns
 	// the real column names.
@@ -290,38 +451,54 @@ func (mg *Manager) execJoin(m *machine.Machine, vals, conts []machine.Value) (ma
 		return machine.Outcome{}, err
 	}
 	out := &Rel{Schema: append(append([]store.Column(nil), s1...), s2...)}
+	k := mg.newKernel(m, pred, len(rows1)*len(rows2))
 	for _, r1 := range rows1 {
-		for _, r2 := range rows2 {
-			if err := m.Tick(); err != nil {
+		inner := rows2
+		for len(inner) > 0 {
+			n := min(batchSize, len(inner))
+			if err := m.TickN(n); err != nil {
 				return machine.Outcome{}, err
 			}
-			row := append(append([]store.Val(nil), r1...), r2...)
-			keep, err := applyPred(m, pred, row)
-			if err != nil {
-				return outEx(err)
+			for _, r2 := range inner[:n] {
+				v, err := k.callPair(r1, r2)
+				if err != nil {
+					return outEx(err)
+				}
+				keep, err := boolResult("join", v)
+				if err != nil {
+					return machine.Outcome{}, err
+				}
+				if keep {
+					out.Rows = append(out.Rows, append(append([]store.Val(nil), r1...), r2...))
+				}
 			}
-			if keep {
-				out.Rows = append(out.Rows, row)
-			}
+			inner = inner[n:]
 		}
 	}
 	return ok1(out), nil
 }
 
-// execExists implements (exists pred rel ce cc) with early exit.
+// execExists implements (exists pred rel ce cc) with early exit; the
+// exit keeps ticking per row so partial scans charge exactly the rows
+// they visit.
 func (mg *Manager) execExists(m *machine.Machine, vals, conts []machine.Value) (machine.Outcome, error) {
 	pred := vals[0]
 	_, rows, _, _, err := mg.relOf("exists", vals[1])
 	if err != nil {
 		return machine.Outcome{}, err
 	}
+	k := mg.newKernel(m, pred, len(rows))
 	for _, row := range rows {
 		if err := m.Tick(); err != nil {
 			return machine.Outcome{}, err
 		}
-		found, err := applyPred(m, pred, row)
+		v, err := k.call(row)
 		if err != nil {
 			return outEx(err)
+		}
+		found, err := boolResult("exists", v)
+		if err != nil {
+			return machine.Outcome{}, err
 		}
 		if found {
 			return ok1(machine.Bool(true)), nil
@@ -336,7 +513,7 @@ func (mg *Manager) execEmpty(m *machine.Machine, vals, conts []machine.Value) (m
 	if err != nil {
 		return machine.Outcome{}, err
 	}
-	return ok1(machine.Bool(len(rows) == 0)), nil
+	return ok1(machine.BoolValue(len(rows) == 0)), nil
 }
 
 // execCount implements (count rel ce cc).
@@ -345,24 +522,31 @@ func (mg *Manager) execCount(m *machine.Machine, vals, conts []machine.Value) (m
 	if err != nil {
 		return machine.Outcome{}, err
 	}
-	return ok1(machine.Int(int64(len(rows)))), nil
+	return ok1(machine.IntValue(int64(len(rows)))), nil
 }
 
 // execForeach implements (foreach body rel ce cc): element-at-a-time
-// iteration with side effects.
+// iteration with side effects. The body may retain its row (it can
+// insert it elsewhere), so the kernel's buffer reuse does not apply —
+// newKernel still shares the batch continuations and compiled code.
 func (mg *Manager) execForeach(m *machine.Machine, vals, conts []machine.Value) (machine.Outcome, error) {
 	body := vals[0]
 	_, rows, _, _, err := mg.relOf("foreach", vals[1])
 	if err != nil {
 		return machine.Outcome{}, err
 	}
-	for _, row := range rows {
-		if err := m.Tick(); err != nil {
+	k := mg.newKernel(m, body, len(rows))
+	for len(rows) > 0 {
+		n := min(batchSize, len(rows))
+		if err := m.TickN(n); err != nil {
 			return machine.Outcome{}, err
 		}
-		if _, err := m.Apply(body, []machine.Value{rowValue(row)}); err != nil {
-			return outEx(err)
+		for _, row := range rows[:n] {
+			if _, err := k.call(row); err != nil {
+				return outEx(err)
+			}
 		}
+		rows = rows[n:]
 	}
 	return ok1(machine.Unit{}), nil
 }

@@ -1,11 +1,18 @@
 #!/bin/sh
-# bench_pipeline.sh — run the pipeline-relevant benchmark set (E1 static
-# regimes, E2 dynamic regimes, F3 optimize/compile round trip) and write
-# a benchstat-friendly JSON artifact.
+# bench_pipeline.sh — run one benchmark lane and write a
+# benchstat-friendly JSON artifact.
 #
 #   scripts/bench_pipeline.sh [out.json]
 #
 # Environment:
+#   BENCH_LANE   pipeline (default): E1 static regimes, E2 dynamic
+#                regimes, F3 optimize/compile round trip — compares
+#                optimizer plans.
+#                exec: the physical execution kernels (BenchmarkExec_*)
+#                — wall clock, allocs/op and steps/call of select, join,
+#                exists and indexscan on one fixed plan, where
+#                engine-level changes show up while steps/call must not
+#                move.
 #   BENCH_TIME   -benchtime value (default 1x: one measured iteration —
 #                the suite reports deterministic steps/call, so a single
 #                iteration is meaningful; raise for stable ns/op)
@@ -13,14 +20,21 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pipeline.json}"
+lane="${BENCH_LANE:-pipeline}"
+case "$lane" in
+pipeline) pattern='BenchmarkE1|BenchmarkE2|BenchmarkF3' ;;
+exec) pattern='BenchmarkExec' ;;
+*) echo "bench_pipeline.sh: unknown BENCH_LANE '$lane'" >&2; exit 2 ;;
+esac
+
+out="${1:-BENCH_${lane}.json}"
 benchtime="${BENCH_TIME:-1x}"
 count="${BENCH_COUNT:-1}"
 
 txt="$(mktemp)"
 trap 'rm -f "$txt"' EXIT
 
-go test -run '^$' -bench 'BenchmarkE1|BenchmarkE2|BenchmarkF3' \
+go test -run '^$' -bench "$pattern" \
   -benchtime "$benchtime" -count "$count" . | tee "$txt"
-go run ./cmd/benchjson <"$txt" >"$out"
+go run ./cmd/benchjson -lane "$lane" <"$txt" >"$out"
 echo "wrote $out"
