@@ -1,0 +1,103 @@
+// Command tycd runs the multi-session Tycoon database server: a
+// persistent store served over the TYWR01 wire protocol, with one
+// shared compilation pipeline across all sessions. SIGINT/SIGTERM
+// trigger a graceful drain: the listener closes, idle sessions are
+// woken and closed, in-flight requests finish, and the store is
+// committed and closed.
+//
+// Usage:
+//
+//	tycd -store db.tyc                        # serve on 127.0.0.1:7411
+//	tycd -store db.tyc -addr 127.0.0.1:0 -portfile port.txt
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tycoon/internal/server"
+	"tycoon/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7411", "listen address (port 0 picks an ephemeral port)")
+	storePath := flag.String("store", "", "store file path (empty: in-memory, lost on exit)")
+	sessions := flag.Int("sessions", 0, "max concurrent sessions (0: default)")
+	steps := flag.Int64("steps", 0, "per-request step budget (0: machine default)")
+	wall := flag.Duration("wall", 0, "per-request wall-clock budget (0: default, negative: off)")
+	idle := flag.Duration("idle", 0, "close sessions idle for this long (0: never)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown grace period")
+	portfile := flag.String("portfile", "", "write the bound address to this file once listening")
+	localopt := flag.Bool("localopt", false, "apply compile-time optimization when installing modules")
+	quiet := flag.Bool("q", false, "suppress the server log")
+	flag.Parse()
+
+	st, err := store.Open(*storePath)
+	if err != nil {
+		fatal("open store: %v", err)
+	}
+	cfg := server.Config{
+		MaxSessions: *sessions,
+		StepBudget:  *steps,
+		WallBudget:  *wall,
+		IdleTimeout: *idle,
+		LocalOpt:    *localopt,
+	}
+	if !*quiet {
+		cfg.Out = os.Stderr
+	}
+	srv, err := server.New(st, cfg)
+	if err != nil {
+		st.Close()
+		fatal("start server: %v", err)
+	}
+
+	ready := make(chan net.Listener, 1)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe(*addr, ready) }()
+
+	ln, ok := <-ready
+	if !ok || ln == nil {
+		st.Close()
+		fatal("listen %s: %v", *addr, <-errCh)
+	}
+	bound := ln.Addr().String()
+	fmt.Fprintf(os.Stderr, "tycd: listening on %s\n", bound)
+	if *portfile != "" {
+		if err := os.WriteFile(*portfile, []byte(bound+"\n"), 0o644); err != nil {
+			fatal("write portfile: %v", err)
+		}
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "tycd: %v, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		err := srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tycd: drain: %v\n", err)
+		}
+	case err := <-errCh:
+		if err != nil {
+			st.Close()
+			fatal("serve: %v", err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		fatal("close store: %v", err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tycd: "+format+"\n", args...)
+	os.Exit(1)
+}

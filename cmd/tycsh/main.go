@@ -1,0 +1,377 @@
+// Command tycsh is the remote shell for a tycd server: a line-oriented
+// client that installs modules, calls functions, submits TML terms over
+// the wire as PTML, triggers reflective optimization, and inspects the
+// server's shared-cache statistics.
+//
+// Usage:
+//
+//	tycsh -addr 127.0.0.1:7411 [script...]   # no script: read stdin
+//
+// Commands (one per line; '#' starts a comment):
+//
+//	ping
+//	stats
+//	install <file.tl>            install a TL module from a source file
+//	install <<                   ...heredoc until a line containing only "."
+//	call <module>.<fn> [arg...]  call an exported function
+//	call @<name> [arg...]        call a closure saved by submit
+//	optimize <module>.<fn>       reflectively optimize server-side
+//	submit [opt] [save=<name>] [<var>=<value>...] (<tml term>)
+//	quit
+//
+// Argument and binding values: integers (42), reals (3.5), true/false,
+// strings ("x"), chars ('c'), roots (@rel:t), OIDs (<0x1f>), () for nil.
+// In a submitted term, free variables e and k are the server-provided
+// exception and result continuations; all other free variables must be
+// bound on the command line.
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"tycoon/internal/client"
+	"tycoon/internal/ship"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7411", "tycd server address")
+	timeout := flag.Duration("timeout", time.Minute, "per-request timeout")
+	verbose := flag.Bool("v", false, "print per-request execution stats")
+	interactive := flag.Bool("i", false, "print a prompt")
+	flag.Parse()
+
+	c, err := client.Dial(*addr, client.Options{Timeout: *timeout, Client: "tycsh"})
+	if err != nil {
+		fatal("connect %s: %v", *addr, err)
+	}
+	defer c.Close()
+
+	sh := &shell{c: c, verbose: *verbose}
+	if args := flag.Args(); len(args) > 0 {
+		for _, path := range args {
+			f, err := os.Open(path)
+			if err != nil {
+				fatal("%v", err)
+			}
+			err = sh.runScript(bufio.NewReader(f), false)
+			f.Close()
+			if err != nil {
+				fatal("%s: %v", path, err)
+			}
+		}
+		return
+	}
+	if err := sh.runScript(bufio.NewReader(os.Stdin), *interactive); err != nil {
+		fatal("%v", err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tycsh: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+type shell struct {
+	c       *client.Client
+	verbose bool
+}
+
+// runScript executes commands line by line. Command failures are
+// reported and the script continues — the server keeps the session open
+// after an error response — but transport failures abort.
+func (sh *shell) runScript(r *bufio.Reader, prompt bool) error {
+	for {
+		if prompt {
+			fmt.Print("tycsh> ")
+		}
+		line, err := r.ReadString('\n')
+		if line == "" && err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		if cmdErr := sh.exec(strings.TrimSpace(line), r); cmdErr != nil {
+			if cmdErr == errQuit {
+				return nil
+			}
+			var we *ship.WireError
+			if errors.As(cmdErr, &we) {
+				fmt.Fprintf(os.Stderr, "error: %v\n", we)
+				continue // session survives structured errors
+			}
+			return cmdErr
+		}
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+var errQuit = errors.New("quit")
+
+func (sh *shell) exec(line string, r *bufio.Reader) error {
+	if line == "" || strings.HasPrefix(line, "#") {
+		return nil
+	}
+	cmd, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch cmd {
+	case "quit", "exit":
+		return errQuit
+	case "ping":
+		if err := sh.c.Ping(); err != nil {
+			return err
+		}
+		fmt.Println("pong")
+		return nil
+	case "stats":
+		st, err := sh.c.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("sessions %d (total %d)", st.Sessions, st.TotalSessions)
+		if st.Draining {
+			fmt.Print(" draining")
+		}
+		fmt.Printf("\npipeline: hits %d misses %d shared %d errors %d entries %d\n",
+			st.Pipeline.Hits, st.Pipeline.Misses, st.Pipeline.Shared,
+			st.Pipeline.Errors, st.Pipeline.Entries)
+		fmt.Printf("indexes: builds %d extends %d hits %d copies %d\n",
+			st.Indexes.Builds, st.Indexes.Extends, st.Indexes.Hits, st.Indexes.Copies)
+		for name, vs := range st.Verbs {
+			fmt.Printf("verb %-9s count %d errors %d avg %s\n", name, vs.Count, vs.Errors,
+				avg(vs.Micros, vs.Count))
+		}
+		return nil
+	case "install":
+		src, err := installSource(rest, r)
+		if err != nil {
+			return err
+		}
+		res, err := sh.c.Install(src)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("installed %s\n", res.Val.Str)
+		return nil
+	case "call":
+		target, args, err := splitCall(rest)
+		if err != nil {
+			return err
+		}
+		var res *ship.Result
+		if strings.HasPrefix(target, "@") {
+			res, err = sh.c.Call("", target[1:], args...)
+		} else {
+			mod, fn, ok := strings.Cut(target, ".")
+			if !ok {
+				return fmt.Errorf("call: want module.fn or @saved, got %q", target)
+			}
+			res, err = sh.c.Call(mod, fn, args...)
+		}
+		if err != nil {
+			return err
+		}
+		sh.print(res)
+		return nil
+	case "optimize":
+		mod, fn, ok := strings.Cut(rest, ".")
+		if !ok {
+			return fmt.Errorf("optimize: want module.fn, got %q", rest)
+		}
+		res, err := sh.c.Optimize(mod, fn)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("optimized %s (cache hit %t, inlined %d, rewrites %d)\n",
+			res.Val.Str, res.Info.CacheHit, res.Info.Inlined, res.Info.Rewrites)
+		return nil
+	case "submit":
+		req, err := parseSubmit(rest)
+		if err != nil {
+			return err
+		}
+		res, err := sh.c.SubmitTML(req.name, req.term, req.binds, req.optimize, req.save)
+		if err != nil {
+			return err
+		}
+		sh.print(res)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func avg(micros, count int64) time.Duration {
+	if count == 0 {
+		return 0
+	}
+	return time.Duration(micros/count) * time.Microsecond
+}
+
+func (sh *shell) print(res *ship.Result) {
+	if res.Val.Kind == ship.WRel && res.Val.Rel != nil {
+		t := res.Val.Rel
+		if len(t.Cols) > 0 {
+			fmt.Println(strings.Join(t.Cols, "\t"))
+		}
+		for _, row := range t.Rows {
+			cells := make([]string, len(row))
+			for i, f := range row {
+				cells[i] = f.Show()
+			}
+			fmt.Println(strings.Join(cells, "\t"))
+		}
+		fmt.Printf("(%d rows)\n", len(t.Rows))
+	} else {
+		fmt.Println(res.Val.Show())
+	}
+	if sh.verbose {
+		fmt.Fprintf(os.Stderr, "steps %d, %s, cache hit %t\n",
+			res.Info.Steps, time.Duration(res.Info.Micros)*time.Microsecond, res.Info.CacheHit)
+	}
+}
+
+// installSource resolves the install argument: a file path, or "<<" for
+// a heredoc terminated by a line containing only ".".
+func installSource(rest string, r *bufio.Reader) (string, error) {
+	if rest == "<<" {
+		var b strings.Builder
+		for {
+			line, err := r.ReadString('\n')
+			if strings.TrimSpace(line) == "." {
+				return b.String(), nil
+			}
+			b.WriteString(line)
+			if err != nil {
+				return "", fmt.Errorf("install: heredoc not terminated by \".\"")
+			}
+		}
+	}
+	if rest == "" {
+		return "", fmt.Errorf("install: want a file path or <<")
+	}
+	data, err := os.ReadFile(rest)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+// splitCall separates the call target from its argument values.
+func splitCall(rest string) (string, []ship.WVal, error) {
+	fields := splitArgs(rest)
+	if len(fields) == 0 {
+		return "", nil, fmt.Errorf("call: missing target")
+	}
+	args := make([]ship.WVal, 0, len(fields)-1)
+	for _, f := range fields[1:] {
+		v, err := parseWVal(f)
+		if err != nil {
+			return "", nil, err
+		}
+		args = append(args, v)
+	}
+	return fields[0], args, nil
+}
+
+type submitReq struct {
+	name, term, save string
+	optimize         bool
+	binds            []ship.WBind
+}
+
+// parseSubmit parses: [opt] [name=<label>] [save=<name>] [var=value...]
+// followed by the TML term (everything from the first '(').
+func parseSubmit(rest string) (*submitReq, error) {
+	req := &submitReq{}
+	for rest != "" {
+		if rest[0] == '(' {
+			req.term = rest
+			return req, nil
+		}
+		tok, remainder, _ := strings.Cut(rest, " ")
+		rest = strings.TrimSpace(remainder)
+		switch {
+		case tok == "opt":
+			req.optimize = true
+		case strings.HasPrefix(tok, "save="):
+			req.save = tok[len("save="):]
+		case strings.HasPrefix(tok, "name="):
+			req.name = tok[len("name="):]
+		case strings.Contains(tok, "="):
+			name, val, _ := strings.Cut(tok, "=")
+			v, err := parseWVal(val)
+			if err != nil {
+				return nil, fmt.Errorf("binding %s: %w", name, err)
+			}
+			req.binds = append(req.binds, ship.WBind{Name: name, Val: v})
+		default:
+			return nil, fmt.Errorf("submit: unexpected token %q before term", tok)
+		}
+	}
+	return nil, fmt.Errorf("submit: missing term")
+}
+
+// splitArgs splits on spaces, keeping double-quoted strings intact.
+func splitArgs(s string) []string {
+	var out []string
+	for s = strings.TrimSpace(s); s != ""; s = strings.TrimSpace(s) {
+		if s[0] == '"' {
+			if i := strings.Index(s[1:], `"`); i >= 0 {
+				out = append(out, s[:i+2])
+				s = s[i+2:]
+				continue
+			}
+		}
+		tok, rest, _ := strings.Cut(s, " ")
+		out = append(out, tok)
+		s = rest
+	}
+	return out
+}
+
+// parseWVal parses one command-line value literal.
+func parseWVal(tok string) (ship.WVal, error) {
+	switch {
+	case tok == "()":
+		return ship.WVal{Kind: ship.WNil}, nil
+	case tok == "true" || tok == "false":
+		return ship.WVal{Kind: ship.WBool, Bool: tok == "true"}, nil
+	case strings.HasPrefix(tok, "@"):
+		return ship.WVal{Kind: ship.WRoot, Str: tok[1:]}, nil
+	case strings.HasPrefix(tok, `"`) && strings.HasSuffix(tok, `"`) && len(tok) >= 2:
+		s, err := strconv.Unquote(tok)
+		if err != nil {
+			return ship.WVal{}, fmt.Errorf("bad string %s: %v", tok, err)
+		}
+		return ship.WVal{Kind: ship.WStr, Str: s}, nil
+	case strings.HasPrefix(tok, "'") && strings.HasSuffix(tok, "'") && len(tok) == 3:
+		return ship.WVal{Kind: ship.WChar, Ch: tok[1]}, nil
+	case strings.HasPrefix(tok, "<0x") && strings.HasSuffix(tok, ">"):
+		n, err := strconv.ParseUint(tok[3:len(tok)-1], 16, 64)
+		if err != nil {
+			return ship.WVal{}, fmt.Errorf("bad oid %s: %v", tok, err)
+		}
+		return ship.WVal{Kind: ship.WRef, Ref: n}, nil
+	}
+	if n, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		return ship.WVal{Kind: ship.WInt, Int: n}, nil
+	}
+	if f, err := strconv.ParseFloat(tok, 64); err == nil {
+		return ship.WVal{Kind: ship.WReal, Real: f}, nil
+	}
+	return ship.WVal{}, fmt.Errorf("cannot parse value %q", tok)
+}

@@ -1,0 +1,234 @@
+// Package client implements the tycd wire client used by tycsh and the
+// server tests: it dials a server, performs the hello/welcome
+// handshake, and exposes one method per request verb. A client holds
+// one session; requests are strictly one-at-a-time (the protocol has no
+// request ids to match concurrent responses), enforced by a mutex so a
+// client value may still be shared between goroutines.
+//
+// SubmitTML is the high-level entry: it parses the s-expression TML
+// concrete syntax locally, encodes the tree as PTML and ships it — the
+// client-side half of the paper's persistent intermediate code
+// representation crossing an open-system boundary.
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"tycoon/internal/prim"
+	"tycoon/internal/ptml"
+	"tycoon/internal/ship"
+	"tycoon/internal/tml"
+)
+
+// Client is one open session against a tycd server.
+type Client struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	timeout time.Duration
+	// Session is the server-assigned session id from the handshake.
+	Session uint64
+	// Server is the server identification from the handshake.
+	Server string
+}
+
+// Options tunes Dial.
+type Options struct {
+	// Timeout bounds the dial and each request round trip; 0 disables.
+	Timeout time.Duration
+	// Client identifies this client in the server log.
+	Client string
+}
+
+// Dial connects to a tycd server and performs the handshake.
+func Dial(addr string, opts ...Options) (*Client, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if o.Client == "" {
+		o.Client = "tycoon/internal/client"
+	}
+	d := net.Dialer{Timeout: o.Timeout}
+	conn, err := d.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, timeout: o.Timeout}
+	verb, body, err := c.roundTrip(ship.VHello, (&ship.Hello{
+		Version: ship.ProtoVersion, Client: o.Client,
+	}).Encode())
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if verb != ship.VWelcome {
+		conn.Close()
+		return nil, fmt.Errorf("client: expected welcome, got %s", verb)
+	}
+	w, err := ship.DecodeWelcome(body)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.Session = w.Session
+	c.Server = w.Server
+	return c, nil
+}
+
+// Close sends an orderly bye and closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	c.deadline()
+	_ = ship.WriteFrame(c.conn, ship.VBye, nil)
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// deadline arms the connection deadline for one round trip; must be
+// called with c.mu held.
+func (c *Client) deadline() {
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+	}
+}
+
+// roundTrip sends one request frame and reads its response frame,
+// surfacing server-side WireErrors as Go errors.
+func (c *Client) roundTrip(v ship.Verb, body []byte) (ship.Verb, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return 0, nil, fmt.Errorf("client: connection closed")
+	}
+	c.deadline()
+	if err := ship.WriteFrame(c.conn, v, body); err != nil {
+		return 0, nil, err
+	}
+	rv, rbody, err := ship.ReadFrame(c.conn, 0)
+	if err != nil {
+		return 0, nil, err
+	}
+	if rv == ship.VError {
+		we, derr := ship.DecodeWireError(rbody)
+		if derr != nil {
+			return 0, nil, derr
+		}
+		return 0, nil, we
+	}
+	return rv, rbody, nil
+}
+
+// result decodes a VResult response.
+func result(v ship.Verb, body []byte) (*ship.Result, error) {
+	if v != ship.VResult {
+		return nil, fmt.Errorf("client: expected result, got %s", v)
+	}
+	return ship.DecodeResult(body)
+}
+
+// Ping probes server liveness.
+func (c *Client) Ping() error {
+	v, _, err := c.roundTrip(ship.VPing, nil)
+	if err != nil {
+		return err
+	}
+	if v != ship.VPong {
+		return fmt.Errorf("client: expected pong, got %s", v)
+	}
+	return nil
+}
+
+// Stats fetches the server counters.
+func (c *Client) Stats() (*ship.ServerStats, error) {
+	v, body, err := c.roundTrip(ship.VStats, nil)
+	if err != nil {
+		return nil, err
+	}
+	if v != ship.VStatsOK {
+		return nil, fmt.Errorf("client: expected stats, got %s", v)
+	}
+	var st ship.ServerStats
+	if err := json.Unmarshal(body, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Install compiles and installs a TL module server-side.
+func (c *Client) Install(source string) (*ship.Result, error) {
+	v, body, err := c.roundTrip(ship.VInstall, (&ship.Install{Source: source}).Encode())
+	if err != nil {
+		return nil, err
+	}
+	return result(v, body)
+}
+
+// Call applies an exported function of an installed module; an empty
+// module name calls a closure previously saved by Submit.
+func (c *Client) Call(module, fn string, args ...ship.WVal) (*ship.Result, error) {
+	req := &ship.Call{Module: module, Fn: fn, Args: args}
+	body, err := req.Encode()
+	if err != nil {
+		return nil, err
+	}
+	v, rbody, err := c.roundTrip(ship.VCall, body)
+	if err != nil {
+		return nil, err
+	}
+	return result(v, rbody)
+}
+
+// Optimize reflectively optimizes an installed function server-side.
+func (c *Client) Optimize(module, fn string) (*ship.Result, error) {
+	v, body, err := c.roundTrip(ship.VOptimize, (&ship.Optimize{Module: module, Fn: fn}).Encode())
+	if err != nil {
+		return nil, err
+	}
+	return result(v, body)
+}
+
+// Submit ships a pre-encoded PTML request.
+func (c *Client) Submit(req *ship.Submit) (*ship.Result, error) {
+	body, err := req.Encode()
+	if err != nil {
+		return nil, err
+	}
+	v, rbody, err := c.roundTrip(ship.VSubmit, body)
+	if err != nil {
+		return nil, err
+	}
+	return result(v, rbody)
+}
+
+// SubmitTML parses a TML application in concrete s-expression syntax,
+// encodes it as PTML and submits it. Free variables named e and k
+// become the server's exception and result continuations; every other
+// free variable must appear in binds. Example:
+//
+//	res, err := c.SubmitTML("answer", "(+ 40 2 e cont(n) (k n))", nil, false, "")
+func (c *Client) SubmitTML(name, src string, binds []ship.WBind, optimize bool, save string) (*ship.Result, error) {
+	app, err := tml.ParseApp(src, tml.ParseOpts{IsPrim: prim.IsPrim})
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	data, err := ptml.EncodeApp(app)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	return c.Submit(&ship.Submit{
+		Name:     name,
+		PTML:     data,
+		Binds:    binds,
+		Optimize: optimize,
+		Save:     save,
+	})
+}

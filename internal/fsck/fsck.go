@@ -20,6 +20,7 @@ import (
 	"tycoon/internal/machine"
 	"tycoon/internal/prim"
 	"tycoon/internal/ptml"
+	"tycoon/internal/ship"
 	"tycoon/internal/store"
 	"tycoon/internal/tml"
 )
@@ -160,9 +161,19 @@ func Check(st *store.Store, rep *Report) {
 	rep.Roots = len(rootNames)
 	for _, name := range rootNames {
 		oid, _ := st.Root(name)
-		if _, err := st.Get(oid); err != nil {
+		obj, err := st.Get(oid)
+		if err != nil {
 			rep.errf(oid, "root %q is dangling", name)
 			continue
+		}
+		// Server-saved session roots (tycd SUBMIT save=…) must name
+		// closures: the whole point of saving is that the intermediate
+		// code stays re-optimizable, so a srv: root bound to anything
+		// without code is a corruption worth flagging.
+		if len(name) > len(ship.SavedRoot) && name[:len(ship.SavedRoot)] == ship.SavedRoot {
+			if _, ok := obj.(*store.Closure); !ok {
+				rep.errf(oid, "server-saved root %q is a %s, not a closure", name, obj.Kind())
+			}
 		}
 		if !reachable[oid] {
 			reachable[oid] = true
@@ -302,7 +313,7 @@ func refs(obj store.Object) []store.OID {
 			addVal(b.Val)
 		}
 	case *store.Relation:
-		for _, row := range o.Rows {
+		for _, row := range o.RowsSnapshot() {
 			for _, v := range row {
 				addVal(v)
 			}

@@ -4,11 +4,13 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"tycoon/internal/machine"
 	"tycoon/internal/prim"
 	"tycoon/internal/ptml"
+	"tycoon/internal/ship"
 	"tycoon/internal/store"
 	"tycoon/internal/tml"
 )
@@ -203,5 +205,41 @@ func TestCheckDamagedLogThenSalvage(t *testing.T) {
 	}
 	if rep.Log.Damage != nil {
 		t.Errorf("salvaged log still damaged: %+v", rep.Log.Damage)
+	}
+}
+
+// TestCheckServerSavedRoots: roots in the srv: namespace are written by
+// tycd's SUBMIT…SAVE path and must resolve to closures; a well-formed
+// closure passes, anything else is an error finding.
+func TestCheckServerSavedRoots(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.tyst")
+	cloOID := buildStore(t, path)
+	st, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetRoot(ship.SavedRoot+"good", cloOID)
+	blobOID := st.Alloc(&store.Blob{Bytes: []byte("not a closure")})
+	st.SetRoot(ship.SavedRoot+"bad", blobOID)
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	rep, err := CheckPath(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors() != 1 {
+		t.Fatalf("want exactly the bad srv: root error, got %v", rep.Findings)
+	}
+	found := false
+	for _, f := range rep.Findings {
+		if f.Severity == Error && strings.Contains(f.Message, "server-saved root") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no server-saved-root finding: %v", rep.Findings)
 	}
 }

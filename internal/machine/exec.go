@@ -345,7 +345,7 @@ func registerArrayExecs() {
 			case *store.ByteArray:
 				return cc(0, IntValue(int64(len(o.Bytes)))), nil
 			case *store.Relation:
-				return cc(0, IntValue(int64(len(o.Rows)))), nil
+				return cc(0, IntValue(int64(o.NumRows()))), nil
 			default:
 				return Outcome{}, rtErr("size", "object is %s", obj.Kind())
 			}

@@ -30,6 +30,12 @@ type Machine struct {
 	handlers []Value // dynamic exception handler stack
 	steps    int64
 	execs    map[string]ExecFunc
+	// budgetHook, when set, is polled roughly every budgetPollSteps
+	// abstract steps (and once per bulk TickN). A non-nil error aborts
+	// execution with that error — the server uses it to enforce
+	// per-session wall-clock budgets without touching the hot path when
+	// no hook is installed.
+	budgetHook func() error
 	// noFast disables the fused primitive fast path: set when a
 	// machine-local executor shadows a primitive the code generator fused,
 	// so the override is always honoured.
@@ -65,10 +71,19 @@ type Machine struct {
 // Machine.MaxSteps is zero.
 const DefaultMaxSteps = 2_000_000_000
 
+// budgetPollMask spaces out budget-hook polls: the hook runs when
+// steps&budgetPollMask == 0, i.e. every 16384 abstract steps. Coarse
+// enough to stay off the interpreter hot path, fine enough that a
+// wall-clock budget fires within microseconds of expiring.
+const budgetPollMask = 1<<14 - 1
+
 // Errors reported by execution.
 var (
 	// ErrStepBudget aborts programs that exceed MaxSteps.
 	ErrStepBudget = errors.New("machine: step budget exceeded")
+	// ErrWallBudget aborts programs whose budget hook reports an
+	// exhausted wall-clock allowance (tycd's per-session budgets).
+	ErrWallBudget = errors.New("machine: wall-clock budget exceeded")
 	// ErrUnhandled reports an exception that reached the top of the
 	// handler stack.
 	ErrUnhandled = errors.New("machine: unhandled exception")
@@ -127,6 +142,13 @@ func (m *Machine) TickN(n int) error {
 	if m.steps > max {
 		return ErrStepBudget
 	}
+	if m.budgetHook != nil {
+		// Bulk charges represent whole row batches; poll once per batch
+		// rather than waiting for the mask to line up.
+		if err := m.budgetHook(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -139,8 +161,22 @@ func (m *Machine) tick() error {
 	if m.steps > max {
 		return ErrStepBudget
 	}
+	if m.budgetHook != nil && m.steps&budgetPollMask == 0 {
+		if err := m.budgetHook(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
+
+// SetBudgetHook installs (or, with nil, removes) a callback polled
+// periodically during execution; a non-nil return aborts the running
+// program with that error. tycd uses it to enforce per-session
+// wall-clock budgets and to cancel work during server drain. The hook
+// runs on the machine's execution goroutine but may read state written
+// by other goroutines (deadlines, shutdown flags) if that state is
+// accessed atomically.
+func (m *Machine) SetBudgetHook(f func() error) { m.budgetHook = f }
 
 // Profile is a snapshot of the machine's execution counters: abstract
 // steps, engine transfers (control transfers dispatched between closure

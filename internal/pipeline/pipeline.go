@@ -232,6 +232,10 @@ type CacheStats struct {
 	Entries int
 	// Evictions counts entries dropped for capacity or a stale epoch.
 	Evictions int64
+	// Errors counts runs whose passes failed; errors are never cached, so
+	// they count neither as hits nor misses. tycd's STATS verb surfaces
+	// this so operators can spot sessions feeding the server bad code.
+	Errors int64
 }
 
 // Pipeline is a concurrent, cached compilation pipeline over one store.
@@ -242,7 +246,7 @@ type Pipeline struct {
 	cache *cache
 	fl    flightGroup
 
-	hits, misses, shared int64
+	hits, misses, shared, errs int64
 }
 
 // New returns a pipeline over st (nil for store-free jobs such as
@@ -268,6 +272,7 @@ func (p *Pipeline) CacheStats() CacheStats {
 		Hits:   atomic.LoadInt64(&p.hits),
 		Misses: atomic.LoadInt64(&p.misses),
 		Shared: atomic.LoadInt64(&p.shared),
+		Errors: atomic.LoadInt64(&p.errs),
 	}
 	if p.cache != nil {
 		cs.Entries = p.cache.len()
@@ -282,7 +287,9 @@ func (p *Pipeline) CacheStats() CacheStats {
 func (p *Pipeline) Run(job Job) (*Result, error) {
 	if job.Key.IsZero() || p.cache == nil {
 		res, err := p.execute(job)
-		if err == nil && !job.Key.IsZero() {
+		if err != nil {
+			atomic.AddInt64(&p.errs, 1)
+		} else if !job.Key.IsZero() {
 			atomic.AddInt64(&p.misses, 1)
 		}
 		return res, err
@@ -305,6 +312,7 @@ func (p *Pipeline) Run(job Job) (*Result, error) {
 		executed = true
 		res, err := p.execute(job)
 		if err != nil {
+			atomic.AddInt64(&p.errs, 1)
 			return nil, err
 		}
 		atomic.AddInt64(&p.misses, 1)

@@ -72,6 +72,14 @@ type Options struct {
 	// CacheEntries bounds the pipeline's optimized-code cache; 0 means
 	// pipeline.DefaultCacheEntries, negative disables caching.
 	CacheEntries int
+	// Pipe, when non-nil, is the compilation pipeline to run jobs through
+	// instead of a private one. tycd injects its server-wide pipeline here
+	// so reflective optimizations and remote SUBMIT compilations share one
+	// cache and one singleflight group across all sessions. The optionsFP
+	// component of every key keeps distinct Options configurations from
+	// colliding in the shared cache; Reg, CheckInvariants and CacheEntries
+	// are ignored in favour of the shared pipeline's own configuration.
+	Pipe *pipeline.Pipeline
 }
 
 // Default inlining bounds.
@@ -108,11 +116,14 @@ func New(st *store.Store, opts Options) *Optimizer {
 	if opts.MaxInlineSize == 0 {
 		opts.MaxInlineSize = DefaultMaxInlineSize
 	}
-	pipe := pipeline.New(st, pipeline.Config{
-		Reg:             opts.Reg,
-		CheckWellformed: opts.CheckInvariants,
-		CacheEntries:    opts.CacheEntries,
-	})
+	pipe := opts.Pipe
+	if pipe == nil {
+		pipe = pipeline.New(st, pipeline.Config{
+			Reg:             opts.Reg,
+			CheckWellformed: opts.CheckInvariants,
+			CacheEntries:    opts.CacheEntries,
+		})
+	}
 	fp := pipeline.FingerprintOptions(
 		opts.InlinePerOID, opts.InlineRecursive, opts.MaxInlineSize,
 		opts.NoQueryRules, opts.FromCode, opts.CheckInvariants,

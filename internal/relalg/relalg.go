@@ -88,11 +88,18 @@ type Manager struct {
 type hashIndex map[store.Val][]int
 
 // cachedIndex is one hash index together with the validity horizon it
-// was built against.
+// was built against. Once an index map has been handed to a kernel
+// (shared), it is immutable: maintenance and tail extension go through a
+// copy-on-write clone so concurrent scans on other sessions never
+// observe a map mutation. Untouched buckets are shared between the old
+// and new map; only appended buckets are copied. The clone is swapped in
+// under mg.mu, after which in-place maintenance is legal again until the
+// next scan marks the index shared.
 type cachedIndex struct {
-	rel  *store.Relation // object identity the index was built on
-	rows int             // rows covered; fewer live rows forces a rebuild
-	ix   hashIndex
+	rel    *store.Relation // object identity the index was built on
+	rows   int             // rows covered; fewer live rows forces a rebuild
+	ix     hashIndex
+	shared bool // ix escaped to a reader; mutate via COW only
 }
 
 // IndexStats counts index cache activity; the regression tests assert
@@ -102,6 +109,7 @@ type IndexStats struct {
 	Extends       int64 // incremental tail extensions after appends
 	Invalidations int64 // rebuilds forced by object identity or row loss
 	Hits          int64 // served unchanged
+	Copies        int64 // copy-on-write clones protecting concurrent readers
 }
 
 // NewManager returns a manager over st.
@@ -158,8 +166,7 @@ func (mg *Manager) InsertRow(oid store.OID, row []store.Val) error {
 	if len(row) != len(rel.Schema) {
 		return fmt.Errorf("relalg: row width %d, schema width %d", len(row), len(rel.Schema))
 	}
-	idx := len(rel.Rows)
-	rel.Rows = append(rel.Rows, row)
+	idx := rel.AppendRow(row)
 	mg.st.MarkDirty(oid)
 	mg.mu.Lock()
 	if cols, ok := mg.indexes[oid]; ok {
@@ -167,8 +174,10 @@ func (mg *Manager) InsertRow(oid store.OID, row []store.Val) error {
 			// Maintain only indexes that are current for this relation
 			// object; anything else is caught by validation on next use.
 			if c.rel == rel && c.rows == idx {
-				c.ix[row[col]] = append(c.ix[row[col]], idx)
+				mg.cow(c)
+				c.ix[row[col]] = appendPosting(c.shared, c.ix[row[col]], idx)
 				c.rows = idx + 1
+				c.shared = false
 			}
 		}
 	}
@@ -176,13 +185,45 @@ func (mg *Manager) InsertRow(oid store.OID, row []store.Val) error {
 	return nil
 }
 
+// cow prepares a cached index for mutation: if its map escaped to a
+// reader, replace it with a clone that shares the (immutable) buckets.
+// Buckets touched afterwards must be copied, not appended in place —
+// appendPosting does that while c came out of a COW clone. Must be
+// called with mg.mu held.
+func (mg *Manager) cow(c *cachedIndex) {
+	if !c.shared {
+		return
+	}
+	next := make(hashIndex, len(c.ix))
+	for k, v := range c.ix {
+		next[k] = v
+	}
+	c.ix = next
+	mg.stats.Copies++
+}
+
+// appendPosting appends a row index to a bucket, copying the bucket
+// first when it may still be shared with a published map.
+func appendPosting(shared bool, bucket []int, idx int) []int {
+	if shared {
+		out := make([]int, len(bucket), len(bucket)+1)
+		copy(out, bucket)
+		bucket = out
+	}
+	return append(bucket, idx)
+}
+
 // index returns (building lazily, caching with validation) the hash
 // index on the given column of a persistent relation, or nil when none
-// is declared. A cached index is served unchanged when the relation
-// object and row count still match, extended in place when rows were
-// appended behind the manager's back, and rebuilt when the relation was
-// reloaded (new object identity) or truncated.
-func (mg *Manager) index(oid store.OID, rel *store.Relation, col int) hashIndex {
+// is declared. rows is the caller's row snapshot: the returned index
+// covers exactly those rows, so postings can never run past the data
+// the caller scans even while another session appends. A cached index
+// is served unchanged when the relation object and row count still
+// match, extended (via copy-on-write, protecting concurrent readers of
+// the published map) when rows were appended behind the manager's back,
+// and rebuilt when the relation was reloaded (new object identity) or
+// truncated.
+func (mg *Manager) index(oid store.OID, rel *store.Relation, rows [][]store.Val, col int) hashIndex {
 	if !rel.HasIndexOn(col) {
 		return nil
 	}
@@ -193,27 +234,38 @@ func (mg *Manager) index(oid store.OID, rel *store.Relation, col int) hashIndex 
 		cols = make(map[int]*cachedIndex)
 		mg.indexes[oid] = cols
 	}
-	if c, ok := cols[col]; ok && c.rel == rel && c.rows <= len(rel.Rows) {
-		if c.rows == len(rel.Rows) {
+	if c, ok := cols[col]; ok && c.rel == rel && c.rows <= len(rows) {
+		if c.rows == len(rows) {
 			mg.stats.Hits++
+			c.shared = true
 			return c.ix
 		}
-		for i := c.rows; i < len(rel.Rows); i++ {
-			key := rel.Rows[i][col]
-			c.ix[key] = append(c.ix[key], i)
+		wasShared := c.shared
+		mg.cow(c)
+		var copied map[store.Val]bool
+		if wasShared {
+			copied = make(map[store.Val]bool)
 		}
-		c.rows = len(rel.Rows)
+		for i := c.rows; i < len(rows); i++ {
+			key := rows[i][col]
+			c.ix[key] = appendPosting(wasShared && !copied[key], c.ix[key], i)
+			if wasShared {
+				copied[key] = true
+			}
+		}
+		c.rows = len(rows)
+		c.shared = true
 		mg.stats.Extends++
 		return c.ix
 	}
 	if _, stale := cols[col]; stale {
 		mg.stats.Invalidations++
 	}
-	ix := make(hashIndex, len(rel.Rows))
-	for i, row := range rel.Rows {
+	ix := make(hashIndex, len(rows))
+	for i, row := range rows {
 		ix[row[col]] = append(ix[row[col]], i)
 	}
-	cols[col] = &cachedIndex{rel: rel, rows: len(rel.Rows), ix: ix}
+	cols[col] = &cachedIndex{rel: rel, rows: len(rows), ix: ix, shared: true}
 	mg.stats.Builds++
 	return ix
 }
@@ -233,7 +285,9 @@ func (mg *Manager) relOf(op string, v machine.Value) (schema []store.Column, row
 		if !ok {
 			return nil, nil, store.Nil, nil, fmt.Errorf("relalg: %s: oid 0x%x is a %s", op, uint64(v.OID), obj.Kind())
 		}
-		return r.Schema, r.Rows, v.OID, r, nil
+		// Snapshot the row header: appends on other sessions may grow
+		// the relation mid-scan, never mutate the snapshotted rows.
+		return r.Schema, r.RowsSnapshot(), v.OID, r, nil
 	default:
 		return nil, nil, store.Nil, nil, fmt.Errorf("relalg: %s: expected relation, got %s", op, v.Show())
 	}
@@ -599,7 +653,7 @@ func (mg *Manager) execIndexScan(m *machine.Machine, vals, conts []machine.Value
 	}
 	out := &Rel{Schema: schema}
 	if rel != nil {
-		if ix := mg.index(oid, rel, int(col)); ix != nil {
+		if ix := mg.index(oid, rel, rows, int(col)); ix != nil {
 			for _, i := range ix[key] {
 				if err := m.Tick(); err != nil {
 					return machine.Outcome{}, err

@@ -1,0 +1,333 @@
+// Package server implements tycd, the multi-session Tycoon database
+// server: N concurrent client sessions, each with its own execution
+// machine, sharing one persistent store, one relational index cache and
+// — the point of the exercise — one compilation pipeline. A PTML tree
+// submitted by any session is compiled (and optionally reflectively
+// optimized) exactly once; every other session submitting the α-same
+// term against the same bindings gets the cached code, and concurrent
+// first submissions are deduplicated through the pipeline's
+// singleflight group. The persistent intermediate representation the
+// paper keeps in the store for years is here also the unit that crosses
+// the wire between processes (paper §6: code shipping).
+//
+// Transport is the TYWR01 frame protocol of package ship: every request
+// and response is one CRC-guarded frame, so a corrupt byte stream is
+// detected before any payload is interpreted, answered with a typed
+// protocol error, and the connection closed — never a crash, never a
+// leaked session.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"tycoon/internal/linker"
+	"tycoon/internal/pipeline"
+	"tycoon/internal/reflectopt"
+	"tycoon/internal/relalg"
+	"tycoon/internal/ship"
+	"tycoon/internal/store"
+	"tycoon/internal/tl"
+	"tycoon/internal/tyclib"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultMaxSessions = 256
+	DefaultWallBudget  = 30 * time.Second
+)
+
+// Config tunes a Server.
+type Config struct {
+	// MaxSessions bounds concurrently open sessions; further connections
+	// are refused with a shutdown error. 0 means DefaultMaxSessions.
+	MaxSessions int
+	// MaxFrame bounds request frame bodies; 0 means ship.MaxFrameBody.
+	MaxFrame int
+	// StepBudget bounds the abstract machine steps of one request; 0
+	// means machine.DefaultMaxSteps.
+	StepBudget int64
+	// WallBudget bounds the wall-clock time of one request's execution;
+	// 0 means DefaultWallBudget, negative disables the budget.
+	WallBudget time.Duration
+	// IdleTimeout closes sessions that send no request for this long;
+	// 0 disables the idle check.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds one response write; 0 disables it.
+	WriteTimeout time.Duration
+	// LocalOpt applies compile-time optimization when installing modules.
+	LocalOpt bool
+	// Out receives the server log; nil discards it.
+	Out io.Writer
+}
+
+// Server is a running tycd instance over one store.
+type Server struct {
+	st   *store.Store
+	cfg  Config
+	comp *tl.Compiler
+	lk   *linker.Linker
+	pipe *pipeline.Pipeline
+	ropt *reflectopt.Optimizer
+	mg   *relalg.Manager
+
+	// installMu serialises module compilation and installation: the TL
+	// compiler accumulates module signatures and is not safe for
+	// concurrent Compile calls.
+	installMu sync.Mutex
+
+	mu       sync.Mutex
+	modules  map[string]store.OID
+	sessions map[*session]struct{}
+	verbs    map[string]*ship.VerbStat
+	nextSess uint64
+	total    uint64
+	draining bool
+	ln       net.Listener
+
+	wg sync.WaitGroup
+}
+
+// New builds a server over the store: linker, TL compiler with the
+// standard library installed, the shared compilation pipeline (injected
+// into the reflective optimizer so SUBMIT compilations and reflective
+// optimizations share one cache), and the relational substrate manager.
+func New(st *store.Store, cfg Config) (*Server, error) {
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = ship.MaxFrameBody
+	}
+	if cfg.WallBudget == 0 {
+		cfg.WallBudget = DefaultWallBudget
+	}
+	level := linker.OptNone
+	if cfg.LocalOpt {
+		level = linker.OptLocal
+	}
+	lk := linker.New(st, linker.Config{Level: level})
+	comp, err := tyclib.Install(st, lk)
+	if err != nil {
+		return nil, err
+	}
+	pipe := pipeline.New(st, pipeline.Config{})
+	s := &Server{
+		st:       st,
+		cfg:      cfg,
+		comp:     comp,
+		lk:       lk,
+		pipe:     pipe,
+		ropt:     reflectopt.New(st, reflectopt.Options{Pipe: pipe}),
+		mg:       relalg.NewManager(st),
+		modules:  make(map[string]store.OID),
+		sessions: make(map[*session]struct{}),
+		verbs:    make(map[string]*ship.VerbStat),
+	}
+	for _, root := range st.Roots() {
+		if len(root) > len(linker.ModuleRoot) && root[:len(linker.ModuleRoot)] == linker.ModuleRoot {
+			if oid, ok := st.Root(root); ok {
+				s.modules[root[len(linker.ModuleRoot):]] = oid
+			}
+		}
+	}
+	return s, nil
+}
+
+// Manager exposes the shared relational substrate so embedders (tests,
+// the server benchmark) can create relations in-process before serving.
+func (s *Server) Manager() *relalg.Manager { return s.mg }
+
+// Pipeline exposes the shared compilation pipeline.
+func (s *Server) Pipeline() *pipeline.Pipeline { return s.pipe }
+
+// logf writes one line to the server log.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Out != nil {
+		fmt.Fprintf(s.cfg.Out, "tycd: "+format+"\n", args...)
+	}
+}
+
+// module resolves an installed module by name.
+func (s *Server) module(name string) (store.OID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	oid, ok := s.modules[name]
+	return oid, ok
+}
+
+// isDraining reports whether Shutdown has begun.
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// record updates one verb's latency counter.
+func (s *Server) record(v ship.Verb, start time.Time, failed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.verbs[v.String()]
+	if !ok {
+		st = &ship.VerbStat{}
+		s.verbs[v.String()] = st
+	}
+	st.Count++
+	if failed {
+		st.Errors++
+	}
+	st.Micros += time.Since(start).Microseconds()
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() ship.ServerStats {
+	s.mu.Lock()
+	verbs := make(map[string]ship.VerbStat, len(s.verbs))
+	for k, v := range s.verbs {
+		verbs[k] = *v
+	}
+	out := ship.ServerStats{
+		Sessions:      len(s.sessions),
+		TotalSessions: s.total,
+		Draining:      s.draining,
+		Verbs:         verbs,
+	}
+	s.mu.Unlock()
+	out.Pipeline = s.pipe.CacheStats()
+	out.Indexes = s.mg.IndexStats()
+	return out
+}
+
+// ListenAndServe listens on addr (e.g. "127.0.0.1:7411") and serves
+// until Shutdown. It returns the listener through ready (if non-nil) as
+// soon as the port is bound, so callers can learn an ephemeral port.
+func (s *Server) ListenAndServe(addr string, ready chan<- net.Listener) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		if ready != nil {
+			close(ready)
+		}
+		return err
+	}
+	if ready != nil {
+		ready <- ln
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts sessions on ln until the listener closes (Shutdown).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("tycd: server is shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.isDraining() {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		switch {
+		case s.draining:
+			s.mu.Unlock()
+			s.refuse(conn, ship.CodeShutdown, "server is draining")
+			continue
+		case len(s.sessions) >= s.cfg.MaxSessions:
+			s.mu.Unlock()
+			s.refuse(conn, ship.CodeBadRequest,
+				fmt.Sprintf("session limit %d reached", s.cfg.MaxSessions))
+			continue
+		}
+		s.nextSess++
+		sess := newSession(s, conn, s.nextSess)
+		s.sessions[sess] = struct{}{}
+		s.total++
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			sess.run()
+			s.mu.Lock()
+			delete(s.sessions, sess)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// refuse answers a connection the server will not serve with one error
+// frame and closes it.
+func (s *Server) refuse(conn net.Conn, code ship.ErrCode, msg string) {
+	conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	_ = ship.WriteFrame(conn, ship.VError, (&ship.WireError{Code: code, Msg: msg}).Encode())
+	conn.Close()
+}
+
+// Shutdown drains the server: the listener closes, sessions blocked
+// between requests are woken (their pending reads fail and they close
+// cleanly), in-flight requests run to completion, and once every
+// session has exited — or ctx expires, at which point remaining
+// connections are force-closed — the store is committed. The store
+// itself stays open; the owner closes it.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	ln := s.ln
+	for sess := range s.sessions {
+		// Wake readers blocked between requests; sessions notice the
+		// drain flag and close. In-flight handlers finish first: they
+		// reset the deadline before writing their response.
+		sess.nudge()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var drainErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.mu.Lock()
+		for sess := range s.sessions {
+			sess.conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		drainErr = ctx.Err()
+	}
+	if err := s.st.Commit(); err != nil {
+		return err
+	}
+	return drainErr
+}
+
+// errWire maps any handler error to a wire error, preserving an
+// explicit *ship.WireError.
+func errWire(code ship.ErrCode, err error) *ship.WireError {
+	var we *ship.WireError
+	if errors.As(err, &we) {
+		return we
+	}
+	return &ship.WireError{Code: code, Msg: err.Error()}
+}

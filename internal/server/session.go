@@ -1,0 +1,682 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime/debug"
+	"sort"
+	"time"
+
+	"tycoon/internal/machine"
+	"tycoon/internal/pipeline"
+	"tycoon/internal/ptml"
+	"tycoon/internal/qopt"
+	"tycoon/internal/relalg"
+	"tycoon/internal/ship"
+	"tycoon/internal/store"
+	"tycoon/internal/tml"
+)
+
+// session is one client connection: its own execution machine (so
+// handler state, step counters and frame pools never cross sessions)
+// over the server's shared store, index cache and pipeline.
+type session struct {
+	srv  *Server
+	conn net.Conn
+	id   uint64
+	m    *machine.Machine
+
+	// deadline is the wall-clock budget of the request currently
+	// executing; the machine's budget hook polls it. Written and read on
+	// the session goroutine only.
+	deadline time.Time
+}
+
+func newSession(s *Server, conn net.Conn, id uint64) *session {
+	m := machine.New(s.st)
+	m.MaxSteps = s.cfg.StepBudget
+	s.mg.Register(m)
+	sess := &session{srv: s, conn: conn, id: id, m: m}
+	m.SetBudgetHook(func() error {
+		if !sess.deadline.IsZero() && time.Now().After(sess.deadline) {
+			return machine.ErrWallBudget
+		}
+		return nil
+	})
+	return sess
+}
+
+// nudge wakes a session blocked reading between requests so drain can
+// proceed; an in-flight handler is unaffected (its response write uses
+// the write deadline) and notices the drain on its next read.
+func (s *session) nudge() { s.conn.SetReadDeadline(time.Now()) }
+
+// run drives the session: handshake, then one request frame → one
+// response frame until the peer says bye, the connection drops, the
+// idle timer fires, or the server drains.
+func (s *session) run() {
+	defer s.conn.Close()
+	if !s.handshake() {
+		return
+	}
+	for {
+		if idle := s.srv.cfg.IdleTimeout; idle > 0 && !s.srv.isDraining() {
+			s.conn.SetReadDeadline(time.Now().Add(idle))
+		}
+		verb, body, err := ship.ReadFrame(s.conn, s.srv.cfg.MaxFrame)
+		if err != nil {
+			s.readFailed(err)
+			return
+		}
+		if verb == ship.VBye {
+			return
+		}
+		if !s.dispatch(verb, body) {
+			return
+		}
+	}
+}
+
+// handshake expects the hello frame and answers welcome.
+func (s *session) handshake() bool {
+	if t := s.srv.cfg.IdleTimeout; t > 0 {
+		s.conn.SetReadDeadline(time.Now().Add(t))
+	}
+	verb, body, err := ship.ReadFrame(s.conn, s.srv.cfg.MaxFrame)
+	if err != nil {
+		s.readFailed(err)
+		return false
+	}
+	if verb != ship.VHello {
+		s.sendErr(&ship.WireError{Code: ship.CodeProto, Msg: "expected hello, got " + verb.String()})
+		return false
+	}
+	hello, err := ship.DecodeHello(body)
+	if err != nil {
+		s.sendErr(errWire(ship.CodeProto, err))
+		return false
+	}
+	if hello.Version > ship.ProtoVersion {
+		s.sendErr(&ship.WireError{Code: ship.CodeBadRequest,
+			Msg: fmt.Sprintf("client speaks protocol %d, server %d", hello.Version, ship.ProtoVersion)})
+		return false
+	}
+	s.srv.logf("session %d: hello from %q (%s)", s.id, hello.Client, s.conn.RemoteAddr())
+	return s.send(ship.VWelcome, (&ship.Welcome{
+		Version: ship.ProtoVersion, Server: "tycd", Session: s.id,
+	}).Encode())
+}
+
+// readFailed classifies a frame read error: clean close and transport
+// failures just end the session; malformed frames and drain/idle
+// wake-ups are answered with one typed error frame first.
+func (s *session) readFailed(err error) {
+	switch {
+	case errors.Is(err, io.EOF):
+	case errors.Is(err, ship.ErrFrame):
+		s.srv.logf("session %d: protocol error: %v", s.id, err)
+		s.sendErr(errWire(ship.CodeProto, err))
+	default:
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			if s.srv.isDraining() {
+				s.sendErr(&ship.WireError{Code: ship.CodeShutdown, Msg: "server is draining"})
+			} else {
+				s.sendErr(&ship.WireError{Code: ship.CodeShutdown, Msg: "idle timeout"})
+			}
+			return
+		}
+		s.srv.logf("session %d: read failed: %v", s.id, err)
+	}
+}
+
+// dispatch handles one request frame; false closes the session.
+func (s *session) dispatch(verb ship.Verb, body []byte) (keep bool) {
+	start := time.Now()
+	failed := false
+	defer func() { s.srv.record(verb, start, failed) }()
+	defer func() {
+		// A handler panic is a server bug, not a session outcome: report
+		// it as an internal error and drop the session, never the server.
+		if r := recover(); r != nil {
+			failed = true
+			keep = false
+			s.srv.logf("session %d: panic in %s: %v\n%s", s.id, verb, r, debug.Stack())
+			s.sendErr(&ship.WireError{Code: ship.CodeInternal, Msg: fmt.Sprintf("panic: %v", r)})
+		}
+	}()
+
+	var res *ship.Result
+	var werr *ship.WireError
+	switch verb {
+	case ship.VPing:
+		return s.send(ship.VPong, nil)
+	case ship.VStats:
+		data, err := json.Marshal(s.srv.Stats())
+		if err != nil {
+			failed = true
+			return s.sendErr(errWire(ship.CodeInternal, err))
+		}
+		return s.send(ship.VStatsOK, data)
+	case ship.VInstall:
+		res, werr = s.handleInstall(body)
+	case ship.VCall:
+		res, werr = s.handleCall(body)
+	case ship.VSubmit:
+		res, werr = s.handleSubmit(body)
+	case ship.VOptimize:
+		res, werr = s.handleOptimize(body)
+	default:
+		werr = &ship.WireError{Code: ship.CodeProto, Msg: "unexpected verb " + verb.String()}
+	}
+	if werr != nil {
+		failed = true
+		return s.sendErr(werr)
+	}
+	res.Info.Micros = time.Since(start).Microseconds()
+	return s.sendResult(res)
+}
+
+// begin arms the per-request budgets; end disarms them.
+func (s *session) begin() {
+	s.m.ResetSteps()
+	if w := s.srv.cfg.WallBudget; w > 0 {
+		s.deadline = time.Now().Add(w)
+	}
+}
+
+func (s *session) end() { s.deadline = time.Time{} }
+
+// handleInstall compiles and installs a TL module.
+func (s *session) handleInstall(body []byte) (*ship.Result, *ship.WireError) {
+	req, err := ship.DecodeInstall(body)
+	if err != nil {
+		return nil, errWire(ship.CodeProto, err)
+	}
+	s.srv.installMu.Lock()
+	defer s.srv.installMu.Unlock()
+	unit, err := s.srv.comp.Compile(req.Source)
+	if err != nil {
+		return nil, errWire(ship.CodeCompile, err)
+	}
+	oid, err := s.srv.lk.InstallModule(unit)
+	if err != nil {
+		return nil, errWire(ship.CodeCompile, err)
+	}
+	s.srv.mu.Lock()
+	s.srv.modules[unit.Name] = oid
+	s.srv.mu.Unlock()
+	if err := s.srv.st.Commit(); err != nil {
+		return nil, errWire(ship.CodeInternal, err)
+	}
+	s.srv.logf("session %d: installed module %s", s.id, unit.Name)
+	return &ship.Result{Val: ship.WVal{Kind: ship.WStr, Str: unit.Name}}, nil
+}
+
+// handleCall applies an exported function — or, with an empty module, a
+// closure previously saved by submit.
+func (s *session) handleCall(body []byte) (*ship.Result, *ship.WireError) {
+	req, err := ship.DecodeCall(body)
+	if err != nil {
+		return nil, errWire(ship.CodeProto, err)
+	}
+	args := make([]machine.Value, len(req.Args))
+	for i, a := range req.Args {
+		v, err := s.wireToMachine(a)
+		if err != nil {
+			return nil, errWire(ship.CodeBadRequest, err)
+		}
+		args[i] = v
+	}
+	s.begin()
+	defer s.end()
+	var v machine.Value
+	if req.Module != "" {
+		modOID, ok := s.srv.module(req.Module)
+		if !ok {
+			return nil, &ship.WireError{Code: ship.CodeNotFound, Msg: "module " + req.Module + " not installed"}
+		}
+		v, err = s.m.CallExport(modOID, req.Fn, args)
+	} else {
+		oid, ok := s.srv.st.Root(ship.SavedRoot + req.Fn)
+		if !ok {
+			return nil, &ship.WireError{Code: ship.CodeNotFound, Msg: "no saved closure " + req.Fn}
+		}
+		v, err = s.m.Apply(machine.Ref{OID: oid}, args)
+	}
+	if err != nil {
+		return nil, execErr(err)
+	}
+	return &ship.Result{Val: s.machineToWire(v), Info: ship.ExecInfo{Steps: s.m.Steps()}}, nil
+}
+
+// handleSubmit is the headline verb: decode the shipped PTML
+// application, re-establish the R-value bindings of its free variables
+// (paper §4.1's rebinding, across the wire), close it over the server's
+// exception and result continuations, compile it through the shared
+// pipeline — content-addressed by the α-invariant tree hash, the
+// binding fingerprint and the option set, so every session submitting
+// the same query compiles it once — and run it.
+func (s *session) handleSubmit(body []byte) (*ship.Result, *ship.WireError) {
+	req, err := ship.DecodeSubmit(body)
+	if err != nil {
+		return nil, errWire(ship.CodeProto, err)
+	}
+	srcHash, err := ptml.CanonicalHash(req.PTML)
+	if err != nil {
+		return nil, errWire(ship.CodeBadRequest, fmt.Errorf("undecodable PTML: %w", err))
+	}
+	// Resolve the binding table to store values up front: they feed both
+	// the cache key fingerprint and the substitution.
+	binds := make(map[string]store.Val, len(req.Binds))
+	fpBinds := make([]store.Binding, 0, len(req.Binds))
+	for _, b := range req.Binds {
+		sv, err := s.wireToStoreVal(b.Val)
+		if err != nil {
+			return nil, errWire(ship.CodeBadRequest, fmt.Errorf("binding %s: %w", b.Name, err))
+		}
+		if _, dup := binds[b.Name]; dup {
+			return nil, &ship.WireError{Code: ship.CodeBadRequest, Msg: "duplicate binding " + b.Name}
+		}
+		binds[b.Name] = sv
+		fpBinds = append(fpBinds, store.Binding{Name: b.Name, Val: sv})
+	}
+	// Fingerprint in name order so the key is independent of the order
+	// the client listed the bindings in.
+	sort.Slice(fpBinds, func(i, j int) bool { return fpBinds[i].Name < fpBinds[j].Name })
+
+	name := req.Name
+	if name == "" {
+		name = "submit:" + srcHash.Short()
+	}
+	var packs []pipeline.RulePack
+	if req.Optimize {
+		packs = append(packs, qopt.RuntimePack(s.srv.st))
+	}
+	job := pipeline.Job{
+		Name: name,
+		Source: func(gen *tml.VarGen) (*tml.Abs, error) {
+			return s.rebind(req.PTML, binds, gen)
+		},
+		Packs:         packs,
+		SkipOptimize:  !req.Optimize,
+		Codegen:       true,
+		RequireClosed: true,
+		EncodeTAM:     true,
+		EncodePTML:    true,
+		Key: pipeline.Key{
+			Source:   srcHash,
+			Bindings: pipeline.BindingFingerprint(fpBinds),
+			Options:  pipeline.FingerprintOptions("tycd-submit", req.Optimize),
+		},
+	}
+	res, err := s.srv.pipe.Run(job)
+	if err != nil {
+		return nil, errWire(ship.CodeCompile, err)
+	}
+
+	s.begin()
+	v, err := s.m.Apply(res.Closure, nil)
+	s.end()
+	if err != nil {
+		return nil, execErr(err)
+	}
+
+	if req.Save != "" {
+		if werr := s.save(req.Save, name, res); werr != nil {
+			return nil, werr
+		}
+	}
+	info := ship.ExecInfo{
+		Steps:    s.m.Steps(),
+		CacheHit: res.CacheHit,
+		Rewrites: int64(res.Stats.Rewrites()),
+	}
+	return &ship.Result{Val: s.machineToWire(v), Info: info}, nil
+}
+
+// save persists a submitted term's compiled closure — TAM code and the
+// re-optimizable PTML tree, no bindings (rebinding closed the term) —
+// under the srv: root namespace tycfsck audits.
+func (s *session) save(saveAs, name string, res *pipeline.Result) *ship.WireError {
+	if len(res.Code) == 0 || len(res.PTML) == 0 {
+		return &ship.WireError{Code: ship.CodeInternal, Msg: "compiled submit carries no encodings to save"}
+	}
+	st := s.srv.st
+	codeOID := st.Alloc(&store.Blob{Bytes: res.Code})
+	ptmlOID := st.Alloc(&store.Blob{Bytes: res.PTML})
+	cloOID := st.Alloc(&store.Closure{Name: name, Code: codeOID, PTML: ptmlOID})
+	// SetRoot advances the store's binding epoch, which conservatively
+	// invalidates the pipeline cache — saving is a binding change, the
+	// same rule every other root update follows.
+	st.SetRoot(ship.SavedRoot+saveAs, cloOID)
+	if err := st.Commit(); err != nil {
+		return errWire(ship.CodeInternal, err)
+	}
+	s.srv.logf("session %d: saved %s as %s%s", s.id, name, ship.SavedRoot, saveAs)
+	return nil
+}
+
+// rebind decodes the submitted application and closes it: free value
+// variables are substituted with their bound R-values, and the free
+// continuation variables e (exception) and k (result) become the
+// parameters of the wrapping procedure, which Apply binds to the
+// top-level halt continuations.
+func (s *session) rebind(data []byte, binds map[string]store.Val, gen *tml.VarGen) (*tml.Abs, error) {
+	app, free, err := ptml.DecodeApp(data, gen)
+	if err != nil {
+		return nil, err
+	}
+	var eVar, kVar *tml.Var
+	subst := make(map[*tml.Var]tml.Value)
+	for _, v := range free {
+		switch v.Name {
+		case "e":
+			if eVar != nil {
+				return nil, fmt.Errorf("submit: two free variables named e")
+			}
+			eVar = v
+			continue
+		case "k":
+			if kVar != nil {
+				return nil, fmt.Errorf("submit: two free variables named k")
+			}
+			kVar = v
+			continue
+		}
+		if v.Cont {
+			return nil, fmt.Errorf("submit: free continuation %s (only e and k may be free)", v)
+		}
+		sv, ok := binds[v.Name]
+		if !ok {
+			sv, ok = binds[v.String()]
+		}
+		if !ok {
+			return nil, fmt.Errorf("submit: no binding for free variable %s", v.Name)
+		}
+		subst[v] = storeValToTML(sv)
+	}
+	if len(subst) > 0 {
+		app = tml.SubstMany(app, subst).(*tml.App)
+	}
+	if eVar == nil {
+		eVar = gen.FreshCont("e")
+	} else {
+		eVar.Cont = true
+	}
+	if kVar == nil {
+		kVar = gen.FreshCont("k")
+	} else {
+		kVar.Cont = true
+	}
+	return &tml.Abs{Params: []*tml.Var{eVar, kVar}, Body: app}, nil
+}
+
+// handleOptimize reflectively optimizes an installed function and
+// installs the code in this session's machine; the compilation itself
+// lands in the shared pipeline cache, so every other session's optimize
+// of the same function is a hit.
+func (s *session) handleOptimize(body []byte) (*ship.Result, *ship.WireError) {
+	req, err := ship.DecodeOptimize(body)
+	if err != nil {
+		return nil, errWire(ship.CodeProto, err)
+	}
+	modOID, ok := s.srv.module(req.Module)
+	if !ok {
+		return nil, &ship.WireError{Code: ship.CodeNotFound, Msg: "module " + req.Module + " not installed"}
+	}
+	obj, err := s.srv.st.Get(modOID)
+	if err != nil {
+		return nil, errWire(ship.CodeInternal, err)
+	}
+	mod, ok := obj.(*store.Module)
+	if !ok {
+		return nil, &ship.WireError{Code: ship.CodeInternal, Msg: req.Module + " is not a module"}
+	}
+	v, ok := mod.Lookup(req.Fn)
+	if !ok || v.Kind != store.ValRef {
+		return nil, &ship.WireError{Code: ship.CodeNotFound,
+			Msg: req.Module + "." + req.Fn + " is not an exported function"}
+	}
+	s.begin()
+	defer s.end()
+	res, err := s.srv.ropt.OptimizeAndInstall(s.m, v.Ref)
+	if err != nil {
+		return nil, errWire(ship.CodeCompile, err)
+	}
+	info := ship.ExecInfo{
+		CacheHit: res.CacheHit,
+		Inlined:  int64(res.Inlined),
+		Rewrites: int64(res.Pipeline.Rewrites()),
+	}
+	return &ship.Result{
+		Val:  ship.WVal{Kind: ship.WStr, Str: req.Module + "." + req.Fn},
+		Info: info,
+	}, nil
+}
+
+// --- transport helpers -----------------------------------------------------
+
+func (s *session) send(v ship.Verb, body []byte) bool {
+	if t := s.srv.cfg.WriteTimeout; t > 0 {
+		s.conn.SetWriteDeadline(time.Now().Add(t))
+	}
+	if err := ship.WriteFrame(s.conn, v, body); err != nil {
+		s.srv.logf("session %d: write failed: %v", s.id, err)
+		return false
+	}
+	return true
+}
+
+func (s *session) sendErr(e *ship.WireError) bool { return s.send(ship.VError, e.Encode()) }
+
+func (s *session) sendResult(r *ship.Result) bool {
+	body, err := r.Encode()
+	if err != nil {
+		return s.sendErr(errWire(ship.CodeInternal, err))
+	}
+	return s.send(ship.VResult, body)
+}
+
+// execErr classifies an execution failure for the wire.
+func execErr(err error) *ship.WireError {
+	switch {
+	case errors.Is(err, machine.ErrStepBudget), errors.Is(err, machine.ErrWallBudget):
+		return errWire(ship.CodeBudget, err)
+	default:
+		return errWire(ship.CodeExec, err)
+	}
+}
+
+// --- value conversions -----------------------------------------------------
+
+// wireToMachine lifts a wire argument into a runtime value.
+func (s *session) wireToMachine(v ship.WVal) (machine.Value, error) {
+	switch v.Kind {
+	case ship.WNil:
+		return machine.Unit{}, nil
+	case ship.WInt:
+		return machine.IntValue(v.Int), nil
+	case ship.WReal:
+		return machine.Real(v.Real), nil
+	case ship.WBool:
+		return machine.BoolValue(v.Bool), nil
+	case ship.WChar:
+		return machine.CharValue(v.Ch), nil
+	case ship.WStr:
+		return machine.Str(v.Str), nil
+	case ship.WRef:
+		return machine.Ref{OID: store.OID(v.Ref)}, nil
+	case ship.WRoot:
+		oid, ok := s.srv.st.Root(v.Str)
+		if !ok {
+			return nil, fmt.Errorf("no root named %q", v.Str)
+		}
+		return machine.Ref{OID: oid}, nil
+	case ship.WRel:
+		rel, err := s.wireToRel(v.Rel)
+		if err != nil {
+			return nil, err
+		}
+		return rel, nil
+	default:
+		return nil, fmt.Errorf("unsupported wire value kind %d", v.Kind)
+	}
+}
+
+// wireToStoreVal lowers a wire binding into a store slot value (the
+// form R-value rebinding and key fingerprinting work on).
+func (s *session) wireToStoreVal(v ship.WVal) (store.Val, error) {
+	switch v.Kind {
+	case ship.WNil:
+		return store.NilVal(), nil
+	case ship.WInt:
+		return store.IntVal(v.Int), nil
+	case ship.WReal:
+		return store.RealVal(v.Real), nil
+	case ship.WBool:
+		return store.BoolVal(v.Bool), nil
+	case ship.WChar:
+		return store.CharVal(v.Ch), nil
+	case ship.WStr:
+		return store.StrVal(v.Str), nil
+	case ship.WRef:
+		return store.RefVal(store.OID(v.Ref)), nil
+	case ship.WRoot:
+		oid, ok := s.srv.st.Root(v.Str)
+		if !ok {
+			return store.Val{}, fmt.Errorf("no root named %q", v.Str)
+		}
+		return store.RefVal(oid), nil
+	default:
+		return store.Val{}, fmt.Errorf("wire value %s cannot be a binding", v.Show())
+	}
+}
+
+// wireToRel materialises a shipped table as a transient relation.
+func (s *session) wireToRel(t *ship.WTable) (*relalg.Rel, error) {
+	if t == nil {
+		return nil, fmt.Errorf("relation value without table")
+	}
+	rel := &relalg.Rel{}
+	for _, c := range t.Cols {
+		rel.Schema = append(rel.Schema, store.Column{Name: c, Type: store.ColStr})
+	}
+	for _, row := range t.Rows {
+		out := make([]store.Val, len(row))
+		for i, f := range row {
+			sv, err := s.wireToStoreVal(f)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = sv
+		}
+		rel.Rows = append(rel.Rows, out)
+	}
+	if len(rel.Schema) == 0 && len(rel.Rows) > 0 {
+		for i, f := range rel.Rows[0] {
+			rel.Schema = append(rel.Schema, store.Column{Name: fmt.Sprintf("c%d", i), Type: colTypeOf(f)})
+		}
+	}
+	return rel, nil
+}
+
+func colTypeOf(v store.Val) store.ColType {
+	switch v.Kind {
+	case store.ValInt:
+		return store.ColInt
+	case store.ValReal:
+		return store.ColReal
+	case store.ValBool:
+		return store.ColBool
+	default:
+		return store.ColStr
+	}
+}
+
+// machineToWire lowers a result value for the wire: scalars by value,
+// references by OID, relations as materialised tables. Transient values
+// with no wire form (closures, continuations) degrade to their printed
+// representation — a REPL answer, not round-trippable data.
+func (s *session) machineToWire(v machine.Value) ship.WVal {
+	switch v := v.(type) {
+	case machine.Unit:
+		return ship.WVal{Kind: ship.WNil}
+	case machine.Int:
+		return ship.WVal{Kind: ship.WInt, Int: int64(v)}
+	case machine.Real:
+		return ship.WVal{Kind: ship.WReal, Real: float64(v)}
+	case machine.Bool:
+		return ship.WVal{Kind: ship.WBool, Bool: bool(v)}
+	case machine.Char:
+		return ship.WVal{Kind: ship.WChar, Ch: byte(v)}
+	case machine.Str:
+		return ship.WVal{Kind: ship.WStr, Str: string(v)}
+	case machine.Ref:
+		return ship.WVal{Kind: ship.WRef, Ref: uint64(v.OID)}
+	case *relalg.Rel:
+		t := &ship.WTable{}
+		for _, c := range v.Schema {
+			t.Cols = append(t.Cols, c.Name)
+		}
+		for _, row := range v.Rows {
+			out := make([]ship.WVal, len(row))
+			for i, f := range row {
+				out[i] = storeValToWire(f)
+			}
+			t.Rows = append(t.Rows, out)
+		}
+		return ship.WVal{Kind: ship.WRel, Rel: t}
+	case *machine.Vector:
+		row := make([]ship.WVal, len(v.Elems))
+		for i, el := range v.Elems {
+			row[i] = s.machineToWire(el)
+		}
+		return ship.WVal{Kind: ship.WRel, Rel: &ship.WTable{Rows: [][]ship.WVal{row}}}
+	default:
+		return ship.WVal{Kind: ship.WStr, Str: v.Show()}
+	}
+}
+
+func storeValToWire(v store.Val) ship.WVal {
+	switch v.Kind {
+	case store.ValInt:
+		return ship.WVal{Kind: ship.WInt, Int: v.Int}
+	case store.ValReal:
+		return ship.WVal{Kind: ship.WReal, Real: v.Real}
+	case store.ValBool:
+		return ship.WVal{Kind: ship.WBool, Bool: v.Bool}
+	case store.ValChar:
+		return ship.WVal{Kind: ship.WChar, Ch: v.Ch}
+	case store.ValStr:
+		return ship.WVal{Kind: ship.WStr, Str: v.Str}
+	case store.ValRef:
+		return ship.WVal{Kind: ship.WRef, Ref: uint64(v.Ref)}
+	default:
+		return ship.WVal{Kind: ship.WNil}
+	}
+}
+
+// storeValToTML lifts a binding value into a TML value node for
+// substitution: scalars become literals, references become OID nodes.
+func storeValToTML(v store.Val) tml.Value {
+	switch v.Kind {
+	case store.ValInt:
+		return tml.Int(v.Int)
+	case store.ValReal:
+		return tml.Real(v.Real)
+	case store.ValBool:
+		return tml.Bool(v.Bool)
+	case store.ValChar:
+		return tml.Char(v.Ch)
+	case store.ValStr:
+		return tml.Str(v.Str)
+	case store.ValRef:
+		return tml.NewOid(uint64(v.Ref))
+	default:
+		return tml.Unit()
+	}
+}

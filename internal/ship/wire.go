@@ -1,0 +1,749 @@
+// Wire protocol of the tycd database server: length-prefixed,
+// CRC-guarded frames carrying PTML trees, binding tables and result
+// values between a remote client and a multi-session server. The frame
+// envelope follows the TYSHIP02 bundle discipline (magic, u32 body
+// length, CRC32C trailer): the network gives the payload no second
+// chance at detecting rot, so every frame is verified before a single
+// body byte is interpreted.
+//
+// A request is one frame; its response is one frame. The interesting
+// verb is Submit: the client sends a PTML-encoded application together
+// with a table of R-value bindings for its free variables, and the
+// server re-establishes the bindings, compiles the closed term through
+// its shared pipeline (one optimized-code cache across all sessions)
+// and runs it — the paper's persistent intermediate representation
+// travelling over the wire instead of through the store.
+package ship
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"tycoon/internal/pipeline"
+	"tycoon/internal/relalg"
+)
+
+// SavedRoot prefixes the store root names under which tycd persists
+// closures saved by SUBMIT requests (save=<name> ⇒ root "srv:<name>").
+// tycfsck knows the prefix: a srv: root bound to anything without
+// re-optimizable code is flagged as corruption.
+const SavedRoot = "srv:"
+
+// frameMagic tags a wire frame: the magic, a verb byte, a u32 body
+// length, the body, and a CRC32C (Castagnoli) of verb+body.
+const frameMagic = "TYWR01"
+
+// MaxFrameBody is the default bound on a frame body; ReadFrame rejects
+// larger declared lengths before allocating, so a corrupt or hostile
+// length field can never drive a huge allocation.
+const MaxFrameBody = 16 << 20
+
+// ErrFrame is the sentinel wrapped by FrameError: the byte stream does
+// not parse as a well-formed frame (bad magic, bad checksum, absurd
+// length). Transport failures (timeouts, truncation by a dying peer)
+// are reported as the underlying I/O errors, not as FrameErrors.
+var ErrFrame = errors.New("ship: corrupt wire frame")
+
+// FrameError reports a malformed frame.
+type FrameError struct {
+	Reason string
+}
+
+func (e *FrameError) Error() string { return "ship: bad frame: " + e.Reason }
+
+// Unwrap makes errors.Is(err, ErrFrame) hold.
+func (e *FrameError) Unwrap() error { return ErrFrame }
+
+// Verb identifies the kind of message a frame carries.
+type Verb byte
+
+// The wire verbs. Requests flow client→server, responses server→client.
+const (
+	VHello    Verb = 1  // request: open a session
+	VWelcome  Verb = 2  // response: session accepted
+	VPing     Verb = 3  // request: liveness probe
+	VPong     Verb = 4  // response to VPing
+	VStats    Verb = 5  // request: server counters
+	VStatsOK  Verb = 6  // response: ServerStats as JSON
+	VInstall  Verb = 7  // request: compile and install a TL module
+	VCall     Verb = 8  // request: call an exported or saved function
+	VSubmit   Verb = 9  // request: compile and run a PTML term
+	VOptimize Verb = 10 // request: reflectively optimize a function
+	VResult   Verb = 11 // response: a value plus execution stats
+	VError    Verb = 12 // response: structured failure
+	VBye      Verb = 13 // request: orderly session close
+)
+
+// String names a verb for logs and errors.
+func (v Verb) String() string {
+	switch v {
+	case VHello:
+		return "hello"
+	case VWelcome:
+		return "welcome"
+	case VPing:
+		return "ping"
+	case VPong:
+		return "pong"
+	case VStats:
+		return "stats"
+	case VStatsOK:
+		return "stats-ok"
+	case VInstall:
+		return "install"
+	case VCall:
+		return "call"
+	case VSubmit:
+		return "submit"
+	case VOptimize:
+		return "optimize"
+	case VResult:
+		return "result"
+	case VError:
+		return "error"
+	case VBye:
+		return "bye"
+	default:
+		return fmt.Sprintf("verb(%d)", byte(v))
+	}
+}
+
+var frameCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// WriteFrame writes one frame: magic, verb, length, body, CRC32C of
+// verb+body.
+func WriteFrame(w io.Writer, v Verb, body []byte) error {
+	var out bytes.Buffer
+	out.Grow(len(frameMagic) + 1 + 4 + len(body) + 4)
+	out.WriteString(frameMagic)
+	out.WriteByte(byte(v))
+	putU32(&out, uint32(len(body)))
+	out.Write(body)
+	crc := crc32.Update(0, frameCRC, []byte{byte(v)})
+	crc = crc32.Update(crc, frameCRC, body)
+	putU32(&out, crc)
+	_, err := w.Write(out.Bytes())
+	return err
+}
+
+// ReadFrame reads one frame, verifying the envelope before returning
+// the body. maxBody bounds the declared body length (0 means
+// MaxFrameBody). A clean connection close before the first byte returns
+// io.EOF; any other short read returns the transport error; a byte
+// stream that is present but malformed returns a FrameError.
+func ReadFrame(r io.Reader, maxBody int) (Verb, []byte, error) {
+	if maxBody <= 0 {
+		maxBody = MaxFrameBody
+	}
+	var hdr [len(frameMagic) + 1 + 4]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return 0, nil, err // io.EOF: peer closed between frames
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return 0, nil, err
+	}
+	if string(hdr[:len(frameMagic)]) != frameMagic {
+		return 0, nil, &FrameError{Reason: "bad magic"}
+	}
+	v := Verb(hdr[len(frameMagic)])
+	n := binary.LittleEndian.Uint32(hdr[len(frameMagic)+1:])
+	if int64(n) > int64(maxBody) {
+		return 0, nil, &FrameError{Reason: fmt.Sprintf("frame body of %d bytes exceeds limit %d", n, maxBody)}
+	}
+	buf := make([]byte, int(n)+4)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	body := buf[:n]
+	want := binary.LittleEndian.Uint32(buf[n:])
+	crc := crc32.Update(0, frameCRC, []byte{byte(v)})
+	crc = crc32.Update(crc, frameCRC, body)
+	if crc != want {
+		return 0, nil, &FrameError{
+			Reason: fmt.Sprintf("checksum mismatch (computed %08x, recorded %08x)", crc, want),
+		}
+	}
+	return v, body, nil
+}
+
+// --- wire values -----------------------------------------------------------
+
+// WKind tags a wire value.
+type WKind byte
+
+// The wire value kinds. Scalars travel by value; persistent objects by
+// OID (meaningful only within one server's store); named roots by name
+// (resolved server-side, the by-name discipline of bundle shipping);
+// transient relations as materialised tables.
+const (
+	WNil  WKind = 0
+	WInt  WKind = 1
+	WReal WKind = 2
+	WBool WKind = 3
+	WChar WKind = 4
+	WStr  WKind = 5
+	WRef  WKind = 6
+	WRoot WKind = 7
+	WRel  WKind = 8
+)
+
+// WVal is one value crossing the wire.
+type WVal struct {
+	Kind WKind
+	Int  int64
+	Real float64
+	Bool bool
+	Ch   byte
+	Str  string // WStr payload; WRoot root name
+	Ref  uint64 // WRef OID
+	Rel  *WTable
+}
+
+// WTable is a materialised relation result: column names and rows of
+// scalar values (nested tables do not ship).
+type WTable struct {
+	Cols []string
+	Rows [][]WVal
+}
+
+// Show renders a wire value for the client REPL.
+func (v WVal) Show() string {
+	switch v.Kind {
+	case WNil:
+		return "()"
+	case WInt:
+		return fmt.Sprintf("%d", v.Int)
+	case WReal:
+		return fmt.Sprintf("%g", v.Real)
+	case WBool:
+		return fmt.Sprintf("%t", v.Bool)
+	case WChar:
+		return fmt.Sprintf("'%c'", v.Ch)
+	case WStr:
+		return fmt.Sprintf("%q", v.Str)
+	case WRef:
+		return fmt.Sprintf("<0x%x>", v.Ref)
+	case WRoot:
+		return "@" + v.Str
+	case WRel:
+		if v.Rel == nil {
+			return "rel(nil)"
+		}
+		return fmt.Sprintf("rel(%d rows)", len(v.Rel.Rows))
+	default:
+		return fmt.Sprintf("wval(%d)", byte(v.Kind))
+	}
+}
+
+func putWVal(b *bytes.Buffer, v WVal) error {
+	b.WriteByte(byte(v.Kind))
+	switch v.Kind {
+	case WNil:
+	case WInt:
+		putU64(b, uint64(v.Int))
+	case WReal:
+		putU64(b, math.Float64bits(v.Real))
+	case WBool:
+		if v.Bool {
+			b.WriteByte(1)
+		} else {
+			b.WriteByte(0)
+		}
+	case WChar:
+		b.WriteByte(v.Ch)
+	case WStr, WRoot:
+		putStr(b, v.Str)
+	case WRef:
+		putU64(b, v.Ref)
+	case WRel:
+		if v.Rel == nil {
+			return fmt.Errorf("ship: wire relation without table")
+		}
+		putU32(b, uint32(len(v.Rel.Cols)))
+		for _, c := range v.Rel.Cols {
+			putStr(b, c)
+		}
+		putU32(b, uint32(len(v.Rel.Rows)))
+		for _, row := range v.Rel.Rows {
+			putU32(b, uint32(len(row)))
+			for _, f := range row {
+				if f.Kind == WRel {
+					return fmt.Errorf("ship: nested relation in wire row")
+				}
+				if err := putWVal(b, f); err != nil {
+					return err
+				}
+			}
+		}
+	default:
+		return fmt.Errorf("ship: cannot encode wire value kind %d", v.Kind)
+	}
+	return nil
+}
+
+func (r *wreader) wval() WVal {
+	k := WKind(r.u8())
+	v := WVal{Kind: k}
+	switch k {
+	case WNil:
+	case WInt:
+		v.Int = int64(r.u64())
+	case WReal:
+		v.Real = math.Float64frombits(r.u64())
+	case WBool:
+		v.Bool = r.u8() != 0
+	case WChar:
+		v.Ch = r.u8()
+	case WStr, WRoot:
+		v.Str = r.str()
+	case WRef:
+		v.Ref = r.u64()
+	case WRel:
+		t := &WTable{}
+		nc := r.count(1)
+		for i := 0; i < nc && r.err == nil; i++ {
+			t.Cols = append(t.Cols, r.str())
+		}
+		nr := r.count(1)
+		for i := 0; i < nr && r.err == nil; i++ {
+			nf := r.count(1)
+			row := make([]WVal, 0, nf)
+			for j := 0; j < nf && r.err == nil; j++ {
+				row = append(row, r.wval())
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		v.Rel = t
+	default:
+		r.failf("unknown wire value kind %d", k)
+	}
+	return v
+}
+
+// WBind is one R-value binding of a submitted term's free variable.
+type WBind struct {
+	Name string
+	Val  WVal
+}
+
+// --- messages --------------------------------------------------------------
+
+// ProtoVersion is the protocol revision spoken by this build; Hello and
+// Welcome exchange it, and the server refuses clients from the future.
+const ProtoVersion = 1
+
+// Hello opens a session.
+type Hello struct {
+	Version uint32
+	Client  string // free-form client identification for the server log
+}
+
+// Encode serialises the message body.
+func (m *Hello) Encode() []byte {
+	var b bytes.Buffer
+	putU32(&b, m.Version)
+	putStr(&b, m.Client)
+	return b.Bytes()
+}
+
+// DecodeHello deserialises a Hello body.
+func DecodeHello(body []byte) (*Hello, error) {
+	r := &wreader{b: body}
+	m := &Hello{Version: r.u32(), Client: r.str()}
+	return m, r.done()
+}
+
+// Welcome accepts a session.
+type Welcome struct {
+	Version uint32
+	Server  string
+	Session uint64 // server-assigned session id
+}
+
+// Encode serialises the message body.
+func (m *Welcome) Encode() []byte {
+	var b bytes.Buffer
+	putU32(&b, m.Version)
+	putStr(&b, m.Server)
+	putU64(&b, m.Session)
+	return b.Bytes()
+}
+
+// DecodeWelcome deserialises a Welcome body.
+func DecodeWelcome(body []byte) (*Welcome, error) {
+	r := &wreader{b: body}
+	m := &Welcome{Version: r.u32(), Server: r.str(), Session: r.u64()}
+	return m, r.done()
+}
+
+// Install compiles and installs a TL module from source text.
+type Install struct {
+	Source string
+}
+
+// Encode serialises the message body.
+func (m *Install) Encode() []byte {
+	var b bytes.Buffer
+	putStr(&b, m.Source)
+	return b.Bytes()
+}
+
+// DecodeInstall deserialises an Install body.
+func DecodeInstall(body []byte) (*Install, error) {
+	r := &wreader{b: body}
+	m := &Install{Source: r.str()}
+	return m, r.done()
+}
+
+// Call applies an exported function of an installed module — or, with
+// an empty Module, a closure previously saved under SavedRoot+Fn.
+type Call struct {
+	Module string
+	Fn     string
+	Args   []WVal
+}
+
+// Encode serialises the message body.
+func (m *Call) Encode() ([]byte, error) {
+	var b bytes.Buffer
+	putStr(&b, m.Module)
+	putStr(&b, m.Fn)
+	putU32(&b, uint32(len(m.Args)))
+	for _, a := range m.Args {
+		if err := putWVal(&b, a); err != nil {
+			return nil, err
+		}
+	}
+	return b.Bytes(), nil
+}
+
+// DecodeCall deserialises a Call body.
+func DecodeCall(body []byte) (*Call, error) {
+	r := &wreader{b: body}
+	m := &Call{Module: r.str(), Fn: r.str()}
+	n := r.count(1) // smallest value (WNil) is one kind byte
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Args = append(m.Args, r.wval())
+	}
+	return m, r.done()
+}
+
+// Submit ships a PTML-encoded application for compilation and
+// execution. Binds re-establish the R-value bindings of the term's free
+// variables (paper §4.1, across the wire instead of across module
+// barriers); the free continuation variables e and k are bound by the
+// server to its own exception and result continuations. Optimize runs
+// the full reduce/expand rounds plus the query rule packs before
+// codegen; Save persists the compiled closure under SavedRoot+Save for
+// later Call requests (and tycfsck scrutiny).
+type Submit struct {
+	Name     string // label for errors and stats
+	PTML     []byte // ptml.EncodeApp of the term
+	Binds    []WBind
+	Optimize bool
+	Save     string
+}
+
+// Encode serialises the message body.
+func (m *Submit) Encode() ([]byte, error) {
+	var b bytes.Buffer
+	putStr(&b, m.Name)
+	putU32(&b, uint32(len(m.PTML)))
+	b.Write(m.PTML)
+	putU32(&b, uint32(len(m.Binds)))
+	for _, bd := range m.Binds {
+		putStr(&b, bd.Name)
+		if err := putWVal(&b, bd.Val); err != nil {
+			return nil, err
+		}
+	}
+	if m.Optimize {
+		b.WriteByte(1)
+	} else {
+		b.WriteByte(0)
+	}
+	putStr(&b, m.Save)
+	return b.Bytes(), nil
+}
+
+// DecodeSubmit deserialises a Submit body.
+func DecodeSubmit(body []byte) (*Submit, error) {
+	r := &wreader{b: body}
+	m := &Submit{Name: r.str(), PTML: r.bytesField()}
+	n := r.count(5) // smallest bind: empty name (4-byte length) + kind byte
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Binds = append(m.Binds, WBind{Name: r.str(), Val: r.wval()})
+	}
+	m.Optimize = r.u8() != 0
+	m.Save = r.str()
+	return m, r.done()
+}
+
+// Optimize reflectively optimizes an exported function server-side and
+// installs the new code for the whole server (paper §4.1: the result
+// lands in the shared link cache, so every session benefits).
+type Optimize struct {
+	Module string
+	Fn     string
+}
+
+// Encode serialises the message body.
+func (m *Optimize) Encode() []byte {
+	var b bytes.Buffer
+	putStr(&b, m.Module)
+	putStr(&b, m.Fn)
+	return b.Bytes()
+}
+
+// DecodeOptimize deserialises an Optimize body.
+func DecodeOptimize(body []byte) (*Optimize, error) {
+	r := &wreader{b: body}
+	m := &Optimize{Module: r.str(), Fn: r.str()}
+	return m, r.done()
+}
+
+// ExecInfo is the per-request execution record attached to a Result.
+type ExecInfo struct {
+	Steps    int64 // abstract machine steps charged to the request
+	Micros   int64 // server-side wall time in microseconds
+	CacheHit bool  // compilation served from the shared pipeline cache
+	Shared   bool  // compilation deduplicated against a concurrent run
+	Rewrites int64 // optimizer rule applications (fresh compilations)
+	Inlined  int64 // closures inlined across barriers (optimize verb)
+}
+
+// Result carries a successful response value.
+type Result struct {
+	Val  WVal
+	Info ExecInfo
+}
+
+// Encode serialises the message body.
+func (m *Result) Encode() ([]byte, error) {
+	var b bytes.Buffer
+	if err := putWVal(&b, m.Val); err != nil {
+		return nil, err
+	}
+	putU64(&b, uint64(m.Info.Steps))
+	putU64(&b, uint64(m.Info.Micros))
+	flags := byte(0)
+	if m.Info.CacheHit {
+		flags |= 1
+	}
+	if m.Info.Shared {
+		flags |= 2
+	}
+	b.WriteByte(flags)
+	putU64(&b, uint64(m.Info.Rewrites))
+	putU64(&b, uint64(m.Info.Inlined))
+	return b.Bytes(), nil
+}
+
+// DecodeResult deserialises a Result body.
+func DecodeResult(body []byte) (*Result, error) {
+	r := &wreader{b: body}
+	m := &Result{Val: r.wval()}
+	m.Info.Steps = int64(r.u64())
+	m.Info.Micros = int64(r.u64())
+	flags := r.u8()
+	m.Info.CacheHit = flags&1 != 0
+	m.Info.Shared = flags&2 != 0
+	m.Info.Rewrites = int64(r.u64())
+	m.Info.Inlined = int64(r.u64())
+	return m, r.done()
+}
+
+// ErrCode classifies a WireError.
+type ErrCode byte
+
+// The wire error codes.
+const (
+	CodeProto      ErrCode = 1 // malformed frame or message body
+	CodeBadRequest ErrCode = 2 // well-formed but unacceptable request
+	CodeNotFound   ErrCode = 3 // unknown module, function or saved name
+	CodeCompile    ErrCode = 4 // compilation or optimization failed
+	CodeExec       ErrCode = 5 // runtime failure (including TML exceptions)
+	CodeBudget     ErrCode = 6 // step or wall-clock budget exceeded
+	CodeShutdown   ErrCode = 7 // server is draining; no new work
+	CodeInternal   ErrCode = 8 // server-side invariant violation
+)
+
+// String names an error code.
+func (c ErrCode) String() string {
+	switch c {
+	case CodeProto:
+		return "proto"
+	case CodeBadRequest:
+		return "bad-request"
+	case CodeNotFound:
+		return "not-found"
+	case CodeCompile:
+		return "compile"
+	case CodeExec:
+		return "exec"
+	case CodeBudget:
+		return "budget"
+	case CodeShutdown:
+		return "shutdown"
+	case CodeInternal:
+		return "internal"
+	default:
+		return fmt.Sprintf("code(%d)", byte(c))
+	}
+}
+
+// WireError is a structured server-side failure; it implements error so
+// clients surface it directly.
+type WireError struct {
+	Code ErrCode
+	Msg  string
+}
+
+func (e *WireError) Error() string { return fmt.Sprintf("tycd: %s: %s", e.Code, e.Msg) }
+
+// Encode serialises the message body.
+func (e *WireError) Encode() []byte {
+	var b bytes.Buffer
+	b.WriteByte(byte(e.Code))
+	putStr(&b, e.Msg)
+	return b.Bytes()
+}
+
+// DecodeWireError deserialises a WireError body.
+func DecodeWireError(body []byte) (*WireError, error) {
+	r := &wreader{b: body}
+	e := &WireError{Code: ErrCode(r.u8()), Msg: r.str()}
+	return e, r.done()
+}
+
+// --- server statistics -----------------------------------------------------
+
+// VerbStat is one verb's latency counter.
+type VerbStat struct {
+	Count  int64 `json:"count"`
+	Errors int64 `json:"errors"`
+	Micros int64 `json:"micros"` // cumulative server-side wall time
+}
+
+// ServerStats is the STATS response payload. It travels as JSON inside
+// the binary frame: the counters are for operators and tests, not for
+// the execution hot path, so a self-describing encoding beats another
+// hand-rolled codec.
+type ServerStats struct {
+	// Sessions is the number of currently open sessions; TotalSessions
+	// counts sessions ever accepted.
+	Sessions      int    `json:"sessions"`
+	TotalSessions uint64 `json:"total_sessions"`
+	// Draining reports that the server has begun a graceful shutdown.
+	Draining bool `json:"draining,omitempty"`
+	// Pipeline is the shared compilation pipeline's cache counters —
+	// across all sessions, which is what makes Shared meaningful.
+	Pipeline pipeline.CacheStats `json:"pipeline"`
+	// Indexes is the shared relational index cache's counters.
+	Indexes relalg.IndexStats `json:"indexes"`
+	// Verbs are the per-verb latency counters, keyed by Verb.String().
+	Verbs map[string]VerbStat `json:"verbs,omitempty"`
+}
+
+// --- little wire helpers ---------------------------------------------------
+
+func putU64(b *bytes.Buffer, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	b.Write(buf[:])
+}
+
+// wreader decodes message bodies with latched errors, like the bundle
+// reader, but classifies failures as FrameErrors: a body that fails to
+// parse after the envelope checksum verified is a protocol bug, not
+// transit damage.
+type wreader struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (r *wreader) failf(format string, args ...any) {
+	if r.err == nil {
+		r.err = &FrameError{Reason: fmt.Sprintf(format, args...) + fmt.Sprintf(" at offset %d", r.pos)}
+	}
+}
+
+func (r *wreader) done() error {
+	if r.err == nil && r.pos != len(r.b) {
+		r.failf("%d trailing bytes", len(r.b)-r.pos)
+	}
+	return r.err
+}
+
+func (r *wreader) u8() byte {
+	if r.err != nil || r.pos >= len(r.b) {
+		r.failf("truncated u8")
+		return 0
+	}
+	v := r.b[r.pos]
+	r.pos++
+	return v
+}
+
+func (r *wreader) u32() uint32 {
+	if r.err != nil || r.pos+4 > len(r.b) {
+		r.failf("truncated u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.pos:])
+	r.pos += 4
+	return v
+}
+
+func (r *wreader) u64() uint64 {
+	if r.err != nil || r.pos+8 > len(r.b) {
+		r.failf("truncated u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.pos:])
+	r.pos += 8
+	return v
+}
+
+func (r *wreader) str() string {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.pos+n > len(r.b) {
+		r.failf("truncated string")
+		return ""
+	}
+	s := string(r.b[r.pos : r.pos+n])
+	r.pos += n
+	return s
+}
+
+func (r *wreader) bytesField() []byte {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.pos+n > len(r.b) {
+		r.failf("truncated bytes")
+		return nil
+	}
+	out := append([]byte(nil), r.b[r.pos:r.pos+n]...)
+	r.pos += n
+	return out
+}
+
+// count reads an element count and bounds it against the remaining
+// input (each element takes at least minSize bytes), so a corrupt count
+// can never drive a huge allocation.
+func (r *wreader) count(minSize int) int {
+	n := int(r.u32())
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || n*minSize > len(r.b)-r.pos {
+		r.failf("absurd element count %d", n)
+		return 0
+	}
+	return n
+}

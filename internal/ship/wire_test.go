@@ -1,0 +1,226 @@
+package ship
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// frame writes one frame and returns its raw bytes.
+func frame(t *testing.T, v Verb, body []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, v, body); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	bodies := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xab}, 4096)}
+	for _, body := range bodies {
+		raw := frame(t, VSubmit, body)
+		v, got, err := ReadFrame(bytes.NewReader(raw), 0)
+		if err != nil {
+			t.Fatalf("ReadFrame(%d-byte body): %v", len(body), err)
+		}
+		if v != VSubmit {
+			t.Errorf("verb = %s, want %s", v, VSubmit)
+		}
+		if !bytes.Equal(got, body) {
+			t.Errorf("body mismatch: got %d bytes, want %d", len(got), len(body))
+		}
+	}
+}
+
+// TestFrameCleanEOF: a closed connection before any frame byte is a
+// clean io.EOF, not a protocol error — the session layer depends on
+// this to distinguish orderly close from corruption.
+func TestFrameCleanEOF(t *testing.T) {
+	_, _, err := ReadFrame(bytes.NewReader(nil), 0)
+	if err != io.EOF {
+		t.Fatalf("empty stream: err = %v, want io.EOF", err)
+	}
+}
+
+// TestFrameTruncated: a frame cut off mid-way is a transport error
+// (unexpected EOF), not ErrFrame — the peer died, the bytes we did see
+// were fine.
+func TestFrameTruncated(t *testing.T) {
+	raw := frame(t, VPing, []byte("hello"))
+	for _, n := range []int{1, len(frameMagic), len(frameMagic) + 3, len(raw) - 1} {
+		_, _, err := ReadFrame(bytes.NewReader(raw[:n]), 0)
+		if err == nil {
+			t.Fatalf("truncated at %d: no error", n)
+		}
+		if errors.Is(err, ErrFrame) {
+			t.Errorf("truncated at %d: classified as ErrFrame (%v), want transport error", n, err)
+		}
+	}
+}
+
+func TestFrameBadMagic(t *testing.T) {
+	raw := frame(t, VPing, nil)
+	raw[0] ^= 0xff
+	_, _, err := ReadFrame(bytes.NewReader(raw), 0)
+	if !errors.Is(err, ErrFrame) {
+		t.Fatalf("bad magic: err = %v, want ErrFrame", err)
+	}
+}
+
+func TestFrameBadCRC(t *testing.T) {
+	raw := frame(t, VSubmit, []byte("payload"))
+	raw[len(raw)-5] ^= 0x01 // flip one body bit; CRC no longer matches
+	_, _, err := ReadFrame(bytes.NewReader(raw), 0)
+	if !errors.Is(err, ErrFrame) {
+		t.Fatalf("corrupt body: err = %v, want ErrFrame", err)
+	}
+}
+
+// TestFrameOversized: a length field beyond the cap is rejected before
+// any allocation — a hostile 4 GiB length must not OOM the server.
+func TestFrameOversized(t *testing.T) {
+	raw := frame(t, VSubmit, bytes.Repeat([]byte{1}, 64))
+	// Rewrite the length field to a huge value.
+	off := len(frameMagic) + 1
+	raw[off] = 0xff
+	raw[off+1] = 0xff
+	raw[off+2] = 0xff
+	raw[off+3] = 0x7f
+	_, _, err := ReadFrame(bytes.NewReader(raw), 32)
+	if !errors.Is(err, ErrFrame) {
+		t.Fatalf("oversized length: err = %v, want ErrFrame", err)
+	}
+}
+
+func TestFrameTrailingGarbageInBody(t *testing.T) {
+	body := (&Hello{Version: 1, Client: "c"}).Encode()
+	body = append(body, 0xde, 0xad)
+	if _, err := DecodeHello(body); !errors.Is(err, ErrFrame) {
+		t.Fatalf("trailing bytes: err = %v, want ErrFrame", err)
+	}
+}
+
+func wvalSamples() []WVal {
+	return []WVal{
+		{Kind: WNil},
+		{Kind: WInt, Int: -42},
+		{Kind: WReal, Real: math.Pi},
+		{Kind: WBool, Bool: true},
+		{Kind: WChar, Ch: 'q'},
+		{Kind: WStr, Str: "héllo\x00world"},
+		{Kind: WRef, Ref: 0xdeadbeef},
+		{Kind: WRoot, Str: "rel:t"},
+	}
+}
+
+func TestWValRoundTrip(t *testing.T) {
+	for _, v := range wvalSamples() {
+		req := &Call{Module: "m", Fn: "f", Args: []WVal{v}}
+		body, err := req.Encode()
+		if err != nil {
+			t.Fatalf("%s: encode: %v", v.Show(), err)
+		}
+		got, err := DecodeCall(body)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", v.Show(), err)
+		}
+		if !reflect.DeepEqual(got.Args[0], v) {
+			t.Errorf("round trip changed %+v to %+v", v, got.Args[0])
+		}
+	}
+}
+
+func TestWTableRoundTrip(t *testing.T) {
+	res := &Result{
+		Val: WVal{Kind: WRel, Rel: &WTable{
+			Cols: []string{"id", "val"},
+			Rows: [][]WVal{
+				{{Kind: WInt, Int: 1}, {Kind: WStr, Str: "a"}},
+				{{Kind: WInt, Int: 2}, {Kind: WStr, Str: "b"}},
+			},
+		}},
+		Info: ExecInfo{Steps: 7, Micros: 9, CacheHit: true, Rewrites: 3},
+	}
+	body, err := res.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResult(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, res) {
+		t.Errorf("round trip changed %+v to %+v", res, got)
+	}
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	hello := &Hello{Version: ProtoVersion, Client: "tycsh"}
+	if got, err := DecodeHello(hello.Encode()); err != nil || !reflect.DeepEqual(got, hello) {
+		t.Errorf("hello: %+v, %v", got, err)
+	}
+	welcome := &Welcome{Version: ProtoVersion, Server: "tycd", Session: 17}
+	if got, err := DecodeWelcome(welcome.Encode()); err != nil || !reflect.DeepEqual(got, welcome) {
+		t.Errorf("welcome: %+v, %v", got, err)
+	}
+	install := &Install{Source: "module m\nend"}
+	if got, err := DecodeInstall(install.Encode()); err != nil || !reflect.DeepEqual(got, install) {
+		t.Errorf("install: %+v, %v", got, err)
+	}
+	opt := &Optimize{Module: "m", Fn: "f"}
+	if got, err := DecodeOptimize(opt.Encode()); err != nil || !reflect.DeepEqual(got, opt) {
+		t.Errorf("optimize: %+v, %v", got, err)
+	}
+	sub := &Submit{
+		Name:     "q1",
+		PTML:     []byte{0x01, 0x02, 0x03},
+		Binds:    []WBind{{Name: "x", Val: WVal{Kind: WInt, Int: 5}}},
+		Optimize: true,
+		Save:     "saved",
+	}
+	body, err := sub.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := DecodeSubmit(body); err != nil || !reflect.DeepEqual(got, sub) {
+		t.Errorf("submit: %+v, %v", got, err)
+	}
+	we := &WireError{Code: CodeBudget, Msg: "out of steps"}
+	got, err := DecodeWireError(we.Encode())
+	if err != nil || !reflect.DeepEqual(got, we) {
+		t.Errorf("wire error: %+v, %v", got, err)
+	}
+	if got.Error() == "" || got.Code.String() != "budget" {
+		t.Errorf("error rendering: %q code %q", got.Error(), got.Code.String())
+	}
+}
+
+// TestDecodeFuzzedGarbage: arbitrary bytes must decode to an error, not
+// a panic — the bodies arrive checksummed but a buggy or malicious peer
+// can still send a well-framed nonsense body.
+func TestDecodeFuzzedGarbage(t *testing.T) {
+	bodies := [][]byte{
+		nil,
+		{0xff},
+		bytes.Repeat([]byte{0xff}, 64),
+		{0, 0, 0, 0},
+		// A Call body claiming 2^32-1 args: the bounds-checked count must
+		// reject it instead of allocating.
+		append([]byte{1, 'm', 0, 0, 0, 1, 'f'}, 0xff, 0xff, 0xff, 0xff),
+	}
+	for i, b := range bodies {
+		if _, err := DecodeCall(b); err == nil {
+			t.Errorf("garbage body %d decoded without error", i)
+		}
+		if _, err := DecodeSubmit(b); err == nil {
+			t.Errorf("garbage submit body %d decoded without error", i)
+		}
+		if _, err := DecodeResult(b); err == nil {
+			t.Errorf("garbage result body %d decoded without error", i)
+		}
+	}
+}

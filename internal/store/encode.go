@@ -217,8 +217,9 @@ func encodeObject(obj Object) []byte {
 		for _, ix := range o.Indexes {
 			e.u32(uint32(ix.Column))
 		}
-		e.u32(uint32(len(o.Rows)))
-		for _, row := range o.Rows {
+		rows := o.RowsSnapshot()
+		e.u32(uint32(len(rows)))
+		for _, row := range rows {
 			e.vals(row)
 		}
 	case *Blob:

@@ -302,24 +302,65 @@ type IndexSpec struct {
 }
 
 // Relation is a bulk data object: schema, rows and index declarations.
+//
+// Relations are the one object kind that is mutated in place under
+// concurrent access: the server's sessions all scan and append rows of
+// the same live object. The row *data* is append-only (a row slice is
+// never written after publication), so the only shared-mutable state is
+// the Rows slice header — rowsMu guards it. Shared readers must take
+// RowsSnapshot (a header copy; the rows it covers are immutable) and
+// shared writers AppendRow; direct access to Rows is reserved for
+// construction, decoding and single-goroutine tools.
 type Relation struct {
 	Name    string
 	Schema  []Column
 	Rows    [][]Val
 	Indexes []IndexSpec
+
+	rowsMu sync.RWMutex
 }
 
 // Kind reports KindRelation.
 func (*Relation) Kind() Kind { return KindRelation }
 
+// RowsSnapshot returns the current rows for shared read access: a copy
+// of the slice header taken under the row lock. A concurrent AppendRow
+// may grow the relation past the snapshot, never mutate the rows the
+// snapshot covers, so iterating the snapshot is race-free.
+func (r *Relation) RowsSnapshot() [][]Val {
+	r.rowsMu.RLock()
+	rows := r.Rows
+	r.rowsMu.RUnlock()
+	return rows
+}
+
+// NumRows reports the current row count under the row lock.
+func (r *Relation) NumRows() int {
+	r.rowsMu.RLock()
+	n := len(r.Rows)
+	r.rowsMu.RUnlock()
+	return n
+}
+
+// AppendRow appends one row under the row lock and returns its index.
+// The row must not be mutated by the caller afterwards.
+func (r *Relation) AppendRow(row []Val) int {
+	r.rowsMu.Lock()
+	idx := len(r.Rows)
+	r.Rows = append(r.Rows, row)
+	r.rowsMu.Unlock()
+	return idx
+}
+
 func (r *Relation) clone() Object {
+	rows := r.RowsSnapshot()
 	d := &Relation{
 		Name:    r.Name,
 		Schema:  append([]Column(nil), r.Schema...),
 		Indexes: append([]IndexSpec(nil), r.Indexes...),
-		Rows:    make([][]Val, len(r.Rows)),
+		Rows:    make([][]Val, len(rows)),
 	}
-	for i, row := range r.Rows {
+	for i, row := range rows {
 		d.Rows[i] = append([]Val(nil), row...)
 	}
 	return d

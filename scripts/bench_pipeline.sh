@@ -13,6 +13,10 @@
 #                exists and indexscan on one fixed plan, where
 #                engine-level changes show up while steps/call must not
 #                move.
+#                server: loopback tycd throughput (BenchmarkServer_*) at
+#                1/8/64 concurrent sessions submitting the same PTML
+#                selection — per-request wire + shared-cache overhead;
+#                hits/op must stay 1.0 (one compilation total).
 #   BENCH_TIME   -benchtime value (default 1x: one measured iteration —
 #                the suite reports deterministic steps/call, so a single
 #                iteration is meaningful; raise for stable ns/op)
@@ -24,6 +28,7 @@ lane="${BENCH_LANE:-pipeline}"
 case "$lane" in
 pipeline) pattern='BenchmarkE1|BenchmarkE2|BenchmarkF3' ;;
 exec) pattern='BenchmarkExec' ;;
+server) pattern='BenchmarkServer' ;;
 *) echo "bench_pipeline.sh: unknown BENCH_LANE '$lane'" >&2; exit 2 ;;
 esac
 

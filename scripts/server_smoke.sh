@@ -1,0 +1,83 @@
+#!/bin/sh
+# server_smoke.sh — end-to-end smoke test of the tycd server and the
+# tycsh client: build both, start tycd on an ephemeral port against a
+# fresh file store, drive an install/call/submit/save/stats session
+# through tycsh, shut the server down with SIGTERM, and verify the
+# drained store passes tycfsck.
+#
+#   scripts/server_smoke.sh
+#
+# Exits non-zero if any step fails: a build error, a request error, a
+# wrong answer, an unclean shutdown, or fsck findings.
+set -eu
+cd "$(dirname "$0")/.."
+
+work="$(mktemp -d)"
+tycd_pid=""
+cleanup() {
+	[ -n "$tycd_pid" ] && kill "$tycd_pid" 2>/dev/null || true
+	rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$work/tycd" ./cmd/tycd
+go build -o "$work/tycsh" ./cmd/tycsh
+go build -o "$work/tycfsck" ./cmd/tycfsck
+
+store="$work/smoke.tyst"
+"$work/tycd" -store "$store" -addr 127.0.0.1:0 -portfile "$work/port" \
+	2>"$work/tycd.log" &
+tycd_pid=$!
+
+# Wait for the server to publish its bound address.
+for _ in $(seq 1 100); do
+	[ -s "$work/port" ] && break
+	kill -0 "$tycd_pid" 2>/dev/null || { cat "$work/tycd.log" >&2; exit 1; }
+	sleep 0.1
+done
+addr="$(cat "$work/port")"
+echo "smoke: tycd on $addr"
+
+cat >"$work/script" <<'EOF'
+ping
+install <<
+module demo export double let double(a : Int) : Int = a * 2 end
+.
+call demo.double 21
+optimize demo.double
+call demo.double 21
+submit name=answer (+ 40 2 e cont(n) (k n))
+submit name=again (+ 40 2 e cont(m) (k m))
+submit save=ans (+ 40 2 e cont(p) (k p))
+call @ans
+stats
+quit
+EOF
+
+"$work/tycsh" -addr "$addr" "$work/script" >"$work/out" 2>"$work/err"
+cat "$work/out"
+
+# The two calls, the three submits and the saved-closure call answer 42.
+if [ "$(grep -c '^42$' "$work/out")" != 6 ]; then
+	echo "smoke: expected six 42s in the output" >&2
+	cat "$work/err" >&2
+	exit 1
+fi
+# Two pipeline compilations total — the optimize and the first submit;
+# the two α-equivalent resubmissions (including the saving one) hit the
+# shared cache. The save itself then invalidates the cache (it moves a
+# root, which is a binding change), but that happens after its hit.
+grep -q 'hits 2 misses 2 ' "$work/out" || {
+	echo "smoke: stats do not show 2 hits / 2 misses" >&2
+	exit 1
+}
+
+# Graceful drain on SIGTERM.
+kill -TERM "$tycd_pid"
+wait "$tycd_pid" || { echo "smoke: tycd exited non-zero" >&2; cat "$work/tycd.log" >&2; exit 1; }
+tycd_pid=""
+grep -q "draining" "$work/tycd.log" || { echo "smoke: no drain log line" >&2; exit 1; }
+
+# The drained store is sound and still carries the saved closure.
+"$work/tycfsck" -store "$store" -v
+echo "smoke: OK"
