@@ -77,14 +77,19 @@ func benchSubmit(c *client.Client) (*ship.Result, error) {
 // benchServerSessions measures end-to-end submit latency with nSess
 // concurrent sessions sharing one server: b.N requests are spread
 // round-robin-ish over the sessions, so ns/op is the aggregate
-// wall-clock cost per request at that concurrency.
-func benchServerSessions(b *testing.B, nSess int) {
+// wall-clock cost per request at that concurrency. retries > 0 enables
+// client retries, which makes every submit carry an idempotency key and
+// flow through the server's dedup table (where, being an effect-free
+// read, it is executed but not retained) — the variant that pins the
+// fault-tolerance machinery to zero happy-path overhead.
+func benchServerSessions(b *testing.B, nSess, retries int) {
 	srv, addr := startBenchServer(b)
 	clients := make([]*client.Client, nSess)
 	for i := range clients {
 		c, err := client.Dial(addr, client.Options{
 			Timeout: 2 * time.Minute,
 			Client:  fmt.Sprintf("bench-%d", i),
+			Retries: retries,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -127,8 +132,19 @@ func benchServerSessions(b *testing.B, nSess int) {
 	if p.Misses != 1 {
 		b.Fatalf("pipeline compiled %d times, want 1 (hits %d, shared %d)", p.Misses, p.Hits, p.Shared)
 	}
+	for _, c := range clients {
+		if n := c.Retries(); n != 0 {
+			b.Fatalf("a client retried %d times on a healthy loopback", n)
+		}
+	}
 }
 
-func BenchmarkServer_Sessions1(b *testing.B)  { benchServerSessions(b, 1) }
-func BenchmarkServer_Sessions8(b *testing.B)  { benchServerSessions(b, 8) }
-func BenchmarkServer_Sessions64(b *testing.B) { benchServerSessions(b, 64) }
+func BenchmarkServer_Sessions1(b *testing.B)  { benchServerSessions(b, 1, 0) }
+func BenchmarkServer_Sessions8(b *testing.B)  { benchServerSessions(b, 8, 0) }
+func BenchmarkServer_Sessions64(b *testing.B) { benchServerSessions(b, 64, 0) }
+
+// BenchmarkServer_Sessions8Retry is Sessions8 with the retry machinery
+// armed: idempotency keys on every request, dedup recording server-side.
+// Comparing it against Sessions8 bounds the fault-tolerance overhead on
+// the happy path; hits/op must stay 1.0 either way.
+func BenchmarkServer_Sessions8Retry(b *testing.B) { benchServerSessions(b, 8, 5) }

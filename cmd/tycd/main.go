@@ -29,6 +29,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7411", "listen address (port 0 picks an ephemeral port)")
 	storePath := flag.String("store", "", "store file path (empty: in-memory, lost on exit)")
 	sessions := flag.Int("sessions", 0, "max concurrent sessions (0: default)")
+	inflight := flag.Int("inflight", 0, "max concurrent requests before shedding with overloaded (0: default, negative: unbounded)")
 	steps := flag.Int64("steps", 0, "per-request step budget (0: machine default)")
 	wall := flag.Duration("wall", 0, "per-request wall-clock budget (0: default, negative: off)")
 	idle := flag.Duration("idle", 0, "close sessions idle for this long (0: never)")
@@ -44,6 +45,7 @@ func main() {
 	}
 	cfg := server.Config{
 		MaxSessions: *sessions,
+		MaxInflight: *inflight,
 		StepBudget:  *steps,
 		WallBudget:  *wall,
 		IdleTimeout: *idle,

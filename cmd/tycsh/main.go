@@ -5,11 +5,16 @@
 //
 // Usage:
 //
-//	tycsh -addr 127.0.0.1:7411 [script...]   # no script: read stdin
+//	tycsh -addr 127.0.0.1:7411 [-retries n] [-timeout d] [script...]
+//
+// With no script arguments it reads stdin. Requests are retried per the
+// client taxonomy (-retries attempts beyond the first; idempotent work
+// carries idempotency keys so retried saves apply exactly once).
 //
 // Commands (one per line; '#' starts a comment):
 //
 //	ping
+//	health                       server mode: ok, degraded or draining
 //	stats
 //	install <file.tl>            install a TL module from a source file
 //	install <<                   ...heredoc until a line containing only "."
@@ -18,6 +23,11 @@
 //	optimize <module>.<fn>       reflectively optimize server-side
 //	submit [opt] [save=<name>] [<var>=<value>...] (<tml term>)
 //	quit
+//
+// Exit codes distinguish failure layers: 1 for local/usage errors, 2
+// when the byte stream failed to parse as the wire protocol, 3 when the
+// server answered a structured error, 4 for transport failures (dial,
+// reset, timeout).
 //
 // Argument and binding values: integers (42), reals (3.5), true/false,
 // strings ("x"), chars ('c'), roots (@rel:t), OIDs (<0x1f>), () for nil.
@@ -41,16 +51,29 @@ import (
 	"tycoon/internal/ship"
 )
 
+// Exit codes per failure layer.
+const (
+	exitLocal     = 1
+	exitProto     = 2
+	exitServer    = 3
+	exitTransport = 4
+)
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7411", "tycd server address")
 	timeout := flag.Duration("timeout", time.Minute, "per-request timeout")
+	retries := flag.Int("retries", 3, "retry attempts per request beyond the first (0 disables)")
 	verbose := flag.Bool("v", false, "print per-request execution stats")
 	interactive := flag.Bool("i", false, "print a prompt")
 	flag.Parse()
 
-	c, err := client.Dial(*addr, client.Options{Timeout: *timeout, Client: "tycsh"})
+	c, err := client.Dial(*addr, client.Options{
+		Timeout: *timeout,
+		Retries: *retries,
+		Client:  "tycsh",
+	})
 	if err != nil {
-		fatal("connect %s: %v", *addr, err)
+		fatalCode(classCode(err), "connect %s: %v", *addr, err)
 	}
 	defer c.Close()
 
@@ -64,24 +87,80 @@ func main() {
 			err = sh.runScript(bufio.NewReader(f), false)
 			f.Close()
 			if err != nil {
-				fatal("%s: %v", path, err)
+				sh.abort(path+": ", err)
 			}
 		}
-		return
+		sh.exit()
 	}
 	if err := sh.runScript(bufio.NewReader(os.Stdin), *interactive); err != nil {
-		fatal("%v", err)
+		sh.abort("", err)
 	}
+	sh.exit()
 }
 
 func fatal(format string, args ...any) {
+	fatalCode(exitLocal, format, args...)
+}
+
+func fatalCode(code int, format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "tycsh: "+format+"\n", args...)
-	os.Exit(1)
+	os.Exit(code)
+}
+
+// classCode maps a request error to its exit code.
+func classCode(err error) int {
+	switch client.Classify(err) {
+	case client.ClassProtocol:
+		return exitProto
+	case client.ClassServer:
+		return exitServer
+	default:
+		return exitTransport
+	}
+}
+
+// requestError marks an error that came out of a wire request (as
+// opposed to a local usage or file error), so the abort path can pick
+// the transport/protocol exit code.
+type requestError struct{ err error }
+
+func (e *requestError) Error() string { return e.err.Error() }
+func (e *requestError) Unwrap() error { return e.err }
+
+// reqErr wraps a client-call error; nil stays nil.
+func reqErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &requestError{err}
 }
 
 type shell struct {
 	c       *client.Client
 	verbose bool
+	// serverErr remembers that some command got a structured server
+	// error (the script continues past those): the shell then exits
+	// nonzero even though it ran to the end.
+	serverErr bool
+}
+
+// abort terminates the shell on a script-stopping error with the exit
+// code of its failure layer.
+func (sh *shell) abort(prefix string, err error) {
+	var re *requestError
+	if errors.As(err, &re) {
+		fatalCode(classCode(re.err), "%s%v", prefix, re.err)
+	}
+	fatalCode(exitLocal, "%s%v", prefix, err)
+}
+
+// exit ends a completed run: 0, or the server-error code if any command
+// was answered with a structured error along the way.
+func (sh *shell) exit() {
+	if sh.serverErr {
+		os.Exit(exitServer)
+	}
+	os.Exit(0)
 }
 
 // runScript executes commands line by line. Command failures are
@@ -106,6 +185,7 @@ func (sh *shell) runScript(r *bufio.Reader, prompt bool) error {
 			var we *ship.WireError
 			if errors.As(cmdErr, &we) {
 				fmt.Fprintf(os.Stderr, "error: %v\n", we)
+				sh.serverErr = true
 				continue // session survives structured errors
 			}
 			return cmdErr
@@ -132,18 +212,37 @@ func (sh *shell) exec(line string, r *bufio.Reader) error {
 		return errQuit
 	case "ping":
 		if err := sh.c.Ping(); err != nil {
-			return err
+			return reqErr(err)
 		}
 		fmt.Println("pong")
+		return nil
+	case "health":
+		h, err := sh.c.Health()
+		if err != nil {
+			return reqErr(err)
+		}
+		fmt.Printf("status %s, sessions %d, inflight %d\n", h.Status, h.Sessions, h.Inflight)
+		if h.Degraded {
+			fmt.Printf("degraded: %s\n", h.Reason)
+		}
 		return nil
 	case "stats":
 		st, err := sh.c.Stats()
 		if err != nil {
-			return err
+			return reqErr(err)
 		}
 		fmt.Printf("sessions %d (total %d)", st.Sessions, st.TotalSessions)
 		if st.Draining {
 			fmt.Print(" draining")
+		}
+		if st.Degraded {
+			fmt.Printf(" degraded (%s)", st.DegradedReason)
+		}
+		if st.Shed > 0 {
+			fmt.Printf(" shed %d", st.Shed)
+		}
+		if st.IdemApplied+st.IdemDeduped > 0 {
+			fmt.Printf(" idem %d/%d", st.IdemApplied, st.IdemDeduped)
 		}
 		fmt.Printf("\npipeline: hits %d misses %d shared %d errors %d entries %d\n",
 			st.Pipeline.Hits, st.Pipeline.Misses, st.Pipeline.Shared,
@@ -162,7 +261,7 @@ func (sh *shell) exec(line string, r *bufio.Reader) error {
 		}
 		res, err := sh.c.Install(src)
 		if err != nil {
-			return err
+			return reqErr(err)
 		}
 		fmt.Printf("installed %s\n", res.Val.Str)
 		return nil
@@ -182,7 +281,7 @@ func (sh *shell) exec(line string, r *bufio.Reader) error {
 			res, err = sh.c.Call(mod, fn, args...)
 		}
 		if err != nil {
-			return err
+			return reqErr(err)
 		}
 		sh.print(res)
 		return nil
@@ -193,7 +292,7 @@ func (sh *shell) exec(line string, r *bufio.Reader) error {
 		}
 		res, err := sh.c.Optimize(mod, fn)
 		if err != nil {
-			return err
+			return reqErr(err)
 		}
 		fmt.Printf("optimized %s (cache hit %t, inlined %d, rewrites %d)\n",
 			res.Val.Str, res.Info.CacheHit, res.Info.Inlined, res.Info.Rewrites)
@@ -205,7 +304,7 @@ func (sh *shell) exec(line string, r *bufio.Reader) error {
 		}
 		res, err := sh.c.SubmitTML(req.name, req.term, req.binds, req.optimize, req.save)
 		if err != nil {
-			return err
+			return reqErr(err)
 		}
 		sh.print(res)
 		return nil

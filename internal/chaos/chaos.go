@@ -1,0 +1,369 @@
+// Package chaos is the end-to-end fault-tolerance harness for tycd: N
+// concurrent retrying clients drive installs, calls and saving submits
+// through a fault-injecting network proxy while the server is drained
+// and restarted over the same store. The run is seeded and
+// deterministic on the injection side (the interleaving is not, which
+// is the point of running it under -race), and it checks the system's
+// end-to-end invariants rather than per-request outcomes:
+//
+//   - every acked save= submit is present and callable after the final
+//     restart, with the value the client was acked;
+//   - no idempotency key is applied twice — keyed work is executed at
+//     most once per key even when retries cross a drain/restart
+//     boundary (the dedup table outlives server incarnations);
+//   - the store passes the tycfsck audit after the run;
+//   - no sessions leak and the run terminates (a deadlock fails the
+//     test by timeout).
+//
+// Individual requests ARE allowed to fail — a non-idempotent CALL whose
+// connection dies mid-request must not be retried, that is the
+// taxonomy working — but every failure must be a classified error, and
+// acked work must stick.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"tycoon/internal/client"
+	"tycoon/internal/fsck"
+	"tycoon/internal/netfault"
+	"tycoon/internal/server"
+	"tycoon/internal/ship"
+	"tycoon/internal/store"
+)
+
+// Config shapes one chaos run.
+type Config struct {
+	// Seed drives every random choice in the run: the fault schedule,
+	// each worker's op mix, and each client's retry jitter.
+	Seed int64
+	// Workers is the number of concurrent clients; Ops the operations
+	// each performs. Zeros mean 4 and 40.
+	Workers int
+	Ops     int
+	// Restarts is how many times the server is drained and restarted
+	// over the same store while the workers run. Zero means 2.
+	Restarts int
+	// Dir is where the store lives; empty means an OS temp dir must be
+	// supplied by the caller (the store path is Dir/chaos.tyst).
+	Dir string
+	// Net is the fault mix; its Seed field is overridden from Seed. The
+	// zero value gets a default aggressive mix.
+	Net netfault.Config
+}
+
+// Report is what a run measured.
+type Report struct {
+	// AckedSaves is the number of save= submits that were acked, each
+	// verified present and callable after the final restart.
+	AckedSaves int
+	// Failures counts requests that returned an error to a worker; every
+	// one was a classified transport/protocol/server error.
+	Failures int
+	// KeyedIssued is the number of logical keyed requests workers
+	// issued; Applied/Deduped are the server dedup counters across all
+	// incarnations. Applied &le; KeyedIssued is the exactly-once check.
+	KeyedIssued int64
+	Applied     int64
+	Deduped     int64
+	// Retries is the total retry count across all clients.
+	Retries int64
+	// Restarts is how many drain/restart cycles actually completed.
+	Restarts int
+	// Net is the proxy's fault tally.
+	Net netfault.Stats
+}
+
+// incarnation is one server generation over the shared store.
+type incarnation struct {
+	srv *server.Server
+	ln  net.Listener
+}
+
+func start(st *store.Store, dedup *server.Dedup) (*incarnation, error) {
+	srv, err := server.New(st, server.Config{
+		Dedup:       dedup,
+		MaxInflight: 32,
+		WallBudget:  10 * time.Second,
+		RetryAfter:  5 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(ln)
+	return &incarnation{srv: srv, ln: ln}, nil
+}
+
+// ackedSave records one acknowledged save= submit.
+type ackedSave struct {
+	name string
+	want int64
+}
+
+// Run executes one chaos run and verifies its invariants, returning the
+// measurements. Any invariant violation is an error.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Workers == 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Ops == 0 {
+		cfg.Ops = 60
+	}
+	if cfg.Restarts == 0 {
+		cfg.Restarts = 2
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("chaos: Config.Dir is required")
+	}
+	if cfg.Net == (netfault.Config{}) {
+		cfg.Net = netfault.Config{
+			DelayProb:      0.05,
+			MaxDelay:       2 * time.Millisecond,
+			ResetProb:      0.02,
+			TruncateProb:   0.03,
+			CorruptProb:    0.03,
+			ShortWriteProb: 0.05,
+			AcceptFailProb: 0.02,
+		}
+	}
+	cfg.Net.Seed = cfg.Seed
+
+	path := filepath.Join(cfg.Dir, "chaos.tyst")
+	st, err := store.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	dedup := server.NewDedup(0)
+	inc, err := start(st, dedup)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	proxy, err := netfault.NewProxy(inc.ln.Addr().String(), cfg.Net)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	defer proxy.Close()
+
+	rep := &Report{}
+	var mu sync.Mutex // guards acked, rep counters
+	var acked []ackedSave
+
+	// The restart controller drains the live incarnation and starts a
+	// fresh one over the same store and dedup table while workers run.
+	stopRestarts := make(chan struct{})
+	restartsDone := make(chan error, 1)
+	go func() {
+		defer close(restartsDone)
+		for i := 0; i < cfg.Restarts; i++ {
+			select {
+			case <-stopRestarts:
+				return
+			case <-time.After(25 * time.Millisecond):
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			err := inc.srv.Shutdown(ctx)
+			cancel()
+			if err != nil {
+				restartsDone <- fmt.Errorf("chaos: drain %d: %w", i, err)
+				return
+			}
+			next, err := start(st, dedup)
+			if err != nil {
+				restartsDone <- fmt.Errorf("chaos: restart %d: %w", i, err)
+				return
+			}
+			inc = next
+			proxy.SetBackend(inc.ln.Addr().String())
+			proxy.DropAll()
+			mu.Lock()
+			rep.Restarts++
+			mu.Unlock()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	workerErrs := make(chan error, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(w)))
+			c, err := client.Dial(proxy.Addr(), client.Options{
+				Timeout:   5 * time.Second,
+				Client:    fmt.Sprintf("chaos-%d", w),
+				Retries:   24,
+				RetryBase: 2 * time.Millisecond,
+				RetryMax:  100 * time.Millisecond,
+				Seed:      cfg.Seed*7919 + int64(w) + 1,
+			})
+			if err != nil {
+				workerErrs <- fmt.Errorf("worker %d: dial: %w", w, err)
+				return
+			}
+			defer c.Close()
+			var mySaves []ackedSave
+			for op := 0; op < cfg.Ops; op++ {
+				var err error
+				switch draw := rng.Intn(10); {
+				case draw < 3: // saving submit: the exactly-once workload
+					a, b := rng.Int63n(1000), rng.Int63n(1000)
+					name := fmt.Sprintf("w%d-op%d", w, op)
+					src := fmt.Sprintf("(+ %d %d e cont(n) (k n))", a, b)
+					mu.Lock()
+					rep.KeyedIssued++
+					mu.Unlock()
+					var res *ship.Result
+					res, err = c.SubmitTML("", src, nil, false, name)
+					if err == nil {
+						if res.Val.Int != a+b {
+							workerErrs <- fmt.Errorf("worker %d: save %s acked %d, want %d",
+								w, name, res.Val.Int, a+b)
+							return
+						}
+						mySaves = append(mySaves, ackedSave{name, a + b})
+					}
+				case draw < 5: // plain submit with a checked answer
+					a, b := rng.Int63n(1000), rng.Int63n(1000)
+					src := fmt.Sprintf("(+ %d %d e cont(n) (k n))", a, b)
+					mu.Lock()
+					rep.KeyedIssued++
+					mu.Unlock()
+					var res *ship.Result
+					res, err = c.SubmitTML("", src, nil, false, "")
+					if err == nil && res.Val.Int != a+b {
+						workerErrs <- fmt.Errorf("worker %d: submit answered %d, want %d",
+							w, res.Val.Int, a+b)
+						return
+					}
+				case draw < 7: // call back an earlier acked save
+					if len(mySaves) == 0 {
+						continue
+					}
+					s := mySaves[rng.Intn(len(mySaves))]
+					var res *ship.Result
+					res, err = c.Call("", s.name)
+					if err == nil && res.Val.Int != s.want {
+						workerErrs <- fmt.Errorf("worker %d: call %s = %d, want %d",
+							w, s.name, res.Val.Int, s.want)
+						return
+					}
+				case draw < 8: // keyed install
+					modName := fmt.Sprintf("chaosmod%dx%d", w, op)
+					src := fmt.Sprintf(
+						"module %s export f let f(a : Int) : Int = a + %d end", modName, op)
+					mu.Lock()
+					rep.KeyedIssued++
+					mu.Unlock()
+					_, err = c.Install(src)
+				case draw < 9:
+					err = c.Ping()
+				default:
+					_, err = c.Health()
+				}
+				if err != nil {
+					// Failures are legal under faults; they just must be
+					// classified, which Classify always is — count them.
+					mu.Lock()
+					rep.Failures++
+					mu.Unlock()
+				}
+			}
+			mu.Lock()
+			acked = append(acked, mySaves...)
+			rep.Retries += c.Retries()
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	close(stopRestarts)
+	if err := <-restartsDone; err != nil {
+		st.Close()
+		return nil, err
+	}
+	close(workerErrs)
+	for err := range workerErrs {
+		st.Close()
+		return nil, err
+	}
+
+	// Final drain; no sessions may survive it.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	err = inc.srv.Shutdown(ctx)
+	cancel()
+	if err != nil {
+		st.Close()
+		return nil, fmt.Errorf("chaos: final drain: %w", err)
+	}
+	if n := inc.srv.Stats().Sessions; n != 0 {
+		st.Close()
+		return nil, fmt.Errorf("chaos: %d sessions leaked past the final drain", n)
+	}
+	rep.Applied, rep.Deduped = dedup.Counters()
+	rep.AckedSaves = len(acked)
+	rep.Net = proxy.Stats()
+	if err := st.Close(); err != nil {
+		return nil, err
+	}
+
+	// Invariant: exactly-once. Every keyed logical request executes at
+	// most once, so the applied count can never exceed what was issued.
+	if rep.Applied > rep.KeyedIssued {
+		return rep, fmt.Errorf("chaos: %d keyed requests issued but %d applied — a retry re-executed",
+			rep.KeyedIssued, rep.Applied)
+	}
+
+	// Invariant: the store survives the whole run fsck-clean.
+	fr, err := fsck.CheckPath(path)
+	if err != nil {
+		return rep, err
+	}
+	if !fr.OK() {
+		return rep, fmt.Errorf("chaos: store not fsck-clean: %v", fr.Findings)
+	}
+
+	// Invariant: every acked save is present and callable with the acked
+	// value in a fresh incarnation over the recovered store.
+	st2, err := store.Open(path)
+	if err != nil {
+		return rep, fmt.Errorf("chaos: store did not reopen: %w", err)
+	}
+	defer st2.Close()
+	inc2, err := start(st2, server.NewDedup(0))
+	if err != nil {
+		return rep, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		inc2.srv.Shutdown(ctx)
+	}()
+	vc, err := client.Dial(inc2.ln.Addr().String(), client.Options{
+		Timeout: 30 * time.Second, Client: "chaos-verify",
+	})
+	if err != nil {
+		return rep, err
+	}
+	defer vc.Close()
+	for _, s := range acked {
+		res, err := vc.Call("", s.name)
+		if err != nil {
+			return rep, fmt.Errorf("chaos: acked save %s lost: %w", s.name, err)
+		}
+		if res.Val.Int != s.want {
+			return rep, fmt.Errorf("chaos: acked save %s = %d, want %d", s.name, res.Val.Int, s.want)
+		}
+	}
+	return rep, nil
+}

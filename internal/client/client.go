@@ -1,9 +1,31 @@
-// Package client implements the tycd wire client used by tycsh and the
-// server tests: it dials a server, performs the hello/welcome
-// handshake, and exposes one method per request verb. A client holds
-// one session; requests are strictly one-at-a-time (the protocol has no
-// request ids to match concurrent responses), enforced by a mutex so a
-// client value may still be shared between goroutines.
+// Package client implements the tycd wire client used by tycsh, the
+// chaos harness and the server tests: it dials a server, performs the
+// hello/welcome handshake, and exposes one method per request verb. A
+// client holds one session; requests are strictly one-at-a-time (the
+// protocol has no request ids to match concurrent responses), enforced
+// by a mutex so a client value may still be shared between goroutines.
+//
+// The client is fault-tolerant when Options.Retries is set: a lost or
+// corrupted connection is closed (never left half-read), re-dialled and
+// re-handshaken, and the failed request retried with exponential
+// backoff and jitter — but only when retrying is safe. The taxonomy:
+//
+//   - Refusals (CodeOverloaded, CodeShutdown) and protocol errors
+//     (CodeProto — the request frame was corrupted in transit and never
+//     decoded) mean the server did NOT execute the request; they are
+//     retryable for every verb. An overloaded server's RetryAfterMs
+//     hint overrides the backoff base.
+//   - Dial and handshake failures mean the request was never sent, so
+//     they too retry for every verb — the case that carries clients
+//     across a server restart.
+//   - Transport failures and corrupt response frames are ambiguous —
+//     the request may or may not have executed — so they are retried
+//     only for requests that are idempotent: reads (PING, STATS,
+//     HEALTH), naturally idempotent verbs (OPTIMIZE), and SUBMIT /
+//     INSTALL requests carrying an idempotency key, which the server
+//     deduplicates so a retried save= install is applied exactly once.
+//   - Every other structured error (compile, exec, budget, not-found,
+//     degraded, …) is a definitive answer and is never retried.
 //
 // SubmitTML is the high-level entry: it parses the s-expression TML
 // concrete syntax locally, encodes the tree as PTML and ships it — the
@@ -13,9 +35,12 @@ package client
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tycoon/internal/prim"
@@ -24,26 +49,51 @@ import (
 	"tycoon/internal/tml"
 )
 
-// Client is one open session against a tycd server.
+// Defaults for Options zero values when Retries > 0.
+const (
+	DefaultRetryBase = 20 * time.Millisecond
+	DefaultRetryMax  = time.Second
+)
+
+// Client is one session against a tycd server, transparently re-dialled
+// after connection loss when retries are enabled.
 type Client struct {
 	mu      sync.Mutex
+	addr    string
+	opts    Options
 	conn    net.Conn
-	timeout time.Duration
-	// Session is the server-assigned session id from the handshake.
+	rng     *rand.Rand // jitter and idempotency-key prefix; guarded by mu
+	keyBase string
+	keySeq  uint64
+
+	retries atomic.Int64 // attempts beyond the first, across all requests
+
+	// Session is the server-assigned session id from the most recent
+	// handshake; Server is the server identification.
 	Session uint64
-	// Server is the server identification from the handshake.
-	Server string
+	Server  string
 }
 
 // Options tunes Dial.
 type Options struct {
-	// Timeout bounds the dial and each request round trip; 0 disables.
+	// Timeout bounds the dial and each request attempt; 0 disables.
 	Timeout time.Duration
 	// Client identifies this client in the server log.
 	Client string
+	// Retries is the number of retry attempts after the first try; 0
+	// disables retrying entirely (one shot, old behaviour).
+	Retries int
+	// RetryBase is the first backoff delay; doubled per attempt up to
+	// RetryMax, jittered ±50%. Zeros mean the defaults above.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Seed drives jitter and idempotency-key generation; 0 seeds from
+	// the clock (fine outside deterministic tests).
+	Seed int64
 }
 
-// Dial connects to a tycd server and performs the handshake.
+// Dial connects to a tycd server and performs the handshake, retrying
+// per Options.
 func Dial(addr string, opts ...Options) (*Client, error) {
 	var o Options
 	if len(opts) > 0 {
@@ -52,31 +102,75 @@ func Dial(addr string, opts ...Options) (*Client, error) {
 	if o.Client == "" {
 		o.Client = "tycoon/internal/client"
 	}
-	d := net.Dialer{Timeout: o.Timeout}
-	conn, err := d.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
+	if o.RetryBase <= 0 {
+		o.RetryBase = DefaultRetryBase
 	}
-	c := &Client{conn: conn, timeout: o.Timeout}
-	verb, body, err := c.roundTrip(ship.VHello, (&ship.Hello{
-		Version: ship.ProtoVersion, Client: o.Client,
-	}).Encode())
+	if o.RetryMax <= 0 {
+		o.RetryMax = DefaultRetryMax
+	}
+	seed := o.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	c := &Client{addr: addr, opts: o, rng: rand.New(rand.NewSource(seed))}
+	c.keyBase = fmt.Sprintf("%s-%08x", o.Client, c.rng.Uint32())
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = c.connectLocked(); err == nil {
+			return c, nil
+		}
+		if attempt >= c.opts.Retries {
+			return nil, err
+		}
+		c.retries.Add(1)
+		time.Sleep(c.backoffLocked(attempt, 0))
+	}
+}
+
+// connectLocked dials and handshakes; c.mu must be held.
+func (c *Client) connectLocked() error {
+	d := net.Dialer{Timeout: c.opts.Timeout}
+	conn, err := d.Dial("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	if c.opts.Timeout > 0 {
+		conn.SetDeadline(time.Now().Add(c.opts.Timeout))
+	}
+	if err := ship.WriteFrame(conn, ship.VHello, (&ship.Hello{
+		Version: ship.ProtoVersion, Client: c.opts.Client,
+	}).Encode()); err != nil {
+		conn.Close()
+		return err
+	}
+	verb, body, err := ship.ReadFrame(conn, 0)
 	if err != nil {
 		conn.Close()
-		return nil, err
+		return err
+	}
+	if verb == ship.VError {
+		conn.Close()
+		we, derr := ship.DecodeWireError(body)
+		if derr != nil {
+			return derr
+		}
+		return we
 	}
 	if verb != ship.VWelcome {
 		conn.Close()
-		return nil, fmt.Errorf("client: expected welcome, got %s", verb)
+		return fmt.Errorf("client: expected welcome, got %s", verb)
 	}
 	w, err := ship.DecodeWelcome(body)
 	if err != nil {
 		conn.Close()
-		return nil, err
+		return err
 	}
+	c.conn = conn
 	c.Session = w.Session
 	c.Server = w.Server
-	return c, nil
+	return nil
 }
 
 // Close sends an orderly bye and closes the connection.
@@ -86,40 +180,185 @@ func (c *Client) Close() error {
 	if c.conn == nil {
 		return nil
 	}
-	c.deadline()
+	c.deadlineLocked()
 	_ = ship.WriteFrame(c.conn, ship.VBye, nil)
 	err := c.conn.Close()
 	c.conn = nil
 	return err
 }
 
-// deadline arms the connection deadline for one round trip; must be
-// called with c.mu held.
-func (c *Client) deadline() {
-	if c.timeout > 0 {
-		c.conn.SetDeadline(time.Now().Add(c.timeout))
+// Retries reports how many retry attempts this client has made across
+// all requests (reconnects and request retries).
+func (c *Client) Retries() int64 { return c.retries.Load() }
+
+// deadlineLocked arms the connection deadline for one attempt.
+func (c *Client) deadlineLocked() {
+	if c.opts.Timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opts.Timeout))
 	}
 }
 
-// roundTrip sends one request frame and reads its response frame,
-// surfacing server-side WireErrors as Go errors.
-func (c *Client) roundTrip(v ship.Verb, body []byte) (ship.Verb, []byte, error) {
+// dropLocked closes and forgets the connection. Called on every
+// transport or framing failure: once a response read has failed the
+// stream position is unknown, so the connection must never be reused —
+// the half-read-state fix.
+func (c *Client) dropLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// backoffLocked computes the jittered exponential delay for a retry.
+// hint (from an overloaded server's RetryAfterMs) overrides the base.
+func (c *Client) backoffLocked(attempt int, hint time.Duration) time.Duration {
+	d := c.opts.RetryBase << uint(attempt)
+	if hint > 0 {
+		d = hint
+	}
+	if d > c.opts.RetryMax {
+		d = c.opts.RetryMax
+	}
+	// Jitter to ±50% so a fleet of retrying clients does not stampede.
+	return d/2 + time.Duration(c.rng.Int63n(int64(d)+1))
+}
+
+// NextIdemKey mints a fresh idempotency key: unique per client and
+// request, stable across the retries of one request.
+func (c *Client) NextIdemKey() string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.conn == nil {
-		return 0, nil, fmt.Errorf("client: connection closed")
+	c.keySeq++
+	return fmt.Sprintf("%s-%d", c.keyBase, c.keySeq)
+}
+
+// Retryable reports whether err may be retried for a request with the
+// given idempotency. Refusals (overloaded, shutdown) and server-side
+// protocol errors (the request frame arrived corrupt and was never
+// decoded, let alone executed) always retry; ambiguous failures
+// (transport errors, corrupt response frames) retry only when
+// re-execution is safe.
+func Retryable(err error, idempotent bool) bool {
+	var ce *connectError
+	if errors.As(err, &ce) {
+		// The request was never sent: always safe to retry.
+		return true
 	}
-	c.deadline()
+	var we *ship.WireError
+	if errors.As(err, &we) {
+		return we.Code == ship.CodeOverloaded || we.Code == ship.CodeShutdown ||
+			we.Code == ship.CodeProto
+	}
+	return idempotent
+}
+
+// Class partitions request errors for exit codes and logs.
+type Class int
+
+const (
+	// ClassTransport is a connection-level failure: dial, reset,
+	// timeout, connection loss mid-request.
+	ClassTransport Class = iota
+	// ClassProtocol is a framing failure: the byte stream did not parse
+	// as the TYWR01 protocol in either direction.
+	ClassProtocol
+	// ClassServer is a structured WireError answered by the server.
+	ClassServer
+)
+
+// String names a class.
+func (cl Class) String() string {
+	switch cl {
+	case ClassTransport:
+		return "transport"
+	case ClassProtocol:
+		return "protocol"
+	case ClassServer:
+		return "server"
+	default:
+		return fmt.Sprintf("class(%d)", int(cl))
+	}
+}
+
+// Classify sorts a request error into the taxonomy.
+func Classify(err error) Class {
+	var we *ship.WireError
+	if errors.As(err, &we) {
+		return ClassServer
+	}
+	if errors.Is(err, ship.ErrFrame) {
+		return ClassProtocol
+	}
+	return ClassTransport
+}
+
+// do performs one request with retries: send one frame, read one frame,
+// reconnecting and retrying per the taxonomy. idempotent marks requests
+// safe to re-execute (reads, keyed submits/installs).
+func (c *Client) do(v ship.Verb, body []byte, idempotent bool) (ship.Verb, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		rv, rbody, err := c.attemptLocked(v, body)
+		if err == nil {
+			return rv, rbody, nil
+		}
+		if attempt >= c.opts.Retries || !Retryable(err, idempotent) {
+			return 0, nil, err
+		}
+		var hint time.Duration
+		var we *ship.WireError
+		if errors.As(err, &we) {
+			hint = time.Duration(we.RetryAfterMs) * time.Millisecond
+			if we.Code == ship.CodeShutdown || we.Code == ship.CodeProto {
+				// Shutdown: this session is done for; reconnect (the
+				// listener may already be a fresh incarnation over the
+				// same store). Proto: the server drops a session after
+				// a corrupt frame, so this connection is dead too.
+				c.dropLocked()
+			}
+		}
+		c.retries.Add(1)
+		delay := c.backoffLocked(attempt, hint)
+		c.mu.Unlock()
+		time.Sleep(delay)
+		c.mu.Lock()
+	}
+}
+
+// connectError marks a dial or handshake failure: the request was never
+// sent, so retrying it is safe for every verb (the distinction that
+// keeps non-idempotent CALLs retryable across a server restart, where
+// reconnects fail until the new incarnation listens).
+type connectError struct{ err error }
+
+func (e *connectError) Error() string { return e.err.Error() }
+func (e *connectError) Unwrap() error { return e.err }
+
+// attemptLocked is one try: connect if needed, one frame out, one frame
+// back. Any transport or framing failure poisons the connection.
+func (c *Client) attemptLocked(v ship.Verb, body []byte) (ship.Verb, []byte, error) {
+	if c.conn == nil {
+		if err := c.connectLocked(); err != nil {
+			return 0, nil, &connectError{err}
+		}
+	}
+	c.deadlineLocked()
 	if err := ship.WriteFrame(c.conn, v, body); err != nil {
+		c.dropLocked()
 		return 0, nil, err
 	}
 	rv, rbody, err := ship.ReadFrame(c.conn, 0)
 	if err != nil {
+		// Transport error or corrupt frame: the stream position is
+		// unknown either way, so the connection is unusable.
+		c.dropLocked()
 		return 0, nil, err
 	}
 	if rv == ship.VError {
 		we, derr := ship.DecodeWireError(rbody)
 		if derr != nil {
+			c.dropLocked()
 			return 0, nil, derr
 		}
 		return 0, nil, we
@@ -137,7 +376,7 @@ func result(v ship.Verb, body []byte) (*ship.Result, error) {
 
 // Ping probes server liveness.
 func (c *Client) Ping() error {
-	v, _, err := c.roundTrip(ship.VPing, nil)
+	v, _, err := c.do(ship.VPing, nil, true)
 	if err != nil {
 		return err
 	}
@@ -149,7 +388,7 @@ func (c *Client) Ping() error {
 
 // Stats fetches the server counters.
 func (c *Client) Stats() (*ship.ServerStats, error) {
-	v, body, err := c.roundTrip(ship.VStats, nil)
+	v, body, err := c.do(ship.VStats, nil, true)
 	if err != nil {
 		return nil, err
 	}
@@ -163,9 +402,37 @@ func (c *Client) Stats() (*ship.ServerStats, error) {
 	return &st, nil
 }
 
-// Install compiles and installs a TL module server-side.
+// Health probes the server's mode: ok, degraded or draining.
+func (c *Client) Health() (*ship.Health, error) {
+	v, body, err := c.do(ship.VHealth, nil, true)
+	if err != nil {
+		return nil, err
+	}
+	if v != ship.VHealthOK {
+		return nil, fmt.Errorf("client: expected health, got %s", v)
+	}
+	var h ship.Health
+	if err := json.Unmarshal(body, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// Install compiles and installs a TL module server-side. With retries
+// enabled the request carries an idempotency key, so a retried install
+// is applied exactly once.
 func (c *Client) Install(source string) (*ship.Result, error) {
-	v, body, err := c.roundTrip(ship.VInstall, (&ship.Install{Source: source}).Encode())
+	req := &ship.Install{Source: source}
+	if c.opts.Retries > 0 {
+		req.IdemKey = c.NextIdemKey()
+	}
+	return c.InstallReq(req)
+}
+
+// InstallReq ships a pre-built install request, honouring a
+// caller-chosen idempotency key.
+func (c *Client) InstallReq(req *ship.Install) (*ship.Result, error) {
+	v, body, err := c.do(ship.VInstall, req.Encode(), req.IdemKey != "")
 	if err != nil {
 		return nil, err
 	}
@@ -173,14 +440,16 @@ func (c *Client) Install(source string) (*ship.Result, error) {
 }
 
 // Call applies an exported function of an installed module; an empty
-// module name calls a closure previously saved by Submit.
+// module name calls a closure previously saved by Submit. A call may
+// execute arbitrary side-effecting code and carries no idempotency key,
+// so transport failures mid-call are NOT retried — only refusals are.
 func (c *Client) Call(module, fn string, args ...ship.WVal) (*ship.Result, error) {
 	req := &ship.Call{Module: module, Fn: fn, Args: args}
 	body, err := req.Encode()
 	if err != nil {
 		return nil, err
 	}
-	v, rbody, err := c.roundTrip(ship.VCall, body)
+	v, rbody, err := c.do(ship.VCall, body, false)
 	if err != nil {
 		return nil, err
 	}
@@ -188,21 +457,29 @@ func (c *Client) Call(module, fn string, args ...ship.WVal) (*ship.Result, error
 }
 
 // Optimize reflectively optimizes an installed function server-side.
+// Optimizing twice converges to the same code, so it retries freely.
 func (c *Client) Optimize(module, fn string) (*ship.Result, error) {
-	v, body, err := c.roundTrip(ship.VOptimize, (&ship.Optimize{Module: module, Fn: fn}).Encode())
+	v, body, err := c.do(ship.VOptimize, (&ship.Optimize{Module: module, Fn: fn}).Encode(), true)
 	if err != nil {
 		return nil, err
 	}
 	return result(v, body)
 }
 
-// Submit ships a pre-encoded PTML request.
+// Submit ships a pre-encoded PTML request. With retries enabled and no
+// caller-chosen key, a fresh idempotency key is attached so the server
+// deduplicates retried executions (and in particular applies a save=
+// exactly once).
 func (c *Client) Submit(req *ship.Submit) (*ship.Result, error) {
-	body, err := req.Encode()
+	r := *req
+	if r.IdemKey == "" && c.opts.Retries > 0 {
+		r.IdemKey = c.NextIdemKey()
+	}
+	body, err := r.Encode()
 	if err != nil {
 		return nil, err
 	}
-	v, rbody, err := c.roundTrip(ship.VSubmit, body)
+	v, rbody, err := c.do(ship.VSubmit, body, r.IdemKey != "")
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,240 @@
+package netfault
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes every byte back.
+func echoServer(t *testing.T) (string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func(c net.Conn) {
+				defer wg.Done()
+				defer c.Close()
+				io.Copy(c, c)
+			}(c)
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close(); wg.Wait() }
+}
+
+func TestPassThrough(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := NewProxy(addr, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("hello through the proxy")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echoed %q, want %q", got, msg)
+	}
+	if st := p.Stats(); st.Resets+st.Corruptions+st.Truncations != 0 {
+		t.Errorf("zero config fired faults: %+v", st)
+	}
+}
+
+// TestFaultsFire drives enough traffic through an aggressive mix that
+// every fault kind fires, and checks injected write failures surface as
+// errors rather than silent data loss.
+func TestFaultsFire(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := NewProxy(addr, Config{
+		Seed:           42,
+		ResetProb:      0.1,
+		TruncateProb:   0.1,
+		CorruptProb:    0.1,
+		ShortWriteProb: 0.1,
+		DelayProb:      0.1,
+		MaxDelay:       time.Millisecond,
+		AcceptFailProb: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	msg := bytes.Repeat([]byte("x"), 256)
+	var clean, dirty int
+	for i := 0; i < 200; i++ {
+		conn, err := net.Dial("tcp", p.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.SetDeadline(time.Now().Add(5 * time.Second))
+		_, werr := conn.Write(msg)
+		got := make([]byte, len(msg))
+		_, rerr := io.ReadFull(conn, got)
+		if werr == nil && rerr == nil && bytes.Equal(got, msg) {
+			clean++
+		} else {
+			dirty++
+		}
+		conn.Close()
+	}
+	if clean == 0 {
+		t.Error("no request survived the fault mix")
+	}
+	if dirty == 0 {
+		t.Error("no request was damaged by the fault mix")
+	}
+	st := p.Stats()
+	if st.Resets == 0 || st.Truncations == 0 || st.Corruptions == 0 ||
+		st.ShortWrites == 0 || st.Delays == 0 || st.AcceptFails == 0 {
+		t.Errorf("not every fault kind fired: %+v", st)
+	}
+}
+
+// TestDeterministicSchedule pins the seed contract: the same seed and
+// the same per-connection write sequence draw the same fates.
+func TestDeterministicSchedule(t *testing.T) {
+	fates := func(seed int64) []fate {
+		in := NewInjector(Config{
+			Seed: seed, ResetProb: 0.2, TruncateProb: 0.2, CorruptProb: 0.2,
+		})
+		a, b := net.Pipe()
+		defer a.Close()
+		defer b.Close()
+		c := in.WrapConn(a).(*Conn)
+		out := make([]fate, 16)
+		for i := range out {
+			f, _, _ := c.decide()
+			out[i] = f
+		}
+		return out
+	}
+	f1, f2 := fates(7), fates(7)
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("schedule diverged at %d: %v vs %v", i, f1, f2)
+		}
+	}
+	f3 := fates(8)
+	same := true
+	for i := range f1 {
+		if f1[i] != f3[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds drew identical schedules")
+	}
+}
+
+// TestTruncationDeliversPrefix pins the mid-frame truncation shape: the
+// peer reads a strict prefix and then EOF/reset, never the full write.
+func TestTruncationDeliversPrefix(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	in := NewInjector(Config{Seed: 3, TruncateProb: 1})
+	done := make(chan []byte, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			done <- nil
+			return
+		}
+		defer c.Close()
+		c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		data, _ := io.ReadAll(c)
+		done <- data
+	}()
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := in.WrapConn(raw)
+	msg := bytes.Repeat([]byte("frame"), 100)
+	n, werr := fc.Write(msg)
+	if werr == nil {
+		t.Fatal("truncating write reported success")
+	}
+	if n >= len(msg) {
+		t.Fatalf("truncation delivered %d of %d bytes", n, len(msg))
+	}
+	got := <-done
+	if len(got) != n {
+		t.Errorf("peer read %d bytes, writer reported %d delivered", len(got), n)
+	}
+	// The poisoned connection stays dead.
+	if _, err := fc.Write([]byte("more")); err == nil {
+		t.Error("write after truncation succeeded")
+	}
+	fc.Close()
+}
+
+// TestSetBackend verifies a proxy survives its backend being replaced:
+// relays established before the swap die with the old backend, new
+// connections reach the new one.
+func TestSetBackend(t *testing.T) {
+	addr1, stop1 := echoServer(t)
+	p, err := NewProxy(addr1, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	roundtrip := func() error {
+		conn, err := net.Dial("tcp", p.Addr())
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		conn.SetDeadline(time.Now().Add(5 * time.Second))
+		if _, err := conn.Write([]byte("ping")); err != nil {
+			return err
+		}
+		got := make([]byte, 4)
+		_, err = io.ReadFull(conn, got)
+		return err
+	}
+	if err := roundtrip(); err != nil {
+		t.Fatalf("before swap: %v", err)
+	}
+
+	stop1()
+	addr2, stop2 := echoServer(t)
+	defer stop2()
+	p.SetBackend(addr2)
+	p.DropAll()
+	if err := roundtrip(); err != nil {
+		t.Fatalf("after swap: %v", err)
+	}
+}

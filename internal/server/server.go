@@ -40,6 +40,13 @@ import (
 const (
 	DefaultMaxSessions = 256
 	DefaultWallBudget  = 30 * time.Second
+	// DefaultMaxInflight bounds requests executing concurrently across
+	// all sessions; work beyond the bound is shed with CodeOverloaded
+	// rather than queued unboundedly.
+	DefaultMaxInflight = 128
+	// DefaultRetryAfter is the backoff hint attached to overload
+	// refusals.
+	DefaultRetryAfter = 50 * time.Millisecond
 )
 
 // Config tunes a Server.
@@ -62,6 +69,23 @@ type Config struct {
 	WriteTimeout time.Duration
 	// LocalOpt applies compile-time optimization when installing modules.
 	LocalOpt bool
+	// MaxInflight bounds requests executing concurrently across all
+	// sessions; excess work verbs are refused with CodeOverloaded and a
+	// retry-after hint instead of queueing unboundedly. 0 means
+	// DefaultMaxInflight; negative disables the bound.
+	MaxInflight int
+	// VerbInflight optionally bounds individual verbs tighter than
+	// MaxInflight (e.g. limit concurrent INSTALLs to 1 while CALLs run
+	// wide). Verbs absent from the map share only the global bound.
+	VerbInflight map[ship.Verb]int
+	// RetryAfter is the backoff hint attached to CodeOverloaded
+	// refusals; 0 means DefaultRetryAfter.
+	RetryAfter time.Duration
+	// Dedup optionally supplies the idempotency record table; nil
+	// creates a fresh one. The chaos harness passes one table across
+	// drain/restart incarnations over the same store so keyed retries
+	// stay exactly-once through a restart.
+	Dedup *Dedup
 	// Out receives the server log; nil discards it.
 	Out io.Writer
 }
@@ -81,14 +105,24 @@ type Server struct {
 	// concurrent Compile calls.
 	installMu sync.Mutex
 
-	mu       sync.Mutex
-	modules  map[string]store.OID
-	sessions map[*session]struct{}
-	verbs    map[string]*ship.VerbStat
-	nextSess uint64
-	total    uint64
-	draining bool
-	ln       net.Listener
+	// dedup is the idempotency record table (see dedup.go).
+	dedup *Dedup
+	// inflight is the global work-verb semaphore; verbSem the optional
+	// per-verb ones. nil channels mean "unbounded".
+	inflight chan struct{}
+	verbSem  map[ship.Verb]chan struct{}
+
+	mu        sync.Mutex
+	modules   map[string]store.OID
+	sessions  map[*session]struct{}
+	verbs     map[string]*ship.VerbStat
+	nextSess  uint64
+	total     uint64
+	draining  bool
+	degraded  bool
+	degReason string
+	shed      int64
+	ln        net.Listener
 
 	wg sync.WaitGroup
 }
@@ -106,6 +140,15 @@ func New(st *store.Store, cfg Config) (*Server, error) {
 	}
 	if cfg.WallBudget == 0 {
 		cfg.WallBudget = DefaultWallBudget
+	}
+	if cfg.MaxInflight == 0 {
+		cfg.MaxInflight = DefaultMaxInflight
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	if cfg.Dedup == nil {
+		cfg.Dedup = NewDedup(0)
 	}
 	level := linker.OptNone
 	if cfg.LocalOpt {
@@ -128,6 +171,18 @@ func New(st *store.Store, cfg Config) (*Server, error) {
 		modules:  make(map[string]store.OID),
 		sessions: make(map[*session]struct{}),
 		verbs:    make(map[string]*ship.VerbStat),
+		dedup:    cfg.Dedup,
+	}
+	if cfg.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInflight)
+	}
+	if len(cfg.VerbInflight) > 0 {
+		s.verbSem = make(map[ship.Verb]chan struct{}, len(cfg.VerbInflight))
+		for v, n := range cfg.VerbInflight {
+			if n > 0 {
+				s.verbSem[v] = make(chan struct{}, n)
+			}
+		}
 	}
 	for _, root := range st.Roots() {
 		if len(root) > len(linker.ModuleRoot) && root[:len(linker.ModuleRoot)] == linker.ModuleRoot {
@@ -168,6 +223,134 @@ func (s *Server) isDraining() bool {
 	return s.draining
 }
 
+// acquire claims an execution slot for one work verb, shedding the
+// request with CodeOverloaded (and a retry-after hint) when either the
+// global or the per-verb bound is exhausted. The refusal happens before
+// any part of the request executes, which is what makes it safely
+// retryable for every verb.
+func (s *Server) acquire(v ship.Verb) (release func(), werr *ship.WireError) {
+	overloaded := func(scope string) *ship.WireError {
+		s.mu.Lock()
+		s.shed++
+		s.mu.Unlock()
+		return &ship.WireError{
+			Code:         ship.CodeOverloaded,
+			Msg:          fmt.Sprintf("server at %s capacity, retry later", scope),
+			RetryAfterMs: uint32(s.cfg.RetryAfter / time.Millisecond),
+		}
+	}
+	if s.inflight != nil {
+		select {
+		case s.inflight <- struct{}{}:
+		default:
+			return nil, overloaded("inflight")
+		}
+	}
+	if sem := s.verbSem[v]; sem != nil {
+		select {
+		case sem <- struct{}{}:
+		default:
+			if s.inflight != nil {
+				<-s.inflight
+			}
+			return nil, overloaded(v.String())
+		}
+	}
+	return func() {
+		if sem := s.verbSem[v]; sem != nil {
+			<-sem
+		}
+		if s.inflight != nil {
+			<-s.inflight
+		}
+	}, nil
+}
+
+// inflightCount reports how many work requests hold a slot right now.
+func (s *Server) inflightCount() int {
+	if s.inflight == nil {
+		return 0
+	}
+	return len(s.inflight)
+}
+
+// enterDegraded latches the read-only mode: store commits are failing,
+// so every request that would need one is refused until the operator
+// clears the mode. Reads and pure execution keep working — the paper's
+// binding table and compiled code all live in memory once loaded, so an
+// unwritable store does not have to take query service down with it.
+func (s *Server) enterDegraded(err error) {
+	s.mu.Lock()
+	first := !s.degraded
+	s.degraded = true
+	s.degReason = err.Error()
+	s.mu.Unlock()
+	if first {
+		s.logf("entering degraded read-only mode: %v", err)
+	}
+}
+
+// Degraded reports the read-only mode and its cause.
+func (s *Server) Degraded() (bool, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded, s.degReason
+}
+
+// refuseWrite returns the typed refusal for a write in degraded mode,
+// or nil when writes are allowed.
+func (s *Server) refuseWrite() *ship.WireError {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.degraded {
+		return nil
+	}
+	return &ship.WireError{
+		Code: ship.CodeDegraded,
+		Msg:  "server is in read-only mode: " + s.degReason,
+	}
+}
+
+// ClearDegraded probes the store with a commit and, if it succeeds,
+// leaves degraded mode. The probe is a real commit: whatever dirty
+// state accumulated before the mode latched gets durable too.
+func (s *Server) ClearDegraded() error {
+	if err := s.st.Commit(); err != nil {
+		s.enterDegraded(err)
+		return err
+	}
+	s.mu.Lock()
+	cleared := s.degraded
+	s.degraded = false
+	s.degReason = ""
+	s.mu.Unlock()
+	if cleared {
+		s.logf("leaving degraded mode: store commits again")
+	}
+	return nil
+}
+
+// Health snapshots the server's mode for the HEALTH verb.
+func (s *Server) Health() ship.Health {
+	s.mu.Lock()
+	h := ship.Health{
+		Status:   "ok",
+		Draining: s.draining,
+		Degraded: s.degraded,
+		Reason:   s.degReason,
+		Sessions: len(s.sessions),
+	}
+	s.mu.Unlock()
+	h.Inflight = s.inflightCount()
+	if h.Degraded {
+		h.Status = "degraded"
+	}
+	if h.Draining {
+		h.Status = "draining"
+	}
+	return h
+}
+
 // record updates one verb's latency counter.
 func (s *Server) record(v ship.Verb, start time.Time, failed bool) {
 	s.mu.Lock()
@@ -192,12 +375,17 @@ func (s *Server) Stats() ship.ServerStats {
 		verbs[k] = *v
 	}
 	out := ship.ServerStats{
-		Sessions:      len(s.sessions),
-		TotalSessions: s.total,
-		Draining:      s.draining,
-		Verbs:         verbs,
+		Sessions:       len(s.sessions),
+		TotalSessions:  s.total,
+		Draining:       s.draining,
+		Degraded:       s.degraded,
+		DegradedReason: s.degReason,
+		Shed:           s.shed,
+		Verbs:          verbs,
 	}
 	s.mu.Unlock()
+	out.Inflight = s.inflightCount()
+	out.IdemApplied, out.IdemDeduped = s.dedup.Counters()
 	out.Pipeline = s.pipe.CacheStats()
 	out.Indexes = s.mg.IndexStats()
 	return out

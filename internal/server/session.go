@@ -161,14 +161,34 @@ func (s *session) dispatch(verb ship.Verb, body []byte) (keep bool) {
 			return s.sendErr(errWire(ship.CodeInternal, err))
 		}
 		return s.send(ship.VStatsOK, data)
-	case ship.VInstall:
-		res, werr = s.handleInstall(body)
-	case ship.VCall:
-		res, werr = s.handleCall(body)
-	case ship.VSubmit:
-		res, werr = s.handleSubmit(body)
-	case ship.VOptimize:
-		res, werr = s.handleOptimize(body)
+	case ship.VHealth:
+		data, err := json.Marshal(s.srv.Health())
+		if err != nil {
+			failed = true
+			return s.sendErr(errWire(ship.CodeInternal, err))
+		}
+		return s.send(ship.VHealthOK, data)
+	case ship.VInstall, ship.VCall, ship.VSubmit, ship.VOptimize:
+		// Work verbs pass the overload gate; cheap probes (PING, STATS,
+		// HEALTH) never do, so a saturated server stays observable.
+		release, ov := s.srv.acquire(verb)
+		if ov != nil {
+			failed = true
+			return s.sendErr(ov)
+		}
+		func() {
+			defer release()
+			switch verb {
+			case ship.VInstall:
+				res, werr = s.handleInstall(body)
+			case ship.VCall:
+				res, werr = s.handleCall(body)
+			case ship.VSubmit:
+				res, werr = s.handleSubmit(body)
+			case ship.VOptimize:
+				res, werr = s.handleOptimize(body)
+			}
+		}()
 	default:
 		werr = &ship.WireError{Code: ship.CodeProto, Msg: "unexpected verb " + verb.String()}
 	}
@@ -190,30 +210,47 @@ func (s *session) begin() {
 
 func (s *session) end() { s.deadline = time.Time{} }
 
-// handleInstall compiles and installs a TL module.
+// handleInstall compiles and installs a TL module. A keyed request runs
+// through the idempotency table: a client retrying a lost response gets
+// the recorded result instead of reinstalling.
 func (s *session) handleInstall(body []byte) (*ship.Result, *ship.WireError) {
 	req, err := ship.DecodeInstall(body)
 	if err != nil {
 		return nil, errWire(ship.CodeProto, err)
 	}
-	s.srv.installMu.Lock()
-	defer s.srv.installMu.Unlock()
-	unit, err := s.srv.comp.Compile(req.Source)
-	if err != nil {
-		return nil, errWire(ship.CodeCompile, err)
+	if werr := s.srv.refuseWrite(); werr != nil {
+		return nil, werr
 	}
-	oid, err := s.srv.lk.InstallModule(unit)
-	if err != nil {
-		return nil, errWire(ship.CodeCompile, err)
+	install := func() (*ship.Result, *ship.WireError, bool) {
+		s.srv.installMu.Lock()
+		defer s.srv.installMu.Unlock()
+		unit, err := s.srv.comp.Compile(req.Source)
+		if err != nil {
+			return nil, errWire(ship.CodeCompile, err), false
+		}
+		oid, err := s.srv.lk.InstallModule(unit)
+		if err != nil {
+			return nil, errWire(ship.CodeCompile, err), false
+		}
+		s.srv.mu.Lock()
+		s.srv.modules[unit.Name] = oid
+		s.srv.mu.Unlock()
+		if err := s.srv.st.Commit(); err != nil {
+			s.srv.enterDegraded(err)
+			return nil, &ship.WireError{Code: ship.CodeDegraded, Msg: "install not durable: " + err.Error()}, false
+		}
+		s.srv.logf("session %d: installed module %s", s.id, unit.Name)
+		// An install is always a durable write: record it.
+		return &ship.Result{Val: ship.WVal{Kind: ship.WStr, Str: unit.Name}}, nil, true
 	}
-	s.srv.mu.Lock()
-	s.srv.modules[unit.Name] = oid
-	s.srv.mu.Unlock()
-	if err := s.srv.st.Commit(); err != nil {
-		return nil, errWire(ship.CodeInternal, err)
+	if req.IdemKey == "" {
+		res, werr, _ := install()
+		return res, werr
 	}
-	s.srv.logf("session %d: installed module %s", s.id, unit.Name)
-	return &ship.Result{Val: ship.WVal{Kind: ship.WStr, Str: unit.Name}}, nil
+	// The record key pairs the client's key with the content hash, so a
+	// key reused for different source is a distinct request, never a
+	// false dedup hit.
+	return s.srv.dedup.Do(req.IdemKey+"\x1f"+ptml.HashRaw([]byte(req.Source)).String(), install)
 }
 
 // handleCall applies an exported function — or, with an empty module, a
@@ -269,6 +306,34 @@ func (s *session) handleSubmit(body []byte) (*ship.Result, *ship.WireError) {
 	if err != nil {
 		return nil, errWire(ship.CodeBadRequest, fmt.Errorf("undecodable PTML: %w", err))
 	}
+	if req.Save != "" {
+		// A saving submit is a write; refuse it up front in degraded mode
+		// rather than running the query and failing at the commit.
+		if werr := s.srv.refuseWrite(); werr != nil {
+			return nil, werr
+		}
+	}
+	if req.IdemKey == "" {
+		return s.runSubmit(req, srcHash)
+	}
+	// Keyed: exactly-once through the idempotency table. The key pairs
+	// the client's request key with the α-invariant tree hash, so the
+	// same key on different PTML is a distinct request, and a retried
+	// save= install applies once even if the first response was lost.
+	// Only executions with durable effects — a save, or a term that
+	// mutated the store through a writer primitive — are recorded; a
+	// keyed read leaves no record, so a retry re-executes it instead of
+	// the table pinning its (possibly large) result relation in memory.
+	return s.srv.dedup.Do(req.IdemKey+"\x1f"+srcHash.String(), func() (*ship.Result, *ship.WireError, bool) {
+		pre := s.srv.st.Mutations()
+		res, werr := s.runSubmit(req, srcHash)
+		return res, werr, req.Save != "" || s.srv.st.Mutations() != pre
+	})
+}
+
+// runSubmit is handleSubmit's execution core, shared by the keyed and
+// keyless paths.
+func (s *session) runSubmit(req *ship.Submit, srcHash ptml.Hash) (*ship.Result, *ship.WireError) {
 	// Resolve the binding table to store values up front: they feed both
 	// the cache key fingerprint and the substitution.
 	binds := make(map[string]store.Val, len(req.Binds))
@@ -354,7 +419,8 @@ func (s *session) save(saveAs, name string, res *pipeline.Result) *ship.WireErro
 	// same rule every other root update follows.
 	st.SetRoot(ship.SavedRoot+saveAs, cloOID)
 	if err := st.Commit(); err != nil {
-		return errWire(ship.CodeInternal, err)
+		s.srv.enterDegraded(err)
+		return &ship.WireError{Code: ship.CodeDegraded, Msg: "save not durable: " + err.Error()}
 	}
 	s.srv.logf("session %d: saved %s as %s%s", s.id, name, ship.SavedRoot, saveAs)
 	return nil

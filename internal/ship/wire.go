@@ -77,6 +77,8 @@ const (
 	VResult   Verb = 11 // response: a value plus execution stats
 	VError    Verb = 12 // response: structured failure
 	VBye      Verb = 13 // request: orderly session close
+	VHealth   Verb = 14 // request: liveness + mode probe
+	VHealthOK Verb = 15 // response: Health as JSON
 )
 
 // String names a verb for logs and errors.
@@ -108,6 +110,10 @@ func (v Verb) String() string {
 		return "error"
 	case VBye:
 		return "bye"
+	case VHealth:
+		return "health"
+	case VHealthOK:
+		return "health-ok"
 	default:
 		return fmt.Sprintf("verb(%d)", byte(v))
 	}
@@ -384,12 +390,20 @@ func DecodeWelcome(body []byte) (*Welcome, error) {
 // Install compiles and installs a TL module from source text.
 type Install struct {
 	Source string
+	// IdemKey, when non-empty, is a client-chosen idempotency key: the
+	// server records the response under key × source hash and answers a
+	// retried install from the record instead of installing twice.
+	// Optional trailing field — omitted when empty for compatibility.
+	IdemKey string
 }
 
 // Encode serialises the message body.
 func (m *Install) Encode() []byte {
 	var b bytes.Buffer
 	putStr(&b, m.Source)
+	if m.IdemKey != "" {
+		putStr(&b, m.IdemKey)
+	}
 	return b.Bytes()
 }
 
@@ -397,6 +411,9 @@ func (m *Install) Encode() []byte {
 func DecodeInstall(body []byte) (*Install, error) {
 	r := &wreader{b: body}
 	m := &Install{Source: r.str()}
+	if r.rem() > 0 {
+		m.IdemKey = r.str()
+	}
 	return m, r.done()
 }
 
@@ -447,6 +464,12 @@ type Submit struct {
 	Binds    []WBind
 	Optimize bool
 	Save     string
+	// IdemKey, when non-empty, is a client-chosen idempotency key: the
+	// server records the response under key × α-hash and answers a
+	// retried submit from the record, so a retried save= is applied
+	// exactly once. Optional trailing field — omitted when empty for
+	// compatibility.
+	IdemKey string
 }
 
 // Encode serialises the message body.
@@ -468,6 +491,9 @@ func (m *Submit) Encode() ([]byte, error) {
 		b.WriteByte(0)
 	}
 	putStr(&b, m.Save)
+	if m.IdemKey != "" {
+		putStr(&b, m.IdemKey)
+	}
 	return b.Bytes(), nil
 }
 
@@ -481,6 +507,9 @@ func DecodeSubmit(body []byte) (*Submit, error) {
 	}
 	m.Optimize = r.u8() != 0
 	m.Save = r.str()
+	if r.rem() > 0 {
+		m.IdemKey = r.str()
+	}
 	return m, r.done()
 }
 
@@ -571,6 +600,13 @@ const (
 	CodeBudget     ErrCode = 6 // step or wall-clock budget exceeded
 	CodeShutdown   ErrCode = 7 // server is draining; no new work
 	CodeInternal   ErrCode = 8 // server-side invariant violation
+	// CodeOverloaded refuses a request the server has no capacity for
+	// right now; the request was NOT executed, so a retry after the
+	// RetryAfterMs hint is always safe.
+	CodeOverloaded ErrCode = 9
+	// CodeDegraded refuses a write while the server is in degraded
+	// read-only mode (store commits are failing); reads keep working.
+	CodeDegraded ErrCode = 10
 )
 
 // String names an error code.
@@ -592,6 +628,10 @@ func (c ErrCode) String() string {
 		return "shutdown"
 	case CodeInternal:
 		return "internal"
+	case CodeOverloaded:
+		return "overloaded"
+	case CodeDegraded:
+		return "degraded"
 	default:
 		return fmt.Sprintf("code(%d)", byte(c))
 	}
@@ -602,6 +642,11 @@ func (c ErrCode) String() string {
 type WireError struct {
 	Code ErrCode
 	Msg  string
+	// RetryAfterMs, when nonzero, hints how long a client should back
+	// off before retrying (set with CodeOverloaded). It travels as an
+	// optional trailing field: encoders omit it when zero, so frames
+	// without the hint decode under both old and new readers.
+	RetryAfterMs uint32
 }
 
 func (e *WireError) Error() string { return fmt.Sprintf("tycd: %s: %s", e.Code, e.Msg) }
@@ -611,6 +656,9 @@ func (e *WireError) Encode() []byte {
 	var b bytes.Buffer
 	b.WriteByte(byte(e.Code))
 	putStr(&b, e.Msg)
+	if e.RetryAfterMs != 0 {
+		putU32(&b, e.RetryAfterMs)
+	}
 	return b.Bytes()
 }
 
@@ -618,6 +666,9 @@ func (e *WireError) Encode() []byte {
 func DecodeWireError(body []byte) (*WireError, error) {
 	r := &wreader{b: body}
 	e := &WireError{Code: ErrCode(r.u8()), Msg: r.str()}
+	if r.rem() > 0 {
+		e.RetryAfterMs = r.u32()
+	}
 	return e, r.done()
 }
 
@@ -646,8 +697,38 @@ type ServerStats struct {
 	Pipeline pipeline.CacheStats `json:"pipeline"`
 	// Indexes is the shared relational index cache's counters.
 	Indexes relalg.IndexStats `json:"indexes"`
+	// Degraded reports the read-only mode entered when store commits
+	// start failing; DegradedReason carries the commit error.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+	// Inflight is the number of requests executing right now; Shed
+	// counts requests refused with CodeOverloaded.
+	Inflight int   `json:"inflight,omitempty"`
+	Shed     int64 `json:"shed,omitempty"`
+	// IdemApplied counts keyed requests executed and recorded;
+	// IdemDeduped counts retries answered from the record instead of
+	// being executed a second time.
+	IdemApplied int64 `json:"idem_applied,omitempty"`
+	IdemDeduped int64 `json:"idem_deduped,omitempty"`
 	// Verbs are the per-verb latency counters, keyed by Verb.String().
 	Verbs map[string]VerbStat `json:"verbs,omitempty"`
+}
+
+/// Health is the HEALTH response payload (JSON, like ServerStats): a
+// cheap probe a load balancer or retrying client can poll without
+// touching the execution path.
+type Health struct {
+	// Status summarises the mode: "ok", "degraded" or "draining".
+	Status string `json:"status"`
+	// Draining reports a graceful shutdown in progress.
+	Draining bool `json:"draining,omitempty"`
+	// Degraded reports read-only mode; Reason carries the commit error
+	// that triggered it.
+	Degraded bool   `json:"degraded,omitempty"`
+	Reason   string `json:"reason,omitempty"`
+	// Sessions and Inflight size the current load.
+	Sessions int `json:"sessions"`
+	Inflight int `json:"inflight"`
 }
 
 // --- little wire helpers ---------------------------------------------------
@@ -679,6 +760,15 @@ func (r *wreader) done() error {
 		r.failf("%d trailing bytes", len(r.b)-r.pos)
 	}
 	return r.err
+}
+
+// rem reports how many undecoded bytes remain; optional trailing fields
+// are decoded only when present.
+func (r *wreader) rem() int {
+	if r.err != nil {
+		return 0
+	}
+	return len(r.b) - r.pos
 }
 
 func (r *wreader) u8() byte {

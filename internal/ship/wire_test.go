@@ -224,3 +224,63 @@ func TestDecodeFuzzedGarbage(t *testing.T) {
 		}
 	}
 }
+
+// TestOptionalTrailingFields pins the compatibility contract of the
+// fields added for the fault-tolerance layer: bodies written without
+// them (old encoders) still decode, bodies written with them round-trip.
+func TestOptionalTrailingFields(t *testing.T) {
+	// Submit with an idempotency key round-trips.
+	sub := &Submit{
+		Name:    "q1",
+		PTML:    []byte{0x01, 0x02},
+		Save:    "s",
+		IdemKey: "c1-000000000007",
+	}
+	body, err := sub.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := DecodeSubmit(body); err != nil || !reflect.DeepEqual(got, sub) {
+		t.Errorf("keyed submit: %+v, %v", got, err)
+	}
+	// Without a key the field is absent from the wire entirely, which is
+	// exactly the old encoding.
+	sub.IdemKey = ""
+	short, err := sub.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(short) >= len(body) {
+		t.Errorf("keyless submit is not shorter: %d vs %d bytes", len(short), len(body))
+	}
+	if got, err := DecodeSubmit(short); err != nil || got.IdemKey != "" {
+		t.Errorf("old-encoding submit: key %q, err %v", got.IdemKey, err)
+	}
+
+	// Install: same shape.
+	inst := &Install{Source: "module m end", IdemKey: "c1-000000000008"}
+	if got, err := DecodeInstall(inst.Encode()); err != nil || !reflect.DeepEqual(got, inst) {
+		t.Errorf("keyed install: %+v, %v", got, err)
+	}
+	inst.IdemKey = ""
+	if got, err := DecodeInstall(inst.Encode()); err != nil || got.IdemKey != "" {
+		t.Errorf("old-encoding install: %+v, %v", got, err)
+	}
+
+	// WireError: the retry-after hint is omitted when zero and
+	// round-trips when set.
+	we := &WireError{Code: CodeOverloaded, Msg: "full", RetryAfterMs: 250}
+	if got, err := DecodeWireError(we.Encode()); err != nil || !reflect.DeepEqual(got, we) {
+		t.Errorf("overloaded error: %+v, %v", got, err)
+	}
+	plain := &WireError{Code: CodeExec, Msg: "boom"}
+	if got, err := DecodeWireError(plain.Encode()); err != nil || got.RetryAfterMs != 0 {
+		t.Errorf("plain error: %+v, %v", got, err)
+	}
+	if CodeOverloaded.String() != "overloaded" || CodeDegraded.String() != "degraded" {
+		t.Errorf("code names: %s %s", CodeOverloaded, CodeDegraded)
+	}
+	if VHealth.String() != "health" || VHealthOK.String() != "health-ok" {
+		t.Errorf("verb names: %s %s", VHealth, VHealthOK)
+	}
+}

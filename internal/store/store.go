@@ -420,6 +420,12 @@ type Store struct {
 	// advanced, so optimized code can never survive a change to the
 	// R-value bindings it folded in.
 	epoch uint64
+	// muts counts every durable mutation (Alloc, Update, MarkDirty,
+	// SetRoot) — a superset of epoch that also sees in-place object
+	// mutation. The server compares it across a request execution to
+	// decide whether re-executing that request could double-apply an
+	// effect; see Mutations.
+	muts uint64
 }
 
 // Open opens (or creates) the store file at path, replaying its log.
@@ -489,6 +495,7 @@ func (s *Store) Alloc(obj Object) OID {
 	s.next++
 	s.objects[oid] = obj
 	s.dirty[oid] = true
+	s.muts++
 	return oid
 }
 
@@ -524,6 +531,7 @@ func (s *Store) Update(oid OID, obj Object) error {
 	s.objects[oid] = obj
 	s.dirty[oid] = true
 	s.epoch++
+	s.muts++
 	return nil
 }
 
@@ -538,6 +546,19 @@ func (s *Store) BindingEpoch() uint64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.epoch
+}
+
+// Mutations reports the store's durable-mutation counter: advanced by
+// Alloc, Update, MarkDirty and SetRoot. Unlike BindingEpoch it counts
+// in-place object mutation too, so an unchanged value across a request
+// execution proves the request had no durable effect and is safe to
+// re-execute. SetClosureAttrs does not advance it — the optimizer's
+// attribute writeback is idempotent cached metadata, and counting it
+// would make every optimizing read look like a write.
+func (s *Store) Mutations() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.muts
 }
 
 // SetClosureAttrs records the optimizer's derived attributes on a
@@ -571,6 +592,7 @@ func (s *Store) MarkDirty(oid OID) {
 	defer s.mu.Unlock()
 	if _, ok := s.objects[oid]; ok {
 		s.dirty[oid] = true
+		s.muts++
 	}
 }
 
@@ -582,6 +604,7 @@ func (s *Store) SetRoot(name string, oid OID) {
 	s.roots[name] = oid
 	s.rootsDirty = true
 	s.epoch++
+	s.muts++
 }
 
 // Root resolves a persistent root name.
