@@ -1,15 +1,18 @@
-// Command tycfsck checks the integrity of a persistent Tycoon store: log
+// Command tycfsck checks the integrity of persistent Tycoon stores: log
 // structure and checksums, OID reachability from the root table, and
 // well-formedness of the persistent intermediate representations (PTML
-// trees, TAM code) attached to closures.
+// trees, TAM code) attached to closures. -store repeats, so one run
+// audits a whole shard cluster's stores and exits nonzero if ANY of
+// them is unclean — the chaos invariant check is one command.
 //
-//	tycfsck -store db.tyst             # check, report findings
+//	tycfsck -store db.tyst             # check one store
+//	tycfsck -store s0 -store s1 -store s2   # audit every shard store
 //	tycfsck -store db.tyst -v          # also print statistics and the
 //	                                   # canonical PTML hash per closure
 //	tycfsck -store db.tyst -salvage    # repair a damaged log first
 //
-// Exit status: 0 when the store is sound (warnings allowed), 1 when
-// error findings were reported, 2 when the check itself failed.
+// Exit status: 0 when every store is sound (warnings allowed), 1 when
+// error findings were reported anywhere, 2 when a check itself failed.
 package main
 
 import (
@@ -21,62 +24,98 @@ import (
 	"tycoon/internal/store"
 )
 
+// storeList collects repeated -store flags.
+type storeList []string
+
+func (s *storeList) String() string { return fmt.Sprintf("%d stores", len(*s)) }
+func (s *storeList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
 func main() {
-	storePath := flag.String("store", "tycoon.tyst", "store file")
-	salvage := flag.Bool("salvage", false, "salvage a damaged log before checking (rewrites the store file)")
+	var stores storeList
+	flag.Var(&stores, "store", "store file (repeat to audit several stores in one run)")
+	salvage := flag.Bool("salvage", false, "salvage damaged logs before checking (rewrites the store files)")
 	verbose := flag.Bool("v", false, "print statistics and warnings, not only errors")
 	flag.Parse()
+	if len(stores) == 0 {
+		stores = storeList{"tycoon.tyst"}
+	}
+	multi := len(stores) > 1
 
-	if *salvage {
-		rep, err := store.Salvage(*storePath)
+	// prefix labels output lines with the store when auditing several,
+	// so findings stay attributable.
+	prefix := func(path string) string {
+		if multi {
+			return path + ": "
+		}
+		return ""
+	}
+
+	exit := 0
+	worse := func(code int) {
+		if code > exit {
+			exit = code
+		}
+	}
+	for _, path := range stores {
+		pre := prefix(path)
+		if *salvage {
+			rep, err := store.Salvage(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tycfsck: %s: salvage: %v\n", path, err)
+				worse(2)
+				continue
+			}
+			switch {
+			case rep.QuarantinePath != "":
+				fmt.Printf("%ssalvage: recovered %d records; damaged suffix (%d bytes, %s) quarantined to %s\n",
+					pre, rep.Records, rep.QuarantinedBytes, rep.Reason, rep.QuarantinePath)
+			case rep.Rewritten:
+				fmt.Printf("%ssalvage: rewrote log (%d records)\n", pre, rep.Records)
+			default:
+				fmt.Printf("%ssalvage: log already clean\n", pre)
+			}
+		}
+
+		rep, err := fsck.CheckPath(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tycfsck: salvage: %v\n", err)
-			os.Exit(2)
+			fmt.Fprintf(os.Stderr, "tycfsck: %s: %v\n", path, err)
+			worse(2)
+			continue
 		}
-		switch {
-		case rep.QuarantinePath != "":
-			fmt.Printf("salvage: recovered %d records; damaged suffix (%d bytes, %s) quarantined to %s\n",
-				rep.Records, rep.QuarantinedBytes, rep.Reason, rep.QuarantinePath)
-		case rep.Rewritten:
-			fmt.Printf("salvage: rewrote log (%d records)\n", rep.Records)
-		default:
-			fmt.Println("salvage: log already clean")
-		}
-	}
 
-	rep, err := fsck.CheckPath(*storePath)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tycfsck: %v\n", err)
-		os.Exit(2)
-	}
-
-	if *verbose && rep.Log != nil {
-		fmt.Printf("log: format v%d, %d bytes, %d records in %d batches\n",
-			rep.Log.Version, rep.Log.Size, rep.Log.Records, rep.Log.Batches)
-	}
-	if *verbose {
-		fmt.Printf("objects: %d total, %d reachable from %d roots, %d closures verified\n",
-			rep.Objects, rep.Reachable, rep.Roots, rep.Closures)
-		// Canonical α-invariant content hashes: closures printing the same
-		// hash carry identical intermediate code up to renaming, and hit
-		// the same optimized-code cache entry.
-		for _, ch := range rep.Hashes {
-			fmt.Printf("closure 0x%x %s ptml %s\n", uint64(ch.OID), ch.Name, ch.Hash.Short())
+		if *verbose && rep.Log != nil {
+			fmt.Printf("%slog: format v%d, %d bytes, %d records in %d batches\n",
+				pre, rep.Log.Version, rep.Log.Size, rep.Log.Records, rep.Log.Batches)
+		}
+		if *verbose {
+			fmt.Printf("%sobjects: %d total, %d reachable from %d roots, %d closures verified\n",
+				pre, rep.Objects, rep.Reachable, rep.Roots, rep.Closures)
+			// Canonical α-invariant content hashes: closures printing the same
+			// hash carry identical intermediate code up to renaming, and hit
+			// the same optimized-code cache entry.
+			for _, ch := range rep.Hashes {
+				fmt.Printf("%sclosure 0x%x %s ptml %s\n", pre, uint64(ch.OID), ch.Name, ch.Hash.Short())
+			}
+		}
+		for _, f := range rep.Findings {
+			if f.Severity == fsck.Error || *verbose {
+				fmt.Printf("%s%s\n", pre, f)
+			}
+		}
+		if !rep.OK() {
+			fmt.Fprintf(os.Stderr, "tycfsck: %s: %d errors, %d warnings\n", path, rep.Errors(), rep.Warnings())
+			if rep.Log != nil && rep.Log.Damage != nil {
+				fmt.Fprintf(os.Stderr, "tycfsck: %s: the log body is damaged; run with -salvage to recover the valid prefix\n", path)
+			}
+			worse(1)
+			continue
+		}
+		if *verbose {
+			fmt.Printf("%s: clean (%d warnings)\n", path, rep.Warnings())
 		}
 	}
-	for _, f := range rep.Findings {
-		if f.Severity == fsck.Error || *verbose {
-			fmt.Println(f)
-		}
-	}
-	if !rep.OK() {
-		fmt.Fprintf(os.Stderr, "tycfsck: %s: %d errors, %d warnings\n", *storePath, rep.Errors(), rep.Warnings())
-		if rep.Log != nil && rep.Log.Damage != nil {
-			fmt.Fprintln(os.Stderr, "tycfsck: the log body is damaged; run with -salvage to recover the valid prefix")
-		}
-		os.Exit(1)
-	}
-	if *verbose {
-		fmt.Printf("%s: clean (%d warnings)\n", *storePath, rep.Warnings())
-	}
+	os.Exit(exit)
 }

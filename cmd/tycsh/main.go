@@ -21,7 +21,7 @@
 //	call <module>.<fn> [arg...]  call an exported function
 //	call @<name> [arg...]        call a closure saved by submit
 //	optimize <module>.<fn>       reflectively optimize server-side
-//	submit [opt] [save=<name>] [<var>=<value>...] (<tml term>)
+//	submit [opt] [save=<name>] [merge=<auto|sum|any|all>] [<var>=<value>...] (<tml term>)
 //	quit
 //
 // Exit codes distinguish failure layers: 1 for local/usage errors, 2
@@ -253,6 +253,22 @@ func (sh *shell) exec(line string, r *bufio.Reader) error {
 			fmt.Printf("verb %-9s count %d errors %d avg %s\n", name, vs.Count, vs.Errors,
 				avg(vs.Micros, vs.Count))
 		}
+		if cl := st.Cluster; cl != nil {
+			fmt.Printf("cluster: %d shards, scatter %d routed %d failovers %d hedges %d/%d partials %d\n",
+				cl.Shards, cl.Scatter, cl.Routed, cl.Failovers, cl.HedgeWins, cl.Hedges, cl.Partials)
+			for _, r := range cl.Replicas {
+				state := "up"
+				if r.Down {
+					state = "DOWN"
+				}
+				fmt.Printf("replica shard%d %s %s fails %d idle %d\n", r.Shard, r.Addr, state, r.Fails, r.Idle)
+			}
+		}
+		// The session's own resilience counters — how hard this shell
+		// had to work to look like a clean request stream.
+		ct := sh.c.Counters()
+		fmt.Printf("local: attempts %d retries %d reconnects %d retry-after honored %d\n",
+			ct.Attempts, ct.Retries, ct.Reconnects, ct.RetryAfterHonored)
 		return nil
 	case "install":
 		src, err := installSource(rest, r)
@@ -302,7 +318,7 @@ func (sh *shell) exec(line string, r *bufio.Reader) error {
 		if err != nil {
 			return err
 		}
-		res, err := sh.c.SubmitTML(req.name, req.term, req.binds, req.optimize, req.save)
+		res, err := sh.c.SubmitTMLMerge(req.name, req.term, req.binds, req.optimize, req.save, req.merge)
 		if err != nil {
 			return reqErr(err)
 		}
@@ -336,6 +352,9 @@ func (sh *shell) print(res *ship.Result) {
 		fmt.Printf("(%d rows)\n", len(t.Rows))
 	} else {
 		fmt.Println(res.Val.Show())
+	}
+	if res.Partial {
+		fmt.Printf("(partial: missing %s)\n", strings.Join(res.Missing, ", "))
 	}
 	if sh.verbose {
 		fmt.Fprintf(os.Stderr, "steps %d, %s, cache hit %t\n",
@@ -389,11 +408,15 @@ func splitCall(rest string) (string, []ship.WVal, error) {
 type submitReq struct {
 	name, term, save string
 	optimize         bool
+	merge            ship.Merge
 	binds            []ship.WBind
 }
 
-// parseSubmit parses: [opt] [name=<label>] [save=<name>] [var=value...]
-// followed by the TML term (everything from the first '(').
+// parseSubmit parses: [opt] [name=<label>] [save=<name>] [merge=<policy>]
+// [var=value...] followed by the TML term (everything from the first
+// '('). The merge policy (auto/sum/any/all) only matters against a
+// cluster coordinator, which uses it to combine partitioned scalar
+// answers; a plain server ignores it.
 func parseSubmit(rest string) (*submitReq, error) {
 	req := &submitReq{}
 	for rest != "" {
@@ -410,6 +433,12 @@ func parseSubmit(rest string) (*submitReq, error) {
 			req.save = tok[len("save="):]
 		case strings.HasPrefix(tok, "name="):
 			req.name = tok[len("name="):]
+		case strings.HasPrefix(tok, "merge="):
+			m, err := ship.ParseMerge(tok[len("merge="):])
+			if err != nil {
+				return nil, err
+			}
+			req.merge = m
 		case strings.Contains(tok, "="):
 			name, val, _ := strings.Cut(tok, "=")
 			v, err := parseWVal(val)

@@ -1,0 +1,69 @@
+package client
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// backoffClient builds a client with just enough state to compute
+// backoffs; no connection is involved.
+func backoffClient(base, max time.Duration) *Client {
+	return &Client{
+		opts: Options{RetryBase: base, RetryMax: max, Retries: 8},
+		rng:  rand.New(rand.NewSource(7)),
+	}
+}
+
+// TestBackoffFirstRetryRespectsCap is the regression test for the
+// jitter bound: with RetryBase above RetryMax, even attempt 0 must come
+// out capped — the old additive jitter could overshoot the cap by 50%.
+func TestBackoffFirstRetryRespectsCap(t *testing.T) {
+	const max = 150 * time.Millisecond
+	c := backoffClient(400*time.Millisecond, max)
+	for i := 0; i < 200; i++ {
+		d := c.backoffLocked(0, 0)
+		if d > max {
+			t.Fatalf("first retry delay %v exceeds cap %v", d, max)
+		}
+		if d < max/2 {
+			t.Fatalf("first retry delay %v below jitter floor %v", d, max/2)
+		}
+	}
+}
+
+// TestBackoffNeverExceedsCap sweeps attempts deep enough to overflow
+// the shift and hints far above the cap: every draw stays in (0, max].
+func TestBackoffNeverExceedsCap(t *testing.T) {
+	const max = 250 * time.Millisecond
+	c := backoffClient(5*time.Millisecond, max)
+	for attempt := 0; attempt < 80; attempt++ {
+		for _, hint := range []time.Duration{0, 3 * time.Millisecond, 10 * time.Second} {
+			d := c.backoffLocked(attempt, hint)
+			if d <= 0 || d > max {
+				t.Fatalf("attempt %d hint %v: delay %v out of (0, %v]", attempt, hint, d, max)
+			}
+		}
+	}
+}
+
+// TestBackoffHonorsHint pins the RetryAfterMs path: a usable hint
+// replaces the schedule (jittered downward only), an oversized hint is
+// capped, and the honored counter ticks exactly when a hint was used.
+func TestBackoffHonorsHint(t *testing.T) {
+	c := backoffClient(100*time.Millisecond, time.Second)
+	d := c.backoffLocked(0, 40*time.Millisecond)
+	if d < 20*time.Millisecond || d > 40*time.Millisecond {
+		t.Errorf("hinted delay %v outside [20ms, 40ms]", d)
+	}
+	if got := c.honored.Load(); got != 1 {
+		t.Errorf("honored = %d after one hinted backoff, want 1", got)
+	}
+	if d := c.backoffLocked(0, 10*time.Second); d > time.Second {
+		t.Errorf("oversized hint not capped: %v", d)
+	}
+	c.backoffLocked(0, 0)
+	if got := c.honored.Load(); got != 2 {
+		t.Errorf("honored = %d, want 2 (the un-hinted backoff must not count)", got)
+	}
+}

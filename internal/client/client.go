@@ -66,12 +66,76 @@ type Client struct {
 	keyBase string
 	keySeq  uint64
 
-	retries atomic.Int64 // attempts beyond the first, across all requests
+	retries    atomic.Int64 // attempts beyond the first, across all requests
+	attempts   atomic.Int64 // request attempts, including first tries
+	reconnects atomic.Int64 // dials after the initial handshake succeeded
+	honored    atomic.Int64 // backoffs that used a server RetryAfterMs hint
+	dialed     atomic.Bool  // the initial handshake has succeeded once
+	aborted    atomic.Bool  // Abort was called; no further attempts
+
+	// abortMu guards liveConn, the connection pointer Abort closes. It
+	// is a second, tiny lock so Abort never waits for the request mutex
+	// an in-flight attempt is holding.
+	abortMu  sync.Mutex
+	liveConn net.Conn
 
 	// Session is the server-assigned session id from the most recent
 	// handshake; Server is the server identification.
 	Session uint64
 	Server  string
+}
+
+// Counters is the client-side resilience counter block: how hard this
+// session had to work to look like a clean request stream. (Stats, by
+// contrast, asks the server for ITS counters.)
+type Counters struct {
+	// Attempts counts request attempts including first tries; Retries
+	// the attempts beyond the first (reconnects and request retries).
+	Attempts int64
+	Retries  int64
+	// Reconnects counts re-dials after the session was once established
+	// — each one is a connection the taxonomy declared dead.
+	Reconnects int64
+	// RetryAfterHonored counts backoffs that used a server-supplied
+	// RetryAfterMs hint instead of the exponential schedule.
+	RetryAfterHonored int64
+}
+
+// Counters snapshots the resilience counters.
+func (c *Client) Counters() Counters {
+	return Counters{
+		Attempts:          c.attempts.Load(),
+		Retries:           c.retries.Load(),
+		Reconnects:        c.reconnects.Load(),
+		RetryAfterHonored: c.honored.Load(),
+	}
+}
+
+// ErrAborted is returned by requests interrupted by Abort.
+var ErrAborted = errors.New("client: aborted")
+
+// Abort poisons the client and forces any in-flight request to fail
+// fast by closing the connection out from under it: the pending read
+// returns a transport error, the retry loop sees the aborted flag and
+// stops instead of re-dialling. Hedged reads use this for
+// first-answer-wins cancellation — the losing attempt must release its
+// server session now, not when its timeout expires. An aborted client
+// is dead; Close it and dial a fresh one.
+func (c *Client) Abort() {
+	c.aborted.Store(true)
+	// Closing a net.Conn is safe concurrently with a Read blocked on it.
+	c.abortMu.Lock()
+	if c.liveConn != nil {
+		c.liveConn.Close()
+	}
+	c.abortMu.Unlock()
+}
+
+// setLiveConn publishes the connection Abort should close.
+func (c *Client) setLiveConn(conn net.Conn) {
+	c.abortMu.Lock()
+	c.liveConn = conn
+	c.abortMu.Unlock()
 }
 
 // Options tunes Dial.
@@ -168,6 +232,12 @@ func (c *Client) connectLocked() error {
 		return err
 	}
 	c.conn = conn
+	c.setLiveConn(conn)
+	if !c.dialed.Swap(true) {
+		// The first successful handshake is the baseline, not a reconnect.
+	} else {
+		c.reconnects.Add(1)
+	}
 	c.Session = w.Session
 	c.Server = w.Server
 	return nil
@@ -206,21 +276,30 @@ func (c *Client) dropLocked() {
 	if c.conn != nil {
 		c.conn.Close()
 		c.conn = nil
+		c.setLiveConn(nil)
 	}
 }
 
 // backoffLocked computes the jittered exponential delay for a retry.
 // hint (from an overloaded server's RetryAfterMs) overrides the base.
+// The returned delay never exceeds RetryMax: the jitter draws within
+// [d/2, d] rather than adding on top of the capped value, so even the
+// first retry respects the configured cap.
 func (c *Client) backoffLocked(attempt int, hint time.Duration) time.Duration {
 	d := c.opts.RetryBase << uint(attempt)
+	if d <= 0 || d > c.opts.RetryMax {
+		d = c.opts.RetryMax // includes shift overflow on deep retries
+	}
 	if hint > 0 {
+		c.honored.Add(1)
 		d = hint
+		if d > c.opts.RetryMax {
+			d = c.opts.RetryMax
+		}
 	}
-	if d > c.opts.RetryMax {
-		d = c.opts.RetryMax
-	}
-	// Jitter to ±50% so a fleet of retrying clients does not stampede.
-	return d/2 + time.Duration(c.rng.Int63n(int64(d)+1))
+	// Jitter to [d/2, d] so a fleet of retrying clients does not
+	// stampede, without ever overshooting the cap.
+	return d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
 }
 
 // NextIdemKey mints a fresh idempotency key: unique per client and
@@ -299,9 +378,16 @@ func (c *Client) do(v ship.Verb, body []byte, idempotent bool) (ship.Verb, []byt
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for attempt := 0; ; attempt++ {
+		if c.aborted.Load() {
+			return 0, nil, ErrAborted
+		}
+		c.attempts.Add(1)
 		rv, rbody, err := c.attemptLocked(v, body)
 		if err == nil {
 			return rv, rbody, nil
+		}
+		if c.aborted.Load() {
+			return 0, nil, ErrAborted
 		}
 		if attempt >= c.opts.Retries || !Retryable(err, idempotent) {
 			return 0, nil, err
@@ -493,6 +579,13 @@ func (c *Client) Submit(req *ship.Submit) (*ship.Result, error) {
 //
 //	res, err := c.SubmitTML("answer", "(+ 40 2 e cont(n) (k n))", nil, false, "")
 func (c *Client) SubmitTML(name, src string, binds []ship.WBind, optimize bool, save string) (*ship.Result, error) {
+	return c.SubmitTMLMerge(name, src, binds, optimize, save, ship.MergeAuto)
+}
+
+// SubmitTMLMerge is SubmitTML with an explicit scatter merge policy for
+// cluster coordinators (see ship.Merge). A plain tycd server never sees
+// the field, so against one this is exactly SubmitTML.
+func (c *Client) SubmitTMLMerge(name, src string, binds []ship.WBind, optimize bool, save string, merge ship.Merge) (*ship.Result, error) {
 	app, err := tml.ParseApp(src, tml.ParseOpts{IsPrim: prim.IsPrim})
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
@@ -507,5 +600,6 @@ func (c *Client) SubmitTML(name, src string, binds []ship.WBind, optimize bool, 
 		Binds:    binds,
 		Optimize: optimize,
 		Save:     save,
+		Merge:    merge,
 	})
 }

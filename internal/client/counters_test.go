@@ -1,0 +1,164 @@
+package client_test
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"tycoon/internal/client"
+	"tycoon/internal/netfault"
+	"tycoon/internal/server"
+	"tycoon/internal/ship"
+)
+
+// TestCountersTrackResilience pins the counter semantics end to end: a
+// clean request is one attempt and nothing else; a severed connection
+// costs a retry and a reconnect, both visible in Counters().
+func TestCountersTrackResilience(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	p, err := netfault.NewProxy(addr, netfault.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c, err := client.Dial(p.Addr(), client.Options{
+		Timeout:   5 * time.Second,
+		Retries:   8,
+		RetryBase: time.Millisecond,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	ct := c.Counters()
+	if ct.Attempts != 1 || ct.Retries != 0 || ct.Reconnects != 0 {
+		t.Errorf("clean ping counters = %+v, want exactly one attempt", ct)
+	}
+
+	p.DropAll()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after drop: %v", err)
+	}
+	ct = c.Counters()
+	if ct.Reconnects < 1 {
+		t.Errorf("no reconnect counted after a severed connection: %+v", ct)
+	}
+	if ct.Retries < 1 {
+		t.Errorf("no retry counted after a severed connection: %+v", ct)
+	}
+	if ct.Attempts < 3 {
+		t.Errorf("attempts = %d, want ≥3 (clean ping + failed try + retried try)", ct.Attempts)
+	}
+}
+
+// TestRetryAfterHonoredCounter refuses one request with a typed
+// overloaded error carrying a RetryAfterMs hint: the client's backoff
+// must use the hint and say so in its counters.
+func TestRetryAfterHonoredCounter(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		fakeHandshake(conn)
+		// First ping: refused with a backoff hint. Second: served.
+		if v, _, err := ship.ReadFrame(conn, 0); err != nil || v != ship.VPing {
+			return
+		}
+		ship.WriteFrame(conn, ship.VError,
+			(&ship.WireError{Code: ship.CodeOverloaded, Msg: "busy", RetryAfterMs: 5}).Encode())
+		if v, _, err := ship.ReadFrame(conn, 0); err != nil || v != ship.VPing {
+			return
+		}
+		ship.WriteFrame(conn, ship.VPong, nil)
+		io.Copy(io.Discard, conn)
+	}()
+
+	c, err := client.Dial(ln.Addr().String(), client.Options{
+		Timeout:   5 * time.Second,
+		Retries:   3,
+		RetryBase: time.Millisecond,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping through the hinted refusal: %v", err)
+	}
+	ct := c.Counters()
+	if ct.RetryAfterHonored != 1 {
+		t.Errorf("RetryAfterHonored = %d, want 1", ct.RetryAfterHonored)
+	}
+	if ct.Retries != 1 || ct.Attempts != 2 {
+		t.Errorf("counters = %+v, want one retry over two attempts", ct)
+	}
+}
+
+// TestAbortInterruptsInflightRequest pins the cancellation contract
+// hedged reads rely on: Abort fails a blocked request with ErrAborted
+// now (not at its timeout), and the aborted client refuses further work.
+func TestAbortInterruptsInflightRequest(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	hold := make(chan struct{})
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		fakeHandshake(conn)
+		ship.ReadFrame(conn, 0) // swallow the ping, answer nothing
+		<-hold
+	}()
+	defer close(hold)
+
+	c, err := client.Dial(ln.Addr().String(), client.Options{
+		Timeout: time.Minute, // far beyond the test: only Abort can end the wait
+		Retries: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	errc := make(chan error, 1)
+	go func() { errc <- c.Ping() }()
+	time.Sleep(50 * time.Millisecond) // let the ping block on the read
+	start := time.Now()
+	c.Abort()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, client.ErrAborted) {
+			t.Fatalf("aborted request returned %v, want ErrAborted", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Abort did not interrupt the blocked request")
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Errorf("abort took %v; it must not wait for the request timeout", waited)
+	}
+
+	// The client is poisoned: new requests fail fast without dialling.
+	if err := c.Ping(); !errors.Is(err, client.ErrAborted) {
+		t.Errorf("request after Abort returned %v, want ErrAborted", err)
+	}
+}

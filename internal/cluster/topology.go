@@ -1,0 +1,137 @@
+// Package cluster shards the tycd store across N server processes and
+// plans distributed queries over them: a coordinator holds the shard
+// metadata (who owns which hash range, which replicas serve it), pushes
+// compiled predicate closures — already content-addressed per α-hash by
+// the pipeline and idempotent per their client keys — to the shard
+// owning the rows, and merges the partial results. The paper's thesis
+// is that PTML plus binding tables make compiled code mobile across an
+// open environment; this package is the node→node half of that claim:
+// the same PTML frame a client ships to one server is re-shipped,
+// unchanged, to the shard that holds the data.
+//
+// The robustness layer is the headline. Every cross-shard hop rides the
+// retrying client of package client (idempotency keys propagate
+// end-to-end, so a coordinator retry never double-applies at a shard);
+// reads fail over between replicas and hedge against stragglers with
+// first-answer-wins cancellation; and when a shard is truly down, a
+// scatter read degrades to a typed partial result that names the
+// missing hash ranges instead of failing the whole query.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Range is one shard's slice of the 64-bit hash ring: the half-open
+// interval [Lo, Hi), except the last shard whose Hi wraps to 0 and
+// means "to the top of the ring".
+type Range struct {
+	Lo, Hi uint64
+}
+
+// Contains reports whether a hashed key falls in the range.
+func (r Range) Contains(h uint64) bool {
+	if r.Hi == 0 {
+		return h >= r.Lo
+	}
+	return h >= r.Lo && h < r.Hi
+}
+
+// String renders the range the way partial results name it.
+func (r Range) String() string {
+	return fmt.Sprintf("[0x%016x,0x%016x)", r.Lo, r.Hi)
+}
+
+// Shard is one shard's metadata: the replicas that serve its range, in
+// preference order (the first live one takes reads; writes go to all).
+type Shard struct {
+	Replicas []string // addresses
+}
+
+// Topology is the static placement map: N shards splitting the hash
+// ring into equal ranges, in index order.
+type Topology struct {
+	Shards []Shard
+}
+
+// N is the shard count.
+func (t Topology) N() int { return len(t.Shards) }
+
+// KeyHash places a routing key on the ring: FNV-1a, then a 64-bit
+// avalanche finalizer. The finalizer matters — placement slices the
+// ring by the HIGH bits, and raw FNV-1a barely diffuses short keys into
+// them (three shards over "row:N" keys left one shard empty). The same
+// function runs everywhere so placement is stable across processes and
+// restarts.
+func KeyHash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	x := h.Sum64()
+	// splitmix64 finalizer.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// RangeOf is shard i's slice of the ring.
+func (t Topology) RangeOf(i int) Range {
+	if t.N() == 1 {
+		return Range{} // [0, wrap): the whole ring
+	}
+	width := (^uint64(0))/uint64(t.N()) + 1
+	r := Range{Lo: uint64(i) * width}
+	if i < t.N()-1 {
+		r.Hi = uint64(i+1) * width
+	}
+	return r
+}
+
+// ShardFor routes a key to the shard owning its hash.
+func (t Topology) ShardFor(key string) int {
+	if t.N() == 1 {
+		return 0
+	}
+	h := KeyHash(key)
+	width := (^uint64(0))/uint64(t.N()) + 1
+	i := int(h / width)
+	if i >= t.N() {
+		i = t.N() - 1
+	}
+	return i
+}
+
+// MissingName renders one shard's absence for Result.Missing.
+func (t Topology) MissingName(i int) string {
+	return fmt.Sprintf("shard%d:%s", i, t.RangeOf(i))
+}
+
+// ParseMissing recovers the shard index from a Result.Missing entry.
+func ParseMissing(s string) (int, bool) {
+	var i int
+	if _, err := fmt.Sscanf(s, "shard%d:", &i); err != nil {
+		return 0, false
+	}
+	return i, true
+}
+
+// Validate rejects an unusable topology.
+func (t Topology) Validate() error {
+	if t.N() == 0 {
+		return fmt.Errorf("cluster: topology has no shards")
+	}
+	for i, s := range t.Shards {
+		if len(s.Replicas) == 0 {
+			return fmt.Errorf("cluster: shard %d has no replicas", i)
+		}
+		for _, addr := range s.Replicas {
+			if addr == "" {
+				return fmt.Errorf("cluster: shard %d has an empty replica address", i)
+			}
+		}
+	}
+	return nil
+}

@@ -450,6 +450,61 @@ func DecodeCall(body []byte) (*Call, error) {
 	return m, r.done()
 }
 
+// Merge selects how a cluster coordinator combines the per-shard
+// answers of a scattered submit. The field is interpreted (and then
+// stripped) by the coordinator; a plain tycd server never sees it, so
+// adding policies costs nothing on the shard side.
+type Merge byte
+
+// The merge policies. Relation results always concatenate regardless of
+// policy; the policy governs scalar answers from partitioned shards.
+const (
+	// MergeAuto concatenates relation results and requires scalar
+	// answers to agree across shards (the right default for pure terms
+	// evaluated everywhere, e.g. a shipped constant expression).
+	MergeAuto Merge = 0
+	// MergeSum adds integer/real answers (count over a partitioned
+	// relation).
+	MergeSum Merge = 1
+	// MergeAny ORs boolean answers (exists over a partitioned relation).
+	MergeAny Merge = 2
+	// MergeAll ANDs boolean answers (a predicate that must hold on every
+	// partition).
+	MergeAll Merge = 3
+)
+
+// String names a merge policy.
+func (m Merge) String() string {
+	switch m {
+	case MergeAuto:
+		return "auto"
+	case MergeSum:
+		return "sum"
+	case MergeAny:
+		return "any"
+	case MergeAll:
+		return "all"
+	default:
+		return fmt.Sprintf("merge(%d)", byte(m))
+	}
+}
+
+// ParseMerge resolves a policy name from the command line.
+func ParseMerge(s string) (Merge, error) {
+	switch s {
+	case "", "auto":
+		return MergeAuto, nil
+	case "sum":
+		return MergeSum, nil
+	case "any":
+		return MergeAny, nil
+	case "all":
+		return MergeAll, nil
+	default:
+		return 0, fmt.Errorf("ship: unknown merge policy %q", s)
+	}
+}
+
 // Submit ships a PTML-encoded application for compilation and
 // execution. Binds re-establish the R-value bindings of the term's free
 // variables (paper §4.1, across the wire instead of across module
@@ -470,6 +525,9 @@ type Submit struct {
 	// exactly once. Optional trailing field — omitted when empty for
 	// compatibility.
 	IdemKey string
+	// Merge is the coordinator's scatter merge policy (see Merge).
+	// Optional trailing field — omitted when MergeAuto.
+	Merge Merge
 }
 
 // Encode serialises the message body.
@@ -491,8 +549,14 @@ func (m *Submit) Encode() ([]byte, error) {
 		b.WriteByte(0)
 	}
 	putStr(&b, m.Save)
-	if m.IdemKey != "" {
+	// Trailing optionals: an earlier field must be written whenever a
+	// later one is, so old frames stay decodable and new fields are only
+	// paid for when used.
+	if m.IdemKey != "" || m.Merge != MergeAuto {
 		putStr(&b, m.IdemKey)
+	}
+	if m.Merge != MergeAuto {
+		b.WriteByte(byte(m.Merge))
 	}
 	return b.Bytes(), nil
 }
@@ -509,6 +573,9 @@ func DecodeSubmit(body []byte) (*Submit, error) {
 	m.Save = r.str()
 	if r.rem() > 0 {
 		m.IdemKey = r.str()
+	}
+	if r.rem() > 0 {
+		m.Merge = Merge(r.u8())
 	}
 	return m, r.done()
 }
@@ -550,6 +617,13 @@ type ExecInfo struct {
 type Result struct {
 	Val  WVal
 	Info ExecInfo
+	// Partial marks a degraded cluster answer: one or more shards were
+	// unreachable, the value covers only the reachable ones, and Missing
+	// names the hash ranges whose rows are absent ("shardN:[lo,hi)").
+	// The pair travels as an optional trailing extension — a plain tycd
+	// answer never carries it, and old frames decode without it.
+	Partial bool
+	Missing []string
 }
 
 // Encode serialises the message body.
@@ -570,6 +644,13 @@ func (m *Result) Encode() ([]byte, error) {
 	b.WriteByte(flags)
 	putU64(&b, uint64(m.Info.Rewrites))
 	putU64(&b, uint64(m.Info.Inlined))
+	if m.Partial {
+		b.WriteByte(1)
+		putU32(&b, uint32(len(m.Missing)))
+		for _, rng := range m.Missing {
+			putStr(&b, rng)
+		}
+	}
 	return b.Bytes(), nil
 }
 
@@ -584,6 +665,13 @@ func DecodeResult(body []byte) (*Result, error) {
 	m.Info.Shared = flags&2 != 0
 	m.Info.Rewrites = int64(r.u64())
 	m.Info.Inlined = int64(r.u64())
+	if r.rem() > 0 {
+		m.Partial = r.u8() != 0
+		n := r.count(4) // smallest missing range: a 4-byte length prefix
+		for i := 0; i < n && r.err == nil; i++ {
+			m.Missing = append(m.Missing, r.str())
+		}
+	}
 	return m, r.done()
 }
 
@@ -712,6 +800,43 @@ type ServerStats struct {
 	IdemDeduped int64 `json:"idem_deduped,omitempty"`
 	// Verbs are the per-verb latency counters, keyed by Verb.String().
 	Verbs map[string]VerbStat `json:"verbs,omitempty"`
+	// Cluster carries the coordinator counters when the answering
+	// process is a tycc coordinator rather than a plain tycd shard. JSON
+	// keeps the extension free: old clients simply ignore the field.
+	Cluster *ClusterStats `json:"cluster,omitempty"`
+}
+
+// ReplicaStat is one shard replica's health as the coordinator sees it.
+type ReplicaStat struct {
+	Shard int    `json:"shard"`
+	Addr  string `json:"addr"`
+	Down  bool   `json:"down,omitempty"`
+	// Fails counts request failures charged to this replica; Idle is the
+	// size of the coordinator's pooled-session stack for it.
+	Fails int64 `json:"fails,omitempty"`
+	Idle  int   `json:"idle,omitempty"`
+}
+
+// ClusterStats is the coordinator's counter block inside ServerStats.
+type ClusterStats struct {
+	Shards int `json:"shards"`
+	// Scatter counts fan-out reads, Routed single-shard requests
+	// (saving submits, calls, per-shard writes).
+	Scatter int64 `json:"scatter"`
+	Routed  int64 `json:"routed"`
+	// Failovers counts reads answered by a non-first replica after the
+	// preferred one failed; Hedges counts hedge requests launched
+	// against a straggling shard, HedgeWins how many beat the primary.
+	Failovers int64 `json:"failovers,omitempty"`
+	Hedges    int64 `json:"hedges,omitempty"`
+	HedgeWins int64 `json:"hedge_wins,omitempty"`
+	// Partials counts degraded scatter answers that named missing
+	// ranges instead of failing.
+	Partials int64 `json:"partials,omitempty"`
+	// Shed counts requests refused by the coordinator's own inflight
+	// gate (composing with each shard's gate underneath).
+	Shed     int64         `json:"shed,omitempty"`
+	Replicas []ReplicaStat `json:"replicas,omitempty"`
 }
 
 /// Health is the HEALTH response payload (JSON, like ServerStats): a

@@ -2,10 +2,12 @@ package ship
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"io"
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -282,5 +284,101 @@ func TestOptionalTrailingFields(t *testing.T) {
 	}
 	if VHealth.String() != "health" || VHealthOK.String() != "health-ok" {
 		t.Errorf("verb names: %s %s", VHealth, VHealthOK)
+	}
+}
+
+// TestClusterTrailingFields pins the wire extensions the cluster layer
+// added: the Submit merge policy and the Result partial marker. Both
+// are optional trailing fields — absent from the bytes when unset, so
+// pre-cluster peers interoperate unchanged.
+func TestClusterTrailingFields(t *testing.T) {
+	// Merge rides behind the idempotency key and round-trips.
+	sub := &Submit{Name: "q", PTML: []byte{0x01}, IdemKey: "c1-1", Merge: MergeSum}
+	body, err := sub.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := DecodeSubmit(body); err != nil || !reflect.DeepEqual(got, sub) {
+		t.Errorf("merge submit: %+v, %v", got, err)
+	}
+	// MergeAuto is the zero policy and costs no bytes.
+	sub.Merge = MergeAuto
+	short, err := sub.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(short) >= len(body) {
+		t.Errorf("auto-merge submit is not shorter: %d vs %d bytes", len(short), len(body))
+	}
+	if got, err := DecodeSubmit(short); err != nil || got.Merge != MergeAuto {
+		t.Errorf("old-encoding submit: merge %v, err %v", got.Merge, err)
+	}
+	// A merge policy without a key still round-trips (an empty key is
+	// written as its carrier).
+	keyless := &Submit{PTML: []byte{0x01}, Merge: MergeAll}
+	kb, err := keyless.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := DecodeSubmit(kb); err != nil || got.IdemKey != "" || got.Merge != MergeAll {
+		t.Errorf("keyless merge submit: %+v, %v", got, err)
+	}
+
+	// A partial Result names its missing ranges and round-trips.
+	res := &Result{
+		Val:     WVal{Kind: WInt, Int: 7},
+		Info:    ExecInfo{Steps: 3, CacheHit: true},
+		Partial: true,
+		Missing: []string{"shard1:[0x5555555555555556,0xaaaaaaaaaaaaaaac)"},
+	}
+	rb, err := res.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := DecodeResult(rb); err != nil || !reflect.DeepEqual(got, res) {
+		t.Errorf("partial result: %+v, %v", got, err)
+	}
+	// A full answer emits no trailing bytes — the pre-cluster encoding.
+	res.Partial, res.Missing = false, nil
+	fb, err := res.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fb) >= len(rb) {
+		t.Errorf("full result is not shorter: %d vs %d bytes", len(fb), len(rb))
+	}
+	if got, err := DecodeResult(fb); err != nil || got.Partial || got.Missing != nil {
+		t.Errorf("old-encoding result: %+v, %v", got, err)
+	}
+
+	// The policy name table is total in both directions.
+	for _, m := range []Merge{MergeAuto, MergeSum, MergeAny, MergeAll} {
+		back, err := ParseMerge(m.String())
+		if err != nil || back != m {
+			t.Errorf("ParseMerge(%s) = %v, %v", m, back, err)
+		}
+	}
+	if _, err := ParseMerge("median"); err == nil {
+		t.Error("unknown merge policy parsed")
+	}
+	if m, err := ParseMerge(""); err != nil || m != MergeAuto {
+		t.Errorf("empty merge policy: %v, %v", m, err)
+	}
+
+	// ClusterStats surfaces through the ServerStats JSON only when set,
+	// so single-node stats output is unchanged.
+	withCluster, err := json.Marshal(&ServerStats{Cluster: &ClusterStats{Shards: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(withCluster), `"cluster"`) || !strings.Contains(string(withCluster), `"shards":3`) {
+		t.Errorf("cluster block missing from stats JSON: %s", withCluster)
+	}
+	plainStats, err := json.Marshal(&ServerStats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(plainStats), `"cluster"`) {
+		t.Errorf("empty cluster block leaked into stats JSON: %s", plainStats)
 	}
 }

@@ -17,6 +17,12 @@
 #                1/8/64 concurrent sessions submitting the same PTML
 #                selection — per-request wire + shared-cache overhead;
 #                hits/op must stay 1.0 (one compilation total).
+#                cluster: distributed submit (BenchmarkCluster_*) at
+#                1/3/8 shards plus hedged-vs-unhedged tail latency
+#                against a straggling replica — coordinator fan-out and
+#                merge overhead; hits/op must stay 1.0 per shard, and
+#                the hedged p99-ms should sit near the hedge threshold
+#                instead of the straggler delay.
 #   BENCH_TIME   -benchtime value (default 1x: one measured iteration —
 #                the suite reports deterministic steps/call, so a single
 #                iteration is meaningful; raise for stable ns/op)
@@ -29,6 +35,7 @@ case "$lane" in
 pipeline) pattern='BenchmarkE1|BenchmarkE2|BenchmarkF3' ;;
 exec) pattern='BenchmarkExec' ;;
 server) pattern='BenchmarkServer' ;;
+cluster) pattern='BenchmarkCluster' ;;
 *) echo "bench_pipeline.sh: unknown BENCH_LANE '$lane'" >&2; exit 2 ;;
 esac
 

@@ -1,0 +1,139 @@
+#!/bin/sh
+# cluster_smoke.sh — end-to-end smoke test of the sharded cluster: build
+# tycd, tycc, tycsh and tycfsck; boot three tycd shards over file stores
+# plus a tycc coordinator with partial results enabled; drive an
+# install, a routed save, a saved-closure call and a scattered submit
+# through tycsh; kill one shard and verify the scatter degrades to a
+# partial answer naming the missing range; restart the shard and verify
+# the answer is whole again; drain everything with SIGTERM and audit all
+# three shard stores with one tycfsck run.
+#
+#   scripts/cluster_smoke.sh
+#
+# Exits non-zero if any step fails: a build error, a request error, a
+# wrong or non-degrading answer, an unclean shutdown, or fsck findings.
+set -eu
+cd "$(dirname "$0")/.."
+
+work="$(mktemp -d)"
+pids=""
+cleanup() {
+	for p in $pids; do kill "$p" 2>/dev/null || true; done
+	rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$work/tycd" ./cmd/tycd
+go build -o "$work/tycc" ./cmd/tycc
+go build -o "$work/tycsh" ./cmd/tycsh
+go build -o "$work/tycfsck" ./cmd/tycfsck
+
+# wait_addr portfile pid: block until the process publishes its address.
+wait_addr() {
+	for _ in $(seq 1 100); do
+		[ -s "$1" ] && break
+		kill -0 "$2" 2>/dev/null || { echo "smoke: process died before listening" >&2; exit 1; }
+		sleep 0.1
+	done
+	cat "$1"
+}
+
+# Three shards over their own file stores.
+shard_addrs=""
+for i in 0 1 2; do
+	"$work/tycd" -store "$work/shard$i.tyst" -addr 127.0.0.1:0 \
+		-portfile "$work/port$i" 2>"$work/shard$i.log" &
+	eval "shard${i}_pid=$!"
+	pids="$pids $!"
+	addr="$(wait_addr "$work/port$i" "$!")"
+	eval "shard${i}_addr=$addr"
+	shard_addrs="$shard_addrs -shard $addr"
+done
+
+# The coordinator, fronting the shards with partial degradation on.
+# shellcheck disable=SC2086
+"$work/tycc" $shard_addrs -addr 127.0.0.1:0 -portfile "$work/portc" \
+	-partial -hedge 100ms 2>"$work/tycc.log" &
+tycc_pid=$!
+pids="$pids $tycc_pid"
+coord="$(wait_addr "$work/portc" "$tycc_pid")"
+echo "smoke: 3 shards behind tycc on $coord"
+
+# Install everywhere, save through the router, call it back, scatter a
+# pure term (every shard answers 42; auto-merge requires agreement).
+cat >"$work/script1" <<'EOF'
+ping
+install <<
+module demo export double let double(a : Int) : Int = a * 2 end
+.
+call demo.double 21
+submit save=ans (+ 40 2 e cont(n) (k n))
+call @ans
+submit name=scatter (+ 40 2 e cont(m) (k m))
+stats
+quit
+EOF
+"$work/tycsh" -addr "$coord" "$work/script1" >"$work/out1" 2>"$work/err1"
+cat "$work/out1"
+if [ "$(grep -c '^42$' "$work/out1")" != 4 ]; then
+	echo "smoke: expected four 42s through the coordinator" >&2
+	cat "$work/err1" >&2
+	exit 1
+fi
+grep -q 'cluster: 3 shards' "$work/out1" || {
+	echo "smoke: stats do not show the cluster block" >&2
+	exit 1
+}
+if grep -q '^(partial:' "$work/out1"; then
+	echo "smoke: healthy cluster answered partially" >&2
+	exit 1
+fi
+
+# Kill shard 1: the scatter must degrade to a partial answer that names
+# the missing shard's hash range instead of failing.
+kill -TERM "$shard1_pid"
+wait "$shard1_pid" || true
+echo "submit name=scatter (+ 40 2 e cont(m) (k m))" | \
+	"$work/tycsh" -addr "$coord" >"$work/out2" 2>"$work/err2" || {
+	echo "smoke: degraded scatter failed outright" >&2
+	cat "$work/err2" >&2
+	exit 1
+}
+cat "$work/out2"
+grep -q '^42$' "$work/out2" || { echo "smoke: degraded scatter lost the answer" >&2; exit 1; }
+grep -q 'partial: missing shard1:' "$work/out2" || {
+	echo "smoke: degraded scatter did not name the missing shard" >&2
+	exit 1
+}
+
+# Restart shard 1 over the same store and port: once the coordinator's
+# probe revives it, the scatter is whole again.
+"$work/tycd" -store "$work/shard1.tyst" -addr "$shard1_addr" \
+	2>"$work/shard1b.log" &
+shard1_pid=$!
+pids="$pids $shard1_pid"
+ok=""
+for _ in $(seq 1 50); do
+	sleep 0.2
+	echo "submit name=scatter (+ 40 2 e cont(m) (k m))" | \
+		"$work/tycsh" -addr "$coord" >"$work/out3" 2>/dev/null || continue
+	if grep -q '^42$' "$work/out3" && ! grep -q '^(partial:' "$work/out3"; then
+		ok=1
+		break
+	fi
+done
+[ -n "$ok" ] || { echo "smoke: scatter never became whole after restart" >&2; cat "$work/out3" >&2; exit 1; }
+echo "smoke: degraded and recovered"
+
+# Graceful drain: coordinator first, then the shards.
+kill -TERM "$tycc_pid"
+wait "$tycc_pid" || { echo "smoke: tycc exited non-zero" >&2; cat "$work/tycc.log" >&2; exit 1; }
+for p in "$shard0_pid" "$shard1_pid" "$shard2_pid"; do
+	kill -TERM "$p"
+	wait "$p" || { echo "smoke: a shard exited non-zero" >&2; exit 1; }
+done
+pids=""
+
+# One fsck run audits every shard store.
+"$work/tycfsck" -store "$work/shard0.tyst" -store "$work/shard1.tyst" -store "$work/shard2.tyst" -v
+echo "smoke: OK"
