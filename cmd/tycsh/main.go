@@ -249,6 +249,14 @@ func (sh *shell) exec(line string, r *bufio.Reader) error {
 			st.Pipeline.Errors, st.Pipeline.Entries)
 		fmt.Printf("indexes: builds %d extends %d hits %d copies %d\n",
 			st.Indexes.Builds, st.Indexes.Extends, st.Indexes.Hits, st.Indexes.Copies)
+		if sb := st.Store; sb != nil {
+			fmt.Printf("store: snapshots %d txns %d/%d conflicts %d batches %d (mean %.1f txns)\n",
+				sb.OpenSnapshots, sb.Committed, sb.Aborted, sb.Conflicts,
+				sb.Batches, sb.MeanBatch)
+			if sb.Backlog > 0 || sb.FlushErr != "" {
+				fmt.Printf("store backlog: %d txns pending (%s)\n", sb.Backlog, sb.FlushErr)
+			}
+		}
 		for name, vs := range st.Verbs {
 			fmt.Printf("verb %-9s count %d errors %d avg %s\n", name, vs.Count, vs.Errors,
 				avg(vs.Micros, vs.Count))

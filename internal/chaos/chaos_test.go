@@ -1,8 +1,6 @@
 package chaos_test
 
 import (
-	"os"
-	"strconv"
 	"testing"
 
 	"tycoon/internal/chaos"
@@ -14,14 +12,7 @@ import (
 //
 //	CHAOS_SEED=7 go test -race ./internal/chaos/
 func TestChaos(t *testing.T) {
-	seed := int64(1)
-	if s := os.Getenv("CHAOS_SEED"); s != "" {
-		v, err := strconv.ParseInt(s, 10, 64)
-		if err != nil {
-			t.Fatalf("CHAOS_SEED=%q: %v", s, err)
-		}
-		seed = v
-	}
+	seed := chaosSeed(t)
 	rep, err := chaos.Run(chaos.Config{Seed: seed, Dir: t.TempDir()})
 	if err != nil {
 		t.Fatal(err)

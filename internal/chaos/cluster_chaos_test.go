@@ -1,8 +1,6 @@
 package chaos_test
 
 import (
-	"os"
-	"strconv"
 	"testing"
 
 	"tycoon/internal/chaos"
@@ -17,14 +15,7 @@ import (
 //
 //	CHAOS_SEED=7 go test -race -run TestClusterChaos ./internal/chaos/
 func TestClusterChaos(t *testing.T) {
-	seed := int64(1)
-	if s := os.Getenv("CHAOS_SEED"); s != "" {
-		v, err := strconv.ParseInt(s, 10, 64)
-		if err != nil {
-			t.Fatalf("CHAOS_SEED=%q: %v", s, err)
-		}
-		seed = v
-	}
+	seed := chaosSeed(t)
 	rep, err := chaos.RunCluster(chaos.ClusterConfig{Seed: seed, Dir: t.TempDir()})
 	if err != nil {
 		t.Fatal(err)

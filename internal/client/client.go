@@ -325,8 +325,10 @@ func Retryable(err error, idempotent bool) bool {
 	}
 	var we *ship.WireError
 	if errors.As(err, &we) {
+		// Conflict aborts applied nothing server-side: re-executing against
+		// a fresh snapshot is safe regardless of idempotency.
 		return we.Code == ship.CodeOverloaded || we.Code == ship.CodeShutdown ||
-			we.Code == ship.CodeProto
+			we.Code == ship.CodeProto || we.Code == ship.CodeConflict
 	}
 	return idempotent
 }

@@ -358,10 +358,14 @@ func (s *shard) liveFirst() []*replica {
 // --- error taxonomy ---------------------------------------------------------
 
 // definitive reports whether a shard error is a real answer (exec
-// failure, compile failure, not-found, degraded, budget …) rather than
-// an availability problem. Definitive answers propagate to the client;
-// availability problems drive failover, partial degradation, or a
-// retryable refusal.
+// failure, compile failure, not-found, degraded, budget, conflict …)
+// rather than an availability problem. Definitive answers propagate to
+// the client; availability problems drive failover, partial
+// degradation, or a retryable refusal. A transaction conflict is
+// deliberately definitive: the shard is healthy and its replicas hold
+// the same objects, so failing over would lose, not win, the race —
+// the client retries the whole request and re-executes against a
+// fresh snapshot.
 func definitive(err error) bool {
 	var we *ship.WireError
 	if !errors.As(err, &we) {

@@ -18,7 +18,7 @@ import (
 type Machine struct {
 	// Store resolves OID references; nil machines can still run programs
 	// that never touch persistent objects.
-	Store *store.Store
+	Store store.View
 	// Out receives the output of the print primitive; nil discards it.
 	Out io.Writer
 	// MaxSteps bounds the number of applications executed; 0 means
@@ -105,7 +105,12 @@ func rtErr(op, format string, args ...any) error {
 
 // New returns a machine executing against the given store (which may be
 // nil for pure computations).
-func New(st *store.Store) *Machine {
+func New(st store.View) *Machine {
+	// A nil *store.Store must behave like no store at all, not a non-nil
+	// interface with a nil receiver inside.
+	if s, ok := st.(*store.Store); ok && s == nil {
+		st = nil
+	}
 	m := &Machine{Store: st}
 	return m
 }

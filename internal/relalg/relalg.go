@@ -153,9 +153,29 @@ func (mg *Manager) CreateRelation(name string, schema []store.Column, indexCols 
 	return oid, nil
 }
 
+// view resolves the store a machine executes against: the machine's own
+// view (a transaction or snapshot when the server wrapped the request in
+// one) when set, the manager's raw store otherwise.
+func (mg *Manager) view(m *machine.Machine) store.View {
+	if m != nil && m.Store != nil {
+		return m.Store
+	}
+	return mg.st
+}
+
 // InsertRow appends a row to a persistent relation, maintaining indexes.
+// It writes through the raw store; rows inserted by programs running
+// under a transaction go through the machine's view instead (execInsert).
 func (mg *Manager) InsertRow(oid store.OID, row []store.Val) error {
-	obj, err := mg.st.Get(oid)
+	return mg.insertRow(mg.st, oid, row)
+}
+
+// insertRow appends a row through the given store view, maintaining any
+// cached index built on the same relation identity. A transaction's
+// localised relation view has its own identity, so indexes cached for
+// the committed relation are never extended with uncommitted rows.
+func (mg *Manager) insertRow(st store.View, oid store.OID, row []store.Val) error {
+	obj, err := st.Get(oid)
 	if err != nil {
 		return err
 	}
@@ -167,7 +187,7 @@ func (mg *Manager) InsertRow(oid store.OID, row []store.Val) error {
 		return fmt.Errorf("relalg: row width %d, schema width %d", len(row), len(rel.Schema))
 	}
 	idx := rel.AppendRow(row)
-	mg.st.MarkDirty(oid)
+	st.MarkDirty(oid)
 	mg.mu.Lock()
 	if cols, ok := mg.indexes[oid]; ok {
 		for col, c := range cols {
@@ -271,13 +291,18 @@ func (mg *Manager) index(oid store.OID, rel *store.Relation, rows [][]store.Val,
 }
 
 // relOf resolves a relation argument: a transient Rel or a Ref to a
-// persistent relation.
-func (mg *Manager) relOf(op string, v machine.Value) (schema []store.Column, rows [][]store.Val, oid store.OID, rel *store.Relation, err error) {
+// persistent relation. Persistent refs resolve through the machine's
+// store view, so a program running under a transaction scans exactly its
+// snapshot (plus its own appends) regardless of concurrent committers.
+// The returned rel is the identity the index cache keys on: a clean
+// transaction view shares the live relation's identity (and therefore
+// its cached indexes); a view carrying uncommitted rows keeps its own.
+func (mg *Manager) relOf(m *machine.Machine, op string, v machine.Value) (schema []store.Column, rows [][]store.Val, oid store.OID, rel *store.Relation, err error) {
 	switch v := v.(type) {
 	case *Rel:
 		return v.Schema, v.Rows, store.Nil, nil, nil
 	case machine.Ref:
-		obj, gerr := mg.st.Get(v.OID)
+		obj, gerr := mg.view(m).Get(v.OID)
 		if gerr != nil {
 			return nil, nil, store.Nil, nil, fmt.Errorf("relalg: %s: %w", op, gerr)
 		}
@@ -287,7 +312,8 @@ func (mg *Manager) relOf(op string, v machine.Value) (schema []store.Column, row
 		}
 		// Snapshot the row header: appends on other sessions may grow
 		// the relation mid-scan, never mutate the snapshotted rows.
-		return r.Schema, r.RowsSnapshot(), v.OID, r, nil
+		rows := r.RowsSnapshot()
+		return r.Schema, rows, v.OID, r.IndexIdentity(len(rows)), nil
 	default:
 		return nil, nil, store.Nil, nil, fmt.Errorf("relalg: %s: expected relation, got %s", op, v.Show())
 	}
@@ -403,7 +429,7 @@ func ok1(results ...machine.Value) machine.Outcome {
 // execSelect implements (select pred rel ce cc): σ_pred(rel).
 func (mg *Manager) execSelect(m *machine.Machine, vals, conts []machine.Value) (machine.Outcome, error) {
 	pred := vals[0]
-	schema, rows, _, _, err := mg.relOf("select", vals[1])
+	schema, rows, _, _, err := mg.relOf(m, "select", vals[1])
 	if err != nil {
 		return machine.Outcome{}, err
 	}
@@ -436,7 +462,7 @@ func (mg *Manager) execSelect(m *machine.Machine, vals, conts []machine.Value) (
 // function returns the new row as a vector of scalars.
 func (mg *Manager) execProject(m *machine.Machine, vals, conts []machine.Value) (machine.Outcome, error) {
 	fn := vals[0]
-	_, rows, _, _, err := mg.relOf("project", vals[1])
+	_, rows, _, _, err := mg.relOf(m, "project", vals[1])
 	if err != nil {
 		return machine.Outcome{}, err
 	}
@@ -496,11 +522,11 @@ func colTypeOf(v store.Val) store.ColType {
 // predicate receives the concatenated row.
 func (mg *Manager) execJoin(m *machine.Machine, vals, conts []machine.Value) (machine.Outcome, error) {
 	pred := vals[0]
-	s1, rows1, _, _, err := mg.relOf("join", vals[1])
+	s1, rows1, _, _, err := mg.relOf(m, "join", vals[1])
 	if err != nil {
 		return machine.Outcome{}, err
 	}
-	s2, rows2, _, _, err := mg.relOf("join", vals[2])
+	s2, rows2, _, _, err := mg.relOf(m, "join", vals[2])
 	if err != nil {
 		return machine.Outcome{}, err
 	}
@@ -537,7 +563,7 @@ func (mg *Manager) execJoin(m *machine.Machine, vals, conts []machine.Value) (ma
 // they visit.
 func (mg *Manager) execExists(m *machine.Machine, vals, conts []machine.Value) (machine.Outcome, error) {
 	pred := vals[0]
-	_, rows, _, _, err := mg.relOf("exists", vals[1])
+	_, rows, _, _, err := mg.relOf(m, "exists", vals[1])
 	if err != nil {
 		return machine.Outcome{}, err
 	}
@@ -563,7 +589,7 @@ func (mg *Manager) execExists(m *machine.Machine, vals, conts []machine.Value) (
 
 // execEmpty implements (empty rel ce cc): R = ∅.
 func (mg *Manager) execEmpty(m *machine.Machine, vals, conts []machine.Value) (machine.Outcome, error) {
-	_, rows, _, _, err := mg.relOf("empty", vals[0])
+	_, rows, _, _, err := mg.relOf(m, "empty", vals[0])
 	if err != nil {
 		return machine.Outcome{}, err
 	}
@@ -572,7 +598,7 @@ func (mg *Manager) execEmpty(m *machine.Machine, vals, conts []machine.Value) (m
 
 // execCount implements (count rel ce cc).
 func (mg *Manager) execCount(m *machine.Machine, vals, conts []machine.Value) (machine.Outcome, error) {
-	_, rows, _, _, err := mg.relOf("count", vals[0])
+	_, rows, _, _, err := mg.relOf(m, "count", vals[0])
 	if err != nil {
 		return machine.Outcome{}, err
 	}
@@ -585,7 +611,7 @@ func (mg *Manager) execCount(m *machine.Machine, vals, conts []machine.Value) (m
 // newKernel still shares the batch continuations and compiled code.
 func (mg *Manager) execForeach(m *machine.Machine, vals, conts []machine.Value) (machine.Outcome, error) {
 	body := vals[0]
-	_, rows, _, _, err := mg.relOf("foreach", vals[1])
+	_, rows, _, _, err := mg.relOf(m, "foreach", vals[1])
 	if err != nil {
 		return machine.Outcome{}, err
 	}
@@ -624,7 +650,7 @@ func (mg *Manager) execInsert(m *machine.Machine, vals, conts []machine.Value) (
 		rel.Rows = append(rel.Rows, stRow)
 		return ok1(machine.Unit{}), nil
 	case machine.Ref:
-		if err := mg.InsertRow(rel.OID, stRow); err != nil {
+		if err := mg.insertRow(mg.view(m), rel.OID, stRow); err != nil {
 			return machine.Outcome{}, err
 		}
 		return ok1(machine.Unit{}), nil
@@ -639,7 +665,7 @@ func (mg *Manager) execInsert(m *machine.Machine, vals, conts []machine.Value) (
 // Without an index the scan degrades to a sequential filter, so the
 // rewrite is always safe.
 func (mg *Manager) execIndexScan(m *machine.Machine, vals, conts []machine.Value) (machine.Outcome, error) {
-	schema, rows, oid, rel, err := mg.relOf("indexscan", vals[0])
+	schema, rows, oid, rel, err := mg.relOf(m, "indexscan", vals[0])
 	if err != nil {
 		return machine.Outcome{}, err
 	}

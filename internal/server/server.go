@@ -274,11 +274,14 @@ func (s *Server) inflightCount() int {
 	return len(s.inflight)
 }
 
-// enterDegraded latches the read-only mode: store commits are failing,
-// so every request that would need one is refused until the operator
-// clears the mode. Reads and pure execution keep working — the paper's
-// binding table and compiled code all live in memory once loaded, so an
-// unwritable store does not have to take query service down with it.
+// enterDegraded latches the advisory degraded flag: this writer's commit
+// failed to reach the disk. Since the MVCC refactor the flag is
+// per-writer in effect: only the failing request is answered with
+// CodeDegraded, while other sessions' transactions, snapshots and pure
+// reads keep working — their own commits answer for their own
+// durability. The store keeps the failed records queued as backlog, so
+// the next successful flush (any later commit, or ClearDegraded's probe)
+// makes them durable and clears the flag.
 func (s *Server) enterDegraded(err error) {
 	s.mu.Lock()
 	first := !s.degraded
@@ -286,7 +289,26 @@ func (s *Server) enterDegraded(err error) {
 	s.degReason = err.Error()
 	s.mu.Unlock()
 	if first {
-		s.logf("entering degraded read-only mode: %v", err)
+		s.logf("degraded: store commits failing: %v", err)
+	}
+}
+
+// noteCommit folds one commit outcome into the degraded flag: a failure
+// latches it, a successful durable commit clears it (the disk is
+// provably writable again, and the store's group committer has flushed
+// the backlog of any earlier failure along the way).
+func (s *Server) noteCommit(err error) {
+	if err != nil {
+		s.enterDegraded(err)
+		return
+	}
+	s.mu.Lock()
+	cleared := s.degraded
+	s.degraded = false
+	s.degReason = ""
+	s.mu.Unlock()
+	if cleared {
+		s.logf("leaving degraded mode: store commits again")
 	}
 }
 
@@ -297,37 +319,14 @@ func (s *Server) Degraded() (bool, string) {
 	return s.degraded, s.degReason
 }
 
-// refuseWrite returns the typed refusal for a write in degraded mode,
-// or nil when writes are allowed.
-func (s *Server) refuseWrite() *ship.WireError {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.degraded {
-		return nil
-	}
-	return &ship.WireError{
-		Code: ship.CodeDegraded,
-		Msg:  "server is in read-only mode: " + s.degReason,
-	}
-}
-
 // ClearDegraded probes the store with a commit and, if it succeeds,
 // leaves degraded mode. The probe is a real commit: whatever dirty
-// state accumulated before the mode latched gets durable too.
+// state and failed-commit backlog accumulated before the mode latched
+// gets durable too.
 func (s *Server) ClearDegraded() error {
-	if err := s.st.Commit(); err != nil {
-		s.enterDegraded(err)
-		return err
-	}
-	s.mu.Lock()
-	cleared := s.degraded
-	s.degraded = false
-	s.degReason = ""
-	s.mu.Unlock()
-	if cleared {
-		s.logf("leaving degraded mode: store commits again")
-	}
-	return nil
+	err := s.st.Commit()
+	s.noteCommit(err)
+	return err
 }
 
 // Health snapshots the server's mode for the HEALTH verb.
@@ -388,6 +387,8 @@ func (s *Server) Stats() ship.ServerStats {
 	out.IdemApplied, out.IdemDeduped = s.dedup.Counters()
 	out.Pipeline = s.pipe.CacheStats()
 	out.Indexes = s.mg.IndexStats()
+	tx := s.st.TxStats()
+	out.Store = &tx
 	return out
 }
 

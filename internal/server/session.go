@@ -218,9 +218,6 @@ func (s *session) handleInstall(body []byte) (*ship.Result, *ship.WireError) {
 	if err != nil {
 		return nil, errWire(ship.CodeProto, err)
 	}
-	if werr := s.srv.refuseWrite(); werr != nil {
-		return nil, werr
-	}
 	install := func() (*ship.Result, *ship.WireError, bool) {
 		s.srv.installMu.Lock()
 		defer s.srv.installMu.Unlock()
@@ -236,9 +233,10 @@ func (s *session) handleInstall(body []byte) (*ship.Result, *ship.WireError) {
 		s.srv.modules[unit.Name] = oid
 		s.srv.mu.Unlock()
 		if err := s.srv.st.Commit(); err != nil {
-			s.srv.enterDegraded(err)
+			s.srv.noteCommit(err)
 			return nil, &ship.WireError{Code: ship.CodeDegraded, Msg: "install not durable: " + err.Error()}, false
 		}
+		s.srv.noteCommit(nil)
 		s.srv.logf("session %d: installed module %s", s.id, unit.Name)
 		// An install is always a durable write: record it.
 		return &ship.Result{Val: ship.WVal{Kind: ship.WStr, Str: unit.Name}}, nil, true
@@ -270,6 +268,10 @@ func (s *session) handleCall(body []byte) (*ship.Result, *ship.WireError) {
 	}
 	s.begin()
 	defer s.end()
+	// The call executes against its own transaction: reads come from a
+	// snapshot pinned at begin, writes stay private until the commit below.
+	txn := s.openTxn()
+	defer s.closeTxn(txn)
 	var v machine.Value
 	if req.Module != "" {
 		modOID, ok := s.srv.module(req.Module)
@@ -278,7 +280,7 @@ func (s *session) handleCall(body []byte) (*ship.Result, *ship.WireError) {
 		}
 		v, err = s.m.CallExport(modOID, req.Fn, args)
 	} else {
-		oid, ok := s.srv.st.Root(ship.SavedRoot + req.Fn)
+		oid, ok := txn.Root(ship.SavedRoot + req.Fn)
 		if !ok {
 			return nil, &ship.WireError{Code: ship.CodeNotFound, Msg: "no saved closure " + req.Fn}
 		}
@@ -287,7 +289,49 @@ func (s *session) handleCall(body []byte) (*ship.Result, *ship.WireError) {
 	if err != nil {
 		return nil, execErr(err)
 	}
+	if werr := s.commitTxn(txn, "call"); werr != nil {
+		return nil, werr
+	}
 	return &ship.Result{Val: s.machineToWire(v), Info: ship.ExecInfo{Steps: s.m.Steps()}}, nil
+}
+
+// openTxn begins a store transaction and points the session's machine at
+// it, so every primitive the request executes reads the transaction's
+// snapshot and writes its private buffer.
+func (s *session) openTxn() *store.Txn {
+	txn := s.srv.st.Begin()
+	s.m.Store = txn
+	return txn
+}
+
+// closeTxn restores the machine's store view and rolls the transaction
+// back if it is still open (commitTxn finished it on the success path;
+// Abort is then a no-op).
+func (s *session) closeTxn(txn *store.Txn) {
+	s.m.Store = s.srv.st
+	txn.Abort()
+}
+
+// commitTxn commits the request's transaction and maps the outcome onto
+// the wire: a first-committer-wins abort becomes the retryable
+// CodeConflict (nothing was applied; the client re-executes against a
+// fresh snapshot), an I/O failure becomes CodeDegraded and latches the
+// advisory degraded flag, and a successful durable commit clears it.
+func (s *session) commitTxn(txn *store.Txn, what string) *ship.WireError {
+	mutated := txn.Mutated()
+	err := txn.Commit()
+	switch {
+	case err == nil:
+		if mutated {
+			s.srv.noteCommit(nil)
+		}
+		return nil
+	case errors.Is(err, store.ErrConflict):
+		return &ship.WireError{Code: ship.CodeConflict, Msg: what + " aborted: " + err.Error()}
+	default:
+		s.srv.noteCommit(err)
+		return &ship.WireError{Code: ship.CodeDegraded, Msg: what + " not durable: " + err.Error()}
+	}
 }
 
 // handleSubmit is the headline verb: decode the shipped PTML
@@ -306,15 +350,9 @@ func (s *session) handleSubmit(body []byte) (*ship.Result, *ship.WireError) {
 	if err != nil {
 		return nil, errWire(ship.CodeBadRequest, fmt.Errorf("undecodable PTML: %w", err))
 	}
-	if req.Save != "" {
-		// A saving submit is a write; refuse it up front in degraded mode
-		// rather than running the query and failing at the commit.
-		if werr := s.srv.refuseWrite(); werr != nil {
-			return nil, werr
-		}
-	}
 	if req.IdemKey == "" {
-		return s.runSubmit(req, srcHash)
+		res, werr, _ := s.runSubmit(req, srcHash)
+		return res, werr
 	}
 	// Keyed: exactly-once through the idempotency table. The key pairs
 	// the client's request key with the α-invariant tree hash, so the
@@ -325,15 +363,15 @@ func (s *session) handleSubmit(body []byte) (*ship.Result, *ship.WireError) {
 	// keyed read leaves no record, so a retry re-executes it instead of
 	// the table pinning its (possibly large) result relation in memory.
 	return s.srv.dedup.Do(req.IdemKey+"\x1f"+srcHash.String(), func() (*ship.Result, *ship.WireError, bool) {
-		pre := s.srv.st.Mutations()
-		res, werr := s.runSubmit(req, srcHash)
-		return res, werr, req.Save != "" || s.srv.st.Mutations() != pre
+		return s.runSubmit(req, srcHash)
 	})
 }
 
 // runSubmit is handleSubmit's execution core, shared by the keyed and
-// keyless paths.
-func (s *session) runSubmit(req *ship.Submit, srcHash ptml.Hash) (*ship.Result, *ship.WireError) {
+// keyless paths. The third result reports whether the request had
+// durable effects (a save, or a term that wrote through a writer
+// primitive) — the signal the idempotency table records on.
+func (s *session) runSubmit(req *ship.Submit, srcHash ptml.Hash) (*ship.Result, *ship.WireError, bool) {
 	// Resolve the binding table to store values up front: they feed both
 	// the cache key fingerprint and the substitution.
 	binds := make(map[string]store.Val, len(req.Binds))
@@ -341,10 +379,10 @@ func (s *session) runSubmit(req *ship.Submit, srcHash ptml.Hash) (*ship.Result, 
 	for _, b := range req.Binds {
 		sv, err := s.wireToStoreVal(b.Val)
 		if err != nil {
-			return nil, errWire(ship.CodeBadRequest, fmt.Errorf("binding %s: %w", b.Name, err))
+			return nil, errWire(ship.CodeBadRequest, fmt.Errorf("binding %s: %w", b.Name, err)), false
 		}
 		if _, dup := binds[b.Name]; dup {
-			return nil, &ship.WireError{Code: ship.CodeBadRequest, Msg: "duplicate binding " + b.Name}
+			return nil, &ship.WireError{Code: ship.CodeBadRequest, Msg: "duplicate binding " + b.Name}, false
 		}
 		binds[b.Name] = sv
 		fpBinds = append(fpBinds, store.Binding{Name: b.Name, Val: sv})
@@ -380,48 +418,55 @@ func (s *session) runSubmit(req *ship.Submit, srcHash ptml.Hash) (*ship.Result, 
 	}
 	res, err := s.srv.pipe.Run(job)
 	if err != nil {
-		return nil, errWire(ship.CodeCompile, err)
+		return nil, errWire(ship.CodeCompile, err), false
 	}
 
+	// The transaction opens after the pipeline ran: compiled code objects
+	// are published to the raw store (shared by every session through the
+	// cache), while the execution below reads the transaction's snapshot
+	// and buffers its writes until the commit.
 	s.begin()
+	txn := s.openTxn()
+	defer s.closeTxn(txn)
 	v, err := s.m.Apply(res.Closure, nil)
 	s.end()
 	if err != nil {
-		return nil, execErr(err)
+		return nil, execErr(err), false
 	}
 
 	if req.Save != "" {
-		if werr := s.save(req.Save, name, res); werr != nil {
-			return nil, werr
+		if werr := s.save(txn, req.Save, name, res); werr != nil {
+			return nil, werr, false
 		}
+	}
+	wrote := req.Save != "" || txn.Mutated()
+	if werr := s.commitTxn(txn, "submit"); werr != nil {
+		return nil, werr, false
 	}
 	info := ship.ExecInfo{
 		Steps:    s.m.Steps(),
 		CacheHit: res.CacheHit,
 		Rewrites: int64(res.Stats.Rewrites()),
 	}
-	return &ship.Result{Val: s.machineToWire(v), Info: info}, nil
+	return &ship.Result{Val: s.machineToWire(v), Info: info}, nil, wrote
 }
 
-// save persists a submitted term's compiled closure — TAM code and the
+// save stages a submitted term's compiled closure — TAM code and the
 // re-optimizable PTML tree, no bindings (rebinding closed the term) —
-// under the srv: root namespace tycfsck audits.
-func (s *session) save(saveAs, name string, res *pipeline.Result) *ship.WireError {
+// under the srv: root namespace tycfsck audits. The writes ride the
+// request's transaction; durability (and any conflict with a concurrent
+// save under the same name) is decided by its commit.
+func (s *session) save(st store.View, saveAs, name string, res *pipeline.Result) *ship.WireError {
 	if len(res.Code) == 0 || len(res.PTML) == 0 {
 		return &ship.WireError{Code: ship.CodeInternal, Msg: "compiled submit carries no encodings to save"}
 	}
-	st := s.srv.st
 	codeOID := st.Alloc(&store.Blob{Bytes: res.Code})
 	ptmlOID := st.Alloc(&store.Blob{Bytes: res.PTML})
 	cloOID := st.Alloc(&store.Closure{Name: name, Code: codeOID, PTML: ptmlOID})
-	// SetRoot advances the store's binding epoch, which conservatively
-	// invalidates the pipeline cache — saving is a binding change, the
-	// same rule every other root update follows.
+	// SetRoot advances the store's binding epoch at commit, which
+	// conservatively invalidates the pipeline cache — saving is a binding
+	// change, the same rule every other root update follows.
 	st.SetRoot(ship.SavedRoot+saveAs, cloOID)
-	if err := st.Commit(); err != nil {
-		s.srv.enterDegraded(err)
-		return &ship.WireError{Code: ship.CodeDegraded, Msg: "save not durable: " + err.Error()}
-	}
 	s.srv.logf("session %d: saved %s as %s%s", s.id, name, ship.SavedRoot, saveAs)
 	return nil
 }

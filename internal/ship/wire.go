@@ -26,6 +26,7 @@ import (
 
 	"tycoon/internal/pipeline"
 	"tycoon/internal/relalg"
+	"tycoon/internal/store"
 )
 
 // SavedRoot prefixes the store root names under which tycd persists
@@ -695,6 +696,11 @@ const (
 	// CodeDegraded refuses a write while the server is in degraded
 	// read-only mode (store commits are failing); reads keep working.
 	CodeDegraded ErrCode = 10
+	// CodeConflict aborts a request whose transaction lost a
+	// first-committer-wins race: another session committed a conflicting
+	// write first. Nothing was applied, so a retry — which re-executes
+	// against a fresh snapshot — is always safe.
+	CodeConflict ErrCode = 11
 )
 
 // String names an error code.
@@ -720,6 +726,8 @@ func (c ErrCode) String() string {
 		return "overloaded"
 	case CodeDegraded:
 		return "degraded"
+	case CodeConflict:
+		return "conflict"
 	default:
 		return fmt.Sprintf("code(%d)", byte(c))
 	}
@@ -800,6 +808,9 @@ type ServerStats struct {
 	IdemDeduped int64 `json:"idem_deduped,omitempty"`
 	// Verbs are the per-verb latency counters, keyed by Verb.String().
 	Verbs map[string]VerbStat `json:"verbs,omitempty"`
+	// Store carries the MVCC store's counters: open snapshots,
+	// transaction commits/aborts/conflicts and group-commit batching.
+	Store *store.TxStats `json:"store,omitempty"`
 	// Cluster carries the coordinator counters when the answering
 	// process is a tycc coordinator rather than a plain tycd shard. JSON
 	// keeps the extension free: old clients simply ignore the field.

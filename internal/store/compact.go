@@ -19,15 +19,29 @@ import (
 // compaction leaves either the original or the fully written replacement,
 // never a mix. Pending (uncommitted) changes are committed first.
 // In-memory stores compact trivially.
+// Compaction never blocks snapshot readers: it rewrites only the on-disk
+// image, and the in-memory version chains open snapshots read are
+// untouched. Commit records still queued with the group committer are
+// absorbed — their object states are part of the rewritten image, which
+// is strictly more durable than appending them — and their waiters are
+// released as flushed.
 func (s *Store) Compact() error {
 	if err := s.Commit(); err != nil {
 		return err
 	}
+	// fileMu first: a concurrent group-commit flush finishes before the
+	// rewrite starts, and any commit staged after the state snapshot below
+	// blocks on fileMu until the new file handle is in place.
+	s.fileMu.Lock()
+	defer s.fileMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.file == nil {
 		return nil
 	}
+	// Absorb the queued backlog: everything staged so far was published to
+	// the in-memory state the image below is encoded from.
+	s.cm.absorb()
 
 	tmpPath := s.path + ".compact"
 	tmp, err := s.fsys.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)

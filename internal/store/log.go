@@ -391,46 +391,34 @@ func (s *Store) dirtyRecords(version uint32) (batch bytes.Buffer, count int) {
 }
 
 // Commit atomically appends every dirty object (and the root table, if
-// changed) to the log and syncs the file: the batch is framed by a commit
-// trailer, so replay either sees all of it or none of it. In-memory
-// stores just clear the dirty set.
+// changed) to the log and syncs the file. The records go through the
+// group committer: concurrent commits (legacy or transactional) queued
+// meanwhile are flushed together under one commit trailer and one fsync,
+// so replay either sees a whole group or none of it. With nothing dirty,
+// Commit degrades to Flush — it retries any backlog a failed earlier
+// commit left queued, which is what makes it the operator's heal probe.
+// In-memory stores just clear the dirty set.
 func (s *Store) Commit() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.file == nil {
 		s.dirty = make(map[OID]bool)
 		s.rootsDirty = false
+		s.mu.Unlock()
 		return nil
 	}
-	if len(s.dirty) == 0 && !s.rootsDirty {
-		return nil
+	var req *commitReq
+	if len(s.dirty) > 0 || s.rootsDirty {
+		batch, count := s.dirtyRecords(s.version)
+		s.dirty = make(map[OID]bool)
+		s.rootsDirty = false
+		req = &commitReq{recs: batch, count: count}
+		s.cm.stage(req)
 	}
-	// Write the header if the file is empty.
-	info, err := s.file.Stat()
-	if err != nil {
-		return fmt.Errorf("store: stat: %w", err)
+	s.mu.Unlock()
+	if req == nil {
+		return s.Flush()
 	}
-	var out bytes.Buffer
-	if info.Size() == 0 {
-		writeHeader(&out, s.version)
-	}
-	batch, count := s.dirtyRecords(s.version)
-	out.Write(batch.Bytes())
-	if s.version >= formatV2 {
-		appendTrailer(&out, count, batch.Bytes())
-	}
-	if _, err := s.file.Seek(0, io.SeekEnd); err != nil {
-		return fmt.Errorf("store: seek: %w", err)
-	}
-	if _, err := s.file.Write(out.Bytes()); err != nil {
-		return fmt.Errorf("store: append: %w", err)
-	}
-	if err := s.file.Sync(); err != nil {
-		return fmt.Errorf("store: sync: %w", err)
-	}
-	s.dirty = make(map[OID]bool)
-	s.rootsDirty = false
-	return nil
+	return s.awaitCommit(req)
 }
 
 // encodeFullLog renders a complete log image of the given state in the

@@ -318,6 +318,25 @@ type Relation struct {
 	Indexes []IndexSpec
 
 	rowsMu sync.RWMutex
+
+	// canon links a snapshot/transaction view back to the live relation
+	// it was derived from, and canonRows is the committed row horizon the
+	// view was cut at. Both are nil/0 on live relations. See relView.
+	canon     *Relation
+	canonRows int
+}
+
+// IndexIdentity returns the relation object the index cache should key
+// on for a scan over nrows rows: a clean view (no private appends past
+// its committed horizon) shares its live relation's identity, so every
+// session's snapshot of the same relation hits one cached index; a view
+// carrying transaction-private rows keeps its own identity, so its index
+// can never serve uncommitted rows to another session.
+func (r *Relation) IndexIdentity(nrows int) *Relation {
+	if r.canon != nil && nrows == r.canonRows {
+		return r.canon
+	}
+	return r
 }
 
 // Kind reports KindRelation.
@@ -401,19 +420,64 @@ func (b *Blob) clone() Object {
 // ErrNotFound is returned when an OID does not resolve.
 var ErrNotFound = errors.New("store: object not found")
 
+// View is the object-graph access surface shared by the raw store (live
+// head state, legacy autocommit semantics) and a Txn (snapshot reads,
+// buffered writes, first-committer-wins commit). The machine executes
+// against a View, so the same interpreter serves embedded single-writer
+// tools and the server's transactional sessions.
+type View interface {
+	Get(oid OID) (Object, error)
+	MustGet(oid OID) Object
+	Alloc(obj Object) OID
+	Update(oid OID, obj Object) error
+	MarkDirty(oid OID)
+	SetRoot(name string, oid OID)
+	Root(name string) (OID, bool)
+}
+
+var (
+	_ View = (*Store)(nil)
+	_ View = (*Txn)(nil)
+)
+
 // Store is a log-structured persistent object store. All methods are safe
 // for concurrent use.
 type Store struct {
-	mu         sync.RWMutex
-	fsys       iofault.FS
-	path       string
-	file       iofault.File
-	version    uint32 // on-disk log format version (v1 logs stay v1 until Compact)
-	objects    map[OID]Object
+	mu   sync.RWMutex
+	fsys iofault.FS
+	path string
+	// fileMu serialises all log-file I/O (group-commit flushes, Compact's
+	// rewrite, Close). file and version are written only at open time,
+	// under fileMu+mu (Compact, Close), so reads under either lock are
+	// consistent. Lock order: fileMu before mu before cm.mu.
+	fileMu  sync.Mutex
+	file    iofault.File
+	version uint32 // on-disk log format version (v1 logs stay v1 until Compact)
+	objects map[OID]Object
+	// vers holds the version chain per OID for objects republished since
+	// open (absent entries are base state, visible to every snapshot).
+	// Chain prev pointers are immutable; heads swap and tails truncate
+	// under mu. See mvcc.go.
+	vers map[OID]*version
+	// roots is copy-on-write once concurrent access begins: SetRoot and
+	// transactional commits swap in a fresh map, so snapshots hold the
+	// captured map without copying it.
 	roots      map[string]OID
 	dirty      map[OID]bool
 	rootsDirty bool
 	next       OID
+	// csn is the commit sequence number: every publication event (legacy
+	// Alloc/Update/MarkDirty/SetRoot, or one whole transactional commit)
+	// advances it, and snapshots pin it.
+	csn  uint64
+	pins map[uint64]int // open-snapshot pin counts by CSN
+	// snaps counts open snapshots (pins collapses same-CSN snapshots).
+	snaps int
+	cm    committer
+	// MVCC outcome counters (see TxStats).
+	txCommitted uint64
+	txAborted   uint64
+	txConflicts uint64
 	// epoch counts binding-relevant mutations (Update, SetRoot). The
 	// compilation pipeline's optimized-code cache tags every entry with
 	// the epoch it was computed at and discards it once the epoch has
@@ -440,10 +504,13 @@ func OpenFS(fsys iofault.FS, path string) (*Store, error) {
 		path:    path,
 		version: currentVersion,
 		objects: make(map[OID]Object),
+		vers:    make(map[OID]*version),
 		roots:   make(map[string]OID),
 		dirty:   make(map[OID]bool),
+		pins:    make(map[uint64]int),
 		next:    1,
 	}
+	s.cm.init()
 	if path == "" {
 		return s, nil
 	}
@@ -477,6 +544,8 @@ func (s *Store) Close() error {
 	if err := s.Commit(); err != nil {
 		return err
 	}
+	s.fileMu.Lock()
+	defer s.fileMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.file != nil {
@@ -496,6 +565,8 @@ func (s *Store) Alloc(obj Object) OID {
 	s.objects[oid] = obj
 	s.dirty[oid] = true
 	s.muts++
+	s.csn++
+	s.publishLocked(oid, obj)
 	return oid
 }
 
@@ -532,6 +603,8 @@ func (s *Store) Update(oid OID, obj Object) error {
 	s.dirty[oid] = true
 	s.epoch++
 	s.muts++
+	s.csn++
+	s.publishLocked(oid, obj)
 	return nil
 }
 
@@ -583,16 +656,24 @@ func (s *Store) SetClosureAttrs(oid OID, cost, savings int32) error {
 	next.Savings = savings
 	s.objects[oid] = next
 	s.dirty[oid] = true
+	s.csn++
+	s.publishLocked(oid, next)
 	return nil
 }
 
 // MarkDirty schedules an in-place mutated object for the next Commit.
+// It also republishes the object's version so snapshots opened afterwards
+// pick up a fresh relation row horizon. (For arrays mutated in place the
+// old and new version share the object pointer — the raw-store API gives
+// no version isolation for them; the transactional API does.)
 func (s *Store) MarkDirty(oid OID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.objects[oid]; ok {
+	if obj, ok := s.objects[oid]; ok {
 		s.dirty[oid] = true
 		s.muts++
+		s.csn++
+		s.publishLocked(oid, obj)
 	}
 }
 
@@ -601,10 +682,17 @@ func (s *Store) MarkDirty(oid OID) {
 func (s *Store) SetRoot(name string, oid OID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.roots[name] = oid
+	// Copy-on-write: snapshots hold the previous map by reference.
+	next := make(map[string]OID, len(s.roots)+1)
+	for k, v := range s.roots {
+		next[k] = v
+	}
+	next[name] = oid
+	s.roots = next
 	s.rootsDirty = true
 	s.epoch++
 	s.muts++
+	s.csn++
 }
 
 // Root resolves a persistent root name.

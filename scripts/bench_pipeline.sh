@@ -23,6 +23,12 @@
 #                merge overhead; hits/op must stay 1.0 per shard, and
 #                the hedged p99-ms should sit near the hedge threshold
 #                instead of the straggler delay.
+#                store: MVCC commit throughput (BenchmarkStore_*) at
+#                1/8/64 concurrent transactions against a file-backed
+#                store — the group-commit fsync amortization; ns/op at
+#                64 sessions must land well under the single-session
+#                line and txns/batch shows how many transactions each
+#                flush carried.
 #   BENCH_TIME   -benchtime value (default 1x: one measured iteration —
 #                the suite reports deterministic steps/call, so a single
 #                iteration is meaningful; raise for stable ns/op)
@@ -36,6 +42,7 @@ pipeline) pattern='BenchmarkE1|BenchmarkE2|BenchmarkF3' ;;
 exec) pattern='BenchmarkExec' ;;
 server) pattern='BenchmarkServer' ;;
 cluster) pattern='BenchmarkCluster' ;;
+store) pattern='BenchmarkStore' ;;
 *) echo "bench_pipeline.sh: unknown BENCH_LANE '$lane'" >&2; exit 2 ;;
 esac
 
