@@ -31,6 +31,22 @@ func execJoinSrc(oid store.OID) string {
       ` + o + ` ` + o + ` e k)`
 }
 
+func execJoinHashSrc(oid store.OID) string {
+	o := tml.NewOid(uint64(oid)).String()
+	return `
+(join proc(x !ce !cc)
+        ([] x 1 cont(a) ([] x 3 cont(b)
+          (== a b cont() (cc true) cont() (cc false))))
+      ` + o + ` ` + o + ` e k)`
+}
+
+func execProjectSrc(oid store.OID) string {
+	return `
+(project proc(x !ce !cc)
+           ([] x 1 cont(a) (+ a 1 ce cont(b) (vector b cont(row) (cc row))))
+         ` + tml.NewOid(uint64(oid)).String() + ` e k)`
+}
+
 func execExistsSrc(oid store.OID) string {
 	// val is always < 97, so the existential scans every row.
 	return `
@@ -66,10 +82,24 @@ func BenchmarkExec_Select(b *testing.B) {
 	}
 }
 
-// BenchmarkExec_Join measures the nested-loop self-join t200 ⋈_{id=id}
-// t200: 40 000 predicate evaluations, 200 result rows.
+// BenchmarkExec_Join measures the self-join t200 ⋈_{id=id} t200: 200
+// result rows. The id column is sorted, so the planner serves this with
+// a sort-merge join.
 func BenchmarkExec_Join(b *testing.B) {
 	benchExecQuery(b, 200, execJoinSrc)
+}
+
+// BenchmarkExec_JoinHash measures the same self-join keyed on the
+// unsorted val column: live stats report Sorted=false, so the planner
+// picks a hash join (418 result rows for n=200, val=i%97).
+func BenchmarkExec_JoinHash(b *testing.B) {
+	benchExecQuery(b, 200, execJoinHashSrc)
+}
+
+// BenchmarkExec_Project measures π_{val+1}(t): one computed target
+// column materialized per row.
+func BenchmarkExec_Project(b *testing.B) {
+	benchExecQuery(b, 10000, execProjectSrc)
 }
 
 // BenchmarkExec_Exists measures a full-scan existential (the predicate

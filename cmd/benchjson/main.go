@@ -9,12 +9,19 @@
 //
 //	jq -r .raw old.json > old.txt; jq -r .raw new.json > new.txt
 //	benchstat old.txt new.txt
+//
+// With -baseline, the run is additionally gated against a committed
+// artifact: any gated metric regressing by more than -maxregress fails
+// the command after the new artifact has been written.
+//
+//	go test -bench Exec . | benchjson -lane exec -baseline bench/BENCH_exec.json > new.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"io"
 	"log"
 	"os"
@@ -49,6 +56,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	lane := flag.String("lane", "", "benchmark lane name to record in the artifact")
+	baseline := flag.String("baseline", "", "committed baseline artifact to gate against; exit nonzero on regression")
+	maxRegress := flag.Float64("maxregress", 0.2, "maximum allowed fractional regression per gated metric")
 	flag.Parse()
 	src, err := io.ReadAll(os.Stdin)
 	if err != nil {
@@ -76,6 +85,67 @@ func main() {
 	if err := enc.Encode(art); err != nil {
 		log.Fatal(err)
 	}
+
+	if *baseline != "" {
+		viols := gate(&art, *baseline, *maxRegress)
+		for _, v := range viols {
+			log.Print(v)
+		}
+		if len(viols) > 0 {
+			log.Fatalf("%d regression(s) beyond %.0f%% vs %s", len(viols), *maxRegress*100, *baseline)
+		}
+	}
+}
+
+// gate compares art against the committed baseline artifact at path and
+// returns one message per violation. allocs/op and steps/call are
+// machine-independent and always gated; ns/op and B/op are gated only
+// when the baseline was recorded on the same cpu model, since
+// wall-clock comparisons across hosts measure the host, not the code.
+func gate(art *Artifact, path string, maxRegress float64) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var base Artifact
+	if err := json.Unmarshal(data, &base); err != nil {
+		return []string{path + ": " + err.Error()}
+	}
+	if base.Lane != "" && art.Lane != "" && base.Lane != art.Lane {
+		return []string{fmt.Sprintf("lane mismatch: this run is %q, baseline is %q", art.Lane, base.Lane)}
+	}
+	gated := map[string]bool{"allocs/op": true, "steps/call": true}
+	if art.Env["cpu"] != "" && art.Env["cpu"] == base.Env["cpu"] {
+		gated["ns/op"] = true
+		gated["B/op"] = true
+	}
+	cur := make(map[string]Benchmark, len(art.Benchmarks))
+	for _, b := range art.Benchmarks {
+		cur[b.Name] = b
+	}
+	var viols []string
+	for _, bb := range base.Benchmarks {
+		nb, ok := cur[bb.Name]
+		if !ok {
+			viols = append(viols, fmt.Sprintf("%s: in baseline but missing from this run", bb.Name))
+			continue
+		}
+		for unit, old := range bb.Metrics {
+			if !gated[unit] {
+				continue
+			}
+			now, ok := nb.Metrics[unit]
+			if !ok {
+				viols = append(viols, fmt.Sprintf("%s: metric %s missing from this run", bb.Name, unit))
+				continue
+			}
+			if now > old*(1+maxRegress) {
+				viols = append(viols, fmt.Sprintf("%s: %s regressed %g -> %g (limit +%.0f%%)",
+					bb.Name, unit, old, now, maxRegress*100))
+			}
+		}
+	}
+	return viols
 }
 
 func isEnvKey(k string) bool {

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, art Artifact) string {
+	t.Helper()
+	data, err := json.Marshal(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func bm(name string, ns, allocs, steps float64) Benchmark {
+	return Benchmark{Name: name, Iterations: 1, Metrics: map[string]float64{
+		"ns/op": ns, "allocs/op": allocs, "steps/call": steps,
+	}}
+}
+
+func TestGatePassesWithinMargin(t *testing.T) {
+	base := writeBaseline(t, Artifact{
+		Lane: "exec",
+		Env:  map[string]string{"cpu": "Xeon 2.70GHz"},
+		Benchmarks: []Benchmark{
+			bm("Exec_Select", 1000, 30, 4001),
+		},
+	})
+	art := Artifact{
+		Lane: "exec",
+		Env:  map[string]string{"cpu": "Xeon 2.70GHz"},
+		Benchmarks: []Benchmark{
+			// +10% ns, +10% allocs, equal steps: all inside the margin.
+			bm("Exec_Select", 1100, 33, 4001),
+		},
+	}
+	if viols := gate(&art, base, 0.2); len(viols) != 0 {
+		t.Fatalf("expected clean gate, got %v", viols)
+	}
+}
+
+func TestGateFailsOnAllocRegression(t *testing.T) {
+	base := writeBaseline(t, Artifact{
+		Lane:       "exec",
+		Env:        map[string]string{"cpu": "Xeon 2.70GHz"},
+		Benchmarks: []Benchmark{bm("Exec_Join", 1000, 100, 200001)},
+	})
+	art := Artifact{
+		Lane:       "exec",
+		Env:        map[string]string{"cpu": "other"},
+		Benchmarks: []Benchmark{bm("Exec_Join", 99999, 200, 200001)},
+	}
+	viols := gate(&art, base, 0.2)
+	if len(viols) != 1 || !strings.Contains(viols[0], "allocs/op") {
+		t.Fatalf("expected one allocs/op violation, got %v", viols)
+	}
+}
+
+func TestGateSkipsWallClockAcrossCPUs(t *testing.T) {
+	base := writeBaseline(t, Artifact{
+		Lane:       "exec",
+		Env:        map[string]string{"cpu": "Xeon 2.10GHz"},
+		Benchmarks: []Benchmark{bm("Exec_Exists", 1000, 17, 40001)},
+	})
+	art := Artifact{
+		Lane: "exec",
+		Env:  map[string]string{"cpu": "Xeon 2.70GHz"},
+		// 5x the wall clock on a different machine: not a violation.
+		Benchmarks: []Benchmark{bm("Exec_Exists", 5000, 17, 40001)},
+	}
+	if viols := gate(&art, base, 0.2); len(viols) != 0 {
+		t.Fatalf("ns/op must not be gated across cpus, got %v", viols)
+	}
+	// Same cpu: the identical 5x slowdown now fails.
+	art.Env["cpu"] = "Xeon 2.10GHz"
+	viols := gate(&art, base, 0.2)
+	if len(viols) != 1 || !strings.Contains(viols[0], "ns/op") {
+		t.Fatalf("expected one ns/op violation on matching cpu, got %v", viols)
+	}
+}
+
+func TestGateFlagsMissingBenchmarkAndLaneMismatch(t *testing.T) {
+	base := writeBaseline(t, Artifact{
+		Lane:       "exec",
+		Env:        map[string]string{"cpu": "x"},
+		Benchmarks: []Benchmark{bm("Exec_IndexScan", 1000, 11, 2)},
+	})
+	art := Artifact{
+		Lane:       "exec",
+		Env:        map[string]string{"cpu": "x"},
+		Benchmarks: []Benchmark{bm("Exec_Other", 1, 1, 1)},
+	}
+	viols := gate(&art, base, 0.2)
+	if len(viols) != 1 || !strings.Contains(viols[0], "missing") {
+		t.Fatalf("expected missing-benchmark violation, got %v", viols)
+	}
+
+	art.Lane = "server"
+	viols = gate(&art, base, 0.2)
+	if len(viols) != 1 || !strings.Contains(viols[0], "lane mismatch") {
+		t.Fatalf("expected lane mismatch, got %v", viols)
+	}
+}

@@ -2,7 +2,7 @@
 // runs it, optionally after reflective runtime optimization across its
 // module abstraction barriers (paper §4.1).
 //
-//	tmlrun -store db.tyst [-opt] [-steps] [-profile] module.function [int args…]
+//	tmlrun -store db.tyst [-opt] [-steps] [-profile] [-explain] module.function [int args…]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 
 	"tycoon/internal/linker"
 	"tycoon/internal/machine"
+	"tycoon/internal/qopt"
 	"tycoon/internal/reflectopt"
 	"tycoon/internal/relalg"
 	"tycoon/internal/store"
@@ -27,7 +28,8 @@ func main() {
 	storePath := flag.String("store", "tycoon.tyst", "store file")
 	dynOpt := flag.Bool("opt", false, "reflectively optimize before running")
 	showSteps := flag.Bool("steps", false, "report abstract machine steps")
-	profile := flag.Bool("profile", false, "report steps, engine transfers, frame allocations and wall time")
+	profile := flag.Bool("profile", false, "report steps, engine transfers, frame allocations, vectorized rows and wall time")
+	explain := flag.Bool("explain", false, "print the executed physical plan (chosen algorithms, est vs actual cardinalities)")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		log.Fatal("usage: tmlrun -store db.tyst [-opt] module.function [int args…]")
@@ -60,7 +62,8 @@ func main() {
 
 	m := machine.New(st)
 	m.Out = os.Stdout
-	relalg.NewManager(st).Register(m)
+	mg := relalg.NewManager(st)
+	mg.Register(m)
 
 	if *dynOpt {
 		mod := st.MustGet(modOID).(*store.Module)
@@ -74,11 +77,22 @@ func main() {
 			log.Fatalf("optimize: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "optimized: %s (%d cross-barrier inlines)\n", res.Stats, res.Inlined)
+		if *explain && len(res.Plan) > 0 {
+			fmt.Fprintf(os.Stderr, "access plan:\n%s\n", qopt.RenderPlan(res.Plan))
+		}
 	}
 
+	if *explain {
+		mg.CaptureExplain(m)
+	}
 	start := time.Now()
 	result, err := m.CallExport(modOID, fnName, args)
 	elapsed := time.Since(start)
+	if *explain {
+		// Collect even on failure so the capture sink is cleaned up and a
+		// partial plan still shows which operators ran.
+		fmt.Fprintf(os.Stderr, "plan:\n%s\n", qopt.RenderPlan(mg.TakeExplain(m)))
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -88,7 +102,7 @@ func main() {
 	}
 	if *profile {
 		p := m.Profile()
-		fmt.Fprintf(os.Stderr, "profile: %d steps, %d engine transfers, %d frames allocated, %d frames reused, %s wall time\n",
-			p.Steps, p.Transfers, p.FramesAlloc, p.FramesReuse, elapsed)
+		fmt.Fprintf(os.Stderr, "profile: %d steps, %d engine transfers, %d frames allocated, %d frames reused, %d vector rows, %s wall time\n",
+			p.Steps, p.Transfers, p.FramesAlloc, p.FramesReuse, p.VecRows, elapsed)
 	}
 }

@@ -21,7 +21,7 @@
 //	call <module>.<fn> [arg...]  call an exported function
 //	call @<name> [arg...]        call a closure saved by submit
 //	optimize <module>.<fn>       reflectively optimize server-side
-//	submit [opt] [save=<name>] [merge=<auto|sum|any|all>] [<var>=<value>...] (<tml term>)
+//	submit [opt] [explain=] [save=<name>] [merge=<auto|sum|any|all>] [<var>=<value>...] (<tml term>)
 //	quit
 //
 // Exit codes distinguish failure layers: 1 for local/usage errors, 2
@@ -326,7 +326,7 @@ func (sh *shell) exec(line string, r *bufio.Reader) error {
 		if err != nil {
 			return err
 		}
-		res, err := sh.c.SubmitTMLMerge(req.name, req.term, req.binds, req.optimize, req.save, req.merge)
+		res, err := sh.c.SubmitTMLPlan(req.name, req.term, req.binds, req.optimize, req.save, req.merge, req.explain)
 		if err != nil {
 			return reqErr(err)
 		}
@@ -363,6 +363,12 @@ func (sh *shell) print(res *ship.Result) {
 	}
 	if res.Partial {
 		fmt.Printf("(partial: missing %s)\n", strings.Join(res.Missing, ", "))
+	}
+	if res.Explain != "" {
+		fmt.Println("plan:")
+		for _, line := range strings.Split(res.Explain, "\n") {
+			fmt.Println("  " + line)
+		}
 	}
 	if sh.verbose {
 		fmt.Fprintf(os.Stderr, "steps %d, %s, cache hit %t\n",
@@ -416,15 +422,16 @@ func splitCall(rest string) (string, []ship.WVal, error) {
 type submitReq struct {
 	name, term, save string
 	optimize         bool
+	explain          bool
 	merge            ship.Merge
 	binds            []ship.WBind
 }
 
-// parseSubmit parses: [opt] [name=<label>] [save=<name>] [merge=<policy>]
-// [var=value...] followed by the TML term (everything from the first
-// '('). The merge policy (auto/sum/any/all) only matters against a
-// cluster coordinator, which uses it to combine partitioned scalar
-// answers; a plain server ignores it.
+// parseSubmit parses: [opt] [explain=] [name=<label>] [save=<name>]
+// [merge=<policy>] [var=value...] followed by the TML term (everything
+// from the first '('). The merge policy (auto/sum/any/all) only matters
+// against a cluster coordinator, which uses it to combine partitioned
+// scalar answers; a plain server ignores it.
 func parseSubmit(rest string) (*submitReq, error) {
 	req := &submitReq{}
 	for rest != "" {
@@ -437,6 +444,15 @@ func parseSubmit(rest string) (*submitReq, error) {
 		switch {
 		case tok == "opt":
 			req.optimize = true
+		case tok == "explain" || strings.HasPrefix(tok, "explain="):
+			switch strings.TrimPrefix(strings.TrimPrefix(tok, "explain"), "=") {
+			case "", "on", "true", "1":
+				req.explain = true
+			case "off", "false", "0":
+				req.explain = false
+			default:
+				return nil, fmt.Errorf("submit: bad explain token %q", tok)
+			}
 		case strings.HasPrefix(tok, "save="):
 			req.save = tok[len("save="):]
 		case strings.HasPrefix(tok, "name="):

@@ -588,6 +588,14 @@ func (c *Client) SubmitTML(name, src string, binds []ship.WBind, optimize bool, 
 // cluster coordinators (see ship.Merge). A plain tycd server never sees
 // the field, so against one this is exactly SubmitTML.
 func (c *Client) SubmitTMLMerge(name, src string, binds []ship.WBind, optimize bool, save string, merge ship.Merge) (*ship.Result, error) {
+	return c.SubmitTMLPlan(name, src, binds, optimize, save, merge, false)
+}
+
+// SubmitTMLPlan is SubmitTMLMerge plus the EXPLAIN flag: when explain
+// is set, the server records the physical plan the query executed —
+// chosen algorithms, estimated vs. actual cardinalities — and attaches
+// its rendering to Result.Explain.
+func (c *Client) SubmitTMLPlan(name, src string, binds []ship.WBind, optimize bool, save string, merge ship.Merge, explain bool) (*ship.Result, error) {
 	app, err := tml.ParseApp(src, tml.ParseOpts{IsPrim: prim.IsPrim})
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
@@ -603,5 +611,6 @@ func (c *Client) SubmitTMLMerge(name, src string, binds []ship.WBind, optimize b
 		Optimize: optimize,
 		Save:     save,
 		Merge:    merge,
+		Explain:  explain,
 	})
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -661,6 +662,17 @@ func (co *Coordinator) scatterSubmit(fwd *ship.Submit, policy ship.Merge) (*ship
 	merged, err := mergeResults(policy, results)
 	if err != nil {
 		return nil, err
+	}
+	// An explain answer concatenates the per-shard plans, labelled: the
+	// cluster's "plan" is what each shard actually executed.
+	var plans []string
+	for i, r := range results {
+		if r != nil && r.Explain != "" {
+			plans = append(plans, fmt.Sprintf("shard%d:\n%s", i, r.Explain))
+		}
+	}
+	if len(plans) > 0 {
+		merged.Explain = strings.Join(plans, "\n")
 	}
 	if len(missing) > 0 {
 		co.partials.Add(1)

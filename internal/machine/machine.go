@@ -44,6 +44,7 @@ type Machine struct {
 	transfers   int64
 	framesAlloc int64
 	framesReuse int64
+	vecRows     int64
 	// freeFrames is the TAM frame free-list: a block whose frame provably
 	// does not escape (CodeBlock.frameSafe) returns it here when control
 	// leaves the block, and transfer reuses it for the next activation —
@@ -192,17 +193,24 @@ type Profile struct {
 	Transfers   int64
 	FramesAlloc int64
 	FramesReuse int64
+	// VecRows counts rows processed by vectorized query kernels instead
+	// of per-row machine re-entry (the exec lane's data-path telemetry).
+	VecRows int64
 }
 
 // Profile reports the machine's execution counters.
 func (m *Machine) Profile() Profile {
 	return Profile{Steps: m.steps, Transfers: m.transfers,
-		FramesAlloc: m.framesAlloc, FramesReuse: m.framesReuse}
+		FramesAlloc: m.framesAlloc, FramesReuse: m.framesReuse,
+		VecRows: m.vecRows}
 }
+
+// AddVecRows records rows served by a vectorized kernel.
+func (m *Machine) AddVecRows(n int) { m.vecRows += int64(n) }
 
 // ResetProfile clears all execution counters, including steps.
 func (m *Machine) ResetProfile() {
-	m.steps, m.transfers, m.framesAlloc, m.framesReuse = 0, 0, 0, 0
+	m.steps, m.transfers, m.framesAlloc, m.framesReuse, m.vecRows = 0, 0, 0, 0, 0
 }
 
 // maxPooledFrames bounds the frame free-list; beyond it dead frames are

@@ -222,6 +222,17 @@ func (ir *indexRule) apply(ctx *opt.Ctx, app *tml.App) (*tml.App, bool) {
 	if !isRel || !rel.HasIndexOn(col) {
 		return nil, false
 	}
+	// Cost gate over live statistics: rewrite only when the estimated
+	// match set plus the probe overhead undercuts the full scan. A cold
+	// column (no stats yet) defaults to the probe, as before.
+	nrows := rel.NumRows()
+	var cst *store.ColStats
+	if sts := rel.ColumnStats(nrows); col < len(sts) {
+		cst = &sts[col]
+	}
+	if !UseIndex(cst, nrows) {
+		return nil, false
+	}
 	return tml.NewApp(tml.NewPrim("indexscan"),
 		relOid, tml.Int(int64(col)), key, app.Args[2], app.Args[3]), true
 }

@@ -1,4 +1,4 @@
-package qopt
+package qopt_test
 
 import (
 	"strings"
@@ -7,6 +7,7 @@ import (
 	"tycoon/internal/machine"
 	"tycoon/internal/opt"
 	"tycoon/internal/prim"
+	"tycoon/internal/qopt"
 	"tycoon/internal/relalg"
 	"tycoon/internal/store"
 	"tycoon/internal/tml"
@@ -38,7 +39,7 @@ func optimizeWith(t *testing.T, app *tml.App, rules []opt.Rule) (*tml.App, *opt.
 
 func TestIdentityProject(t *testing.T) {
 	src := `(project proc(x !ce !cc) (cc x) R e k)`
-	out, stats := optimizeWith(t, parse(t, src), StaticRules())
+	out, stats := optimizeWith(t, parse(t, src), qopt.StaticRules())
 	if stats.Rules["identity-project"] != 1 {
 		t.Fatalf("identity-project did not fire: %v", stats.Rules)
 	}
@@ -47,7 +48,7 @@ func TestIdentityProject(t *testing.T) {
 	}
 	// Non-identity target must not fire.
 	src2 := `(project proc(x !ce !cc) ([] x 0 cont(t) (cc t)) R e k)`
-	_, stats2 := optimizeWith(t, parse(t, src2), StaticRules())
+	_, stats2 := optimizeWith(t, parse(t, src2), qopt.StaticRules())
 	if stats2.Rules["identity-project"] != 0 {
 		t.Error("identity-project fired on a real projection")
 	}
@@ -59,7 +60,7 @@ func TestMergeSelect(t *testing.T) {
 (select proc(x1 !ce1 !cc1) (q x1 ce1 cc1)
         R e
         cont(t) (select proc(x2 !ce2 !cc2) (p x2 ce2 cc2) t e k))`
-	out, stats := optimizeWith(t, parse(t, src), StaticRules())
+	out, stats := optimizeWith(t, parse(t, src), qopt.StaticRules())
 	if stats.Rules["merge-select"] != 1 {
 		t.Fatalf("merge-select did not fire: %v\n%s", stats.Rules, tml.Print(out))
 	}
@@ -73,7 +74,7 @@ func TestMergeSelect(t *testing.T) {
         R e
         cont(t) (select proc(x2 !ce2 !cc2) (p x2 ce2 cc2) t e
                   cont(u) (pair t u e k)))`
-	_, stats2 := optimizeWith(t, parse(t, src2), StaticRules())
+	_, stats2 := optimizeWith(t, parse(t, src2), qopt.StaticRules())
 	if stats2.Rules["merge-select"] != 0 {
 		t.Error("merge-select fired although the temporary escapes")
 	}
@@ -82,7 +83,7 @@ func TestMergeSelect(t *testing.T) {
 func TestTrivialExists(t *testing.T) {
 	// The predicate ignores its row variable: rewrite to p ∧ R ≠ ∅.
 	src := `(exists proc(x !ce !cc) (p ok ce cc) R e k)`
-	out, stats := optimizeWith(t, parse(t, src), StaticRules())
+	out, stats := optimizeWith(t, parse(t, src), qopt.StaticRules())
 	if stats.Rules["trivial-exists"] != 1 {
 		t.Fatalf("trivial-exists did not fire: %v", stats.Rules)
 	}
@@ -95,7 +96,7 @@ func TestTrivialExists(t *testing.T) {
 	}
 	// A predicate that uses the row variable must not be rewritten.
 	src2 := `(exists proc(x !ce !cc) (p x ce cc) R e k)`
-	_, stats2 := optimizeWith(t, parse(t, src2), StaticRules())
+	_, stats2 := optimizeWith(t, parse(t, src2), qopt.StaticRules())
 	if stats2.Rules["trivial-exists"] != 0 {
 		t.Error("trivial-exists fired although the predicate depends on the row")
 	}
@@ -132,7 +133,7 @@ func TestIndexScanRewrite(t *testing.T) {
 (select proc(x !ce !cc)
           ([] x 0 cont(t) (== t 42 cont() (cc true) cont() (cc false)))
         ` + tml.NewOid(uint64(oid)).String() + ` e k)`
-	out, stats := optimizeWith(t, parse(t, src), RuntimeRules(st))
+	out, stats := optimizeWith(t, parse(t, src), qopt.RuntimeRules(st))
 	if stats.Rules["index-scan"] != 1 {
 		t.Fatalf("index-scan did not fire: %v\n%s", stats.Rules, tml.Print(out))
 	}
@@ -145,7 +146,7 @@ func TestIndexScanRewrite(t *testing.T) {
 (select proc(x !ce !cc)
           ([] x 1 cont(t) (== t 420 cont() (cc true) cont() (cc false)))
         ` + tml.NewOid(uint64(oid)).String() + ` e k)`
-	_, stats2 := optimizeWith(t, parse(t, src2), RuntimeRules(st))
+	_, stats2 := optimizeWith(t, parse(t, src2), qopt.RuntimeRules(st))
 	if stats2.Rules["index-scan"] != 0 {
 		t.Error("index-scan fired without an index")
 	}
@@ -155,9 +156,42 @@ func TestIndexScanRewrite(t *testing.T) {
 (select proc(x !ce !cc)
           ([] x 0 cont(t) (== t x cont() (cc true) cont() (cc false)))
         ` + tml.NewOid(uint64(oid)).String() + ` e k)`
-	_, stats3 := optimizeWith(t, parse(t, src3), RuntimeRules(st))
+	_, stats3 := optimizeWith(t, parse(t, src3), qopt.RuntimeRules(st))
 	if stats3.Rules["index-scan"] != 0 {
 		t.Error("index-scan fired on a row-dependent key")
+	}
+}
+
+// TestIndexRuleCostGate checks the cost gate over live statistics: an
+// index on a column whose every value is identical would return the whole
+// relation, so the planner must keep the sequential scan; a selective
+// column keeps the rewrite (TestIndexScanRewrite covers that side).
+func TestIndexRuleCostGate(t *testing.T) {
+	st, err := store.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	mg := relalg.NewManager(st)
+	oid, err := mg.CreateRelation("dup", []store.Column{
+		{Name: "id", Type: store.ColInt},
+		{Name: "val", Type: store.ColInt},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := mg.InsertRow(oid, []store.Val{store.IntVal(7), store.IntVal(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := `
+(select proc(x !ce !cc)
+          ([] x 0 cont(t) (== t 7 cont() (cc true) cont() (cc false)))
+        ` + tml.NewOid(uint64(oid)).String() + ` e k)`
+	out, stats := optimizeWith(t, parse(t, src), qopt.RuntimeRules(st))
+	if stats.Rules["index-scan"] != 0 {
+		t.Errorf("index-scan fired on a column with one distinct value:\n%s", tml.Print(out))
 	}
 }
 
@@ -207,7 +241,7 @@ func TestMergeSelectPreservesSemantics(t *testing.T) {
                  t e k))`
 	app := parse(t, src)
 	before := rowCount(t, runQuery(t, st, mg, app))
-	optApp, stats := optimizeWith(t, app, StaticRules())
+	optApp, stats := optimizeWith(t, app, qopt.StaticRules())
 	if stats.Rules["merge-select"] != 1 {
 		t.Fatalf("merge-select did not fire: %v", stats.Rules)
 	}
@@ -225,7 +259,7 @@ func TestIndexScanPreservesSemantics(t *testing.T) {
         ` + tml.NewOid(uint64(oid)).String() + ` e k)`
 	app := parse(t, src)
 	before := rowCount(t, runQuery(t, st, mg, app))
-	optApp, _ := optimizeWith(t, app, RuntimeRules(st))
+	optApp, _ := optimizeWith(t, app, qopt.RuntimeRules(st))
 	after := rowCount(t, runQuery(t, st, mg, optApp))
 	if before != 1 || after != 1 {
 		t.Errorf("row counts: before=%d after=%d want 1", before, after)
@@ -240,7 +274,7 @@ func TestTrivialExistsPreservesSemantics(t *testing.T) {
         ` + tml.NewOid(uint64(oid)).String() + ` e k)`
 	app := parse(t, src)
 	v1 := runQuery(t, st, mg, app)
-	optApp, stats := optimizeWith(t, app, StaticRules())
+	optApp, stats := optimizeWith(t, app, qopt.StaticRules())
 	if stats.Rules["trivial-exists"] != 1 {
 		t.Fatalf("trivial-exists did not fire: %v", stats.Rules)
 	}

@@ -153,6 +153,13 @@ type Result struct {
 	// the relational substrate will run on its batched, compiled kernel
 	// (qopt.Batchable: step-neutral proc(x ce cc)).
 	Batchable bool
+	// Plan is the optimize-time access-path plan: one node per relational
+	// primitive in the optimized code whose relation operand is a
+	// runtime-bound store relation — index probes with their equality
+	// estimates from live column statistics, and the sequential scans the
+	// cost gate kept. Join algorithms and actual cardinalities are
+	// runtime decisions; those nodes come from relalg's EXPLAIN capture.
+	Plan []*qopt.PlanNode
 }
 
 // CacheStats reports the underlying pipeline's cache counters.
@@ -277,7 +284,88 @@ func (o *Optimizer) Optimize(oid store.OID) (*Result, error) {
 		Pipeline:  res.Stats,
 		CacheHit:  res.CacheHit,
 		Batchable: qopt.Batchable(res.Abs),
+		Plan:      accessPlan(o.st, res.Abs),
 	}, nil
+}
+
+// accessPlan derives the access-path plan from the optimized code: the
+// relational primitives that survived optimization, annotated with live
+// statistics. Deriving it from the result (rather than recording inside
+// the rules) keeps the plan available on pipeline cache hits, when no
+// rule ever runs.
+func accessPlan(st *store.Store, abs *tml.Abs) []*qopt.PlanNode {
+	if abs == nil {
+		return nil
+	}
+	var nodes []*qopt.PlanNode
+	relFor := func(v tml.Value) (*store.Relation, int) {
+		oidNode, ok := v.(*tml.Oid)
+		if !ok {
+			return nil, 0
+		}
+		obj, err := st.Get(store.OID(oidNode.Ref))
+		if err != nil {
+			return nil, 0
+		}
+		rel, ok := obj.(*store.Relation)
+		if !ok {
+			return nil, 0
+		}
+		return rel, rel.NumRows()
+	}
+	tml.Walk(abs, func(n tml.Node) bool {
+		app, ok := n.(*tml.App)
+		if !ok {
+			return true
+		}
+		p, ok := app.Fn.(*tml.Prim)
+		if !ok {
+			return true
+		}
+		switch p.Name {
+		case "indexscan":
+			if len(app.Args) != 5 {
+				return true
+			}
+			rel, nrows := relFor(app.Args[0])
+			if rel == nil {
+				return true
+			}
+			node := &qopt.PlanNode{
+				Op: "indexscan", Algo: "index", Table: rel.Name,
+				InRows: int64(nrows), EstRows: -1, ActRows: -1,
+			}
+			if colLit, ok := app.Args[1].(*tml.Lit); ok && colLit.Kind == tml.LitInt {
+				node.Detail = fmt.Sprintf("col=%d", colLit.Int)
+				if sts := rel.ColumnStats(nrows); int(colLit.Int) < len(sts) {
+					node.EstRows = qopt.EstEqMatches(&sts[colLit.Int], nrows)
+				}
+			}
+			nodes = append(nodes, node)
+		case "select", "exists", "project", "join":
+			relArg := 1
+			if len(app.Args) != 4 && !(p.Name == "join" && len(app.Args) == 5) {
+				return true
+			}
+			rel, nrows := relFor(app.Args[relArg])
+			if rel == nil {
+				return true
+			}
+			node := &qopt.PlanNode{
+				Op: p.Name, Algo: "scan", Table: rel.Name,
+				InRows: int64(nrows), EstRows: -1, ActRows: -1,
+			}
+			if p.Name == "join" {
+				if rel2, n2 := relFor(app.Args[2]); rel2 != nil {
+					node.Table += "," + rel2.Name
+					node.InRows = int64(nrows) * int64(n2)
+				}
+			}
+			nodes = append(nodes, node)
+		}
+		return true
+	})
+	return nodes
 }
 
 // OptimizeAndInstall optimizes and then overrides the machine's link

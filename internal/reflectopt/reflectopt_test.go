@@ -265,6 +265,20 @@ end`)
 		t.Fatalf("index-scan did not fire after inlining: %v\n%s",
 			res.Stats.Rules, tml.Print(res.Abs))
 	}
+	// The access-path decision is surfaced in the result's plan, with the
+	// equality estimate from live statistics (500 distinct keys → 1 row).
+	planOK := false
+	for _, n := range res.Plan {
+		if n.Op == "indexscan" && n.Algo == "index" && n.Table == "emp" {
+			planOK = true
+			if n.EstRows != 1 {
+				t.Errorf("indexscan est=%v, want 1 (unique key)", n.EstRows)
+			}
+		}
+	}
+	if !planOK {
+		t.Errorf("no indexscan node in Result.Plan: %v", res.Plan)
+	}
 	w.m.ResetSteps()
 	v, err = w.m.CallExport(qmod, "byKey", []machine.Value{machine.Int(123)})
 	if err != nil || v != machine.Value(machine.Int(1)) {

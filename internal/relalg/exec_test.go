@@ -92,21 +92,119 @@ func TestIndexCacheReuse(t *testing.T) {
 		t.Errorf("raw append should extend, not rebuild: %+v", s)
 	}
 
-	// Truncation breaks the validity horizon: exactly one invalidating
-	// rebuild, after which scans hit again.
+	// Truncation: the surviving rows are a pointer-identical prefix of
+	// what the index was built over, so the scan serves the cached index
+	// bounded to the shorter horizon — no rebuild, no invalidation.
 	rel.Rows = rel.Rows[:100]
-	if _, err := run(t, m, scan); err != nil {
+	v, err = run(t, m, scan)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if got := len(v.(*Rel).Rows); got != 0 {
+		t.Fatalf("scan after truncating away id=123 matched %d rows, want 0", got)
+	}
+	s = mg.IndexStats()
+	if s.Builds != 1 || s.Invalidations != 0 || s.HorizonHits != 1 {
+		t.Errorf("truncation should serve a horizon-bounded hit: %+v", s)
+	}
+
+	// Regrowing with different content at the same length must NOT serve
+	// the stale full-length index: prefix identity fails, one rebuild.
+	for len(rel.Rows) < 203 {
+		rel.Rows = append(rel.Rows, []store.Val{store.IntVal(123), store.IntVal(9)})
+	}
+	v, err = run(t, m, scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(v.(*Rel).Rows); got != 103 {
+		t.Fatalf("scan over regrown rows matched %d rows, want 103", got)
 	}
 	s = mg.IndexStats()
 	if s.Builds != 2 || s.Invalidations != 1 {
-		t.Errorf("truncation should force one rebuild: %+v", s)
+		t.Errorf("regrowth with new content should rebuild exactly once: %+v", s)
 	}
 	if _, err := run(t, m, scan); err != nil {
 		t.Fatal(err)
 	}
 	if got := mg.IndexStats(); got.Builds != 2 {
 		t.Errorf("scan after rebuild rebuilt again: %+v", got)
+	}
+}
+
+// TestIndexSnapshotHorizon is the regression test for the index cache's
+// interplay with MVCC snapshot views: a snapshot holding a shorter
+// prefix of the relation must never see postings past its horizon, and
+// serving it must not thrash (invalidate or rebuild) the cache that the
+// latest version keeps hitting.
+func TestIndexSnapshotHorizon(t *testing.T) {
+	st, mg, m, oid := world(t, 200)
+	scan := "(indexscan " + oidStr(oid) + " 0 123 e k)"
+	if _, err := run(t, m, scan); err != nil {
+		t.Fatal(err)
+	}
+	rel := st.MustGet(oid).(*store.Relation)
+	full := rel.Rows
+
+	// A "snapshot" of the first 150 rows (what an MVCC view with an older
+	// horizon exposes): shares backing arrays with the full relation.
+	rel.Rows = full[:150:150]
+	v, err := run(t, m, scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(v.(*Rel).Rows); got != 1 {
+		t.Fatalf("snapshot scan matched %d rows, want 1", got)
+	}
+	s := mg.IndexStats()
+	if s.Builds != 1 || s.Invalidations != 0 || s.HorizonHits != 1 {
+		t.Errorf("snapshot scan should serve the shared index bounded to its horizon: %+v", s)
+	}
+
+	// Tighten the horizon past the only id=123 posting: zero matches.
+	rel.Rows = full[:100:100]
+	v, err = run(t, m, scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(v.(*Rel).Rows); got != 0 {
+		t.Fatalf("pre-posting snapshot matched %d rows, want 0", got)
+	}
+
+	// Back at the latest version the cache is still intact: a plain hit.
+	rel.Rows = full
+	if _, err := run(t, m, scan); err != nil {
+		t.Fatal(err)
+	}
+	s = mg.IndexStats()
+	if s.Builds != 1 || s.Invalidations != 0 {
+		t.Errorf("alternating horizons thrashed the cache: %+v", s)
+	}
+	if s.HorizonHits != 2 {
+		t.Errorf("HorizonHits = %d, want 2: %+v", s.HorizonHits, s)
+	}
+
+	// Maintenance on insert must not extend an index whose prefix no
+	// longer matches the live rows: replace the backing wholesale, then
+	// insert through the manager — the next scan must rebuild, not trust
+	// a Frankenstein of stale prefix plus fresh posting.
+	fresh := make([][]store.Val, len(full))
+	for i := range full {
+		fresh[i] = []store.Val{store.IntVal(int64(i)), store.IntVal(0)}
+	}
+	rel.Rows = fresh
+	if err := mg.InsertRow(oid, []store.Val{store.IntVal(123), store.IntVal(7)}); err != nil {
+		t.Fatal(err)
+	}
+	v, err = run(t, m, scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(v.(*Rel).Rows); got != 2 {
+		t.Fatalf("post-swap scan matched %d rows, want 2", got)
+	}
+	if s = mg.IndexStats(); s.Builds != 2 {
+		t.Errorf("swapped backing rows should force a rebuild: %+v", s)
 	}
 }
 

@@ -1,0 +1,343 @@
+package relalg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"tycoon/internal/machine"
+	"tycoon/internal/qopt"
+	"tycoon/internal/store"
+)
+
+func joinSrc(l, r store.OID) string {
+	return `(join proc(x !ce !cc)
+	        ([] x 0 cont(a) ([] x 2 cont(b) (== a b cont()(cc true) cont()(cc false))))
+	      ` + oidStr(l) + ` ` + oidStr(r) + ` e k)`
+}
+
+// fillRel creates a two-column persistent relation whose key column holds
+// the given values (second column is the insertion position).
+func fillRel(t *testing.T, mg *Manager, name string, keys []store.Val) store.OID {
+	t.Helper()
+	oid, err := mg.CreateRelation(name, []store.Column{
+		{Name: "k", Type: store.ColInt},
+		{Name: "pos", Type: store.ColInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if err := mg.InsertRow(oid, []store.Val{k, store.IntVal(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return oid
+}
+
+func intKeysOf(vals ...int64) []store.Val {
+	ks := make([]store.Val, len(vals))
+	for i, v := range vals {
+		ks[i] = store.IntVal(v)
+	}
+	return ks
+}
+
+func findNode(plan []*qopt.PlanNode, op string) *qopt.PlanNode {
+	for _, n := range plan {
+		if n.Op == op {
+			return n
+		}
+	}
+	return nil
+}
+
+// TestPlannerSwitchesJoinAlgoOnLiveStats is the acceptance test for the
+// cost-based planner: the same query over the same schema switches join
+// algorithm purely because the live column statistics changed.
+func TestPlannerSwitchesJoinAlgoOnLiveStats(t *testing.T) {
+	_, mg, m, left := world(t, 64)
+	var asc []store.Val
+	for i := 0; i < 64; i++ {
+		asc = append(asc, store.IntVal(int64(i)))
+	}
+	right := fillRel(t, mg, "s", asc)
+	src := joinSrc(left, right)
+
+	// Both key columns ascending: the planner merges pre-sorted inputs.
+	mg.CaptureExplain(m)
+	v, err := run(t, m, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jn := findNode(mg.TakeExplain(m), "join")
+	if jn == nil {
+		t.Fatal("no join node in plan")
+	}
+	if jn.Algo != qopt.JoinMerge {
+		t.Errorf("sorted inputs: algo = %s, want merge (%s)", jn.Algo, jn)
+	}
+	if got := int64(len(v.(*Rel).Rows)); got != 64 || jn.ActRows != got {
+		t.Errorf("rows=%d, plan act=%d, want 64", got, jn.ActRows)
+	}
+	if jn.EstRows != 64 {
+		t.Errorf("est=%v, want 64 (uniform containment over 64 distinct keys)", jn.EstRows)
+	}
+
+	// One out-of-order insert breaks the right key's sortedness: nothing
+	// else changes, and the planner flips to a hash join.
+	if err := mg.InsertRow(right, []store.Val{store.IntVal(0), store.IntVal(64)}); err != nil {
+		t.Fatal(err)
+	}
+	mg.CaptureExplain(m)
+	v, err = run(t, m, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jn = findNode(mg.TakeExplain(m), "join")
+	if jn == nil || jn.Algo != qopt.JoinHash {
+		t.Errorf("unsorted input: algo = %v, want hash", jn)
+	}
+	if got := len(v.(*Rel).Rows); got != 65 {
+		t.Errorf("rows after duplicate key = %d, want 65", got)
+	}
+
+	// Inputs too small for setup costs: nested loop.
+	tinyL := fillRel(t, mg, "tl", intKeysOf(1, 2))
+	tinyR := fillRel(t, mg, "tr", intKeysOf(2, 3))
+	mg.CaptureExplain(m)
+	if _, err := run(t, m, joinSrc(tinyL, tinyR)); err != nil {
+		t.Fatal(err)
+	}
+	jn = findNode(mg.TakeExplain(m), "join")
+	if jn == nil || jn.Algo != qopt.JoinNested {
+		t.Errorf("tiny inputs: algo = %v, want nested", jn)
+	}
+}
+
+// TestExplainCapture checks the per-machine plan capture surface: nodes
+// arrive only between CaptureExplain and TakeExplain, render as EXPLAIN
+// text, and report estimated against actual cardinalities.
+func TestExplainCapture(t *testing.T) {
+	_, mg, m, oid := world(t, 300)
+	src := `(select proc(x !ce !cc)
+	          ([] x 1 cont(a) (< a 5 cont()(cc true) cont()(cc false))) ` + oidStr(oid) + ` e k)`
+
+	// No capture: no plan, and TakeExplain on a machine never captured is nil.
+	if _, err := run(t, m, src); err != nil {
+		t.Fatal(err)
+	}
+	if p := mg.TakeExplain(m); p != nil {
+		t.Fatalf("uncaptured plan = %v", p)
+	}
+
+	mg.CaptureExplain(m)
+	v, err := run(t, m, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := mg.TakeExplain(m)
+	sel := findNode(plan, "select")
+	if sel == nil {
+		t.Fatalf("no select node: %v", plan)
+	}
+	if sel.Algo != "vector-fused" {
+		t.Errorf("algo = %s, want vector-fused", sel.Algo)
+	}
+	if sel.ActRows != int64(len(v.(*Rel).Rows)) {
+		t.Errorf("act=%d, rows=%d", sel.ActRows, len(v.(*Rel).Rows))
+	}
+	if sel.EstRows < 0 {
+		t.Errorf("fused select should carry a range estimate: %s", sel)
+	}
+	text := qopt.RenderPlan(plan)
+	if !strings.Contains(text, "select algo=vector-fused") || !strings.Contains(text, "act=") {
+		t.Errorf("RenderPlan:\n%s", text)
+	}
+	// Capture is one-shot: a second take returns nil.
+	if p := mg.TakeExplain(m); p != nil {
+		t.Errorf("second take = %v", p)
+	}
+}
+
+// TestExplainIndexScan checks the access-path node: a warm index probe
+// reports algo=index with the equality estimate, and the fallback scan
+// (no index on the column) reports algo=scan.
+func TestExplainIndexScan(t *testing.T) {
+	_, mg, m, oid := world(t, 200)
+	mg.CaptureExplain(m)
+	if _, err := run(t, m, "(indexscan "+oidStr(oid)+" 0 123 e k)"); err != nil {
+		t.Fatal(err)
+	}
+	n := findNode(mg.TakeExplain(m), "indexscan")
+	if n == nil || n.Algo != "index" {
+		t.Fatalf("probe node = %v, want algo=index", n)
+	}
+	if n.ActRows != 1 {
+		t.Errorf("act=%d, want 1", n.ActRows)
+	}
+	mg.CaptureExplain(m)
+	if _, err := run(t, m, "(indexscan "+oidStr(oid)+" 1 3 e k)"); err != nil {
+		t.Fatal(err)
+	}
+	n = findNode(mg.TakeExplain(m), "indexscan")
+	if n == nil || n.Algo != "scan" {
+		t.Fatalf("fallback node = %v, want algo=scan", n)
+	}
+}
+
+// joinModes are the execution strategies the property test drives; every
+// one must agree with the row-at-a-time oracle on result set AND abstract
+// step count.
+var joinModes = []struct {
+	name string
+	set  func(mg *Manager)
+}{
+	{"oracle", func(mg *Manager) { mg.NoBatch = true }},
+	{"batch", func(mg *Manager) { mg.NoVector = true }},
+	{"planner", func(mg *Manager) {}},
+	{"force-hash", func(mg *Manager) { mg.ForceJoin = qopt.JoinHash }},
+	{"force-merge", func(mg *Manager) { mg.ForceJoin = qopt.JoinMerge }},
+	{"force-nested", func(mg *Manager) { mg.ForceJoin = qopt.JoinNested }},
+}
+
+// canonRows renders a result's rows as a sorted multiset, so plans that
+// legitimately reorder output would still be caught — output order is
+// part of the contract, so the unsorted rendering is compared too.
+func renderRows(v *Rel) (ordered string, canon string) {
+	lines := make([]string, len(v.Rows))
+	for i, r := range v.Rows {
+		lines[i] = fmt.Sprintf("%v", r)
+	}
+	ordered = strings.Join(lines, "\n")
+	sort.Strings(lines)
+	return ordered, strings.Join(lines, "\n")
+}
+
+// TestJoinPlansMatchOracle is the property test over plan choices: for
+// relation shapes covering empty, sorted, unsorted, skewed and all-null
+// key columns, every plan the planner can choose (and every forced
+// algorithm) must produce exactly the oracle's rows, in the oracle's
+// order, for the oracle's step count.
+func TestJoinPlansMatchOracle(t *testing.T) {
+	shapes := map[string][]store.Val{
+		"empty":    nil,
+		"sorted":   intKeysOf(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11),
+		"unsorted": intKeysOf(5, 2, 9, 0, 11, 3, 1, 8, 10, 4, 7, 6),
+		"skewed":   intKeysOf(7, 7, 7, 7, 7, 7, 7, 7, 1, 7, 7, 2),
+		"allnull": {store.NilVal(), store.NilVal(), store.NilVal(),
+			store.NilVal(), store.NilVal(), store.NilVal()},
+	}
+	names := make([]string, 0, len(shapes))
+	for name := range shapes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, ln := range names {
+		for _, rn := range names {
+			t.Run(ln+"/"+rn, func(t *testing.T) {
+				type outcome struct {
+					ordered, canon string
+					steps          int64
+				}
+				results := make(map[string]outcome)
+				for _, mode := range joinModes {
+					st, err := store.Open("")
+					if err != nil {
+						t.Fatal(err)
+					}
+					mg := NewManager(st)
+					mode.set(mg)
+					l := fillRel(t, mg, "l", shapes[ln])
+					r := fillRel(t, mg, "r", shapes[rn])
+					m := machine.New(st)
+					mg.Register(m)
+					m.ResetSteps()
+					v, err := run(t, m, joinSrc(l, r))
+					st.Close()
+					if err != nil {
+						t.Fatalf("%s: %v", mode.name, err)
+					}
+					ordered, canon := renderRows(v.(*Rel))
+					results[mode.name] = outcome{ordered, canon, m.Steps()}
+				}
+				want := results["oracle"]
+				for _, mode := range joinModes {
+					got := results[mode.name]
+					if got.canon != want.canon {
+						t.Errorf("%s: row multiset differs from oracle\ngot:\n%s\nwant:\n%s",
+							mode.name, got.canon, want.canon)
+					}
+					if got.ordered != want.ordered {
+						t.Errorf("%s: row order differs from oracle", mode.name)
+					}
+					if got.steps != want.steps {
+						t.Errorf("%s: %d steps, oracle %d", mode.name, got.steps, want.steps)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSelectPlansMatchOracle extends the property to the select access
+// paths (fused column kernel, general vectorized, batched, row) over the
+// same shape zoo, including the type-error behaviour on all-null keys.
+func TestSelectPlansMatchOracle(t *testing.T) {
+	shapes := map[string][]store.Val{
+		"empty":    nil,
+		"sorted":   intKeysOf(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11),
+		"unsorted": intKeysOf(5, 2, 9, 0, 11, 3, 1, 8, 10, 4, 7, 6),
+		"skewed":   intKeysOf(7, 7, 7, 7, 7, 7, 7, 7, 1, 7, 7, 2),
+		"allnull":  {store.NilVal(), store.NilVal(), store.NilVal()},
+	}
+	modes := []struct {
+		name string
+		set  func(mg *Manager)
+	}{
+		{"oracle", func(mg *Manager) { mg.NoBatch = true }},
+		{"batch", func(mg *Manager) { mg.NoVector = true }},
+		{"vector", func(mg *Manager) {}},
+	}
+	for name, keys := range shapes {
+		t.Run(name, func(t *testing.T) {
+			type outcome struct {
+				rows  string
+				errS  string
+				steps int64
+			}
+			results := make(map[string]outcome)
+			for _, mode := range modes {
+				st, err := store.Open("")
+				if err != nil {
+					t.Fatal(err)
+				}
+				mg := NewManager(st)
+				mode.set(mg)
+				oid := fillRel(t, mg, "t", keys)
+				m := machine.New(st)
+				mg.Register(m)
+				m.ResetSteps()
+				src := `(select proc(x !ce !cc)
+				  ([] x 0 cont(a) (< a 6 cont()(cc true) cont()(cc false))) ` + oidStr(oid) + ` e k)`
+				v, err := run(t, m, src)
+				st.Close()
+				o := outcome{steps: m.Steps()}
+				if err != nil {
+					o.errS = err.Error()
+				} else {
+					o.rows, _ = renderRows(v.(*Rel))
+				}
+				results[mode.name] = o
+			}
+			want := results["oracle"]
+			for _, mode := range modes {
+				if got := results[mode.name]; got != want {
+					t.Errorf("%s: %+v, oracle %+v", mode.name, got, want)
+				}
+			}
+		})
+	}
+}

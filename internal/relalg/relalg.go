@@ -25,6 +25,7 @@ import (
 
 	"tycoon/internal/machine"
 	"tycoon/internal/prim"
+	"tycoon/internal/qopt"
 	"tycoon/internal/store"
 )
 
@@ -72,10 +73,24 @@ type Manager struct {
 	// through machine.Apply on a fresh tuple. The step-parity tests use
 	// it to prove that batching is a pure representation change.
 	NoBatch bool
+	// NoVector disables the vectorized kernels only, leaving batching in
+	// place; the parity tests use it to isolate the two layers.
+	NoVector bool
+	// ForceJoin overrides the cost-based join-algorithm choice for
+	// equi-joins ("hash", "merge", "nested"); the plan-equivalence
+	// property tests use it to run every algorithm over one input.
+	ForceJoin string
 
-	// mu guards indexes and stats (machines sharing one store share the
-	// manager).
+	// mu guards indexes, stats, vprogs and explains (machines sharing one
+	// store share the manager).
 	mu sync.Mutex
+	// vprogs caches compiled vectorized predicates per closure identity
+	// and row width (nil entries record non-vectorizable predicates).
+	vprogs map[vcacheKey]*vprog
+	// explains holds per-machine EXPLAIN sinks; explainN mirrors its size
+	// for the lock-free fast path.
+	explains map[*machine.Machine]*qopt.PlanSink
+	explainN int32
 	// indexes caches hash indexes per relation OID and column: the
 	// runtime binding knowledge the query optimizer consults. Each entry
 	// remembers the relation object and row count it was built against,
@@ -96,10 +111,50 @@ type hashIndex map[store.Val][]int
 // under mg.mu, after which in-place maintenance is legal again until the
 // next scan marks the index shared.
 type cachedIndex struct {
-	rel    *store.Relation // object identity the index was built on
-	rows   int             // rows covered; fewer live rows forces a rebuild
-	ix     hashIndex
-	shared bool // ix escaped to a reader; mutate via COW only
+	rel  *store.Relation // object identity the index was built on
+	rows int             // rows covered
+	// builtPtrs snapshots, per covered row, the address of the row's
+	// first element at build time. Row slices are immutable after
+	// publication, so pointer identity of a prefix's last row certifies
+	// that the cached postings still describe exactly that prefix — the
+	// validity horizon the columnar MVCC views key off. The pointers are
+	// copied out (never an alias of the caller's rows slice), so a
+	// truncate-and-regrow that stomps a shared backing array changes the
+	// observed addresses and is caught; holding the old pointers also
+	// pins the old rows, so the allocator cannot recycle their storage
+	// into a false match.
+	builtPtrs []*store.Val
+	ix        hashIndex
+	shared    bool // ix escaped to a reader; mutate via COW only
+}
+
+// rowPtr is a row's identity for prefix validation.
+func rowPtr(r []store.Val) *store.Val {
+	if len(r) == 0 {
+		return nil
+	}
+	return &r[0]
+}
+
+func rowPtrs(rows [][]store.Val) []*store.Val {
+	ps := make([]*store.Val, len(rows))
+	for i, r := range rows {
+		ps[i] = rowPtr(r)
+	}
+	return ps
+}
+
+// prefixIntact reports that the first n rows of the caller's snapshot
+// are the very rows the index was built from.
+func (c *cachedIndex) prefixIntact(rows [][]store.Val, n int) bool {
+	if n == 0 {
+		return true
+	}
+	if n > len(rows) || n > len(c.builtPtrs) {
+		return false
+	}
+	p := c.builtPtrs[n-1]
+	return p != nil && len(rows[n-1]) > 0 && &rows[n-1][0] == p
 }
 
 // IndexStats counts index cache activity; the regression tests assert
@@ -109,6 +164,7 @@ type IndexStats struct {
 	Extends       int64 // incremental tail extensions after appends
 	Invalidations int64 // rebuilds forced by object identity or row loss
 	Hits          int64 // served unchanged
+	HorizonHits   int64 // served filtered to a shorter snapshot horizon
 	Copies        int64 // copy-on-write clones protecting concurrent readers
 }
 
@@ -188,15 +244,19 @@ func (mg *Manager) insertRow(st store.View, oid store.OID, row []store.Val) erro
 	}
 	idx := rel.AppendRow(row)
 	st.MarkDirty(oid)
+	snap := rel.RowsSnapshot()
 	mg.mu.Lock()
 	if cols, ok := mg.indexes[oid]; ok {
 		for col, c := range cols {
 			// Maintain only indexes that are current for this relation
-			// object; anything else is caught by validation on next use.
-			if c.rel == rel && c.rows == idx {
+			// object AND still describe its row prefix (a truncate-and-
+			// regrow to the same length must not be extended in place);
+			// anything else is caught by validation on next use.
+			if c.rel == rel && c.rows == idx && len(snap) > idx && c.prefixIntact(snap, idx) {
 				mg.cow(c)
 				c.ix[row[col]] = appendPosting(c.shared, c.ix[row[col]], idx)
 				c.rows = idx + 1
+				c.builtPtrs = append(c.builtPtrs, rowPtr(snap[idx]))
 				c.shared = false
 			}
 		}
@@ -235,17 +295,21 @@ func appendPosting(shared bool, bucket []int, idx int) []int {
 
 // index returns (building lazily, caching with validation) the hash
 // index on the given column of a persistent relation, or nil when none
-// is declared. rows is the caller's row snapshot: the returned index
-// covers exactly those rows, so postings can never run past the data
-// the caller scans even while another session appends. A cached index
-// is served unchanged when the relation object and row count still
-// match, extended (via copy-on-write, protecting concurrent readers of
-// the published map) when rows were appended behind the manager's back,
-// and rebuilt when the relation was reloaded (new object identity) or
-// truncated.
-func (mg *Manager) index(oid store.OID, rel *store.Relation, rows [][]store.Val, col int) hashIndex {
+// is declared. rows is the caller's row snapshot; postings at or past
+// the returned limit must be ignored, so the served index can never
+// reach past the data the caller scans.
+//
+// Cache validity keys off the row-prefix identity behind
+// Relation.IndexIdentity: a cached index is served unchanged when the
+// caller's snapshot is exactly the prefix it was built from, served
+// filtered (limit < built rows) when the caller is a snapshot view at an
+// older horizon of the same prefix, extended via copy-on-write when rows
+// were appended behind the manager's back, and rebuilt when the prefix
+// identity broke — a reloaded relation object, or a truncate-and-regrow
+// that replaced the rows (even at the same length).
+func (mg *Manager) index(oid store.OID, rel *store.Relation, rows [][]store.Val, col int) (hashIndex, int) {
 	if !rel.HasIndexOn(col) {
-		return nil
+		return nil, 0
 	}
 	mg.mu.Lock()
 	defer mg.mu.Unlock()
@@ -254,29 +318,39 @@ func (mg *Manager) index(oid store.OID, rel *store.Relation, rows [][]store.Val,
 		cols = make(map[int]*cachedIndex)
 		mg.indexes[oid] = cols
 	}
-	if c, ok := cols[col]; ok && c.rel == rel && c.rows <= len(rows) {
-		if c.rows == len(rows) {
+	if c, ok := cols[col]; ok && c.rel == rel {
+		switch {
+		case len(rows) == c.rows && c.prefixIntact(rows, c.rows):
 			mg.stats.Hits++
 			c.shared = true
-			return c.ix
-		}
-		wasShared := c.shared
-		mg.cow(c)
-		var copied map[store.Val]bool
-		if wasShared {
-			copied = make(map[store.Val]bool)
-		}
-		for i := c.rows; i < len(rows); i++ {
-			key := rows[i][col]
-			c.ix[key] = appendPosting(wasShared && !copied[key], c.ix[key], i)
+			return c.ix, c.rows
+		case len(rows) < c.rows && c.prefixIntact(rows, len(rows)):
+			// Snapshot view at an older horizon of the same prefix: serve
+			// the cached postings filtered to the view's rows. The cache
+			// itself stays at the longer (live) horizon.
+			mg.stats.HorizonHits++
+			c.shared = true
+			return c.ix, len(rows)
+		case len(rows) > c.rows && c.prefixIntact(rows, c.rows):
+			wasShared := c.shared
+			mg.cow(c)
+			var copied map[store.Val]bool
 			if wasShared {
-				copied[key] = true
+				copied = make(map[store.Val]bool)
 			}
+			for i := c.rows; i < len(rows); i++ {
+				key := rows[i][col]
+				c.ix[key] = appendPosting(wasShared && !copied[key], c.ix[key], i)
+				c.builtPtrs = append(c.builtPtrs, rowPtr(rows[i]))
+				if wasShared {
+					copied[key] = true
+				}
+			}
+			c.rows = len(rows)
+			c.shared = true
+			mg.stats.Extends++
+			return c.ix, c.rows
 		}
-		c.rows = len(rows)
-		c.shared = true
-		mg.stats.Extends++
-		return c.ix
 	}
 	if _, stale := cols[col]; stale {
 		mg.stats.Invalidations++
@@ -285,9 +359,9 @@ func (mg *Manager) index(oid store.OID, rel *store.Relation, rows [][]store.Val,
 	for i, row := range rows {
 		ix[row[col]] = append(ix[row[col]], i)
 	}
-	cols[col] = &cachedIndex{rel: rel, rows: len(rows), ix: ix, shared: true}
+	cols[col] = &cachedIndex{rel: rel, rows: len(rows), builtPtrs: rowPtrs(rows), ix: ix, shared: true}
 	mg.stats.Builds++
-	return ix
+	return ix, len(rows)
 }
 
 // relOf resolves a relation argument: a transient Rel or a Ref to a
@@ -429,12 +503,20 @@ func ok1(results ...machine.Value) machine.Outcome {
 // execSelect implements (select pred rel ce cc): σ_pred(rel).
 func (mg *Manager) execSelect(m *machine.Machine, vals, conts []machine.Value) (machine.Outcome, error) {
 	pred := vals[0]
-	schema, rows, _, _, err := mg.relOf(m, "select", vals[1])
+	schema, rows, _, rel, err := mg.relOf(m, "select", vals[1])
 	if err != nil {
 		return machine.Outcome{}, err
 	}
 	out := &Rel{Schema: schema}
-	k := mg.newKernel(m, pred, len(rows))
+	if !mg.NoBatch && !mg.NoVector {
+		if w := relWidth(schema, rows); rowsRegular(rows, w) {
+			if vp := mg.vprogFor(pred, w); vp != nil {
+				return mg.vecSelect(m, vp, out, rows, rel)
+			}
+		}
+	}
+	nrows := len(rows)
+	k := mg.newKernel(m, pred, nrows)
 	for len(rows) > 0 {
 		n := min(batchSize, len(rows))
 		if err := m.TickN(n); err != nil {
@@ -455,6 +537,12 @@ func (mg *Manager) execSelect(m *machine.Machine, vals, conts []machine.Value) (
 		}
 		rows = rows[n:]
 	}
+	if mg.explaining() {
+		mg.plan(m, &qopt.PlanNode{
+			Op: "select", Algo: mg.fallbackAlgo(), Table: tableName(rel),
+			InRows: int64(nrows), EstRows: -1, ActRows: int64(len(out.Rows)),
+		})
+	}
 	return ok1(out), nil
 }
 
@@ -462,12 +550,20 @@ func (mg *Manager) execSelect(m *machine.Machine, vals, conts []machine.Value) (
 // function returns the new row as a vector of scalars.
 func (mg *Manager) execProject(m *machine.Machine, vals, conts []machine.Value) (machine.Outcome, error) {
 	fn := vals[0]
-	_, rows, _, _, err := mg.relOf(m, "project", vals[1])
+	schema, rows, _, rel, err := mg.relOf(m, "project", vals[1])
 	if err != nil {
 		return machine.Outcome{}, err
 	}
 	out := &Rel{}
-	k := mg.newKernel(m, fn, len(rows))
+	if !mg.NoBatch && !mg.NoVector {
+		if w := relWidth(schema, rows); rowsRegular(rows, w) {
+			if vp := mg.vprogFor(fn, w); vp != nil {
+				return mg.vecProject(m, vp, out, rows, rel)
+			}
+		}
+	}
+	nrows := len(rows)
+	k := mg.newKernel(m, fn, nrows)
 	for len(rows) > 0 {
 		n := min(batchSize, len(rows))
 		if err := m.TickN(n); err != nil {
@@ -494,15 +590,25 @@ func (mg *Manager) execProject(m *machine.Machine, vals, conts []machine.Value) 
 		}
 		rows = rows[n:]
 	}
-	// Synthesise a positional schema; the front end's type checker owns
-	// the real column names.
+	synthSchema(out)
+	if mg.explaining() {
+		mg.plan(m, &qopt.PlanNode{
+			Op: "project", Algo: mg.fallbackAlgo(), Table: tableName(rel),
+			InRows: int64(nrows), EstRows: -1, ActRows: int64(len(out.Rows)),
+		})
+	}
+	return ok1(out), nil
+}
+
+// synthSchema synthesises a positional schema for a computed relation;
+// the front end's type checker owns the real column names.
+func synthSchema(out *Rel) {
 	if len(out.Rows) > 0 {
 		out.Schema = make([]store.Column, len(out.Rows[0]))
 		for i, v := range out.Rows[0] {
 			out.Schema[i] = store.Column{Name: fmt.Sprintf("c%d", i), Type: colTypeOf(v)}
 		}
 	}
-	return ok1(out), nil
 }
 
 func colTypeOf(v store.Val) store.ColType {
@@ -522,15 +628,23 @@ func colTypeOf(v store.Val) store.ColType {
 // predicate receives the concatenated row.
 func (mg *Manager) execJoin(m *machine.Machine, vals, conts []machine.Value) (machine.Outcome, error) {
 	pred := vals[0]
-	s1, rows1, _, _, err := mg.relOf(m, "join", vals[1])
+	s1, rows1, _, rel1, err := mg.relOf(m, "join", vals[1])
 	if err != nil {
 		return machine.Outcome{}, err
 	}
-	s2, rows2, _, _, err := mg.relOf(m, "join", vals[2])
+	s2, rows2, _, rel2, err := mg.relOf(m, "join", vals[2])
 	if err != nil {
 		return machine.Outcome{}, err
 	}
 	out := &Rel{Schema: append(append([]store.Column(nil), s1...), s2...)}
+	if !mg.NoBatch && !mg.NoVector {
+		w1, w2 := relWidth(s1, rows1), relWidth(s2, rows2)
+		if rowsRegular(rows1, w1) && rowsRegular(rows2, w2) {
+			if vp := mg.vprogFor(pred, w1+w2); vp != nil {
+				return mg.vecJoin(m, vp, out, rows1, rows2, w1, rel1, rel2)
+			}
+		}
+	}
 	k := mg.newKernel(m, pred, len(rows1)*len(rows2))
 	for _, r1 := range rows1 {
 		inner := rows2
@@ -555,6 +669,13 @@ func (mg *Manager) execJoin(m *machine.Machine, vals, conts []machine.Value) (ma
 			inner = inner[n:]
 		}
 	}
+	if mg.explaining() {
+		mg.plan(m, &qopt.PlanNode{
+			Op: "join", Algo: qopt.JoinNested,
+			Table:  tableName(rel1) + "," + tableName(rel2),
+			InRows: int64(len(rows1)) * int64(len(rows2)), EstRows: -1, ActRows: int64(len(out.Rows)),
+		})
+	}
 	return ok1(out), nil
 }
 
@@ -563,12 +684,19 @@ func (mg *Manager) execJoin(m *machine.Machine, vals, conts []machine.Value) (ma
 // they visit.
 func (mg *Manager) execExists(m *machine.Machine, vals, conts []machine.Value) (machine.Outcome, error) {
 	pred := vals[0]
-	_, rows, _, _, err := mg.relOf(m, "exists", vals[1])
+	schema, rows, _, rel, err := mg.relOf(m, "exists", vals[1])
 	if err != nil {
 		return machine.Outcome{}, err
 	}
+	if !mg.NoBatch && !mg.NoVector {
+		if w := relWidth(schema, rows); rowsRegular(rows, w) {
+			if vp := mg.vprogFor(pred, w); vp != nil {
+				return mg.vecExists(m, vp, rows, rel)
+			}
+		}
+	}
 	k := mg.newKernel(m, pred, len(rows))
-	for _, row := range rows {
+	for i, row := range rows {
 		if err := m.Tick(); err != nil {
 			return machine.Outcome{}, err
 		}
@@ -581,8 +709,20 @@ func (mg *Manager) execExists(m *machine.Machine, vals, conts []machine.Value) (
 			return machine.Outcome{}, err
 		}
 		if found {
+			if mg.explaining() {
+				mg.plan(m, &qopt.PlanNode{
+					Op: "exists", Algo: mg.fallbackAlgo(), Table: tableName(rel),
+					InRows: int64(len(rows)), EstRows: -1, ActRows: int64(i + 1),
+				})
+			}
 			return ok1(machine.Bool(true)), nil
 		}
+	}
+	if mg.explaining() {
+		mg.plan(m, &qopt.PlanNode{
+			Op: "exists", Algo: mg.fallbackAlgo(), Table: tableName(rel),
+			InRows: int64(len(rows)), EstRows: -1, ActRows: int64(len(rows)),
+		})
 	}
 	return ok1(machine.Bool(false)), nil
 }
@@ -679,12 +819,28 @@ func (mg *Manager) execIndexScan(m *machine.Machine, vals, conts []machine.Value
 	}
 	out := &Rel{Schema: schema}
 	if rel != nil {
-		if ix := mg.index(oid, rel, rows, int(col)); ix != nil {
+		if ix, limit := mg.index(oid, rel, rows, int(col)); ix != nil {
+			// Postings ascend, so a snapshot view served from a longer
+			// live index stops at its own horizon.
 			for _, i := range ix[key] {
+				if i >= limit {
+					break
+				}
 				if err := m.Tick(); err != nil {
 					return machine.Outcome{}, err
 				}
 				out.Rows = append(out.Rows, rows[i])
+			}
+			if mg.explaining() {
+				var est float64 = -1
+				if sts := rel.ColumnStats(len(rows)); sts != nil && int(col) < len(sts) {
+					est = qopt.EstEqMatches(&sts[col], len(rows))
+				}
+				mg.plan(m, &qopt.PlanNode{
+					Op: "indexscan", Algo: "index", Table: tableName(rel),
+					InRows: int64(len(rows)), EstRows: est, ActRows: int64(len(out.Rows)),
+					Detail: fmt.Sprintf("col=%d", int(col)),
+				})
 			}
 			return ok1(out), nil
 		}
@@ -696,6 +852,13 @@ func (mg *Manager) execIndexScan(m *machine.Machine, vals, conts []machine.Value
 		if row[col].Eq(key) {
 			out.Rows = append(out.Rows, row)
 		}
+	}
+	if mg.explaining() {
+		mg.plan(m, &qopt.PlanNode{
+			Op: "indexscan", Algo: "scan", Table: tableName(rel),
+			InRows: int64(len(rows)), EstRows: -1, ActRows: int64(len(out.Rows)),
+			Detail: fmt.Sprintf("col=%d", int(col)),
+		})
 	}
 	return ok1(out), nil
 }

@@ -693,3 +693,37 @@ func TestBudgetHookSteps(t *testing.T) {
 		t.Errorf("TickN polled %d times, want once per bulk charge", polls)
 	}
 }
+
+// TestSubmitExplain drives the EXPLAIN surface over the wire: a submit
+// with the explain flag answers with the physical plan the kernels
+// actually executed, estimated against actual cardinalities; without
+// the flag the result carries no plan.
+func TestSubmitExplain(t *testing.T) {
+	srv, addr, _ := world(t, "", server.Config{})
+	fill(t, srv, 1000)
+	c := dial(t, addr)
+
+	binds := []ship.WBind{{Name: "r", Val: ship.WVal{Kind: ship.WRoot, Str: "rel:t"}}}
+	res, err := c.SubmitTMLPlan("sel", selectSrc, binds, false, "", ship.MergeAuto, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Val.Kind != ship.WRel || len(res.Val.Rel.Rows) != 530 {
+		t.Fatalf("explain changed the answer: %s", res.Val.Show())
+	}
+	if !strings.Contains(res.Explain, "select algo=") {
+		t.Errorf("no select node in plan:\n%s", res.Explain)
+	}
+	if !strings.Contains(res.Explain, "act=530") {
+		t.Errorf("plan lacks the actual cardinality:\n%s", res.Explain)
+	}
+
+	// Without the flag: same answer, no plan, and no capture left armed.
+	res, err = c.SubmitTMLPlan("sel2", selectSrc, binds, false, "", ship.MergeAuto, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Explain != "" {
+		t.Errorf("unrequested plan attached:\n%s", res.Explain)
+	}
+}

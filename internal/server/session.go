@@ -428,8 +428,16 @@ func (s *session) runSubmit(req *ship.Submit, srcHash ptml.Hash) (*ship.Result, 
 	s.begin()
 	txn := s.openTxn()
 	defer s.closeTxn(txn)
+	if req.Explain {
+		s.srv.mg.CaptureExplain(s.m)
+	}
 	v, err := s.m.Apply(res.Closure, nil)
 	s.end()
+	var explain string
+	if req.Explain {
+		// Collect even on failure so the capture sink never leaks.
+		explain = qopt.RenderPlan(s.srv.mg.TakeExplain(s.m))
+	}
 	if err != nil {
 		return nil, execErr(err), false
 	}
@@ -448,7 +456,7 @@ func (s *session) runSubmit(req *ship.Submit, srcHash ptml.Hash) (*ship.Result, 
 		CacheHit: res.CacheHit,
 		Rewrites: int64(res.Stats.Rewrites()),
 	}
-	return &ship.Result{Val: s.machineToWire(v), Info: info}, nil, wrote
+	return &ship.Result{Val: s.machineToWire(v), Info: info, Explain: explain}, nil, wrote
 }
 
 // save stages a submitted term's compiled closure — TAM code and the

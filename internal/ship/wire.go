@@ -529,6 +529,10 @@ type Submit struct {
 	// Merge is the coordinator's scatter merge policy (see Merge).
 	// Optional trailing field — omitted when MergeAuto.
 	Merge Merge
+	// Explain asks the server to attach the executed physical plan —
+	// chosen algorithms with estimated vs. actual cardinalities — to the
+	// Result. Optional trailing field — omitted when false.
+	Explain bool
 }
 
 // Encode serialises the message body.
@@ -553,11 +557,14 @@ func (m *Submit) Encode() ([]byte, error) {
 	// Trailing optionals: an earlier field must be written whenever a
 	// later one is, so old frames stay decodable and new fields are only
 	// paid for when used.
-	if m.IdemKey != "" || m.Merge != MergeAuto {
+	if m.IdemKey != "" || m.Merge != MergeAuto || m.Explain {
 		putStr(&b, m.IdemKey)
 	}
-	if m.Merge != MergeAuto {
+	if m.Merge != MergeAuto || m.Explain {
 		b.WriteByte(byte(m.Merge))
+	}
+	if m.Explain {
+		b.WriteByte(1)
 	}
 	return b.Bytes(), nil
 }
@@ -577,6 +584,9 @@ func DecodeSubmit(body []byte) (*Submit, error) {
 	}
 	if r.rem() > 0 {
 		m.Merge = Merge(r.u8())
+	}
+	if r.rem() > 0 {
+		m.Explain = r.u8() != 0
 	}
 	return m, r.done()
 }
@@ -625,6 +635,11 @@ type Result struct {
 	// answer never carries it, and old frames decode without it.
 	Partial bool
 	Missing []string
+	// Explain is the rendered physical plan when the request asked for
+	// one (Submit.Explain): one operator per line, chosen algorithm with
+	// estimated vs. actual cardinalities. Optional trailing extension
+	// behind the partial block — omitted when empty.
+	Explain string
 }
 
 // Encode serialises the message body.
@@ -645,12 +660,21 @@ func (m *Result) Encode() ([]byte, error) {
 	b.WriteByte(flags)
 	putU64(&b, uint64(m.Info.Rewrites))
 	putU64(&b, uint64(m.Info.Inlined))
-	if m.Partial {
-		b.WriteByte(1)
+	if m.Partial || m.Explain != "" {
+		// The partial block is the carrier for everything behind it: an
+		// earlier trailing field must be written whenever a later one is.
+		if m.Partial {
+			b.WriteByte(1)
+		} else {
+			b.WriteByte(0)
+		}
 		putU32(&b, uint32(len(m.Missing)))
 		for _, rng := range m.Missing {
 			putStr(&b, rng)
 		}
+	}
+	if m.Explain != "" {
+		putStr(&b, m.Explain)
 	}
 	return b.Bytes(), nil
 }
@@ -672,6 +696,9 @@ func DecodeResult(body []byte) (*Result, error) {
 		for i := 0; i < n && r.err == nil; i++ {
 			m.Missing = append(m.Missing, r.str())
 		}
+	}
+	if r.rem() > 0 {
+		m.Explain = r.str()
 	}
 	return m, r.done()
 }

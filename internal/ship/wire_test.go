@@ -382,3 +382,72 @@ func TestClusterTrailingFields(t *testing.T) {
 		t.Errorf("empty cluster block leaked into stats JSON: %s", plainStats)
 	}
 }
+
+// TestExplainTrailingFields pins the wire compatibility of the EXPLAIN
+// extension: the Submit flag rides behind merge, the Result plan rides
+// behind the partial block, and both cost no bytes when unused.
+func TestExplainTrailingFields(t *testing.T) {
+	sub := &Submit{Name: "q", PTML: []byte{0x01}, Explain: true}
+	body, err := sub.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := DecodeSubmit(body); err != nil || !reflect.DeepEqual(got, sub) {
+		t.Errorf("explain submit: %+v, %v", got, err)
+	}
+	// The flag composes with the earlier trailing fields.
+	sub.IdemKey, sub.Merge = "c1-9", MergeSum
+	kb, err := sub.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := DecodeSubmit(kb); err != nil || !reflect.DeepEqual(got, sub) {
+		t.Errorf("keyed explain submit: %+v, %v", got, err)
+	}
+	// Unset, the encoding is byte-identical to the pre-explain one.
+	plain := &Submit{Name: "q", PTML: []byte{0x01}}
+	pb, err := plain.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pb) >= len(body) {
+		t.Errorf("plain submit is not shorter: %d vs %d bytes", len(pb), len(body))
+	}
+	if got, err := DecodeSubmit(pb); err != nil || got.Explain {
+		t.Errorf("old-encoding submit: %+v, %v", got, err)
+	}
+
+	// A Result with a plan but no partial marker round-trips…
+	res := &Result{
+		Val:     WVal{Kind: WInt, Int: 3},
+		Explain: "select algo=vector-fused table=t in=100 est=33 act=30",
+	}
+	rb, err := res.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := DecodeResult(rb); err != nil || !reflect.DeepEqual(got, res) {
+		t.Errorf("explain result: %+v, %v", got, err)
+	}
+	// …as does a partial one carrying both extensions.
+	res.Partial, res.Missing = true, []string{"shard1:[0,8)"}
+	prb, err := res.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := DecodeResult(prb); err != nil || !reflect.DeepEqual(got, res) {
+		t.Errorf("partial explain result: %+v, %v", got, err)
+	}
+	// A plain result emits no trailing bytes at all.
+	bare := &Result{Val: WVal{Kind: WInt, Int: 3}}
+	bb, err := bare.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bb) >= len(rb) {
+		t.Errorf("bare result is not shorter: %d vs %d bytes", len(bb), len(rb))
+	}
+	if got, err := DecodeResult(bb); err != nil || got.Explain != "" || got.Partial {
+		t.Errorf("old-encoding result: %+v, %v", got, err)
+	}
+}

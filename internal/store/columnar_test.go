@@ -1,0 +1,254 @@
+package store
+
+import (
+	"sync"
+	"testing"
+)
+
+func intRel(n int) *Relation {
+	r := &Relation{
+		Name: "t",
+		Schema: []Column{
+			{Name: "id", Type: ColInt},
+			{Name: "val", Type: ColInt},
+		},
+	}
+	for i := 0; i < n; i++ {
+		r.Rows = append(r.Rows, []Val{IntVal(int64(i)), IntVal(int64(i % 7))})
+	}
+	return r
+}
+
+func TestColumnsTypedLayout(t *testing.T) {
+	r := intRel(100)
+	blk := r.Columns(100)
+	if blk == nil {
+		t.Fatal("Columns returned nil for a clean int relation")
+	}
+	if blk.NRows != 100 || len(blk.Cols) != 2 {
+		t.Fatalf("block shape: %d rows, %d cols", blk.NRows, len(blk.Cols))
+	}
+	id := blk.Cols[0]
+	if id.Ints == nil || id.Vals != nil || id.Nulls != nil {
+		t.Fatalf("id column should be pure typed ints: %+v", id)
+	}
+	for i := 0; i < 100; i++ {
+		if id.Ints[i] != int64(i) {
+			t.Fatalf("id[%d] = %d", i, id.Ints[i])
+		}
+		if got := id.Val(i); !got.Eq(IntVal(int64(i))) {
+			t.Fatalf("Val(%d) = %v", i, got)
+		}
+	}
+	st := id.Stats
+	if !st.Sorted || !st.HasMinMax || st.MinInt != 0 || st.MaxInt != 99 || st.Distinct != 100 || st.Nulls != 0 {
+		t.Fatalf("id stats: %+v", st)
+	}
+	vst := blk.Cols[1].Stats
+	if vst.Sorted || vst.Distinct != 7 || vst.MinInt != 0 || vst.MaxInt != 6 {
+		t.Fatalf("val stats: %+v", vst)
+	}
+}
+
+func TestColumnsExtendIncrementally(t *testing.T) {
+	r := intRel(10)
+	b1 := r.Columns(10)
+	if b1 == nil || b1.Cols[0].Stats.Distinct != 10 {
+		t.Fatalf("first cut: %+v", b1)
+	}
+	for i := 10; i < 20; i++ {
+		r.AppendRow([]Val{IntVal(int64(i)), IntVal(int64(i % 7))})
+	}
+	b2 := r.Columns(20)
+	if b2 == nil || b2.NRows != 20 || len(b2.Cols[0].Ints) != 20 {
+		t.Fatalf("extended cut: %+v", b2)
+	}
+	if b2.Cols[0].Stats.Distinct != 20 || !b2.Cols[0].Stats.Sorted {
+		t.Fatalf("extended stats: %+v", b2.Cols[0].Stats)
+	}
+	// The earlier prefix must be untouched by the extension.
+	if len(b1.Cols[0].Ints) != 10 || b1.Cols[0].Ints[9] != 9 {
+		t.Fatalf("first cut mutated: %+v", b1.Cols[0].Ints)
+	}
+	// A shorter horizon is served from the same cache.
+	b3 := r.Columns(5)
+	if b3 == nil || len(b3.Cols[0].Ints) != 5 {
+		t.Fatalf("short cut: %+v", b3)
+	}
+}
+
+func TestColumnsTruncationRebuild(t *testing.T) {
+	r := intRel(50)
+	if r.Columns(50) == nil {
+		t.Fatal("initial build failed")
+	}
+	// Truncate and regrow with different contents (the raw-store idiom the
+	// index cache also has to survive).
+	r.Rows = r.Rows[:20]
+	for i := 0; i < 30; i++ {
+		r.Rows = append(r.Rows, []Val{IntVal(int64(1000 + i)), IntVal(0)})
+	}
+	blk := r.Columns(50)
+	if blk == nil {
+		t.Fatal("rebuild failed")
+	}
+	if blk.Cols[0].Ints[20] != 1000 || blk.Cols[0].Ints[49] != 1029 {
+		t.Fatalf("stale columnar data after truncation: %v", blk.Cols[0].Ints[18:22])
+	}
+	if blk.Cols[0].Stats.Distinct != 50 {
+		t.Fatalf("rebuilt stats: %+v", blk.Cols[0].Stats)
+	}
+}
+
+func TestColumnsNullsAndMixed(t *testing.T) {
+	r := &Relation{
+		Name:   "m",
+		Schema: []Column{{Name: "a", Type: ColInt}, {Name: "b", Type: ColInt}},
+		Rows: [][]Val{
+			{IntVal(1), IntVal(1)},
+			{NilVal(), IntVal(2)},
+			{IntVal(3), StrVal("x")}, // wrong kind for b: generic fallback
+		},
+	}
+	blk := r.Columns(3)
+	if blk == nil {
+		t.Fatal("Columns returned nil")
+	}
+	a := blk.Cols[0]
+	if a.Ints == nil || a.Nulls == nil {
+		t.Fatalf("a should be typed with nulls: %+v", a)
+	}
+	if !a.IsNull(1) || a.IsNull(0) || a.IsNull(2) {
+		t.Fatalf("null bitmap wrong: %+v", a.Nulls)
+	}
+	if got := a.Val(1); got.Kind != ValNil {
+		t.Fatalf("Val(1) = %v, want nil", got)
+	}
+	if a.Stats.Nulls != 1 || a.Stats.Sorted {
+		t.Fatalf("a stats: %+v", a.Stats)
+	}
+	b := blk.Cols[1]
+	if b.Vals == nil || b.Ints != nil {
+		t.Fatalf("b should be generic: %+v", b)
+	}
+	want := []Val{IntVal(1), IntVal(2), StrVal("x")}
+	for i, w := range want {
+		if !b.Val(i).Eq(w) {
+			t.Fatalf("b.Val(%d) = %v, want %v", i, b.Val(i), w)
+		}
+	}
+}
+
+func TestColumnsRaggedRowFallsBack(t *testing.T) {
+	r := intRel(5)
+	r.Rows = append(r.Rows, []Val{IntVal(9)}) // short row
+	if blk := r.Columns(6); blk != nil {
+		t.Fatal("ragged rows must disable the columnar form")
+	}
+	// A horizon short of the ragged row is still fine.
+	if blk := r.Columns(5); blk == nil {
+		t.Fatal("clean prefix should build")
+	}
+}
+
+func TestColumnsViewDelegation(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := intRel(30)
+	oid := s.Alloc(r)
+	sn := s.Snapshot()
+	defer sn.Release()
+	// Rows appended after the snapshot must never appear in its columns.
+	r.AppendRow([]Val{IntVal(999), IntVal(999)})
+	s.MarkDirty(oid)
+
+	obj, err := sn.Get(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := obj.(*Relation)
+	blk := view.Columns(view.NumRows())
+	if blk == nil {
+		t.Fatal("view Columns failed")
+	}
+	if blk.NRows != 30 || len(blk.Cols[0].Ints) != 30 {
+		t.Fatalf("view horizon leaked: %d rows", blk.NRows)
+	}
+	// The view shares the live relation's cache (extended past its horizon
+	// is fine; the prefix is what it reads).
+	live := r.Columns(31)
+	if live == nil || live.Cols[0].Ints[30] != 999 {
+		t.Fatalf("live extension: %+v", live)
+	}
+	// Transaction-private rows force the row path.
+	tx := s.Begin()
+	defer tx.Abort()
+	tobj, err := tx.Get(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trel := tobj.(*Relation)
+	trel.Rows = append(trel.Rows, []Val{IntVal(-1), IntVal(-1)})
+	tx.MarkDirty(oid)
+	if blk := trel.Columns(len(trel.Rows)); blk != nil {
+		t.Fatal("dirty view must not serve columns")
+	}
+	if blk := trel.Columns(trel.canonRows); blk == nil {
+		t.Fatal("dirty view at committed horizon should delegate")
+	}
+}
+
+func TestColumnsConcurrentScanExtend(t *testing.T) {
+	r := intRel(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				n := r.NumRows()
+				blk := r.Columns(n)
+				if blk == nil {
+					t.Error("Columns returned nil")
+					return
+				}
+				sum := int64(0)
+				for j := 0; j < blk.NRows; j++ {
+					sum += blk.Cols[1].Ints[j]
+				}
+				_ = sum
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 64; i < 464; i++ {
+			r.AppendRow([]Val{IntVal(int64(i)), IntVal(int64(i % 7))})
+		}
+	}()
+	wg.Wait()
+}
+
+func TestRelationStatsThroughView(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid := s.Alloc(intRel(40))
+	sts := RelationStats(s, oid)
+	if sts == nil || len(sts) != 2 {
+		t.Fatalf("RelationStats: %+v", sts)
+	}
+	if sts[0].Rows != 40 || sts[0].Distinct != 40 || !sts[0].Sorted {
+		t.Fatalf("id stats: %+v", sts[0])
+	}
+	tx := s.Begin()
+	defer tx.Abort()
+	tsts := RelationStats(tx, oid)
+	if tsts == nil || tsts[0].Rows != 40 {
+		t.Fatalf("txn stats: %+v", tsts)
+	}
+}

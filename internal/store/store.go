@@ -324,6 +324,12 @@ type Relation struct {
 	// view was cut at. Both are nil/0 on live relations. See relView.
 	canon     *Relation
 	canonRows int
+
+	// colMu guards cols, the lazily built columnar cache over the
+	// relation's immutable row prefix. Clones and views start cold; clean
+	// views delegate to canon's cache. See columnar.go.
+	colMu sync.Mutex
+	cols  *colCache
 }
 
 // IndexIdentity returns the relation object the index cache should key

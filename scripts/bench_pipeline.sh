@@ -33,6 +33,11 @@
 #                the suite reports deterministic steps/call, so a single
 #                iteration is meaningful; raise for stable ns/op)
 #   BENCH_COUNT  -count value (default 1; raise for benchstat variance)
+#   BENCH_BASELINE  committed artifact to gate against: the run fails if
+#                a machine-independent metric (allocs/op, steps/call —
+#                plus ns/op and B/op when the cpu matches) regresses by
+#                more than BENCH_MAXREGRESS (default 0.2) vs the
+#                baseline.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -55,5 +60,11 @@ trap 'rm -f "$txt"' EXIT
 
 go test -run '^$' -bench "$pattern" \
   -benchtime "$benchtime" -count "$count" . | tee "$txt"
-go run ./cmd/benchjson -lane "$lane" <"$txt" >"$out"
+if [ -n "${BENCH_BASELINE:-}" ]; then
+  go run ./cmd/benchjson -lane "$lane" \
+    -baseline "$BENCH_BASELINE" -maxregress "${BENCH_MAXREGRESS:-0.2}" \
+    <"$txt" >"$out"
+else
+  go run ./cmd/benchjson -lane "$lane" <"$txt" >"$out"
+fi
 echo "wrote $out"
