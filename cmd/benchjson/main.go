@@ -99,9 +99,13 @@ func main() {
 
 // gate compares art against the committed baseline artifact at path and
 // returns one message per violation. allocs/op and steps/call are
-// machine-independent and always gated; ns/op and B/op are gated only
-// when the baseline was recorded on the same cpu model, since
-// wall-clock comparisons across hosts measure the host, not the code.
+// machine-independent and always gated — as are the soak lane's errors
+// and wrong counts, where the budget is zero and any increase is a
+// correctness failure, not a perf regression. ns/op, B/op and the soak
+// latency percentiles (p50-us…max-us) plus rps are gated only when the
+// baseline was recorded on the same cpu model, since wall-clock
+// comparisons across hosts measure the host, not the code. rps is
+// higher-is-better: the violation is a drop below the margin.
 func gate(art *Artifact, path string, maxRegress float64) []string {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -114,11 +118,13 @@ func gate(art *Artifact, path string, maxRegress float64) []string {
 	if base.Lane != "" && art.Lane != "" && base.Lane != art.Lane {
 		return []string{fmt.Sprintf("lane mismatch: this run is %q, baseline is %q", art.Lane, base.Lane)}
 	}
-	gated := map[string]bool{"allocs/op": true, "steps/call": true}
+	gated := map[string]bool{"allocs/op": true, "steps/call": true, "errors": true, "wrong": true}
 	if art.Env["cpu"] != "" && art.Env["cpu"] == base.Env["cpu"] {
-		gated["ns/op"] = true
-		gated["B/op"] = true
+		for _, unit := range []string{"ns/op", "B/op", "p50-us", "p90-us", "p99-us", "max-us", "rps"} {
+			gated[unit] = true
+		}
 	}
+	higherBetter := map[string]bool{"rps": true}
 	cur := make(map[string]Benchmark, len(art.Benchmarks))
 	for _, b := range art.Benchmarks {
 		cur[b.Name] = b
@@ -137,6 +143,13 @@ func gate(art *Artifact, path string, maxRegress float64) []string {
 			now, ok := nb.Metrics[unit]
 			if !ok {
 				viols = append(viols, fmt.Sprintf("%s: metric %s missing from this run", bb.Name, unit))
+				continue
+			}
+			if higherBetter[unit] {
+				if now < old*(1-maxRegress) {
+					viols = append(viols, fmt.Sprintf("%s: %s dropped %g -> %g (limit -%.0f%%)",
+						bb.Name, unit, old, now, maxRegress*100))
+				}
 				continue
 			}
 			if now > old*(1+maxRegress) {

@@ -110,3 +110,70 @@ func TestGateFlagsMissingBenchmarkAndLaneMismatch(t *testing.T) {
 		t.Fatalf("expected lane mismatch, got %v", viols)
 	}
 }
+
+func soakBM(name string, p50, p99, rps, errs, wrong float64) Benchmark {
+	return Benchmark{Name: name, Iterations: 1, Metrics: map[string]float64{
+		"p50-us": p50, "p99-us": p99, "rps": rps, "errors": errs, "wrong": wrong,
+	}}
+}
+
+func TestGateSoakLatencyAndThroughput(t *testing.T) {
+	base := writeBaseline(t, Artifact{
+		Lane:       "soak",
+		Env:        map[string]string{"cpu": "Xeon 2.70GHz"},
+		Benchmarks: []Benchmark{soakBM("Soak/tycd/submit-8", 100, 900, 5000, 0, 0)},
+	})
+
+	// Same cpu, percentiles inside the margin, throughput up: clean.
+	art := Artifact{
+		Lane:       "soak",
+		Env:        map[string]string{"cpu": "Xeon 2.70GHz"},
+		Benchmarks: []Benchmark{soakBM("Soak/tycd/submit-8", 110, 950, 6000, 0, 0)},
+	}
+	if viols := gate(&art, base, 0.2); len(viols) != 0 {
+		t.Fatalf("expected clean gate, got %v", viols)
+	}
+
+	// p99 blows the margin.
+	art.Benchmarks = []Benchmark{soakBM("Soak/tycd/submit-8", 110, 2000, 6000, 0, 0)}
+	viols := gate(&art, base, 0.2)
+	if len(viols) != 1 || !strings.Contains(viols[0], "p99-us") {
+		t.Fatalf("expected one p99-us violation, got %v", viols)
+	}
+
+	// Throughput is higher-is-better: a drop beyond the margin fails, a
+	// rise never does (covered above).
+	art.Benchmarks = []Benchmark{soakBM("Soak/tycd/submit-8", 100, 900, 2000, 0, 0)}
+	viols = gate(&art, base, 0.2)
+	if len(viols) != 1 || !strings.Contains(viols[0], "rps dropped") {
+		t.Fatalf("expected one rps violation, got %v", viols)
+	}
+
+	// Different cpu: latency and throughput are not comparable…
+	art.Env["cpu"] = "other"
+	art.Benchmarks = []Benchmark{soakBM("Soak/tycd/submit-8", 9999, 99999, 1, 0, 0)}
+	if viols := gate(&art, base, 0.2); len(viols) != 0 {
+		t.Fatalf("latency must not gate across cpus, got %v", viols)
+	}
+	// …but errors and wrong answers are correctness, gated everywhere.
+	art.Benchmarks = []Benchmark{soakBM("Soak/tycd/submit-8", 9999, 99999, 1, 3, 1)}
+	viols = gate(&art, base, 0.2)
+	if len(viols) != 2 {
+		t.Fatalf("expected errors+wrong violations on foreign cpu, got %v", viols)
+	}
+}
+
+func TestParseSoakLine(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkSoak/tycd/call-8   20000   812 p50-us   2944 p99-us   4801 rps   0 errors   0 wrong")
+	if !ok {
+		t.Fatal("soak line did not parse")
+	}
+	if b.Name != "Soak/tycd/call-8" || b.Iterations != 20000 {
+		t.Fatalf("parsed %+v", b)
+	}
+	for unit, want := range map[string]float64{"p50-us": 812, "p99-us": 2944, "rps": 4801, "errors": 0, "wrong": 0} {
+		if b.Metrics[unit] != want {
+			t.Fatalf("%s = %g, want %g", unit, b.Metrics[unit], want)
+		}
+	}
+}

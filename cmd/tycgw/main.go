@@ -1,0 +1,100 @@
+// Command tycgw runs the HTTP/JSON gateway in front of a tycd server
+// (or a tycc coordinator): REST endpoints for submit/call/install,
+// server-sent events for WATCH, JSON stats and health. SIGINT/SIGTERM
+// trigger a graceful drain mirroring tycd: the listener closes, SSE
+// streams are terminated, in-flight requests finish, and the pooled
+// wire sessions say bye.
+//
+// Usage:
+//
+//	tycgw -backend 127.0.0.1:7411                  # serve on 127.0.0.1:7480
+//	tycgw -backend 127.0.0.1:7411 -addr :0 -portfile gw.port
+//
+//	curl -s localhost:7480/v1/healthz
+//	curl -s -XPOST localhost:7480/v1/submit -d '{"tml":"(+ 40 2 e cont(n) (k n))"}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tycoon/internal/client"
+	"tycoon/internal/gateway"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7480", "HTTP listen address (port 0 picks an ephemeral port)")
+	backend := flag.String("backend", "127.0.0.1:7411", "tycd/tycc wire address")
+	sessions := flag.Int("sessions", 0, "wire-session pool size (0: default)")
+	retries := flag.Int("retries", 3, "wire-level retries per request")
+	timeout := flag.Duration("timeout", 30*time.Second, "wire request timeout")
+	maxbody := flag.Int64("maxbody", 0, "request body limit in bytes (0: default)")
+	portfile := flag.String("portfile", "", "write the bound address to this file once listening")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown grace period")
+	quiet := flag.Bool("q", false, "suppress the gateway log")
+	flag.Parse()
+
+	g := gateway.New(gateway.Config{
+		Backend:  *backend,
+		Sessions: *sessions,
+		MaxBody:  *maxbody,
+		Client: client.Options{
+			Timeout: *timeout,
+			Retries: *retries,
+			Client:  "tycgw",
+		},
+	})
+	srv := &http.Server{Handler: g.Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal("listen %s: %v", *addr, err)
+	}
+	bound := ln.Addr().String()
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "tycgw: listening on %s, backend %s\n", bound, *backend)
+	}
+	if *portfile != "" {
+		if err := os.WriteFile(*portfile, []byte(bound+"\n"), 0o644); err != nil {
+			fatal("write portfile: %v", err)
+		}
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigs:
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "tycgw: %v, draining\n", sig)
+		}
+		// Terminate the SSE streams first — they never end on their own
+		// and would hold Shutdown open for the whole grace period.
+		g.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		err := srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tycgw: drain: %v\n", err)
+		}
+	case err := <-errCh:
+		if err != nil && err != http.ErrServerClosed {
+			fatal("serve: %v", err)
+		}
+	}
+	g.Close()
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tycgw: "+format+"\n", args...)
+	os.Exit(1)
+}

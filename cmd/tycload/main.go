@@ -1,0 +1,120 @@
+// Command tycload drives a seeded macro workload — Stanford-shape
+// calls, arithmetic submits, keyed writes, optimizations and WATCH
+// round trips — against a tycd server or tycc cluster, and prints
+// per-verb latency percentiles as `go test -bench`-style lines that
+// benchjson parses and gates:
+//
+//	tycload -addr 127.0.0.1:7411 -label tycd -requests 1000000 \
+//	  | benchjson -lane soak -baseline bench/BENCH_soak.json
+//
+// Clusters do not speak WATCH; run them with -mix ...,watch=0.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"tycoon/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tycload: ")
+	addr := flag.String("addr", "127.0.0.1:7411", "server or coordinator address")
+	label := flag.String("label", "tycd", "label for the benchmark lines (tycd, tycc, ...)")
+	requests := flag.Int64("requests", 100000, "total request count across workers")
+	workers := flag.Int("workers", 8, "concurrent sessions")
+	seed := flag.Int64("seed", 1, "workload seed")
+	mix := flag.String("mix", "", "verb weights, e.g. call=8,submit=4,write=4,optimize=1,watch=1 (empty: defaults)")
+	slots := flag.Int("slots", 4, "keyed-write roots per worker")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	retries := flag.Int("retries", 3, "wire retries per request")
+	rate := flag.Float64("rate", 0, "target requests/sec across the run (0: unthrottled)")
+	flag.Parse()
+
+	m, err := parseMix(*mix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := workload.Run(workload.Config{
+		Addr: *addr, Label: *label, Workers: *workers, Requests: *requests,
+		Seed: *seed, Mix: m, Slots: *slots, Timeout: *timeout,
+		Retries: *retries, TargetRate: *rate,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The same header lines `go test -bench` prints, so benchjson can
+	// apply its cpu-matched gating to the latency and rps metrics.
+	fmt.Printf("goos: %s\n", runtime.GOOS)
+	fmt.Printf("goarch: %s\n", runtime.GOARCH)
+	fmt.Printf("pkg: tycoon/cmd/tycload\n")
+	if cpu := cpuModel(); cpu != "" {
+		fmt.Printf("cpu: %s\n", cpu)
+	}
+	for _, line := range rep.BenchLines(runtime.GOMAXPROCS(0)) {
+		fmt.Println(line)
+	}
+	fmt.Fprintf(os.Stderr, "tycload: %s: %d requests in %s (%d errors, %d wrong)\n",
+		rep.Label, rep.Requests, rep.Elapsed.Round(time.Millisecond), rep.Errors, rep.Wrong)
+	if rep.Errors > 0 || rep.Wrong > 0 {
+		os.Exit(1)
+	}
+}
+
+// parseMix parses "call=8,submit=4,write=4,optimize=1,watch=1".
+// Omitted verbs default to their DefaultMix weight; an explicit 0
+// drops the verb.
+func parseMix(s string) (workload.Mix, error) {
+	m := workload.DefaultMix
+	if s == "" {
+		return m, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return m, fmt.Errorf("bad mix entry %q (want verb=weight)", part)
+		}
+		w, err := strconv.Atoi(v)
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("bad mix weight %q", part)
+		}
+		switch k {
+		case "call":
+			m.Call = w
+		case "submit":
+			m.Submit = w
+		case "write":
+			m.Write = w
+		case "optimize":
+			m.Optimize = w
+		case "watch":
+			m.Watch = w
+		default:
+			return m, fmt.Errorf("unknown mix verb %q", k)
+		}
+	}
+	return m, nil
+}
+
+// cpuModel reads the host CPU model the way `go test -bench` reports
+// it, so cpu-matched baseline gating works across the two producers.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if k, v, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(k) == "model name" {
+			return strings.TrimSpace(v)
+		}
+	}
+	return ""
+}

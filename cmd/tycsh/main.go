@@ -22,6 +22,10 @@
 //	call @<name> [arg...]        call a closure saved by submit
 //	optimize <module>.<fn>       reflectively optimize server-side
 //	submit [opt] [explain=] [save=<name>] [merge=<auto|sum|any|all>] [<var>=<value>...] (<tml term>)
+//	watch [n=<count>] <pattern>...
+//	                             stream committed root changes matching
+//	                             the patterns ('*' wildcards) until
+//	                             interrupted, or n notifications arrive
 //	quit
 //
 // Exit codes distinguish failure layers: 1 for local/usage errors, 2
@@ -67,17 +71,18 @@ func main() {
 	interactive := flag.Bool("i", false, "print a prompt")
 	flag.Parse()
 
-	c, err := client.Dial(*addr, client.Options{
+	opts := client.Options{
 		Timeout: *timeout,
 		Retries: *retries,
 		Client:  "tycsh",
-	})
+	}
+	c, err := client.Dial(*addr, opts)
 	if err != nil {
 		fatalCode(classCode(err), "connect %s: %v", *addr, err)
 	}
 	defer c.Close()
 
-	sh := &shell{c: c, verbose: *verbose}
+	sh := &shell{c: c, addr: *addr, opts: opts, verbose: *verbose}
 	if args := flag.Args(); len(args) > 0 {
 		for _, path := range args {
 			f, err := os.Open(path)
@@ -137,6 +142,8 @@ func reqErr(err error) error {
 
 type shell struct {
 	c       *client.Client
+	addr    string
+	opts    client.Options
 	verbose bool
 	// serverErr remembers that some command got a structured server
 	// error (the script continues past those): the shell then exits
@@ -261,6 +268,13 @@ func (sh *shell) exec(line string, r *bufio.Reader) error {
 			fmt.Printf("verb %-9s count %d errors %d avg %s\n", name, vs.Count, vs.Errors,
 				avg(vs.Micros, vs.Count))
 		}
+		if w := st.Watch; w != nil {
+			fmt.Printf("watch: %d subscribers (total %d, resumed %d) events %d delivered %d backlog %d\n",
+				w.Subscribers, w.TotalWatches, w.Resumed, w.Events, w.Delivered, w.Backlog)
+			if w.Dropped > 0 || w.LostHorizon > 0 {
+				fmt.Printf("watch pressure: dropped %d lost-horizon %d\n", w.Dropped, w.LostHorizon)
+			}
+		}
 		if cl := st.Cluster; cl != nil {
 			fmt.Printf("cluster: %d shards, scatter %d routed %d failovers %d hedges %d/%d partials %d\n",
 				cl.Shards, cl.Scatter, cl.Routed, cl.Failovers, cl.HedgeWins, cl.Hedges, cl.Partials)
@@ -332,9 +346,54 @@ func (sh *shell) exec(line string, r *bufio.Reader) error {
 		}
 		sh.print(res)
 		return nil
+	case "watch":
+		return sh.watch(rest)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// watch subscribes to committed root changes matching the given
+// patterns and prints one line per notification until interrupted (or
+// until n=<count> notifications, for scripts). The subscription rides
+// its own wire session; this session stays free for the next command.
+func (sh *shell) watch(rest string) error {
+	limit := int64(-1)
+	var patterns []string
+	for _, tok := range strings.Fields(rest) {
+		if v, ok := strings.CutPrefix(tok, "n="); ok {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n < 1 {
+				return fmt.Errorf("watch: bad count %q", tok)
+			}
+			limit = n
+			continue
+		}
+		patterns = append(patterns, tok)
+	}
+	if len(patterns) == 0 {
+		return fmt.Errorf("watch: want at least one root pattern")
+	}
+	w, err := client.NewWatcher(sh.addr, patterns, 0, sh.opts)
+	if err != nil {
+		return reqErr(err)
+	}
+	defer w.Close()
+	fmt.Printf("watching %s from csn %d\n", strings.Join(patterns, " "), w.Pos())
+	for limit != 0 {
+		ev, err := w.Next()
+		if err != nil {
+			if errors.Is(err, client.ErrWatcherClosed) {
+				return nil
+			}
+			return reqErr(err)
+		}
+		fmt.Printf("notify %s oid <0x%x> csn %d\n", ev.Root, ev.OID, ev.CSN)
+		if limit > 0 {
+			limit--
+		}
+	}
+	return nil
 }
 
 func avg(micros, count int64) time.Duration {

@@ -806,3 +806,61 @@ func TestCoordinatorWireFrontEnd(t *testing.T) {
 		t.Fatalf("healthy cluster reports %q", h.Status)
 	}
 }
+
+// TestFrontEndRejectsWatch: the coordinator front end does not speak
+// WATCH (push streaming is a single-store feature for now). A verb it
+// does not know — which is exactly what a newer client sends an older
+// server — must be refused with a definitive protocol error, not hang
+// or kill the listener.
+func TestFrontEndRejectsWatch(t *testing.T) {
+	tc := bootCluster(t, 1, 1, nil)
+	fe := cluster.NewServer(tc.co, cluster.ServerConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go fe.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		fe.Shutdown(ctx)
+	})
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	if err := ship.WriteFrame(conn, ship.VHello, (&ship.Hello{Version: ship.ProtoVersion, Client: "new-client"}).Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if verb, _, err := ship.ReadFrame(conn, 0); err != nil || verb != ship.VWelcome {
+		t.Fatalf("handshake: verb %s, err %v", verb, err)
+	}
+	if err := ship.WriteFrame(conn, ship.VWatch, (&ship.Watch{Patterns: []string{"*"}}).Encode()); err != nil {
+		t.Fatal(err)
+	}
+	verb, body, err := ship.ReadFrame(conn, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verb != ship.VError {
+		t.Fatalf("old server answered watch with %s, want error", verb)
+	}
+	we, err := ship.DecodeWireError(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if we.Code != ship.CodeProto {
+		t.Fatalf("refused with %s, want proto", we.Code)
+	}
+
+	// The refusal is per-request: the same session still works.
+	if err := ship.WriteFrame(conn, ship.VPing, nil); err != nil {
+		t.Fatal(err)
+	}
+	if verb, _, err := ship.ReadFrame(conn, 0); err != nil || verb != ship.VPong {
+		t.Fatalf("after refusal: verb %s, err %v", verb, err)
+	}
+}

@@ -1,0 +1,327 @@
+// Package gateway maps the TYWR01 wire protocol onto HTTP/JSON: an
+// open-environment front end (paper §1: persistence services usable
+// from tools that were never linked against them) for clients that
+// speak neither the frame protocol nor PTML. The gateway parses TML
+// source, encodes values, pools wire sessions and translates the
+// server's structured errors into HTTP statuses; the wire client
+// underneath supplies retries, backoff and idempotency keys.
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"tycoon/internal/prim"
+	"tycoon/internal/ptml"
+	"tycoon/internal/ship"
+	"tycoon/internal/tml"
+)
+
+// decodeJSON parses data into v strictly: numbers stay json.Number,
+// unknown fields and trailing garbage are errors. Every failure maps
+// to HTTP 400 — the body never reached the server.
+func decodeJSON(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON value")
+	}
+	return nil
+}
+
+// decodeValue maps a JSON value onto a wire value:
+//
+//	null → nil, bool → Bool, string → Str,
+//	integral number → Int, fractional number → Real,
+//	{"real": n} → Real   (for integral reals like 2.0)
+//	{"char": "c"} → Char
+//	{"root": "name"} → Root reference by name
+//	{"ref": oid} → Ref (an OID from an earlier response)
+//	{"rel": {"cols": [...], "rows": [[...], ...]}} → relation
+func decodeValue(raw json.RawMessage) (ship.WVal, error) {
+	var v any
+	if err := decodeJSON(raw, &v); err != nil {
+		return ship.WVal{}, err
+	}
+	return valueOf(v, true)
+}
+
+func valueOf(v any, allowRel bool) (ship.WVal, error) {
+	switch x := v.(type) {
+	case nil:
+		return ship.WVal{Kind: ship.WNil}, nil
+	case bool:
+		return ship.WVal{Kind: ship.WBool, Bool: x}, nil
+	case string:
+		return ship.WVal{Kind: ship.WStr, Str: x}, nil
+	case json.Number:
+		if i, err := x.Int64(); err == nil && !strings.ContainsAny(x.String(), ".eE") {
+			return ship.WVal{Kind: ship.WInt, Int: i}, nil
+		}
+		f, err := x.Float64()
+		if err != nil {
+			return ship.WVal{}, fmt.Errorf("bad number %q", x.String())
+		}
+		return ship.WVal{Kind: ship.WReal, Real: f}, nil
+	case map[string]any:
+		if len(x) != 1 {
+			return ship.WVal{}, fmt.Errorf("value object must have exactly one of real/char/root/ref/rel")
+		}
+		for k, inner := range x {
+			switch k {
+			case "real":
+				n, ok := inner.(json.Number)
+				if !ok {
+					return ship.WVal{}, fmt.Errorf("real wants a number")
+				}
+				f, err := n.Float64()
+				if err != nil {
+					return ship.WVal{}, fmt.Errorf("bad real %q", n.String())
+				}
+				return ship.WVal{Kind: ship.WReal, Real: f}, nil
+			case "char":
+				s, ok := inner.(string)
+				if !ok || len(s) != 1 {
+					return ship.WVal{}, fmt.Errorf("char wants a one-byte string")
+				}
+				return ship.WVal{Kind: ship.WChar, Ch: s[0]}, nil
+			case "root":
+				s, ok := inner.(string)
+				if !ok || s == "" {
+					return ship.WVal{}, fmt.Errorf("root wants a nonempty name")
+				}
+				return ship.WVal{Kind: ship.WRoot, Str: s}, nil
+			case "ref":
+				n, ok := inner.(json.Number)
+				if !ok {
+					return ship.WVal{}, fmt.Errorf("ref wants an OID number")
+				}
+				oid, err := n.Int64()
+				if err != nil || oid < 0 {
+					return ship.WVal{}, fmt.Errorf("bad ref %q", n.String())
+				}
+				return ship.WVal{Kind: ship.WRef, Ref: uint64(oid)}, nil
+			case "rel":
+				if !allowRel {
+					return ship.WVal{}, fmt.Errorf("nested relation")
+				}
+				return relOf(inner)
+			default:
+				return ship.WVal{}, fmt.Errorf("unknown value kind %q", k)
+			}
+		}
+		panic("unreachable")
+	default:
+		return ship.WVal{}, fmt.Errorf("unsupported JSON value (arrays are not wire values; wrap relations as {\"rel\": ...})")
+	}
+}
+
+func relOf(v any) (ship.WVal, error) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return ship.WVal{}, fmt.Errorf("rel wants {\"cols\": [...], \"rows\": [[...]]}")
+	}
+	tbl := &ship.WTable{}
+	for k, inner := range m {
+		switch k {
+		case "cols":
+			cols, ok := inner.([]any)
+			if !ok {
+				return ship.WVal{}, fmt.Errorf("rel cols must be an array")
+			}
+			for _, c := range cols {
+				s, ok := c.(string)
+				if !ok {
+					return ship.WVal{}, fmt.Errorf("rel column names must be strings")
+				}
+				tbl.Cols = append(tbl.Cols, s)
+			}
+		case "rows":
+			rows, ok := inner.([]any)
+			if !ok {
+				return ship.WVal{}, fmt.Errorf("rel rows must be an array")
+			}
+			for _, rv := range rows {
+				row, ok := rv.([]any)
+				if !ok {
+					return ship.WVal{}, fmt.Errorf("rel rows must be arrays of values")
+				}
+				var out []ship.WVal
+				for _, f := range row {
+					fv, err := valueOf(f, false)
+					if err != nil {
+						return ship.WVal{}, err
+					}
+					out = append(out, fv)
+				}
+				tbl.Rows = append(tbl.Rows, out)
+			}
+		default:
+			return ship.WVal{}, fmt.Errorf("unknown rel field %q", k)
+		}
+	}
+	for i, row := range tbl.Rows {
+		if len(row) != len(tbl.Cols) {
+			return ship.WVal{}, fmt.Errorf("rel row %d has %d fields, want %d", i, len(row), len(tbl.Cols))
+		}
+	}
+	return ship.WVal{Kind: ship.WRel, Rel: tbl}, nil
+}
+
+// encodeValue maps a wire value back onto JSON, the inverse of
+// decodeValue up to numeric representation (an integral Real encodes
+// as a plain number and would decode as Int; response consumers read
+// JSON numbers either way).
+func encodeValue(v ship.WVal) (any, error) {
+	switch v.Kind {
+	case ship.WNil:
+		return nil, nil
+	case ship.WInt:
+		return v.Int, nil
+	case ship.WReal:
+		return v.Real, nil
+	case ship.WBool:
+		return v.Bool, nil
+	case ship.WChar:
+		return map[string]any{"char": string(v.Ch)}, nil
+	case ship.WStr:
+		return v.Str, nil
+	case ship.WRef:
+		return map[string]any{"ref": v.Ref}, nil
+	case ship.WRoot:
+		return map[string]any{"root": v.Str}, nil
+	case ship.WRel:
+		if v.Rel == nil {
+			return nil, fmt.Errorf("relation without table")
+		}
+		rows := make([][]any, len(v.Rel.Rows))
+		for i, row := range v.Rel.Rows {
+			rows[i] = make([]any, len(row))
+			for j, f := range row {
+				fv, err := encodeValue(f)
+				if err != nil {
+					return nil, err
+				}
+				rows[i][j] = fv
+			}
+		}
+		cols := v.Rel.Cols
+		if cols == nil {
+			cols = []string{}
+		}
+		return map[string]any{"rel": map[string]any{"cols": cols, "rows": rows}}, nil
+	default:
+		return nil, fmt.Errorf("unencodable value kind %d", byte(v.Kind))
+	}
+}
+
+// submitRequest is the POST /v1/submit body.
+type submitRequest struct {
+	Name     string                     `json:"name"`
+	TML      string                     `json:"tml"`
+	Binds    map[string]json.RawMessage `json:"binds"`
+	Optimize bool                       `json:"optimize"`
+	Save     string                     `json:"save"`
+	Merge    string                     `json:"merge"`
+	Explain  bool                       `json:"explain"`
+}
+
+// decodeSubmitRequest turns a JSON body into a wire Submit: the TML
+// source is parsed and PTML-encoded here, at the boundary, so a syntax
+// error is a 400 — it never costs a wire round trip. The idempotency
+// key is the caller's to fill in from the HTTP header.
+func decodeSubmitRequest(data []byte) (*ship.Submit, error) {
+	var req submitRequest
+	if err := decodeJSON(data, &req); err != nil {
+		return nil, err
+	}
+	if req.TML == "" {
+		return nil, fmt.Errorf("missing tml source")
+	}
+	app, err := tml.ParseApp(req.TML, tml.ParseOpts{IsPrim: prim.IsPrim})
+	if err != nil {
+		return nil, err
+	}
+	ptmlData, err := ptml.EncodeApp(app)
+	if err != nil {
+		return nil, err
+	}
+	merge, err := ship.ParseMerge(req.Merge)
+	if err != nil {
+		return nil, err
+	}
+	// Bind order is irrelevant to the server (it binds by name) but a
+	// deterministic encoding keeps idempotency keys content-stable.
+	names := make([]string, 0, len(req.Binds))
+	for name := range req.Binds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var binds []ship.WBind
+	for _, name := range names {
+		v, err := decodeValue(req.Binds[name])
+		if err != nil {
+			return nil, fmt.Errorf("bind %s: %w", name, err)
+		}
+		binds = append(binds, ship.WBind{Name: name, Val: v})
+	}
+	return &ship.Submit{
+		Name:     req.Name,
+		PTML:     ptmlData,
+		Binds:    binds,
+		Optimize: req.Optimize,
+		Save:     req.Save,
+		Merge:    merge,
+		Explain:  req.Explain,
+	}, nil
+}
+
+// callRequest is the POST /v1/call body. An empty module calls a
+// closure saved under srv:<fn>.
+type callRequest struct {
+	Module string            `json:"module"`
+	Fn     string            `json:"fn"`
+	Args   []json.RawMessage `json:"args"`
+}
+
+func decodeCallRequest(data []byte) (*ship.Call, error) {
+	var req callRequest
+	if err := decodeJSON(data, &req); err != nil {
+		return nil, err
+	}
+	if req.Fn == "" {
+		return nil, fmt.Errorf("missing fn")
+	}
+	call := &ship.Call{Module: req.Module, Fn: req.Fn}
+	for i, raw := range req.Args {
+		v, err := decodeValue(raw)
+		if err != nil {
+			return nil, fmt.Errorf("arg %d: %w", i, err)
+		}
+		call.Args = append(call.Args, v)
+	}
+	return call, nil
+}
+
+// installRequest is the POST /v1/install body.
+type installRequest struct {
+	Source string `json:"source"`
+}
+
+func decodeInstallRequest(data []byte) (*ship.Install, error) {
+	var req installRequest
+	if err := decodeJSON(data, &req); err != nil {
+		return nil, err
+	}
+	if req.Source == "" {
+		return nil, fmt.Errorf("missing source")
+	}
+	return &ship.Install{Source: req.Source}, nil
+}

@@ -81,6 +81,12 @@ type Config struct {
 	// RetryAfter is the backoff hint attached to CodeOverloaded
 	// refusals; 0 means DefaultRetryAfter.
 	RetryAfter time.Duration
+	// WatchBacklog bounds the committed root changes retained for WATCH
+	// resume-from-CSN; 0 means DefaultWatchBacklog. WatchQueue bounds one
+	// subscriber's undelivered events before it is dropped (it resumes by
+	// CSN); 0 means DefaultWatchQueue.
+	WatchBacklog int
+	WatchQueue   int
 	// Dedup optionally supplies the idempotency record table; nil
 	// creates a fresh one. The chaos harness passes one table across
 	// drain/restart incarnations over the same store so keyed retries
@@ -107,6 +113,9 @@ type Server struct {
 
 	// dedup is the idempotency record table (see dedup.go).
 	dedup *Dedup
+	// watch fans committed root changes out to WATCH subscribers, fed by
+	// the store's root hook (see watch.go).
+	watch *hub
 	// inflight is the global work-verb semaphore; verbSem the optional
 	// per-verb ones. nil channels mean "unbounded".
 	inflight chan struct{}
@@ -191,6 +200,8 @@ func New(st *store.Store, cfg Config) (*Server, error) {
 			}
 		}
 	}
+	s.watch = newHub(cfg.WatchBacklog, cfg.WatchQueue, st.CSN())
+	st.SetRootHook(s.watch.publish)
 	return s, nil
 }
 
@@ -389,6 +400,7 @@ func (s *Server) Stats() ship.ServerStats {
 	out.Indexes = s.mg.IndexStats()
 	tx := s.st.TxStats()
 	out.Store = &tx
+	out.Watch = s.watch.stats()
 	return out
 }
 
@@ -477,13 +489,22 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.draining = true
 	ln := s.ln
+	sessions := make([]*session, 0, len(s.sessions))
 	for sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	// Watch sessions block on their subscriber queue, not a read: mark
+	// every subscription dead with a shutdown reason first, so that when
+	// the nudge below fires their parked reader, the final flush already
+	// finds the terminal error to send.
+	s.watch.drain()
+	for _, sess := range sessions {
 		// Wake readers blocked between requests; sessions notice the
 		// drain flag and close. In-flight handlers finish first: they
 		// reset the deadline before writing their response.
 		sess.nudge()
 	}
-	s.mu.Unlock()
 	if ln != nil {
 		ln.Close()
 	}

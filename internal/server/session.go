@@ -74,6 +74,12 @@ func (s *session) run() {
 		if verb == ship.VBye {
 			return
 		}
+		if verb == ship.VWatch {
+			// WATCH consumes the session: the protocol has no request ids,
+			// so after watch-ok the connection is a dedicated push stream.
+			s.handleWatch(body)
+			return
+		}
 		if !s.dispatch(verb, body) {
 			return
 		}

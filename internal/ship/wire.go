@@ -80,6 +80,9 @@ const (
 	VBye      Verb = 13 // request: orderly session close
 	VHealth   Verb = 14 // request: liveness + mode probe
 	VHealthOK Verb = 15 // response: Health as JSON
+	VWatch    Verb = 16 // request: subscribe to committed root changes
+	VWatchOK  Verb = 17 // response: subscription accepted; stream follows
+	VNotify   Verb = 18 // server push: one committed root change
 )
 
 // String names a verb for logs and errors.
@@ -115,6 +118,12 @@ func (v Verb) String() string {
 		return "health"
 	case VHealthOK:
 		return "health-ok"
+	case VWatch:
+		return "watch"
+	case VWatchOK:
+		return "watch-ok"
+	case VNotify:
+		return "notify"
 	default:
 		return fmt.Sprintf("verb(%d)", byte(v))
 	}
@@ -614,6 +623,138 @@ func DecodeOptimize(body []byte) (*Optimize, error) {
 	return m, r.done()
 }
 
+// Watch subscribes the session to committed root changes. After the
+// server answers VWatchOK the connection becomes a dedicated push
+// stream: the protocol has no request ids, so a watching session issues
+// no further requests and the server sends VNotify frames until either
+// side closes. Patterns are root names with '*' wildcards ("srv:*"
+// matches every saved closure); a change is delivered once if any
+// pattern matches.
+type Watch struct {
+	Patterns []string
+	// SinceCSN resumes a subscription: the server replays the committed
+	// changes with CSN strictly greater than it before going live, so a
+	// client reconnecting after connection loss misses nothing. Zero asks
+	// for changes from now on. Optional trailing field — omitted when
+	// zero for compatibility.
+	SinceCSN uint64
+}
+
+// Encode serialises the message body.
+func (m *Watch) Encode() []byte {
+	var b bytes.Buffer
+	putU32(&b, uint32(len(m.Patterns)))
+	for _, p := range m.Patterns {
+		putStr(&b, p)
+	}
+	if m.SinceCSN != 0 {
+		putU64(&b, m.SinceCSN)
+	}
+	return b.Bytes()
+}
+
+// DecodeWatch deserialises a Watch body.
+func DecodeWatch(body []byte) (*Watch, error) {
+	r := &wreader{b: body}
+	m := &Watch{}
+	n := r.count(4) // smallest pattern: a 4-byte length prefix
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Patterns = append(m.Patterns, r.str())
+	}
+	if r.rem() > 0 {
+		m.SinceCSN = r.u64()
+	}
+	return m, r.done()
+}
+
+// WatchOK accepts a subscription. CSN is the stream position: every
+// subsequent VNotify carries a CSN strictly greater than it (for a
+// fresh subscription the store's current CSN; for a resume, the
+// client's SinceCSN).
+type WatchOK struct {
+	CSN uint64
+}
+
+// Encode serialises the message body.
+func (m *WatchOK) Encode() []byte {
+	var b bytes.Buffer
+	putU64(&b, m.CSN)
+	return b.Bytes()
+}
+
+// DecodeWatchOK deserialises a WatchOK body.
+func DecodeWatchOK(body []byte) (*WatchOK, error) {
+	r := &wreader{b: body}
+	m := &WatchOK{CSN: r.u64()}
+	return m, r.done()
+}
+
+// Notify is one committed root change pushed to a WATCH subscriber:
+// the root name, the OID it now binds, and the commit's CSN.
+// Notifications arrive in nondecreasing CSN order; the changes of one
+// multi-root commit share a CSN and arrive contiguously.
+type Notify struct {
+	Root string
+	OID  uint64
+	CSN  uint64
+	// More marks that further notifications of the SAME commit follow,
+	// so a subscriber can apply a whole commit atomically (the last
+	// change of a batch has More false). Optional trailing field —
+	// omitted when false, so frames from servers predating it decode as
+	// single-change commits, which is what those servers send.
+	More bool
+}
+
+// Encode serialises the message body.
+func (m *Notify) Encode() []byte {
+	var b bytes.Buffer
+	putStr(&b, m.Root)
+	putU64(&b, m.OID)
+	putU64(&b, m.CSN)
+	if m.More {
+		b.WriteByte(1)
+	}
+	return b.Bytes()
+}
+
+// DecodeNotify deserialises a Notify body.
+func DecodeNotify(body []byte) (*Notify, error) {
+	r := &wreader{b: body}
+	m := &Notify{Root: r.str(), OID: r.u64(), CSN: r.u64()}
+	if r.rem() > 0 {
+		m.More = r.u8() != 0
+	}
+	return m, r.done()
+}
+
+// MatchRoot reports whether a root name matches a watch pattern: '*'
+// matches any run of characters (including none), every other byte
+// matches itself. The classic greedy single-star backtracking match —
+// patterns are operator-written, never hostile.
+func MatchRoot(pattern, name string) bool {
+	px, nx := 0, 0
+	star, starN := -1, 0
+	for nx < len(name) {
+		switch {
+		case px < len(pattern) && pattern[px] == '*':
+			star, starN = px, nx
+			px++
+		case px < len(pattern) && pattern[px] == name[nx]:
+			px++
+			nx++
+		case star >= 0:
+			starN++
+			px, nx = star+1, starN
+		default:
+			return false
+		}
+	}
+	for px < len(pattern) && pattern[px] == '*' {
+		px++
+	}
+	return px == len(pattern)
+}
+
 // ExecInfo is the per-request execution record attached to a Result.
 type ExecInfo struct {
 	Steps    int64 // abstract machine steps charged to the request
@@ -838,10 +979,36 @@ type ServerStats struct {
 	// Store carries the MVCC store's counters: open snapshots,
 	// transaction commits/aborts/conflicts and group-commit batching.
 	Store *store.TxStats `json:"store,omitempty"`
+	// Watch carries the WATCH hub's counters; absent until the first
+	// subscription or committed root change.
+	Watch *WatchStats `json:"watch,omitempty"`
 	// Cluster carries the coordinator counters when the answering
 	// process is a tycc coordinator rather than a plain tycd shard. JSON
 	// keeps the extension free: old clients simply ignore the field.
 	Cluster *ClusterStats `json:"cluster,omitempty"`
+}
+
+// WatchStats is the WATCH hub's counter block inside ServerStats.
+type WatchStats struct {
+	// Subscribers is the number of live subscriptions; TotalWatches
+	// counts subscriptions ever accepted, Resumed the ones that carried
+	// a SinceCSN.
+	Subscribers  int   `json:"subscribers"`
+	TotalWatches int64 `json:"total_watches,omitempty"`
+	Resumed      int64 `json:"resumed,omitempty"`
+	// Events counts committed root changes observed by the hub;
+	// Delivered the notifications enqueued to subscribers (one event
+	// fans out once per matching subscriber).
+	Events    int64 `json:"events,omitempty"`
+	Delivered int64 `json:"delivered,omitempty"`
+	// Dropped counts subscriptions terminated because the subscriber
+	// fell too far behind (it resumes by CSN); LostHorizon counts
+	// resume attempts refused because the backlog no longer reached
+	// back to the requested CSN.
+	Dropped     int64 `json:"dropped,omitempty"`
+	LostHorizon int64 `json:"lost_horizon,omitempty"`
+	// Backlog is the number of events currently retained for resume.
+	Backlog int `json:"backlog,omitempty"`
 }
 
 // ReplicaStat is one shard replica's health as the coordinator sees it.

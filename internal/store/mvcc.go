@@ -461,14 +461,21 @@ func (t *Txn) Commit() error {
 		for k, v := range s.roots {
 			next[k] = v
 		}
+		changes := make([]RootChange, 0, len(t.rootW))
 		for _, name := range rootNames(t.rootW) {
 			next[name] = t.rootW[name]
 			s.epoch++
 			s.muts++
 			appendRec(&recs, rootRecord(name, t.rootW[name]), s.version)
 			count++
+			changes = append(changes, RootChange{Root: name, OID: t.rootW[name]})
 		}
 		s.roots = next
+		if s.rootHook != nil {
+			// One call for the whole commit, under s.mu: observers see the
+			// batch at a single CSN, in CSN order, never torn.
+			s.rootHook(s.csn, changes)
+		}
 	}
 	s.txCommitted++
 	var req *commitReq

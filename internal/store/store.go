@@ -496,6 +496,39 @@ type Store struct {
 	// decide whether re-executing that request could double-apply an
 	// effect; see Mutations.
 	muts uint64
+	// rootHook, when set, observes committed root rebindings (see
+	// SetRootHook). Called under mu, so invocations arrive in CSN order
+	// and one transactional commit is one call.
+	rootHook func(csn uint64, changes []RootChange)
+}
+
+// RootChange is one committed root rebinding as observed by the hook
+// registered with SetRootHook: the root name and the OID it now binds.
+type RootChange struct {
+	Root string
+	OID  OID
+}
+
+// SetRootHook registers fn to observe every published root rebinding:
+// one call per publication event, carrying the event's CSN and all of
+// its root changes (a transactional commit that rebinds several roots
+// is one call — observers never see a torn commit). Calls are made
+// under the store lock, so they arrive strictly in CSN order; fn must
+// be fast and must never call back into the store. Pass nil to remove
+// the hook. The server's WATCH hub is the intended subscriber.
+func (s *Store) SetRootHook(fn func(csn uint64, changes []RootChange)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rootHook = fn
+}
+
+// CSN reports the current commit sequence number: the CSN of the most
+// recent publication event. WATCH subscriptions use it as the resume
+// horizon for a fresh subscription.
+func (s *Store) CSN() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.csn
 }
 
 // Open opens (or creates) the store file at path, replaying its log.
@@ -699,6 +732,9 @@ func (s *Store) SetRoot(name string, oid OID) {
 	s.epoch++
 	s.muts++
 	s.csn++
+	if s.rootHook != nil {
+		s.rootHook(s.csn, []RootChange{{Root: name, OID: oid}})
+	}
 }
 
 // Root resolves a persistent root name.

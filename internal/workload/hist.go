@@ -1,0 +1,122 @@
+// Package workload generates seeded macro workloads against a tycd
+// server or tycc cluster: the Stanford suite's call shapes mixed with
+// arithmetic submits, keyed writes, server-side optimization and WATCH
+// round trips, with HDR-style latency histograms per verb. It is the
+// soak lane's engine: long runs with self-checking answers, exactly-
+// once keyed writes and per-verb percentiles gated in CI.
+package workload
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+)
+
+// The histogram is log-bucketed in microseconds: exact below 16µs,
+// then 16 sub-buckets per octave (≈6% relative error) up to the full
+// int64 range — the classic HDR shape, small enough to sit in every
+// worker and merge at the end.
+const (
+	histSubBits = 4
+	histSub     = 1 << histSubBits // sub-buckets per octave
+	histBuckets = histSub + (63-histSubBits)*histSub
+)
+
+// Hist is a latency histogram. Not safe for concurrent use: each
+// worker records into its own and the report merges them.
+type Hist struct {
+	n   int64
+	sum int64
+	max int64
+	b   [histBuckets]int64
+}
+
+func bucketOf(us int64) int {
+	if us < 0 {
+		us = 0
+	}
+	if us < histSub {
+		return int(us)
+	}
+	exp := bits.Len64(uint64(us)) - 1 // floor(log2), >= histSubBits
+	sub := int((us >> (exp - histSubBits)) & (histSub - 1))
+	idx := histSub + (exp-histSubBits)*histSub + sub
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketMid is the representative value (µs) reported for a bucket.
+func bucketMid(idx int) int64 {
+	if idx < histSub {
+		return int64(idx)
+	}
+	exp := (idx-histSub)/histSub + histSubBits
+	sub := int64((idx - histSub) % histSub)
+	lo := int64(1)<<exp | sub<<(exp-histSubBits)
+	return lo + int64(1)<<(exp-histSubBits)/2
+}
+
+// Record adds one latency observation.
+func (h *Hist) Record(d time.Duration) {
+	us := d.Microseconds()
+	h.n++
+	h.sum += us
+	if us > h.max {
+		h.max = us
+	}
+	h.b[bucketOf(us)]++
+}
+
+// Merge folds another histogram into this one.
+func (h *Hist) Merge(o *Hist) {
+	h.n += o.n
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+	for i, c := range o.b {
+		h.b[i] += c
+	}
+}
+
+// Count reports the number of observations.
+func (h *Hist) Count() int64 { return h.n }
+
+// Max reports the largest observation in µs (exact, not bucketed).
+func (h *Hist) Max() int64 { return h.max }
+
+// Mean reports the mean latency in µs.
+func (h *Hist) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Quantile reports the q-quantile (0 < q <= 1) in µs, to bucket
+// precision.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := int64(q*float64(h.n) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i, c := range h.b {
+		seen += c
+		if seen >= target {
+			return bucketMid(i)
+		}
+	}
+	return h.max
+}
+
+// String renders the headline percentiles.
+func (h *Hist) String() string {
+	return fmt.Sprintf("n=%d p50=%dus p90=%dus p99=%dus max=%dus",
+		h.n, h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.max)
+}

@@ -1,0 +1,464 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"tycoon/internal/client"
+	"tycoon/internal/ship"
+	"tycoon/internal/stanford"
+)
+
+// Mix weighs the verbs of the generated workload. Zero values drop the
+// verb entirely — a cluster run sets Watch to 0, since coordinators do
+// not speak WATCH.
+type Mix struct {
+	Call     int // Stanford-shape module calls, self-checked against the first answer
+	Submit   int // arithmetic submits with binds, checked exactly
+	Write    int // keyed saving submits into bounded per-worker slots
+	Optimize int // server-side reflective optimization of an installed module
+	Watch    int // keyed write + wait for its own WATCH notification
+}
+
+// DefaultMix mirrors the paper's open-environment usage: reads
+// dominate, writes and pushes ride along, optimization is rare.
+var DefaultMix = Mix{Call: 8, Submit: 4, Write: 4, Optimize: 1, Watch: 1}
+
+func (m Mix) total() int { return m.Call + m.Submit + m.Write + m.Optimize + m.Watch }
+
+// Config parameterises one workload run.
+type Config struct {
+	Addr  string
+	Label string // report label: "tycd", "tycc", …
+	// Workers is the number of concurrent sessions (default 8).
+	Workers int
+	// Requests is the total operation count across workers (default 1000).
+	Requests int64
+	// Seed makes the run deterministic (default 1).
+	Seed int64
+	// Mix weighs the verbs (zero: DefaultMix).
+	Mix Mix
+	// Slots bounds the keyed-write root set per worker (default 4), so a
+	// long soak exercises overwrite paths instead of growing the root
+	// map without bound.
+	Slots int
+	// TargetRate throttles the whole run to about this many requests per
+	// second (0: unthrottled).
+	TargetRate float64
+	Timeout    time.Duration // per-request timeout (default 30s)
+	Retries    int           // wire retries per request (default 3)
+}
+
+// VerbStats is one verb's latency histogram plus outcome counters.
+type VerbStats struct {
+	Hist   Hist
+	Count  int64
+	Errors int64 // requests that failed after retries
+	Wrong  int64 // requests that answered, with the wrong value
+}
+
+// Report is the outcome of a run.
+type Report struct {
+	Label    string
+	Elapsed  time.Duration
+	Requests int64
+	Errors   int64
+	Wrong    int64
+	Verbs    map[string]*VerbStats
+}
+
+// programs are the Stanford shapes the call mix draws from, scaled to
+// per-request sizes (the full suite parameters are macro-benchmarks;
+// a soak wants thousands of calls per second, not hundreds of ms each).
+var programs = []struct {
+	name string
+	src  string
+	n    int64
+}{
+	{"perm", stanford.PermSrc, 4},
+	{"towers", stanford.TowersSrc, 6},
+	{"queens", stanford.QueensSrc, 5},
+	{"sieve", stanford.SieveSrc, 200},
+}
+
+// watchBoard tracks WATCH notifications per root so watch operations
+// can wait for their own commit's push.
+type watchBoard struct {
+	mu      sync.Mutex
+	seq     map[string]uint64
+	waiters map[string][]chan struct{}
+}
+
+func newWatchBoard() *watchBoard {
+	return &watchBoard{seq: make(map[string]uint64), waiters: make(map[string][]chan struct{})}
+}
+
+func (b *watchBoard) bump(root string) {
+	b.mu.Lock()
+	b.seq[root]++
+	for _, ch := range b.waiters[root] {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	delete(b.waiters, root)
+	b.mu.Unlock()
+}
+
+func (b *watchBoard) get(root string) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seq[root]
+}
+
+// wait blocks until the root's event counter reaches min or the
+// timeout passes; reports whether it did.
+func (b *watchBoard) wait(root string, min uint64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		b.mu.Lock()
+		if b.seq[root] >= min {
+			b.mu.Unlock()
+			return true
+		}
+		ch := make(chan struct{}, 1)
+		b.waiters[root] = append(b.waiters[root], ch)
+		b.mu.Unlock()
+		left := time.Until(deadline)
+		if left <= 0 {
+			return false
+		}
+		timer := time.NewTimer(left)
+		select {
+		case <-ch:
+			timer.Stop()
+		case <-timer.C:
+		}
+	}
+}
+
+// Run drives the workload and reports per-verb latency histograms.
+// Every answer is checked: call answers against a first-call oracle,
+// submit answers exactly, keyed writes by reading every slot back at
+// the end (exactly-once: the final value must be the last acknowledged
+// write), watch operations by observing their own push notification.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 1000
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Mix.total() == 0 {
+		cfg.Mix = DefaultMix
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = 4
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 3
+	}
+	if cfg.Label == "" {
+		cfg.Label = "run"
+	}
+	opts := client.Options{
+		Timeout: cfg.Timeout, Retries: cfg.Retries,
+		Client: "tycload", Seed: cfg.Seed,
+	}
+
+	// Setup: install the call corpus once, keyed so a retried install
+	// applies once.
+	setup, err := client.Dial(cfg.Addr, opts)
+	if err != nil {
+		return nil, fmt.Errorf("workload: dial %s: %w", cfg.Addr, err)
+	}
+	for _, p := range programs {
+		if _, err := setup.Install(p.src); err != nil {
+			setup.Close()
+			return nil, fmt.Errorf("workload: install %s: %w", p.name, err)
+		}
+	}
+	setup.Close()
+
+	// The standing watcher feeds the board every committed ld-* root.
+	var board *watchBoard
+	var watcher *client.Watcher
+	if cfg.Mix.Watch > 0 {
+		board = newWatchBoard()
+		watcher, err = client.NewWatcher(cfg.Addr, []string{"srv:ldw-*"}, 0, opts)
+		if err != nil {
+			return nil, fmt.Errorf("workload: watch subscription: %w (clusters do not speak WATCH; run with watch weight 0)", err)
+		}
+		go func() {
+			for {
+				ev, werr := watcher.Next()
+				if werr != nil {
+					return // closed at the end of the run, or terminally lost
+				}
+				board.bump(ev.Root)
+			}
+		}()
+	}
+
+	// First-call oracle for the Stanford shapes: program → answer.
+	var oracle sync.Map
+
+	type slotState struct {
+		name  string
+		acked int64 // last acknowledged write; 0 = never written
+	}
+	workerSlots := make([][]slotState, cfg.Workers)
+
+	var interval time.Duration
+	if cfg.TargetRate > 0 {
+		interval = time.Duration(float64(cfg.Workers) / cfg.TargetRate * float64(time.Second))
+	}
+
+	verbNames := []string{"call", "submit", "write", "optimize", "watch"}
+	type workerOut struct {
+		verbs map[string]*VerbStats
+		err   error
+	}
+	outs := make([]workerOut, cfg.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		share := cfg.Requests / int64(cfg.Workers)
+		if int64(w) < cfg.Requests%int64(cfg.Workers) {
+			share++
+		}
+		slots := make([]slotState, cfg.Slots)
+		for s := range slots {
+			slots[s].name = fmt.Sprintf("ld-w%d-s%d", w, s)
+		}
+		workerSlots[w] = slots
+		wg.Add(1)
+		go func(w int, share int64) {
+			defer wg.Done()
+			out := workerOut{verbs: make(map[string]*VerbStats, len(verbNames))}
+			for _, v := range verbNames {
+				out.verbs[v] = &VerbStats{}
+			}
+			defer func() { outs[w] = out }()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			c, err := client.Dial(cfg.Addr, client.Options{
+				Timeout: cfg.Timeout, Retries: cfg.Retries,
+				Client: fmt.Sprintf("tycload-w%d", w), Seed: cfg.Seed + int64(w),
+			})
+			if err != nil {
+				out.err = err
+				return
+			}
+			defer c.Close()
+			next := time.Now()
+			var writeSeq int64
+			for i := int64(0); i < share; i++ {
+				if interval > 0 {
+					next = next.Add(interval)
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+				}
+				pick := rng.Intn(cfg.Mix.total())
+				switch {
+				case pick < cfg.Mix.Call:
+					vs := out.verbs["call"]
+					p := programs[rng.Intn(len(programs))]
+					t0 := time.Now()
+					res, err := c.Call(p.name, "run", ship.WVal{Kind: ship.WInt, Int: p.n})
+					vs.Hist.Record(time.Since(t0))
+					vs.Count++
+					if err != nil {
+						vs.Errors++
+						continue
+					}
+					if want, ok := oracle.LoadOrStore(p.name, res.Val.Int); ok && want.(int64) != res.Val.Int {
+						vs.Wrong++
+					}
+				case pick < cfg.Mix.Call+cfg.Mix.Submit:
+					vs := out.verbs["submit"]
+					a, b := rng.Int63n(1_000_000), rng.Int63n(1_000_000)
+					src := "(+ a b e cont(n) (k n))"
+					binds := []ship.WBind{
+						{Name: "a", Val: ship.WVal{Kind: ship.WInt, Int: a}},
+						{Name: "b", Val: ship.WVal{Kind: ship.WInt, Int: b}},
+					}
+					t0 := time.Now()
+					res, err := c.SubmitTML("soak-add", src, binds, false, "")
+					vs.Hist.Record(time.Since(t0))
+					vs.Count++
+					if err != nil {
+						vs.Errors++
+						continue
+					}
+					if res.Val.Kind != ship.WInt || res.Val.Int != a+b {
+						vs.Wrong++
+					}
+				case pick < cfg.Mix.Call+cfg.Mix.Submit+cfg.Mix.Write:
+					vs := out.verbs["write"]
+					slot := &workerSlots[w][rng.Intn(cfg.Slots)]
+					writeSeq++
+					val := int64(w+1)*1_000_000_000 + writeSeq
+					src := fmt.Sprintf("(+ %d 0 e cont(n) (k n))", val)
+					t0 := time.Now()
+					res, err := c.SubmitTML(slot.name, src, nil, false, slot.name)
+					vs.Hist.Record(time.Since(t0))
+					vs.Count++
+					if err != nil {
+						vs.Errors++
+						continue
+					}
+					if res.Val.Int != val {
+						vs.Wrong++
+						continue
+					}
+					slot.acked = val
+				case pick < cfg.Mix.Call+cfg.Mix.Submit+cfg.Mix.Write+cfg.Mix.Optimize:
+					vs := out.verbs["optimize"]
+					p := programs[rng.Intn(len(programs))]
+					t0 := time.Now()
+					_, err := c.Optimize(p.name, "run")
+					vs.Hist.Record(time.Since(t0))
+					vs.Count++
+					if err != nil {
+						vs.Errors++
+					}
+				default:
+					// Watch: a keyed write to this worker's own watch root,
+					// then wait for its push — the histogram measures commit→
+					// notification latency end to end, through the server's
+					// publish path and the subscriber stream.
+					vs := out.verbs["watch"]
+					writeSeq++
+					root := fmt.Sprintf("srv:ldw-w%d", w)
+					pre := board.get(root)
+					val := int64(w+1)*1_000_000_000 + writeSeq
+					src := fmt.Sprintf("(+ %d 0 e cont(n) (k n))", val)
+					t0 := time.Now()
+					_, err := c.SubmitTML(root, src, nil, false, fmt.Sprintf("ldw-w%d", w))
+					if err != nil {
+						vs.Hist.Record(time.Since(t0))
+						vs.Count++
+						vs.Errors++
+						continue
+					}
+					ok := board.wait(root, pre+1, cfg.Timeout)
+					vs.Hist.Record(time.Since(t0))
+					vs.Count++
+					if !ok {
+						vs.Wrong++ // the committed change was never pushed
+					}
+				}
+			}
+		}(w, share)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if watcher != nil {
+		watcher.Close()
+	}
+
+	rep := &Report{Label: cfg.Label, Elapsed: elapsed, Verbs: make(map[string]*VerbStats)}
+	for _, v := range verbNames {
+		rep.Verbs[v] = &VerbStats{}
+	}
+	var firstErr error
+	for _, out := range outs {
+		if out.err != nil && firstErr == nil {
+			firstErr = out.err
+		}
+		for v, vs := range out.verbs {
+			agg := rep.Verbs[v]
+			agg.Hist.Merge(&vs.Hist)
+			agg.Count += vs.Count
+			agg.Errors += vs.Errors
+			agg.Wrong += vs.Wrong
+		}
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("workload: worker: %w", firstErr)
+	}
+
+	// Exactly-once audit: every slot must hold the last acknowledged
+	// write — a lost write or a double-applied retry both surface here.
+	check, err := client.Dial(cfg.Addr, opts)
+	if err != nil {
+		return nil, fmt.Errorf("workload: audit dial: %w", err)
+	}
+	defer check.Close()
+	for w := range workerSlots {
+		for _, slot := range workerSlots[w] {
+			if slot.acked == 0 {
+				continue
+			}
+			res, err := check.Call("", slot.name)
+			if err != nil {
+				rep.Verbs["write"].Errors++
+				continue
+			}
+			if res.Val.Int != slot.acked {
+				rep.Verbs["write"].Wrong++
+			}
+		}
+	}
+
+	for _, v := range verbNames {
+		vs := rep.Verbs[v]
+		rep.Requests += vs.Count
+		rep.Errors += vs.Errors
+		rep.Wrong += vs.Wrong
+		if vs.Count == 0 {
+			delete(rep.Verbs, v)
+		}
+	}
+	return rep, nil
+}
+
+// BenchLines renders the report as `go test -bench`-style result lines
+// (one per verb plus a total), the format benchjson parses and gates.
+func (r *Report) BenchLines(procs int) []string {
+	var names []string
+	for v := range r.Verbs {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	secs := r.Elapsed.Seconds()
+	if secs <= 0 {
+		secs = 1e-9
+	}
+	var lines []string
+	emit := func(verb string, vs *VerbStats) {
+		lines = append(lines, fmt.Sprintf(
+			"BenchmarkSoak/%s/%s-%d\t%d\t%d p50-us\t%d p90-us\t%d p99-us\t%d max-us\t%d rps\t%d errors\t%d wrong",
+			r.Label, verb, procs, vs.Count,
+			vs.Hist.Quantile(0.50), vs.Hist.Quantile(0.90), vs.Hist.Quantile(0.99), vs.Hist.Max(),
+			int64(float64(vs.Count)/secs), vs.Errors, vs.Wrong))
+	}
+	for _, v := range names {
+		emit(v, r.Verbs[v])
+	}
+	total := &VerbStats{}
+	for _, v := range names {
+		vs := r.Verbs[v]
+		total.Hist.Merge(&vs.Hist)
+		total.Count += vs.Count
+		total.Errors += vs.Errors
+		total.Wrong += vs.Wrong
+	}
+	emit("all", total)
+	return lines
+}
+
+// ErrNoRequests reports a run that produced nothing (mix of zeros).
+var ErrNoRequests = errors.New("workload: no requests generated")

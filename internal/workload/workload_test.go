@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"tycoon/internal/server"
+	"tycoon/internal/store"
+)
+
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	// 1..1000 µs uniform: quantiles are known up to bucket precision.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	checks := []struct {
+		q    float64
+		want int64
+	}{{0.50, 500}, {0.90, 900}, {0.99, 990}, {1.0, 1000}}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		// Octave sub-bucketing guarantees ≤ ~6% relative error, plus
+		// half-a-bucket from the midpoint convention.
+		if err := float64(got-c.want) / float64(c.want); err < -0.10 || err > 0.10 {
+			t.Errorf("q%.2f = %d, want ~%d", c.q, got, c.want)
+		}
+	}
+	if m := h.Mean(); m < 480 || m > 520 {
+		t.Errorf("mean = %g, want ~500.5", m)
+	}
+}
+
+func TestHistExactLowRange(t *testing.T) {
+	var h Hist
+	for i := 0; i < 16; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	// Below 16µs every value has its own bucket: quantiles are exact.
+	// p50 of {0..15} is 7: eight of sixteen observations are ≤ 7.
+	if got := h.Quantile(0.5); got != 7 {
+		t.Fatalf("p50 = %d, want 7", got)
+	}
+	if got := h.Quantile(1.0); got != 15 {
+		t.Fatalf("p100 = %d, want 15", got)
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b Hist
+	rng := rand.New(rand.NewSource(7))
+	var whole Hist
+	for i := 0; i < 4000; i++ {
+		d := time.Duration(rng.Intn(1_000_000)) * time.Microsecond
+		whole.Record(d)
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() || a.Max() != whole.Max() {
+		t.Fatalf("merge lost observations: %s vs %s", a.String(), whole.String())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("q%g: merged %d, whole %d", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+func TestBucketMonotone(t *testing.T) {
+	prev := -1
+	for us := int64(0); us < 1<<20; us += 37 {
+		idx := bucketOf(us)
+		if idx < prev {
+			t.Fatalf("bucketOf not monotone at %dµs: %d < %d", us, idx, prev)
+		}
+		prev = idx
+	}
+	if bucketOf(1<<62) >= histBuckets {
+		t.Fatal("huge value out of range")
+	}
+}
+
+// boot starts an in-process tycd for the workload to drive.
+func boot(t *testing.T) string {
+	t.Helper()
+	st, err := store.Open(filepath.Join(t.TempDir(), "wl.tyst"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(st, server.Config{})
+	if err != nil {
+		st.Close()
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		st.Close()
+	})
+	return ln.Addr().String()
+}
+
+// TestRunSelfChecks drives a small mixed run and requires zero errors,
+// zero wrong answers, and coverage of every verb.
+func TestRunSelfChecks(t *testing.T) {
+	addr := boot(t)
+	rep, err := Run(Config{
+		Addr: addr, Label: "unit", Workers: 4, Requests: 400, Seed: 42,
+		Timeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 400 {
+		t.Fatalf("requests = %d, want 400", rep.Requests)
+	}
+	if rep.Errors != 0 || rep.Wrong != 0 {
+		t.Fatalf("errors=%d wrong=%d, want 0/0", rep.Errors, rep.Wrong)
+	}
+	for _, v := range []string{"call", "submit", "write", "optimize", "watch"} {
+		vs := rep.Verbs[v]
+		if vs == nil || vs.Count == 0 {
+			t.Errorf("verb %s never ran", v)
+			continue
+		}
+		if vs.Hist.Count() != vs.Count {
+			t.Errorf("verb %s: %d observations for %d requests", v, vs.Hist.Count(), vs.Count)
+		}
+	}
+}
+
+// TestRunDeterministic pins that two runs with the same seed issue the
+// same operations (same per-verb counts — latencies differ, of course).
+func TestRunDeterministic(t *testing.T) {
+	addr := boot(t)
+	a, err := Run(Config{Addr: addr, Workers: 3, Requests: 150, Seed: 7, Mix: Mix{Call: 2, Submit: 2, Write: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Addr: addr, Workers: 3, Requests: 150, Seed: 7, Mix: Mix{Call: 2, Submit: 2, Write: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, vs := range a.Verbs {
+		if b.Verbs[v] == nil || b.Verbs[v].Count != vs.Count {
+			t.Fatalf("verb %s: %d vs %d ops across seeded runs", v, vs.Count, b.Verbs[v].Count)
+		}
+	}
+	if _, ok := a.Verbs["watch"]; ok {
+		t.Fatal("watch ran despite zero weight")
+	}
+}
+
+// TestBenchLines pins the report's benchjson-compatible rendering.
+func TestBenchLines(t *testing.T) {
+	rep := &Report{Label: "tycd", Elapsed: 2 * time.Second, Verbs: map[string]*VerbStats{
+		"call": {Count: 100},
+	}}
+	for i := 0; i < 100; i++ {
+		rep.Verbs["call"].Hist.Record(time.Duration(i+1) * 10 * time.Microsecond)
+	}
+	lines := rep.BenchLines(8)
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want verb + all", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "BenchmarkSoak/tycd/call-8\t100\t") {
+		t.Fatalf("bad line: %q", lines[0])
+	}
+	for _, want := range []string{" p50-us", " p99-us", " rps", " errors", " wrong"} {
+		if !strings.Contains(lines[0], want) {
+			t.Fatalf("line missing %q: %q", want, lines[0])
+		}
+	}
+	if !strings.Contains(lines[1], "/all-8\t") {
+		t.Fatalf("no aggregate line: %q", lines[1])
+	}
+}

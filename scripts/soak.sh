@@ -1,0 +1,105 @@
+#!/bin/sh
+# soak.sh — the soak lane: drive a seeded macro workload (Stanford-shape
+# calls, arithmetic submits, keyed writes, optimizations, WATCH round
+# trips) through a tycd server and a 3-shard tycc cluster, then gate the
+# per-verb latency percentiles and throughput against the committed
+# baseline with benchjson. Every answer is self-checked; any error or
+# wrong answer fails the run before the baseline gate even looks.
+#
+#   SOAK_REQUESTS=20000 scripts/soak.sh            # CI-sized run
+#   SOAK_REQUESTS=1000000 scripts/soak.sh          # full soak
+#   SOAK_BASELINE= scripts/soak.sh                 # skip the gate
+#
+# The artifact lands in bench/BENCH_soak.new.json; promote it with
+#   cp bench/BENCH_soak.new.json bench/BENCH_soak.json
+# Latency/rps gating only applies when the baseline was recorded on the
+# same CPU model — foreign machines gate errors and wrong counts alone.
+set -eu
+cd "$(dirname "$0")/.."
+
+requests="${SOAK_REQUESTS:-20000}"
+baseline="${SOAK_BASELINE-bench/BENCH_soak.json}"
+workers="${SOAK_WORKERS:-8}"
+
+work="$(mktemp -d)"
+pids=""
+cleanup() {
+	for p in $pids; do kill "$p" 2>/dev/null || true; done
+	rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$work/tycd" ./cmd/tycd
+go build -o "$work/tycc" ./cmd/tycc
+go build -o "$work/tycload" ./cmd/tycload
+go build -o "$work/tycfsck" ./cmd/tycfsck
+go build -o "$work/benchjson" ./cmd/benchjson
+
+wait_addr() {
+	for _ in $(seq 1 100); do
+		[ -s "$1" ] && break
+		kill -0 "$2" 2>/dev/null || { echo "soak: process died before listening" >&2; exit 1; }
+		sleep 0.1
+	done
+	cat "$1"
+}
+
+# Lane 1: a single tycd, full mix including WATCH.
+"$work/tycd" -store "$work/solo.tyst" -addr 127.0.0.1:0 \
+	-portfile "$work/portd" 2>"$work/tycd.log" &
+tycd_pid=$!
+pids="$pids $tycd_pid"
+solo="$(wait_addr "$work/portd" "$tycd_pid")"
+echo "soak: $requests requests against tycd on $solo" >&2
+"$work/tycload" -addr "$solo" -label tycd -requests "$requests" \
+	-workers "$workers" -seed 1 >"$work/bench.txt"
+
+kill -TERM "$tycd_pid"
+wait "$tycd_pid" || { echo "soak: tycd exited non-zero" >&2; cat "$work/tycd.log" >&2; exit 1; }
+pids=""
+"$work/tycfsck" -store "$work/solo.tyst"
+
+# Lane 2: three shards behind tycc. Coordinators do not speak WATCH, so
+# that weight moves to zero and the rest of the mix stands.
+shard_addrs=""
+shard_pids=""
+for i in 0 1 2; do
+	"$work/tycd" -store "$work/shard$i.tyst" -addr 127.0.0.1:0 \
+		-portfile "$work/port$i" 2>"$work/shard$i.log" &
+	pids="$pids $!"
+	shard_pids="$shard_pids $!"
+	addr="$(wait_addr "$work/port$i" "$!")"
+	shard_addrs="$shard_addrs -shard $addr"
+done
+# shellcheck disable=SC2086
+"$work/tycc" $shard_addrs -addr 127.0.0.1:0 -portfile "$work/portc" \
+	2>"$work/tycc.log" &
+tycc_pid=$!
+pids="$pids $tycc_pid"
+coord="$(wait_addr "$work/portc" "$tycc_pid")"
+echo "soak: $requests requests against 3-shard tycc on $coord" >&2
+"$work/tycload" -addr "$coord" -label tycc -requests "$requests" \
+	-workers "$workers" -seed 2 -mix call=8,submit=4,write=4,optimize=1,watch=0 \
+	>>"$work/bench.txt"
+
+kill -TERM "$tycc_pid"
+wait "$tycc_pid" || { echo "soak: tycc exited non-zero" >&2; cat "$work/tycc.log" >&2; exit 1; }
+for p in $shard_pids; do
+	kill -TERM "$p"
+	wait "$p" || { echo "soak: a shard exited non-zero" >&2; exit 1; }
+done
+pids=""
+"$work/tycfsck" -store "$work/shard0.tyst" -store "$work/shard1.tyst" -store "$work/shard2.tyst"
+
+# Duplicate headers from the second run confuse nobody: benchjson keeps
+# the last value and both runs share one host. Gate if a baseline is
+# committed, emit the fresh artifact either way.
+mkdir -p bench
+if [ -n "$baseline" ] && [ -f "$baseline" ]; then
+	"$work/benchjson" -lane soak -baseline "$baseline" \
+		<"$work/bench.txt" >bench/BENCH_soak.new.json
+else
+	"$work/benchjson" -lane soak <"$work/bench.txt" >bench/BENCH_soak.new.json
+	echo "soak: no baseline at '$baseline'; gate skipped" >&2
+fi
+echo "soak: OK"
