@@ -57,6 +57,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-shard request timeout (0: default)")
 	inflight := flag.Int("inflight", 0, "max concurrent requests before shedding with overloaded (0: default, negative: unbounded)")
 	partial := flag.Bool("partial", false, "degrade scatter reads to partial results naming missing shard ranges when a shard is down")
+	handoffDir := flag.String("handoff-dir", "", "directory for per-replica write-ahead handoff logs; enables replica repair (unset: writes fail with replica-down while a replica is unreachable)")
+	repairEvery := flag.Duration("repair-interval", 0, "pace of the background repair loop draining handoff logs (0: default)")
 	idle := flag.Duration("idle", 0, "close sessions idle for this long (0: never)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown grace period")
 	quiet := flag.Bool("q", false, "suppress the coordinator log")
@@ -66,12 +68,14 @@ func main() {
 		fatal("no shards: pass at least one -shard host:port[,host:port...]")
 	}
 	cfg := cluster.Config{
-		Topology:     cluster.Topology{Shards: shards},
-		HedgeAfter:   *hedge,
-		Retries:      *retries,
-		Timeout:      *timeout,
-		MaxInflight:  *inflight,
-		AllowPartial: *partial,
+		Topology:       cluster.Topology{Shards: shards},
+		HedgeAfter:     *hedge,
+		Retries:        *retries,
+		Timeout:        *timeout,
+		MaxInflight:    *inflight,
+		AllowPartial:   *partial,
+		HandoffDir:     *handoffDir,
+		RepairInterval: *repairEvery,
 	}
 	if !*quiet {
 		cfg.Out = os.Stderr

@@ -64,6 +64,13 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "tycload: %s: %d requests in %s (%d errors, %d wrong)\n",
 		rep.Label, rep.Requests, rep.Elapsed.Round(time.Millisecond), rep.Errors, rep.Wrong)
+	if rep.TargetRate > 0 {
+		// Held noticeably below the target means the system saturated:
+		// the slot-anchored latencies then include the queueing delay a
+		// paced open-loop client would have suffered.
+		fmt.Fprintf(os.Stderr, "tycload: %s: rate held at %.0f req/s of %.0f targeted\n",
+			rep.Label, rep.Achieved, rep.TargetRate)
+	}
 	if rep.Errors > 0 || rep.Wrong > 0 {
 		os.Exit(1)
 	}

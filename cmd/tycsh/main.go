@@ -232,6 +232,25 @@ func (sh *shell) exec(line string, r *bufio.Reader) error {
 		if h.Degraded {
 			fmt.Printf("degraded: %s\n", h.Reason)
 		}
+		// Against a coordinator, health also shows each replica's repair
+		// state: whether it serves reads, how many acked writes wait in
+		// its handoff log, and the CSN its last repair audit recorded.
+		if st, err := sh.c.Stats(); err == nil && st.Cluster != nil {
+			for _, r := range st.Cluster.Replicas {
+				line := fmt.Sprintf("replica shard%d %s %s", r.Shard, r.Addr, replicaState(r))
+				if r.Backlog > 0 {
+					line += fmt.Sprintf(" backlog %d", r.Backlog)
+				}
+				if r.LastRepairCSN > 0 {
+					line += fmt.Sprintf(" last-repair-csn %d", r.LastRepairCSN)
+				}
+				fmt.Println(line)
+			}
+			if st.Cluster.RepairMismatch > 0 {
+				fmt.Printf("repair MISMATCH: %d anti-entropy audit failures — run tycfsck -cluster\n",
+					st.Cluster.RepairMismatch)
+			}
+		}
 		return nil
 	case "stats":
 		st, err := sh.c.Stats()
@@ -278,12 +297,13 @@ func (sh *shell) exec(line string, r *bufio.Reader) error {
 		if cl := st.Cluster; cl != nil {
 			fmt.Printf("cluster: %d shards, scatter %d routed %d failovers %d hedges %d/%d partials %d\n",
 				cl.Shards, cl.Scatter, cl.Routed, cl.Failovers, cl.HedgeWins, cl.Hedges, cl.Partials)
+			if cl.HandoffWrites+cl.RepairShipped+cl.Repairs+cl.RepairMismatch > 0 {
+				fmt.Printf("repair: handoff writes %d replayed %d repairs %d mismatches %d\n",
+					cl.HandoffWrites, cl.RepairShipped, cl.Repairs, cl.RepairMismatch)
+			}
 			for _, r := range cl.Replicas {
-				state := "up"
-				if r.Down {
-					state = "DOWN"
-				}
-				fmt.Printf("replica shard%d %s %s fails %d idle %d\n", r.Shard, r.Addr, state, r.Fails, r.Idle)
+				fmt.Printf("replica shard%d %s %s fails %d idle %d backlog %d\n",
+					r.Shard, r.Addr, replicaState(r), r.Fails, r.Idle, r.Backlog)
 			}
 		}
 		// The session's own resilience counters — how hard this shell
@@ -401,6 +421,20 @@ func avg(micros, count int64) time.Duration {
 		return 0
 	}
 	return time.Duration(micros/count) * time.Microsecond
+}
+
+// replicaState renders one replica's combined health: the repair state
+// (live/lagging/repairing, from the coordinator's handoff machinery)
+// qualified by the connectivity latch.
+func replicaState(r ship.ReplicaStat) string {
+	state := r.State
+	if state == "" {
+		state = "live" // a coordinator without handoff reports no state
+	}
+	if r.Down {
+		state += "+DOWN"
+	}
+	return state
 }
 
 func (sh *shell) print(res *ship.Result) {

@@ -326,9 +326,12 @@ func Retryable(err error, idempotent bool) bool {
 	var we *ship.WireError
 	if errors.As(err, &we) {
 		// Conflict aborts applied nothing server-side: re-executing against
-		// a fresh snapshot is safe regardless of idempotency.
+		// a fresh snapshot is safe regardless of idempotency. A replica-down
+		// refusal likewise applied nothing anywhere — the coordinator
+		// refused the write before touching any shard.
 		return we.Code == ship.CodeOverloaded || we.Code == ship.CodeShutdown ||
-			we.Code == ship.CodeProto || we.Code == ship.CodeConflict
+			we.Code == ship.CodeProto || we.Code == ship.CodeConflict ||
+			we.Code == ship.CodeReplicaDown
 	}
 	return idempotent
 }
@@ -552,6 +555,36 @@ func (c *Client) Optimize(module, fn string) (*ship.Result, error) {
 		return nil, err
 	}
 	return result(v, body)
+}
+
+// Sync replays a batch of deferred keyed writes to a replica (the
+// repair loop's verb). Every item carries its original idempotency key,
+// so the whole request is idempotent by construction: a retried batch
+// re-applies nothing, the server's dedup table answers for the items it
+// already executed.
+func (c *Client) Sync(items []ship.ShipItem) (*ship.SyncOK, error) {
+	v, body, err := c.do(ship.VSync, (&ship.Sync{Items: items}).Encode(), true)
+	if err != nil {
+		return nil, err
+	}
+	if v != ship.VSyncOK {
+		return nil, fmt.Errorf("client: expected sync-ok, got %s", v)
+	}
+	return ship.DecodeSyncOK(body)
+}
+
+// Digest fetches the server's per-root anti-entropy digests, optionally
+// restricted to roots with the given name prefix. A pure read: retries
+// freely.
+func (c *Client) Digest(prefix string) (*ship.DigestOK, error) {
+	v, body, err := c.do(ship.VDigest, (&ship.Digest{Prefix: prefix}).Encode(), true)
+	if err != nil {
+		return nil, err
+	}
+	if v != ship.VDigestOK {
+		return nil, fmt.Errorf("client: expected digest-ok, got %s", v)
+	}
+	return ship.DecodeDigestOK(body)
 }
 
 // Submit ships a pre-encoded PTML request. With retries enabled and no

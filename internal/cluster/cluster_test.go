@@ -53,10 +53,11 @@ func selectSubmit(t *testing.T) *ship.Submit {
 
 // replicaProc is one in-process tycd shard replica.
 type replicaProc struct {
-	srv  *server.Server
-	st   *store.Store
-	ln   net.Listener
-	addr string
+	srv   *server.Server
+	st    *store.Store
+	dedup *server.Dedup
+	ln    net.Listener
+	addr  string
 }
 
 func (r *replicaProc) kill(t *testing.T) {
@@ -68,6 +69,35 @@ func (r *replicaProc) kill(t *testing.T) {
 	}
 }
 
+// revive boots a fresh server over the replica's surviving store and
+// idempotency table, listening on the same address, the way a restarted
+// tycd rejoins the cluster.
+func (r *replicaProc) revive(t *testing.T) {
+	t.Helper()
+	srv, err := server.New(r.st, server.Config{RetryAfter: 2 * time.Millisecond, Dedup: r.dedup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ln net.Listener
+	for attempt := 0; ; attempt++ {
+		ln, err = net.Listen("tcp", r.addr)
+		if err == nil {
+			break
+		}
+		if attempt >= 50 {
+			t.Fatalf("relisten %s: %v", r.addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	go srv.Serve(ln)
+	r.srv, r.ln = srv, ln
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+}
+
 // startReplica boots a tycd over a fresh in-memory store loaded with
 // relation t(id, val), val = id%97, for the given ids.
 func startReplica(t *testing.T, ids []int) *replicaProc {
@@ -77,7 +107,8 @@ func startReplica(t *testing.T, ids []int) *replicaProc {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { st.Close() })
-	srv, err := server.New(st, server.Config{RetryAfter: 2 * time.Millisecond})
+	dedup := server.NewDedup(0)
+	srv, err := server.New(st, server.Config{RetryAfter: 2 * time.Millisecond, Dedup: dedup})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +130,7 @@ func startReplica(t *testing.T, ids []int) *replicaProc {
 		t.Fatal(err)
 	}
 	go srv.Serve(ln)
-	rp := &replicaProc{srv: srv, st: st, ln: ln, addr: ln.Addr().String()}
+	rp := &replicaProc{srv: srv, st: st, dedup: dedup, ln: ln, addr: ln.Addr().String()}
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
@@ -559,12 +590,14 @@ func TestPartialResultNamesMissingRanges(t *testing.T) {
 
 	// A write routed to the dead shard is refused retryably — the
 	// request was not applied, so the client may safely retry it until
-	// the shard returns.
+	// the shard returns. With no handoff log configured the refusal
+	// names the real condition (replica-down) instead of the generic
+	// overload code, so operators can tell the failure modes apart.
 	name := saveNameOwnedBy(tc.topo, deadShard)
 	_, err = tc.co.Submit(&ship.Submit{
 		Name: "w", PTML: mustPTML(t, "(+ 1 1 e cont(n) (k n))"), Save: name,
 	})
-	we := wantCode(t, err, ship.CodeOverloaded)
+	we := wantCode(t, err, ship.CodeReplicaDown)
 	if we.RetryAfterMs == 0 {
 		t.Fatal("shard-down write refusal carries no retry-after hint")
 	}
@@ -862,5 +895,287 @@ func TestFrontEndRejectsWatch(t *testing.T) {
 	}
 	if verb, _, err := ship.ReadFrame(conn, 0); err != nil || verb != ship.VPong {
 		t.Fatalf("after refusal: verb %s, err %v", verb, err)
+	}
+}
+
+// --- replica repair: handoff, catch-up, anti-entropy -------------------------
+
+// bootRepairCluster is bootCluster with handoff enabled and both the
+// probe and repair loops under test control.
+func bootRepairCluster(t *testing.T, nShards, nReplicas int) (*testCluster, cluster.Config) {
+	t.Helper()
+	var cfg cluster.Config
+	tc := bootCluster(t, nShards, nReplicas, func(c *cluster.Config) {
+		c.HandoffDir = t.TempDir()
+		c.RepairInterval = -1 // tests call RepairNow by hand
+		c.AllowPartial = true
+		cfg = *c
+	})
+	return tc, cfg
+}
+
+// replicaStat digs one replica's stat row out of a cluster snapshot.
+func replicaStat(t *testing.T, st *ship.ClusterStats, addr string) ship.ReplicaStat {
+	t.Helper()
+	for _, r := range st.Replicas {
+		if r.Addr == addr {
+			return r
+		}
+	}
+	t.Fatalf("no stat row for replica %s in %+v", addr, st.Replicas)
+	return ship.ReplicaStat{}
+}
+
+// saveSubmit builds a saving submit owned by the given shard whose
+// evaluated value is i+1 (the name search never changes the value).
+func saveSubmit(t *testing.T, topo cluster.Topology, shard, i int) *ship.Submit {
+	t.Helper()
+	var name string
+	for j := i; ; j += 1000 {
+		name = fmt.Sprintf("save-%d", j)
+		if topo.ShardFor(name) == shard {
+			break
+		}
+	}
+	return &ship.Submit{
+		Name: "w", PTML: mustPTML(t, fmt.Sprintf("(+ %d 1 e cont(n) (k n))", i)), Save: name,
+	}
+}
+
+// TestHandoffRepairRoundTrip is the tentpole path end to end: a write
+// finding a replica down is acked anyway and parked in the handoff log,
+// the replica revives, repair replays the backlog in order under the
+// original keys, the digest audit passes, and the replica returns to
+// reads holding every acked write.
+func TestHandoffRepairRoundTrip(t *testing.T) {
+	tc, _ := bootRepairCluster(t, 2, 2)
+	target := tc.replicas[1][1]
+	target.kill(t)
+
+	// Writes routed to the wounded shard must still succeed.
+	var saved []string
+	for i := 0; i < 5; i++ {
+		req := saveSubmit(t, tc.topo, 1, i)
+		if _, err := tc.co.Submit(req); err != nil {
+			t.Fatalf("write %d with one replica down: %v", i, err)
+		}
+		saved = append(saved, req.Save)
+	}
+
+	st := tc.co.Stats()
+	if st.HandoffWrites != 5 {
+		t.Fatalf("HandoffWrites = %d, want 5", st.HandoffWrites)
+	}
+	rs := replicaStat(t, st, target.addr)
+	if rs.State != "lagging" || rs.Backlog != 5 {
+		t.Fatalf("wounded replica state=%s backlog=%d, want lagging/5", rs.State, rs.Backlog)
+	}
+
+	// Reads keep flowing (served by the healthy replica) and stay right.
+	res, err := tc.co.Submit(selectSubmit(t))
+	if err != nil {
+		t.Fatalf("select during lag: %v", err)
+	}
+	if res.Partial || len(res.Val.Rel.Rows) != oracleRows {
+		t.Fatalf("select during lag: partial=%v rows=%d, want full %d", res.Partial, len(res.Val.Rel.Rows), oracleRows)
+	}
+
+	// Repair must wait for connectivity: a pass now is a no-op.
+	tc.co.RepairNow()
+	if rs := replicaStat(t, tc.co.Stats(), target.addr); rs.State != "lagging" {
+		t.Fatalf("repair ran against a dead replica: state=%s", rs.State)
+	}
+
+	target.revive(t)
+	tc.co.MarkAllUp()
+	tc.co.RepairNow()
+
+	st = tc.co.Stats()
+	rs = replicaStat(t, st, target.addr)
+	if rs.State != "live" || rs.Backlog != 0 {
+		t.Fatalf("after repair: state=%s backlog=%d, want live/0", rs.State, rs.Backlog)
+	}
+	if st.RepairShipped != 5 || st.Repairs != 1 || st.RepairMismatch != 0 {
+		t.Fatalf("repair counters shipped=%d repairs=%d mismatch=%d, want 5/1/0",
+			st.RepairShipped, st.Repairs, st.RepairMismatch)
+	}
+	if rs.LastRepairCSN == 0 {
+		t.Fatal("repair did not record the replica's CSN")
+	}
+
+	// The real proof: every write acked during the outage is callable
+	// directly on the revived replica, not just through the coordinator.
+	c, err := client.Dial(target.addr, client.Options{Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i, name := range saved {
+		res, err := c.Call("", name)
+		if err != nil {
+			t.Fatalf("replayed save %s not callable on revived replica: %v", name, err)
+		}
+		if want := int64(i + 1); res.Val.Int != want {
+			t.Fatalf("replayed save %s = %d, want %d", name, res.Val.Int, want)
+		}
+	}
+}
+
+// TestScatterSumDuringLag: a merge=sum scatter started while a replica
+// is lagging must keep satisfying the never-wrong-answers oracle — the
+// healthy replica serves its shard in full, and the lagging replica is
+// never consulted even though its process answers probes.
+func TestScatterSumDuringLag(t *testing.T) {
+	tc, _ := bootRepairCluster(t, 2, 2)
+	target := tc.replicas[0][1]
+	target.kill(t)
+
+	// Latch the replica lagging with a real deferred write.
+	if _, err := tc.co.Submit(saveSubmit(t, tc.topo, 0, 0)); err != nil {
+		t.Fatalf("write with one replica down: %v", err)
+	}
+	// Revive it immediately: the process is back and would answer reads
+	// with stale rows if the read path trusted the health latch alone.
+	target.revive(t)
+	tc.co.MarkAllUp()
+
+	countReq := &ship.Submit{Name: "cnt", PTML: mustPTML(t, "(count r e k)"), Binds: relBind(), Merge: ship.MergeSum}
+	res, err := tc.co.Submit(countReq)
+	if err != nil {
+		t.Fatalf("sum scatter during lag: %v", err)
+	}
+	if res.Partial || res.Val.Int != 1000 {
+		t.Fatalf("sum scatter during lag: partial=%v sum=%d, want full 1000", res.Partial, res.Val.Int)
+	}
+
+	// With the whole shard wounded (second replica down too) the scatter
+	// degrades to a partial naming exactly that shard's ranges — still
+	// never a wrong number served as a complete one.
+	tc.replicas[0][0].kill(t)
+	pres, err := tc.co.Submit(selectSubmit(t))
+	if err != nil {
+		t.Fatalf("partial scatter: %v", err)
+	}
+	if !pres.Partial || len(pres.Missing) != 1 || pres.Missing[0] != tc.topo.MissingName(0) {
+		t.Fatalf("scatter over wounded shard: partial=%v missing=%v, want shard 0's range", pres.Partial, pres.Missing)
+	}
+
+	// After repair the sum is whole again.
+	tc.replicas[0][0].revive(t)
+	tc.co.MarkAllUp()
+	tc.co.RepairNow()
+	if rs := replicaStat(t, tc.co.Stats(), target.addr); rs.State != "live" {
+		t.Fatalf("replica not repaired: %+v", rs)
+	}
+	res, err = tc.co.Submit(countReq)
+	if err != nil || res.Val.Int != 1000 {
+		t.Fatalf("sum after repair = %v, %v, want 1000", res.Val.Int, err)
+	}
+}
+
+// TestRepairMismatchFailsLoud: a replica that diverged in a way replay
+// cannot explain (an extra row smuggled into its store) drains its
+// backlog but fails the anti-entropy audit: it stays out of reads, the
+// mismatch counter trips and stays tripped, and only the operator lever
+// re-arms the audit.
+func TestRepairMismatchFailsLoud(t *testing.T) {
+	tc, _ := bootRepairCluster(t, 1, 2)
+	target := tc.replicas[0][1]
+	target.kill(t)
+	if _, err := tc.co.Submit(saveSubmit(t, tc.topo, 0, 0)); err != nil {
+		t.Fatalf("write with one replica down: %v", err)
+	}
+	target.revive(t)
+
+	// Diverge the revived replica's store behind the cluster's back.
+	oid, ok := target.st.Root("rel:t")
+	if !ok {
+		t.Fatal("revived replica lost rel:t")
+	}
+	if err := target.srv.Manager().InsertRow(oid, []store.Val{store.IntVal(9999), store.IntVal(1)}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A quiescent digest disagreement must repeat on a second consecutive
+	// pass before it latches: one pass is a strike, not a verdict.
+	tc.co.MarkAllUp()
+	tc.co.RepairNow()
+	if st := tc.co.Stats(); st.RepairMismatch != 0 {
+		t.Fatalf("mismatch latched on the first strike: %d", st.RepairMismatch)
+	}
+	tc.co.RepairNow()
+	st := tc.co.Stats()
+	rs := replicaStat(t, st, target.addr)
+	if rs.State != "lagging" {
+		t.Fatalf("diverged replica state=%s, want lagging (out of reads)", rs.State)
+	}
+	if st.RepairMismatch != 1 || st.Repairs != 0 {
+		t.Fatalf("mismatch=%d repairs=%d, want 1/0", st.RepairMismatch, st.Repairs)
+	}
+	if rs.Backlog != 0 {
+		t.Fatalf("backlog=%d, want 0 (drain succeeded, audit failed)", rs.Backlog)
+	}
+
+	// The mismatch is latched: another pass does not thrash the audit.
+	tc.co.RepairNow()
+	if st := tc.co.Stats(); st.RepairMismatch != 1 {
+		t.Fatalf("mismatch counter moved on a latched replica: %d", st.RepairMismatch)
+	}
+
+	// Reads never touch the diverged replica: the count stays right even
+	// though its store holds a 1001st row.
+	countReq := &ship.Submit{Name: "cnt", PTML: mustPTML(t, "(count r e k)"), Binds: relBind(), Merge: ship.MergeSum}
+	res, err := tc.co.Submit(countReq)
+	if err != nil || res.Val.Int != 1000 {
+		t.Fatalf("count with diverged replica latched = %v, %v, want 1000", res.Val.Int, err)
+	}
+
+	// MarkAllUp is the operator's re-audit lever: it clears the latch and
+	// the strike count, so latching again takes two fresh passes.
+	tc.co.MarkAllUp()
+	tc.co.RepairNow()
+	tc.co.RepairNow()
+	if st := tc.co.Stats(); st.RepairMismatch != 2 {
+		t.Fatalf("re-armed audit did not run: mismatch=%d, want 2", st.RepairMismatch)
+	}
+}
+
+// TestHandoffSurvivesCoordinatorRestart: the handoff log is write-ahead
+// state, not session state — a new coordinator over the same directory
+// boots the replica lagging and finishes the repair the old one never
+// got to.
+func TestHandoffSurvivesCoordinatorRestart(t *testing.T) {
+	tc, cfg := bootRepairCluster(t, 1, 2)
+	target := tc.replicas[0][1]
+	target.kill(t)
+	req := saveSubmit(t, tc.topo, 0, 7)
+	if _, err := tc.co.Submit(req); err != nil {
+		t.Fatalf("write with one replica down: %v", err)
+	}
+	tc.co.Close()
+
+	co2, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co2.Close()
+	rs := replicaStat(t, co2.Stats(), target.addr)
+	if rs.State != "lagging" || rs.Backlog != 1 {
+		t.Fatalf("rebooted coordinator: state=%s backlog=%d, want lagging/1", rs.State, rs.Backlog)
+	}
+
+	target.revive(t)
+	co2.MarkAllUp()
+	co2.RepairNow()
+	if rs := replicaStat(t, co2.Stats(), target.addr); rs.State != "live" || rs.Backlog != 0 {
+		t.Fatalf("after rebooted repair: state=%s backlog=%d, want live/0", rs.State, rs.Backlog)
+	}
+	c, err := client.Dial(target.addr, client.Options{Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if res, err := c.Call("", req.Save); err != nil || res.Val.Int != 8 {
+		t.Fatalf("save replayed by rebooted coordinator: %v, %v", res, err)
 	}
 }

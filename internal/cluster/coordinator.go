@@ -5,25 +5,29 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"tycoon/internal/client"
+	"tycoon/internal/handoff"
+	"tycoon/internal/iofault"
 	"tycoon/internal/ship"
 )
 
 // Defaults for Config zero values.
 const (
-	DefaultTimeout       = 30 * time.Second
-	DefaultRetries       = 3
-	DefaultRetryBase     = 5 * time.Millisecond
-	DefaultRetryMax      = 250 * time.Millisecond
-	DefaultMaxInflight   = 128
-	DefaultRetryAfter    = 50 * time.Millisecond
-	DefaultPoolSize      = 4
-	DefaultProbeInterval = 250 * time.Millisecond
+	DefaultTimeout        = 30 * time.Second
+	DefaultRetries        = 3
+	DefaultRetryBase      = 5 * time.Millisecond
+	DefaultRetryMax       = 250 * time.Millisecond
+	DefaultMaxInflight    = 128
+	DefaultRetryAfter     = 50 * time.Millisecond
+	DefaultPoolSize       = 4
+	DefaultProbeInterval  = 250 * time.Millisecond
+	DefaultRepairInterval = 250 * time.Millisecond
 )
 
 // Config tunes a Coordinator.
@@ -58,6 +62,19 @@ type Config struct {
 	// down by request failures. 0 means the default; negative disables
 	// probing (tests drive MarkAllUp by hand).
 	ProbeInterval time.Duration
+	// HandoffDir enables replica repair: when a write-all application
+	// finds a replica unreachable, the write is accepted anyway and
+	// appended to a per-replica write-ahead handoff log under this
+	// directory; a background loop later replays the log to the revived
+	// replica in original order under the original idempotency keys and
+	// re-admits it to reads only after an anti-entropy digest exchange.
+	// Empty disables handoff: a down replica then fails the write with a
+	// distinct replica-down refusal instead (fail closed, but say why).
+	HandoffDir string
+	// RepairInterval paces the background repair loop draining handoff
+	// logs to revived replicas. 0 means the default; negative disables
+	// the loop (tests drive RepairNow by hand).
+	RepairInterval time.Duration
 	// Seed makes client jitter and minted idempotency keys
 	// deterministic; 0 seeds from the clock.
 	Seed int64
@@ -65,9 +82,23 @@ type Config struct {
 	Out io.Writer
 }
 
+// Replica repair states. The down latch tracks connectivity (probe
+// flips it back); state tracks whether the replica's store is known to
+// hold every acked write. They move independently: a revived replica is
+// up but still lagging until the repair loop drains its handoff log and
+// the digest audit passes.
+const (
+	repLive      int32 = iota // holds every acked write; serves reads
+	repLagging                // has a handoff backlog; held out of reads
+	repRepairing              // repair loop is draining it right now
+)
+
+var repStateNames = [...]string{"live", "lagging", "repairing"}
+
 // replica is one shard replica as the coordinator tracks it: a pool of
-// idle sessions and a health latch flipped by request failures and
-// probe successes.
+// idle sessions, a health latch flipped by request failures and probe
+// successes, and — when handoff is enabled — the repair state machine
+// around its write-ahead handoff log.
 type replica struct {
 	shard int
 	addr  string
@@ -77,6 +108,29 @@ type replica struct {
 
 	down  atomic.Bool
 	fails atomic.Int64
+
+	// state is the repair latch (repLive/repLagging/repRepairing). lagMu
+	// serialises lag transitions against handoff appends: the repair
+	// loop's final lagging→live flip happens under lagMu only when the
+	// log is empty, and writers append only after re-checking the state
+	// under lagMu, so a write can never slip into a log nobody drains.
+	state atomic.Int32
+	lagMu sync.Mutex
+	ho    *handoff.Log
+
+	// mismatched latches a failed anti-entropy audit: the replica
+	// diverged in a way replay cannot explain and stays out of reads
+	// until an operator intervenes (MarkAllUp clears the latch).
+	mismatched    atomic.Bool
+	lastRepairCSN atomic.Uint64
+
+	// appends counts handoff appends ever made for this replica; the
+	// audit uses it to tell in-flight lag (a peer applied a write whose
+	// handoff record is still landing) from genuine divergence.
+	// auditStrikes counts consecutive quiescent digest disagreements;
+	// only a second strike latches mismatched.
+	appends      atomic.Int64
+	auditStrikes atomic.Int32
 }
 
 // shard is one shard's replicas plus its ring slice.
@@ -106,9 +160,17 @@ type Coordinator struct {
 	partials  atomic.Int64
 	shed      atomic.Int64
 
-	stopProbe chan struct{}
-	probeWG   sync.WaitGroup
-	closed    atomic.Bool
+	handoffWrites  atomic.Int64
+	repairShipped  atomic.Int64
+	repairs        atomic.Int64
+	repairMismatch atomic.Int64
+
+	stopProbe  chan struct{}
+	probeWG    sync.WaitGroup
+	stopRepair chan struct{}
+	repairWG   sync.WaitGroup
+	repairMu   sync.Mutex // serialises repair passes (loop, tests, drain)
+	closed     atomic.Bool
 }
 
 // New builds a coordinator over the topology and starts its health
@@ -141,22 +203,42 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.ProbeInterval == 0 {
 		cfg.ProbeInterval = DefaultProbeInterval
 	}
+	if cfg.RepairInterval == 0 {
+		cfg.RepairInterval = DefaultRepairInterval
+	}
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = time.Now().UnixNano()
 	}
 	co := &Coordinator{
-		cfg:       cfg,
-		rng:       rand.New(rand.NewSource(seed)),
-		stopProbe: make(chan struct{}),
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(seed)),
+		stopProbe:  make(chan struct{}),
+		stopRepair: make(chan struct{}),
 	}
 	co.keyBase = fmt.Sprintf("tycc-%08x", co.rng.Uint32())
 	for i := range cfg.Topology.Shards {
 		s := &shard{index: i, rng: cfg.Topology.RangeOf(i)}
-		for _, addr := range cfg.Topology.Shards[i].Replicas {
-			s.replicas = append(s.replicas, &replica{shard: i, addr: addr})
-		}
 		co.shards = append(co.shards, s)
+		for j, addr := range cfg.Topology.Shards[i].Replicas {
+			rep := &replica{shard: i, addr: addr}
+			if cfg.HandoffDir != "" {
+				path := filepath.Join(cfg.HandoffDir, fmt.Sprintf("shard%d-r%d.hlog", i, j))
+				ho, err := handoff.Open(iofault.OS(), path)
+				if err != nil {
+					co.closeHandoff()
+					return nil, fmt.Errorf("open handoff log %s: %w", path, err)
+				}
+				rep.ho = ho
+				if n := ho.Len(); n > 0 {
+					// The last run acked writes this replica never saw;
+					// it must not serve reads until they are replayed.
+					rep.state.Store(repLagging)
+					co.logf("shard %d replica %s boots lagging: %d deferred writes in %s", i, addr, n, path)
+				}
+			}
+			s.replicas = append(s.replicas, rep)
+		}
 	}
 	if cfg.MaxInflight > 0 {
 		co.inflight = make(chan struct{}, cfg.MaxInflight)
@@ -165,16 +247,36 @@ func New(cfg Config) (*Coordinator, error) {
 		co.probeWG.Add(1)
 		go co.probeLoop()
 	}
+	if cfg.HandoffDir != "" && cfg.RepairInterval > 0 {
+		co.repairWG.Add(1)
+		go co.repairLoop()
+	}
 	return co, nil
 }
 
-// Close stops the probe loop and closes every pooled session.
+// closeHandoff closes every handoff log opened so far (New error path
+// and Close).
+func (co *Coordinator) closeHandoff() {
+	for _, s := range co.shards {
+		for _, rep := range s.replicas {
+			if rep.ho != nil {
+				rep.ho.Close()
+			}
+		}
+	}
+}
+
+// Close stops the probe and repair loops, closes every pooled session
+// and closes the handoff logs. Undrained handoff records stay on disk;
+// the next coordinator boot reopens them and resumes repair.
 func (co *Coordinator) Close() {
 	if co.closed.Swap(true) {
 		return
 	}
 	close(co.stopProbe)
+	close(co.stopRepair)
 	co.probeWG.Wait()
+	co.repairWG.Wait()
 	for _, s := range co.shards {
 		for _, rep := range s.replicas {
 			rep.mu.Lock()
@@ -185,6 +287,9 @@ func (co *Coordinator) Close() {
 			rep.mu.Unlock()
 		}
 	}
+	co.repairMu.Lock() // no repair pass mid-flight while logs close
+	co.closeHandoff()
+	co.repairMu.Unlock()
 }
 
 // Topology exposes the placement map.
@@ -338,18 +443,22 @@ func (co *Coordinator) probeLoop() {
 	}
 }
 
-// liveFirst orders a shard's replicas: up ones first, each group in
-// index order, so reads prefer healthy replicas but still walk the
-// whole list when every latch is down (the latch may be stale).
+// liveFirst orders a shard's replicas for reads: up ones first, each
+// group in index order, so reads prefer healthy replicas but still walk
+// the whole list when every latch is down (the latch may be stale).
+// Replicas that are lagging or under repair are excluded outright — a
+// replica with a handoff backlog is missing acked writes, and a stale
+// read from it would be a wrong answer, which is strictly worse than a
+// degraded (partial or refused) one.
 func (s *shard) liveFirst() []*replica {
 	out := make([]*replica, 0, len(s.replicas))
 	for _, rep := range s.replicas {
-		if !rep.down.Load() {
+		if rep.state.Load() == repLive && !rep.down.Load() {
 			out = append(out, rep)
 		}
 	}
 	for _, rep := range s.replicas {
-		if rep.down.Load() {
+		if rep.state.Load() == repLive && rep.down.Load() {
 			out = append(out, rep)
 		}
 	}
@@ -380,6 +489,10 @@ func definitive(err error) bool {
 	}
 }
 
+// errAllLagging marks a shard whose every replica is held out of reads
+// by the repair state machine.
+var errAllLagging = errors.New("every replica is lagging behind the handoff log")
+
 // unavailable wraps the last availability error of a shard into the
 // retryable refusal the coordinator answers with: the request was not
 // (observably) executed, so the client may retry it for every verb.
@@ -387,6 +500,25 @@ func (co *Coordinator) unavailable(shardIdx int, err error) *ship.WireError {
 	return &ship.WireError{
 		Code:         ship.CodeOverloaded,
 		Msg:          fmt.Sprintf("shard %d unavailable: %v", shardIdx, err),
+		RetryAfterMs: uint32(co.cfg.RetryAfter / time.Millisecond),
+	}
+}
+
+// replicaDown is the write-side refusal when handoff is not configured:
+// the write-all invariant cannot be met with a replica unreachable, and
+// unlike the generic overload refusal this one names the condition so
+// clients and operators can tell "retry in a moment" from "a replica is
+// down and writes will keep failing until it returns or handoff is
+// enabled". Nothing was observably executed, so it is retryable.
+func (co *Coordinator) replicaDown(shardIdx int, rep *replica, err error) *ship.WireError {
+	cause := "unreachable"
+	if err != nil {
+		cause = err.Error()
+	}
+	return &ship.WireError{
+		Code: ship.CodeReplicaDown,
+		Msg: fmt.Sprintf("shard %d replica %s down and no handoff log configured (-handoff-dir): %s",
+			shardIdx, rep.addr, cause),
 		RetryAfterMs: uint32(co.cfg.RetryAfter / time.Millisecond),
 	}
 }
@@ -415,6 +547,11 @@ type raceOutcome struct {
 // answer wins, loser aborted so its server session frees now.
 func (co *Coordinator) readShard(s *shard, op func(*client.Client) (*ship.Result, error)) (*ship.Result, error) {
 	order := s.liveFirst()
+	if len(order) == 0 {
+		// Every replica is lagging or under repair: serving the read
+		// would risk a wrong (stale) answer, so degrade instead.
+		return nil, co.unavailable(s.index, errAllLagging)
+	}
 	// One attempt per replica, plus one extra hedge slot for the
 	// single-replica case (a second session to the same replica re-rolls
 	// connection-level misfortune).
@@ -564,35 +701,129 @@ func (co *Coordinator) readShard(s *shard, op func(*client.Client) (*ship.Result
 
 // --- writes: all replicas, one idempotency key ------------------------------
 
+// shardWrite is one keyed write as writeShard fans it out: the live op
+// for reachable replicas, plus the original verb, idempotency key and
+// encoded body that a handoff record preserves for later replay.
+type shardWrite struct {
+	verb ship.Verb
+	key  string
+	body []byte
+	op   func(*client.Client) (*ship.Result, error)
+}
+
 // writeShard applies a keyed write to every replica of a shard in
 // order; all must ack for the write to be acked (write-all), reads may
 // then be served by any replica (read-any). The shared idempotency key
 // makes the fan-out and any coordinator or client retry converge to
 // exactly one application per replica store.
-func (co *Coordinator) writeShard(s *shard, op func(*client.Client) (*ship.Result, error)) (*ship.Result, error) {
+//
+// With handoff enabled, a replica that is down does not fail the write:
+// its ack is replaced by a durable append to the replica's write-ahead
+// handoff log, and the replica is latched lagging (out of reads) until
+// the repair loop replays the log and the digest audit passes. The
+// appends happen only after at least one replica actually executed the
+// write — an entirely unreachable shard still refuses (retryable), so a
+// never-acked write can never reappear out of a handoff log.
+func (co *Coordinator) writeShard(s *shard, wr *shardWrite) (*ship.Result, error) {
 	var first *ship.Result
+	var deferred []*replica
 	for _, rep := range s.replicas {
-		c, err := rep.get(co)
-		if err != nil {
-			co.markDown(rep, err)
-			return nil, co.unavailable(s.index, err)
+		if rep.state.Load() != repLive {
+			// Already lagging: order the write behind its backlog.
+			deferred = append(deferred, rep)
+			continue
 		}
-		res, err := op(c)
-		if err != nil {
+		c, err := rep.get(co)
+		if err == nil {
+			var res *ship.Result
+			res, err = wr.op(c)
+			if err == nil {
+				co.markUp(rep)
+				rep.put(co, c)
+				if first == nil {
+					first = res
+				}
+				continue
+			}
 			c.Close()
 			if definitive(err) {
 				return nil, err
 			}
-			co.markDown(rep, err)
-			return nil, co.unavailable(s.index, err)
 		}
-		co.markUp(rep)
-		rep.put(co, c)
-		if first == nil {
-			first = res
+		co.markDown(rep, err)
+		if rep.ho == nil {
+			return nil, co.replicaDown(s.index, rep, err)
+		}
+		rep.lagMu.Lock()
+		rep.state.CompareAndSwap(repLive, repLagging)
+		rep.lagMu.Unlock()
+		co.logf("shard %d replica %s lagging, deferring writes to handoff: %v", s.index, rep.addr, err)
+		deferred = append(deferred, rep)
+	}
+	if first == nil {
+		if len(deferred) == 0 {
+			// A shard with zero replicas cannot validate; unreachable.
+			return nil, co.unavailable(s.index, errors.New("no replicas"))
+		}
+		// No replica executed the write, so there is no result to ack
+		// and nothing may be handed off (an unacked write must not
+		// replay later). Refuse retryably instead.
+		return nil, co.replicaDown(s.index, deferred[0], nil)
+	}
+	for _, rep := range deferred {
+		if werr := co.deferWrite(s, rep, wr); werr != nil {
+			return nil, werr
 		}
 	}
 	return first, nil
+}
+
+// deferWrite durably appends one write to a lagging replica's handoff
+// log, standing in for that replica's ack. The append happens under
+// lagMu after re-checking the state: the repair loop flips lagging→live
+// under the same lock only when the log is empty, so either our record
+// lands while the latch holds (a repair pass will drain it) or the
+// replica went live and we apply the write directly.
+func (co *Coordinator) deferWrite(s *shard, rep *replica, wr *shardWrite) *ship.WireError {
+	for {
+		rep.lagMu.Lock()
+		if rep.state.Load() != repLive {
+			_, err := rep.ho.Append(byte(wr.verb), wr.key, wr.body)
+			if err == nil {
+				rep.appends.Add(1)
+			}
+			rep.lagMu.Unlock()
+			if err != nil {
+				// The handoff log itself failed (disk): the replica's
+				// ack cannot be stood in for, fail the write closed.
+				co.logf("shard %d replica %s handoff append failed: %v", s.index, rep.addr, err)
+				return co.unavailable(s.index, err)
+			}
+			co.handoffWrites.Add(1)
+			return nil
+		}
+		rep.lagMu.Unlock()
+		// Repair finished while this write was in flight; the replica is
+		// live again, so give it the write directly like any other.
+		c, err := rep.get(co)
+		if err == nil {
+			_, err = wr.op(c)
+			if err == nil {
+				co.markUp(rep)
+				rep.put(co, c)
+				return nil
+			}
+			c.Close()
+			var we *ship.WireError
+			if definitive(err) && errors.As(err, &we) {
+				return we
+			}
+		}
+		co.markDown(rep, err)
+		rep.lagMu.Lock()
+		rep.state.CompareAndSwap(repLive, repLagging)
+		rep.lagMu.Unlock()
+	}
 }
 
 // --- the distributed verbs --------------------------------------------------
@@ -612,8 +843,17 @@ func (co *Coordinator) Submit(req *ship.Submit) (*ship.Result, error) {
 			fwd.IdemKey = co.nextKey()
 		}
 		s := co.shards[co.cfg.Topology.ShardFor(req.Save)]
-		return co.writeShard(s, func(c *client.Client) (*ship.Result, error) {
-			return c.Submit(&fwd)
+		body, err := fwd.Encode()
+		if err != nil {
+			return nil, &ship.WireError{Code: ship.CodeBadRequest, Msg: err.Error()}
+		}
+		return co.writeShard(s, &shardWrite{
+			verb: ship.VSubmit,
+			key:  fwd.IdemKey,
+			body: body,
+			op: func(c *client.Client) (*ship.Result, error) {
+				return c.Submit(&fwd)
+			},
 		})
 	}
 	co.scatter.Add(1)
@@ -709,10 +949,16 @@ func (co *Coordinator) Install(req *ship.Install) (*ship.Result, error) {
 	if fwd.IdemKey == "" {
 		fwd.IdemKey = co.nextKey()
 	}
+	body := fwd.Encode()
 	var first *ship.Result
 	for _, s := range co.shards {
-		res, err := co.writeShard(s, func(c *client.Client) (*ship.Result, error) {
-			return c.InstallReq(&fwd)
+		res, err := co.writeShard(s, &shardWrite{
+			verb: ship.VInstall,
+			key:  fwd.IdemKey,
+			body: body,
+			op: func(c *client.Client) (*ship.Result, error) {
+				return c.InstallReq(&fwd)
+			},
 		})
 		if err != nil {
 			return nil, err
@@ -766,7 +1012,9 @@ func (co *Coordinator) Health() ship.Health {
 	for _, s := range co.shards {
 		allDown := true
 		for _, rep := range s.replicas {
-			if !rep.down.Load() {
+			// A lagging replica serves no reads, so it does not keep a
+			// shard out of the degraded state.
+			if rep.state.Load() == repLive && !rep.down.Load() {
 				allDown = false
 			}
 		}
@@ -783,26 +1031,37 @@ func (co *Coordinator) Health() ship.Health {
 // Stats snapshots the coordinator counters.
 func (co *Coordinator) Stats() *ship.ClusterStats {
 	st := &ship.ClusterStats{
-		Shards:    len(co.shards),
-		Scatter:   co.scatter.Load(),
-		Routed:    co.routed.Load(),
-		Failovers: co.failovers.Load(),
-		Hedges:    co.hedges.Load(),
-		HedgeWins: co.hedgeWins.Load(),
-		Partials:  co.partials.Load(),
-		Shed:      co.shed.Load(),
+		Shards:         len(co.shards),
+		Scatter:        co.scatter.Load(),
+		Routed:         co.routed.Load(),
+		Failovers:      co.failovers.Load(),
+		Hedges:         co.hedges.Load(),
+		HedgeWins:      co.hedgeWins.Load(),
+		Partials:       co.partials.Load(),
+		Shed:           co.shed.Load(),
+		HandoffWrites:  co.handoffWrites.Load(),
+		RepairShipped:  co.repairShipped.Load(),
+		Repairs:        co.repairs.Load(),
+		RepairMismatch: co.repairMismatch.Load(),
 	}
 	for _, s := range co.shards {
 		for _, rep := range s.replicas {
 			rep.mu.Lock()
 			idle := len(rep.idle)
 			rep.mu.Unlock()
+			backlog := 0
+			if rep.ho != nil {
+				backlog = rep.ho.Len()
+			}
 			st.Replicas = append(st.Replicas, ship.ReplicaStat{
-				Shard: s.index,
-				Addr:  rep.addr,
-				Down:  rep.down.Load(),
-				Fails: rep.fails.Load(),
-				Idle:  idle,
+				Shard:         s.index,
+				Addr:          rep.addr,
+				Down:          rep.down.Load(),
+				Fails:         rep.fails.Load(),
+				Idle:          idle,
+				State:         repStateNames[rep.state.Load()],
+				Backlog:       backlog,
+				LastRepairCSN: rep.lastRepairCSN.Load(),
 			})
 		}
 	}
@@ -951,10 +1210,16 @@ func scalarEqual(a, b ship.WVal) bool {
 }
 
 // MarkAllUp resets every replica's health latch (tests and operators).
+// It also clears the anti-entropy mismatch latch — the operator's "I
+// fixed it, audit again" lever — but never the lagging state itself:
+// only a drained handoff log and a passing digest audit restore a
+// replica to reads.
 func (co *Coordinator) MarkAllUp() {
 	for _, s := range co.shards {
 		for _, rep := range s.replicas {
 			co.markUp(rep)
+			rep.mismatched.Store(false)
+			rep.auditStrikes.Store(0)
 		}
 	}
 }

@@ -230,6 +230,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 		drainErr = ctx.Err()
 	}
+	if s.co.cfg.HandoffDir != "" {
+		// Best-effort final catch-up now that no new writes can land:
+		// ship what the reachable lagging replicas will take; whatever
+		// remains stays durable in the logs and the next boot resumes it.
+		s.co.RepairNow()
+	}
 	s.co.Close()
 	return drainErr
 }

@@ -1,0 +1,529 @@
+// Package handoff implements the durable write-ahead handoff log the
+// coordinator keeps per replica. When a write-all application finds one
+// replica of the owning shard down, the write is accepted anyway: the
+// encoded request — original idempotency key and all — is appended here,
+// fsynced, and shipped to the replica once it comes back. Because records
+// replay in original order under their original keys, the server-side
+// dedup table makes the replay exactly-once even when a crash mid-drain
+// re-ships an already-applied prefix; the log therefore needs no cursor,
+// only a durable ordered suffix of not-yet-confirmed writes.
+//
+// The on-disk format reuses the store's v2 framing discipline:
+//
+//	header:  8-byte magic "TYCOONHO", u32 version (1)
+//	tag 1 (write):  u8 tag, u64 seq, u8 verb, u32 klen, key,
+//	                u32 blen, body, u32 crc
+//	tag 3 (commit): u8 tag, u32 count, u32 size, u32 crc
+//
+// Every record's CRC32C (Castagnoli) covers the record bytes from the tag
+// up to (not including) the CRC. Each append goes out as one write —
+// record plus a trailer framing it — followed by one fsync, so a crash
+// mid-append leaves a torn tail that reopen silently rolls back, while
+// damage in the body of the log (a flipped bit under a valid length) is
+// detected and fails loud. All integers are little-endian.
+package handoff
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"tycoon/internal/iofault"
+)
+
+var magic = [8]byte{'T', 'Y', 'C', 'O', 'O', 'N', 'H', 'O'}
+
+const (
+	currentVersion = 1
+
+	recWrite  byte = 1
+	recCommit byte = 3
+
+	headerLen    = 12 // magic + version
+	recHeaderLen = 14 // tag + seq + verb + klen
+	crcLen       = 4
+	trailerLen   = 13 // tag + count + size + crc
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt is the sentinel wrapped by every CorruptError.
+var ErrCorrupt = errors.New("handoff: corrupt log")
+
+// CorruptError reports damage in the body of a handoff log.
+type CorruptError struct {
+	Path   string
+	Offset int64
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("handoff: corrupt log %s at offset %d: %s", e.Path, e.Offset, e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrCorrupt) hold.
+func (e *CorruptError) Unwrap() error { return ErrCorrupt }
+
+// Record is one deferred write: the verb and encoded request body exactly
+// as the coordinator would have sent them, plus the idempotency key under
+// which the write was acked (kept addressable for audit; the body carries
+// it too). Seq orders records within one log.
+type Record struct {
+	Seq  uint64
+	Verb byte
+	Key  string
+	Body []byte
+}
+
+// Log is an open handoff log: a durable FIFO of deferred writes for one
+// replica. All methods are safe for concurrent use.
+type Log struct {
+	fsys iofault.FS
+	path string
+
+	mu   sync.Mutex
+	f    iofault.File
+	recs []Record
+	next uint64 // next Seq to assign
+	// empty tracks whether the file still needs its header: the header
+	// goes out with the first record in one write, so a crash before any
+	// append leaves either nothing or a recognizable magic prefix.
+	empty  bool
+	broken error // latched append failure: the tail may be torn
+}
+
+// Open opens (or creates) the handoff log at path, replaying its clean
+// prefix. A torn tail or an unframed record — the artifacts of a crash
+// mid-append — is rolled back and trimmed from the file; damage in the
+// log body fails with a *CorruptError.
+func Open(fsys iofault.FS, path string) (*Log, error) {
+	data, err := readAll(fsys, path)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := scan(path, data)
+	if err != nil {
+		return nil, err
+	}
+	if sc.damage != nil {
+		return nil, sc.damage
+	}
+	l := &Log{fsys: fsys, path: path, next: 1}
+	for _, rec := range sc.recs {
+		if !rec.committed {
+			continue
+		}
+		l.recs = append(l.recs, rec.Record)
+		if rec.Seq >= l.next {
+			l.next = rec.Seq + 1
+		}
+	}
+	if sc.tornOff >= 0 || sc.uncommitted > 0 {
+		// Trim the crash artifact so appends land after a clean prefix.
+		// iofault files have no Truncate, so rewrite through a rename.
+		if err := l.rewrite(l.recs); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("handoff: open %s: %w", path, err)
+	}
+	if len(data) == 0 {
+		// Freshly created (or still empty): make the *name* durable before
+		// any append is acked, per the fsync-the-directory rule.
+		if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("handoff: sync dir: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("handoff: seek %s: %w", path, err)
+	}
+	l.f = f
+	l.empty = len(data) == 0
+	return l, nil
+}
+
+// Append durably appends one deferred write and returns its sequence
+// number. The record and its commit trailer go out in a single write
+// followed by a sync; only after the sync returns is the caller entitled
+// to ack the client. A failed append latches the log broken — the on-disk
+// tail is suspect — and every later append fails until reopen.
+func (l *Log) Append(verb byte, key string, body []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken != nil {
+		return 0, l.broken
+	}
+	if l.f == nil {
+		return 0, errors.New("handoff: log closed")
+	}
+	rec := Record{Seq: l.next, Verb: verb, Key: key, Body: body}
+	var out bytes.Buffer
+	if l.empty {
+		writeHeader(&out)
+	}
+	encoded := encodeRecord(rec)
+	out.Write(encoded)
+	appendTrailer(&out, 1, encoded)
+	if _, err := l.f.Write(out.Bytes()); err != nil {
+		l.broken = fmt.Errorf("handoff: append %s: %w", l.path, err)
+		return 0, l.broken
+	}
+	if err := l.f.Sync(); err != nil {
+		l.broken = fmt.Errorf("handoff: sync %s: %w", l.path, err)
+		return 0, l.broken
+	}
+	l.empty = false
+	l.next++
+	l.recs = append(l.recs, rec)
+	return rec.Seq, nil
+}
+
+// Len reports the number of pending records.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.recs)
+}
+
+// Peek returns a copy of the first n pending records (fewer if the log is
+// shorter), in append order.
+func (l *Log) Peek(n int) []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n > len(l.recs) {
+		n = len(l.recs)
+	}
+	out := make([]Record, n)
+	copy(out, l.recs[:n])
+	return out
+}
+
+// Snapshot returns a copy of every pending record in append order.
+func (l *Log) Snapshot() []Record { return l.Peek(int(^uint(0) >> 1)) }
+
+// TruncatePrefix durably drops the first n records — the prefix a replica
+// has confirmed. The remainder is rewritten through a temporary file and
+// renamed into place, the directory synced, and the log reopened for
+// append, so a crash at any point leaves either the old suffix or the new
+// one, never a blend.
+func (l *Log) TruncatePrefix(n int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n <= 0 {
+		return nil
+	}
+	if n > len(l.recs) {
+		n = len(l.recs)
+	}
+	rest := make([]Record, len(l.recs)-n)
+	copy(rest, l.recs[n:])
+	if err := l.rewrite(rest); err != nil {
+		return err
+	}
+	l.broken = nil
+	return nil
+}
+
+// rewrite replaces the log file with one holding exactly recs, then
+// reopens it for append. Caller holds l.mu (or is Open, pre-publication).
+func (l *Log) rewrite(recs []Record) error {
+	if l.f != nil {
+		l.f.Close()
+		l.f = nil
+	}
+	var out bytes.Buffer
+	if len(recs) > 0 {
+		writeHeader(&out)
+		for _, rec := range recs {
+			encoded := encodeRecord(rec)
+			out.Write(encoded)
+			appendTrailer(&out, 1, encoded)
+		}
+	}
+	tmp := l.path + ".tmp"
+	if err := writeFileSync(l.fsys, tmp, out.Bytes()); err != nil {
+		return fmt.Errorf("handoff: rewrite %s: %w", l.path, err)
+	}
+	if err := l.fsys.Rename(tmp, l.path); err != nil {
+		return fmt.Errorf("handoff: rewrite rename %s: %w", l.path, err)
+	}
+	if err := l.fsys.SyncDir(filepath.Dir(l.path)); err != nil {
+		return fmt.Errorf("handoff: rewrite sync dir: %w", err)
+	}
+	f, err := l.fsys.OpenFile(l.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("handoff: reopen %s: %w", l.path, err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return fmt.Errorf("handoff: reopen seek %s: %w", l.path, err)
+	}
+	l.f = f
+	l.recs = recs
+	l.empty = len(recs) == 0
+	return nil
+}
+
+// Path reports the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Close closes the underlying file. Pending records stay on disk and are
+// replayed by the next Open.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// --- offline audit ---------------------------------------------------------
+
+// Report is the result of Verify: a structural integrity summary of a
+// handoff log, for tycfsck -handoff.
+type Report struct {
+	Version uint32
+	Size    int64
+	Records int // structurally valid, checksummed records
+	Pending int // committed records a reopen would replay (the backlog)
+	// Uncommitted counts trailing records with no commit trailer (rolled
+	// back on open); TornTailOffset is the offset of a truncated record at
+	// the end of the log (a normal crash artifact), or -1.
+	Uncommitted    int
+	TornTailOffset int64
+	// Damage is the first corruption found in the log body, or nil.
+	Damage *CorruptError
+}
+
+// Clean reports whether the log reopens with no loss: no damage, no torn
+// tail, no rolled-back record.
+func (r *Report) Clean() bool {
+	return r.Damage == nil && r.TornTailOffset < 0 && r.Uncommitted == 0
+}
+
+// Verify checks the structural integrity of the handoff log at path
+// without opening it for append. A missing file verifies as an empty log.
+func Verify(fsys iofault.FS, path string) (*Report, error) {
+	data, err := readAll(fsys, path)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := scan(path, data)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Version:        sc.version,
+		Size:           int64(len(data)),
+		Records:        len(sc.recs),
+		Uncommitted:    sc.uncommitted,
+		TornTailOffset: sc.tornOff,
+		Damage:         sc.damage,
+	}
+	for _, rec := range sc.recs {
+		if rec.committed {
+			rep.Pending++
+		}
+	}
+	return rep, nil
+}
+
+// --- encoding and scan -----------------------------------------------------
+
+func writeHeader(out *bytes.Buffer) {
+	out.Write(magic[:])
+	var vb [4]byte
+	binary.LittleEndian.PutUint32(vb[:], currentVersion)
+	out.Write(vb[:])
+}
+
+func encodeRecord(rec Record) []byte {
+	var out bytes.Buffer
+	var b [8]byte
+	out.WriteByte(recWrite)
+	binary.LittleEndian.PutUint64(b[:], rec.Seq)
+	out.Write(b[:])
+	out.WriteByte(rec.Verb)
+	binary.LittleEndian.PutUint32(b[:4], uint32(len(rec.Key)))
+	out.Write(b[:4])
+	out.WriteString(rec.Key)
+	binary.LittleEndian.PutUint32(b[:4], uint32(len(rec.Body)))
+	out.Write(b[:4])
+	out.Write(rec.Body)
+	binary.LittleEndian.PutUint32(b[:4], crc32.Checksum(out.Bytes(), crcTable))
+	out.Write(b[:4])
+	return out.Bytes()
+}
+
+func appendTrailer(out *bytes.Buffer, count int, batch []byte) {
+	var hdr [9]byte
+	hdr[0] = recCommit
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(count))
+	binary.LittleEndian.PutUint32(hdr[5:], uint32(len(batch)))
+	crc := crc32.Checksum(hdr[:], crcTable)
+	crc = crc32.Update(crc, crcTable, batch)
+	out.Write(hdr[:])
+	var cb [4]byte
+	binary.LittleEndian.PutUint32(cb[:], crc)
+	out.Write(cb[:])
+}
+
+type scannedRec struct {
+	Record
+	committed bool
+}
+
+type scanResult struct {
+	version     uint32
+	recs        []scannedRec
+	uncommitted int
+	tornOff     int64
+	damage      *CorruptError
+}
+
+func scan(path string, data []byte) (*scanResult, error) {
+	sc := &scanResult{version: currentVersion, tornOff: -1}
+	if len(data) == 0 {
+		return sc, nil
+	}
+	if len(data) < headerLen {
+		n := len(data)
+		if n > 8 {
+			n = 8
+		}
+		if bytes.Equal(data[:n], magic[:n]) {
+			sc.tornOff = 0
+			return sc, nil
+		}
+		return nil, fmt.Errorf("handoff: %s is not a handoff log", path)
+	}
+	if !bytes.Equal(data[:8], magic[:]) {
+		return nil, fmt.Errorf("handoff: %s is not a handoff log", path)
+	}
+	sc.version = binary.LittleEndian.Uint32(data[8:12])
+	if sc.version != currentVersion {
+		return nil, fmt.Errorf("handoff: %s has unsupported format version %d", path, sc.version)
+	}
+	size := int64(len(data))
+	pos := int64(headerLen)
+	batchStart := pos
+	pendingFrom := 0
+	for pos < size {
+		switch tag := data[pos]; tag {
+		case recWrite:
+			if pos+recHeaderLen > size {
+				sc.tornOff = pos
+				return sc, nil
+			}
+			seq := binary.LittleEndian.Uint64(data[pos+1:])
+			verb := data[pos+9]
+			klen := int64(binary.LittleEndian.Uint32(data[pos+10:]))
+			if pos+recHeaderLen+klen+4 > size {
+				sc.tornOff = pos
+				return sc, nil
+			}
+			blen := int64(binary.LittleEndian.Uint32(data[pos+recHeaderLen+klen:]))
+			end := pos + recHeaderLen + klen + 4 + blen + crcLen
+			if end > size {
+				sc.tornOff = pos
+				return sc, nil
+			}
+			want := binary.LittleEndian.Uint32(data[end-crcLen:])
+			if crc32.Checksum(data[pos:end-crcLen], crcTable) != want {
+				sc.damage = &CorruptError{Path: path, Offset: pos, Reason: "record checksum mismatch"}
+				return sc, nil
+			}
+			body := make([]byte, blen)
+			copy(body, data[pos+recHeaderLen+klen+4:end-crcLen])
+			sc.recs = append(sc.recs, scannedRec{Record: Record{
+				Seq:  seq,
+				Verb: verb,
+				Key:  string(data[pos+recHeaderLen : pos+recHeaderLen+klen]),
+				Body: body,
+			}})
+			pos = end
+		case recCommit:
+			if pos+trailerLen > size {
+				sc.tornOff = pos
+				return sc, nil
+			}
+			count := int(binary.LittleEndian.Uint32(data[pos+1:]))
+			bsize := int64(binary.LittleEndian.Uint32(data[pos+5:]))
+			want := binary.LittleEndian.Uint32(data[pos+9:])
+			crc := crc32.Checksum(data[pos:pos+9], crcTable)
+			crc = crc32.Update(crc, crcTable, data[batchStart:pos])
+			switch {
+			case crc != want:
+				sc.damage = &CorruptError{Path: path, Offset: pos, Reason: "commit trailer checksum mismatch"}
+				return sc, nil
+			case count != len(sc.recs)-pendingFrom:
+				sc.damage = &CorruptError{Path: path, Offset: pos,
+					Reason: fmt.Sprintf("commit trailer frames %d records, found %d", count, len(sc.recs)-pendingFrom)}
+				return sc, nil
+			case bsize != pos-batchStart:
+				sc.damage = &CorruptError{Path: path, Offset: pos,
+					Reason: fmt.Sprintf("commit trailer frames %d bytes, found %d", bsize, pos-batchStart)}
+				return sc, nil
+			}
+			for i := pendingFrom; i < len(sc.recs); i++ {
+				sc.recs[i].committed = true
+			}
+			pos += trailerLen
+			batchStart = pos
+			pendingFrom = len(sc.recs)
+		default:
+			sc.damage = &CorruptError{Path: path, Offset: pos, Reason: fmt.Sprintf("unknown record tag %d", tag)}
+			return sc, nil
+		}
+	}
+	sc.uncommitted = len(sc.recs) - pendingFrom
+	return sc, nil
+}
+
+// readAll slurps the log; a missing file reads as empty.
+func readAll(fsys iofault.FS, path string) ([]byte, error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("handoff: open %s: %w", path, err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("handoff: read %s: %w", path, err)
+	}
+	return data, nil
+}
+
+// writeFileSync writes data to a fresh file and syncs it.
+func writeFileSync(fsys iofault.FS, path string, data []byte) error {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -174,6 +174,35 @@ func (s *session) dispatch(verb ship.Verb, body []byte) (keep bool) {
 			return s.sendErr(errWire(ship.CodeInternal, err))
 		}
 		return s.send(ship.VHealthOK, data)
+	case ship.VDigest:
+		// The anti-entropy probe stays outside the overload gate, like
+		// STATS: the repair loop must be able to compare digests against a
+		// busy shard without queueing behind the work it is repairing.
+		req, err := ship.DecodeDigest(body)
+		if err != nil {
+			failed = true
+			return s.sendErr(errWire(ship.CodeProto, err))
+		}
+		return s.send(ship.VDigestOK, s.srv.Digests(req.Prefix).Encode())
+	case ship.VSync:
+		// Replica repair: replay a batch of keyed writes. Each item runs
+		// through the normal handler — and therefore through the dedup
+		// table, which is what absorbs re-shipped prefixes.
+		release, ov := s.srv.acquire(verb)
+		if ov != nil {
+			failed = true
+			return s.sendErr(ov)
+		}
+		var sok *ship.SyncOK
+		func() {
+			defer release()
+			sok, werr = s.handleSync(body)
+		}()
+		if werr != nil {
+			failed = true
+			return s.sendErr(werr)
+		}
+		return s.send(ship.VSyncOK, sok.Encode())
 	case ship.VInstall, ship.VCall, ship.VSubmit, ship.VOptimize:
 		// Work verbs pass the overload gate; cheap probes (PING, STATS,
 		// HEALTH) never do, so a saturated server stays observable.
@@ -338,6 +367,38 @@ func (s *session) commitTxn(txn *store.Txn, what string) *ship.WireError {
 		s.srv.noteCommit(err)
 		return &ship.WireError{Code: ship.CodeDegraded, Msg: what + " not durable: " + err.Error()}
 	}
+}
+
+// handleSync replays a batch of deferred keyed writes (replica repair).
+// Items apply strictly in the coordinator's original order through the
+// ordinary INSTALL/SUBMIT handlers — which is what routes each item
+// through the idempotency table under its original key, making a
+// re-shipped prefix (crash mid-drain, coordinator retry) a no-op. The
+// first failing item aborts the batch so order is never violated; the
+// coordinator retries the whole batch and the already-applied prefix
+// dedups away.
+func (s *session) handleSync(body []byte) (*ship.SyncOK, *ship.WireError) {
+	req, err := ship.DecodeSync(body)
+	if err != nil {
+		return nil, errWire(ship.CodeProto, err)
+	}
+	for i, it := range req.Items {
+		var werr *ship.WireError
+		switch it.Verb {
+		case ship.VSubmit:
+			_, werr = s.handleSubmit(it.Body)
+		case ship.VInstall:
+			_, werr = s.handleInstall(it.Body)
+		default:
+			werr = &ship.WireError{Code: ship.CodeBadRequest,
+				Msg: "sync item verb " + it.Verb.String() + " is not a replayable write"}
+		}
+		if werr != nil {
+			werr.Msg = fmt.Sprintf("sync item %d of %d: %s", i+1, len(req.Items), werr.Msg)
+			return nil, werr
+		}
+	}
+	return &ship.SyncOK{Applied: uint32(len(req.Items))}, nil
 }
 
 // handleSubmit is the headline verb: decode the shipped PTML

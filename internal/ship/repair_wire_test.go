@@ -1,0 +1,97 @@
+package ship
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRepairMessageRoundTrips covers the replica-repair verbs' bodies:
+// SYNC batches of keyed writes and the anti-entropy digest exchange.
+func TestRepairMessageRoundTrips(t *testing.T) {
+	subBody, err := (&Submit{Name: "w1", PTML: []byte{1, 2, 3}, IdemKey: "k-1"}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync := &Sync{Items: []ShipItem{
+		{Verb: VSubmit, Body: subBody},
+		{Verb: VInstall, Body: (&Install{Source: "module m end", IdemKey: "k-2"}).Encode()},
+	}}
+	got, err := DecodeSync(sync.Encode())
+	if err != nil || !reflect.DeepEqual(got, sync) {
+		t.Errorf("sync: %+v, %v", got, err)
+	}
+	// The shipped bodies decode back to the original requests, original
+	// idempotency keys included — that is the exactly-once contract.
+	item, err := DecodeSubmit(got.Items[0].Body)
+	if err != nil || item.IdemKey != "k-1" {
+		t.Errorf("shipped submit: %+v, %v", item, err)
+	}
+
+	sok := &SyncOK{Applied: 2}
+	if got, err := DecodeSyncOK(sok.Encode()); err != nil || !reflect.DeepEqual(got, sok) {
+		t.Errorf("sync-ok: %+v, %v", got, err)
+	}
+
+	for _, dig := range []*Digest{{}, {Prefix: "srv:"}} {
+		if got, err := DecodeDigest(dig.Encode()); err != nil || !reflect.DeepEqual(got, dig) {
+			t.Errorf("digest: %+v, %v", got, err)
+		}
+	}
+
+	dok := &DigestOK{
+		CSN:   42,
+		Epoch: 7,
+		Roots: []RootDigest{
+			{Name: "rows", Digest: "00ff00ff"},
+			{Name: "srv:q", Digest: "deadbeef"},
+		},
+	}
+	if got, err := DecodeDigestOK(dok.Encode()); err != nil || !reflect.DeepEqual(got, dok) {
+		t.Errorf("digest-ok: %+v, %v", got, err)
+	}
+	empty := &DigestOK{CSN: 1, Epoch: 1}
+	if got, err := DecodeDigestOK(empty.Encode()); err != nil || !reflect.DeepEqual(got, empty) {
+		t.Errorf("empty digest-ok: %+v, %v", got, err)
+	}
+}
+
+func TestRepairVerbsAndCodes(t *testing.T) {
+	for verb, want := range map[Verb]string{
+		VSync: "sync", VSyncOK: "sync-ok", VDigest: "digest", VDigestOK: "digest-ok",
+	} {
+		if verb.String() != want {
+			t.Errorf("verb %d renders %q, want %q", verb, verb.String(), want)
+		}
+	}
+	if CodeReplicaDown.String() != "replica-down" {
+		t.Errorf("CodeReplicaDown renders %q", CodeReplicaDown.String())
+	}
+	// The replica-down refusal carries its back-off hint through the
+	// existing optional-trailing-field slot.
+	we := &WireError{Code: CodeReplicaDown, Msg: "shard 0 replica :9001 down", RetryAfterMs: 250}
+	got, err := DecodeWireError(we.Encode())
+	if err != nil || !reflect.DeepEqual(got, we) {
+		t.Errorf("replica-down error: %+v, %v", got, err)
+	}
+}
+
+// TestRepairDecodeGarbage: the new decoders must reject arbitrary bytes
+// with an error, never a panic or a huge allocation.
+func TestRepairDecodeGarbage(t *testing.T) {
+	bodies := [][]byte{
+		{0xff},
+		{0xff, 0xff, 0xff, 0xff}, // absurd item count
+		{2, 0, 0, 0, 9, 0xff, 0xff, 0xff, 0x7f},
+	}
+	for i, b := range bodies {
+		if _, err := DecodeSync(b); err == nil {
+			t.Errorf("garbage sync body %d decoded without error", i)
+		}
+		if _, err := DecodeDigestOK(b); err == nil {
+			t.Errorf("garbage digest-ok body %d decoded without error", i)
+		}
+	}
+	if _, err := DecodeSyncOK([]byte{1}); err == nil {
+		t.Error("truncated sync-ok decoded without error")
+	}
+}

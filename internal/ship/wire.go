@@ -83,6 +83,10 @@ const (
 	VWatch    Verb = 16 // request: subscribe to committed root changes
 	VWatchOK  Verb = 17 // response: subscription accepted; stream follows
 	VNotify   Verb = 18 // server push: one committed root change
+	VSync     Verb = 19 // request: replay a batch of keyed writes (replica repair)
+	VSyncOK   Verb = 20 // response: batch applied
+	VDigest   Verb = 21 // request: per-root anti-entropy digests
+	VDigestOK Verb = 22 // response: Digests as a binary body
 )
 
 // String names a verb for logs and errors.
@@ -124,6 +128,14 @@ func (v Verb) String() string {
 		return "watch-ok"
 	case VNotify:
 		return "notify"
+	case VSync:
+		return "sync"
+	case VSyncOK:
+		return "sync-ok"
+	case VDigest:
+		return "digest"
+	case VDigestOK:
+		return "digest-ok"
 	default:
 		return fmt.Sprintf("verb(%d)", byte(v))
 	}
@@ -755,6 +767,136 @@ func MatchRoot(pattern, name string) bool {
 	return px == len(pattern)
 }
 
+// ShipItem is one deferred write inside a Sync batch: the original verb
+// (VSubmit or VInstall) and the original encoded request body, idempotency
+// key and all. Re-encoding nothing is the point — the replica replays the
+// byte-identical request the live replicas executed, so the server-side
+// dedup key (idempotency key × content hash) matches across the handoff.
+type ShipItem struct {
+	Verb Verb
+	Body []byte
+}
+
+// Sync replays a batch of keyed writes to a replica that missed them
+// (replica repair). Items apply strictly in order; the first failing item
+// aborts the batch and the response reports how many applied, so the
+// shipper can retry from the failure without losing order. Replayed items
+// that the replica already executed are absorbed by its dedup table —
+// order plus original idempotency keys is what makes the whole protocol
+// exactly-once without a cursor handshake.
+type Sync struct {
+	Items []ShipItem
+}
+
+// Encode serialises the message body.
+func (m *Sync) Encode() []byte {
+	var b bytes.Buffer
+	putU32(&b, uint32(len(m.Items)))
+	for _, it := range m.Items {
+		b.WriteByte(byte(it.Verb))
+		putU32(&b, uint32(len(it.Body)))
+		b.Write(it.Body)
+	}
+	return b.Bytes()
+}
+
+// DecodeSync deserialises a Sync body.
+func DecodeSync(body []byte) (*Sync, error) {
+	r := &wreader{b: body}
+	m := &Sync{}
+	n := r.count(5) // smallest item: verb byte + 4-byte body length
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Items = append(m.Items, ShipItem{Verb: Verb(r.u8()), Body: r.bytesField()})
+	}
+	return m, r.done()
+}
+
+// SyncOK confirms a Sync batch: every item applied (or deduped).
+type SyncOK struct {
+	Applied uint32 // items processed, always len(Items) on success
+}
+
+// Encode serialises the message body.
+func (m *SyncOK) Encode() []byte {
+	var b bytes.Buffer
+	putU32(&b, m.Applied)
+	return b.Bytes()
+}
+
+// DecodeSyncOK deserialises a SyncOK body.
+func DecodeSyncOK(body []byte) (*SyncOK, error) {
+	r := &wreader{b: body}
+	m := &SyncOK{Applied: r.u32()}
+	return m, r.done()
+}
+
+// Digest asks a server for its per-root anti-entropy digests. Prefix
+// restricts the answer to roots with that name prefix ("" means all); the
+// repair loop asks for everything, tests for narrower slices.
+type Digest struct {
+	Prefix string
+}
+
+// Encode serialises the message body.
+func (m *Digest) Encode() []byte {
+	var b bytes.Buffer
+	putStr(&b, m.Prefix)
+	return b.Bytes()
+}
+
+// DecodeDigest deserialises a Digest body.
+func DecodeDigest(body []byte) (*Digest, error) {
+	r := &wreader{b: body}
+	m := &Digest{Prefix: r.str()}
+	return m, r.done()
+}
+
+// RootDigest is one root's structural digest: a hex hash of the object
+// graph reachable from the root, computed OID-independently so two
+// replicas that applied the same writes in different allocation orders
+// still agree (see server.RootDigest for what the hash covers).
+type RootDigest struct {
+	Name   string
+	Digest string
+}
+
+// DigestOK answers a Digest request. CSN and Epoch are the answering
+// store's commit sequence number and binding epoch — observability
+// context for logs and fsck, NOT part of the comparison: both are local
+// counters that legitimately differ between replicas with identical
+// contents (a replayed batch commits in fewer groups, reflective
+// reoptimization bumps epochs on one replica only). Agreement means the
+// per-root digest maps are equal.
+type DigestOK struct {
+	CSN   uint64
+	Epoch uint64
+	Roots []RootDigest
+}
+
+// Encode serialises the message body.
+func (m *DigestOK) Encode() []byte {
+	var b bytes.Buffer
+	putU64(&b, m.CSN)
+	putU64(&b, m.Epoch)
+	putU32(&b, uint32(len(m.Roots)))
+	for _, rd := range m.Roots {
+		putStr(&b, rd.Name)
+		putStr(&b, rd.Digest)
+	}
+	return b.Bytes()
+}
+
+// DecodeDigestOK deserialises a DigestOK body.
+func DecodeDigestOK(body []byte) (*DigestOK, error) {
+	r := &wreader{b: body}
+	m := &DigestOK{CSN: r.u64(), Epoch: r.u64()}
+	n := r.count(8) // smallest root digest: two 4-byte length prefixes
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Roots = append(m.Roots, RootDigest{Name: r.str(), Digest: r.str()})
+	}
+	return m, r.done()
+}
+
 // ExecInfo is the per-request execution record attached to a Result.
 type ExecInfo struct {
 	Steps    int64 // abstract machine steps charged to the request
@@ -869,6 +1011,12 @@ const (
 	// write first. Nothing was applied, so a retry — which re-executes
 	// against a fresh snapshot — is always safe.
 	CodeConflict ErrCode = 11
+	// CodeReplicaDown refuses a write-all application because a replica
+	// of the owning shard is down and the coordinator has no handoff log
+	// to defer the write into (-handoff-dir unset). Nothing was applied
+	// anywhere, so a retry after the RetryAfterMs hint is always safe —
+	// and tells clients to back off for the repair instead of hammering.
+	CodeReplicaDown ErrCode = 12
 )
 
 // String names an error code.
@@ -896,6 +1044,8 @@ func (c ErrCode) String() string {
 		return "degraded"
 	case CodeConflict:
 		return "conflict"
+	case CodeReplicaDown:
+		return "replica-down"
 	default:
 		return fmt.Sprintf("code(%d)", byte(c))
 	}
@@ -1020,6 +1170,16 @@ type ReplicaStat struct {
 	// size of the coordinator's pooled-session stack for it.
 	Fails int64 `json:"fails,omitempty"`
 	Idle  int   `json:"idle,omitempty"`
+	// State is the repair state machine's view: "live" (serving reads),
+	// "lagging" (missed writes sit in its handoff log; excluded from
+	// reads) or "repairing" (the repair loop is draining to it).
+	State string `json:"state,omitempty"`
+	// Backlog is the handoff log depth: deferred writes not yet confirmed
+	// by this replica.
+	Backlog int `json:"backlog,omitempty"`
+	// LastRepairCSN is the replica's store CSN observed when its last
+	// repair completed (digests agreed); zero if never repaired.
+	LastRepairCSN uint64 `json:"last_repair_csn,omitempty"`
 }
 
 // ClusterStats is the coordinator's counter block inside ServerStats.
@@ -1040,11 +1200,21 @@ type ClusterStats struct {
 	Partials int64 `json:"partials,omitempty"`
 	// Shed counts requests refused by the coordinator's own inflight
 	// gate (composing with each shard's gate underneath).
-	Shed     int64         `json:"shed,omitempty"`
-	Replicas []ReplicaStat `json:"replicas,omitempty"`
+	Shed int64 `json:"shed,omitempty"`
+	// HandoffWrites counts writes accepted while a replica was down and
+	// deferred into its handoff log; RepairShipped counts deferred writes
+	// later replayed to a revived replica; Repairs counts repairs that
+	// completed with agreeing digests; RepairMismatch counts anti-entropy
+	// passes that found diverging digests after a full drain (the replica
+	// stays out of the read list — fails loud in tycfsck -cluster).
+	HandoffWrites  int64         `json:"handoff_writes,omitempty"`
+	RepairShipped  int64         `json:"repair_shipped,omitempty"`
+	Repairs        int64         `json:"repairs,omitempty"`
+	RepairMismatch int64         `json:"repair_mismatch,omitempty"`
+	Replicas       []ReplicaStat `json:"replicas,omitempty"`
 }
 
-/// Health is the HEALTH response payload (JSON, like ServerStats): a
+// / Health is the HEALTH response payload (JSON, like ServerStats): a
 // cheap probe a load balancer or retrying client can poll without
 // touching the execution path.
 type Health struct {

@@ -46,8 +46,12 @@ type Config struct {
 	// long soak exercises overwrite paths instead of growing the root
 	// map without bound.
 	Slots int
-	// TargetRate throttles the whole run to about this many requests per
-	// second (0: unthrottled).
+	// TargetRate holds the whole run to about this many requests per
+	// second (0: unthrottled closed loop). A rate-held run measures each
+	// request's latency from its scheduled slot, not from the moment the
+	// worker got around to sending it — otherwise a stalled server makes
+	// every queued request look fast because its wait for the slot is
+	// silently dropped from the histogram (coordinated omission).
 	TargetRate float64
 	Timeout    time.Duration // per-request timeout (default 30s)
 	Retries    int           // wire retries per request (default 3)
@@ -68,7 +72,13 @@ type Report struct {
 	Requests int64
 	Errors   int64
 	Wrong    int64
-	Verbs    map[string]*VerbStats
+	// TargetRate echoes the configured pace (0: unthrottled); Achieved
+	// is the rate the run actually sustained. A rate-held run whose
+	// Achieved falls well short of TargetRate is saturated — its
+	// latency numbers describe an overloaded system, on purpose.
+	TargetRate float64
+	Achieved   float64
+	Verbs      map[string]*VerbStats
 }
 
 // programs are the Stanford shapes the call mix draws from, scaled to
@@ -264,18 +274,26 @@ func Run(cfg Config) (*Report, error) {
 			next := time.Now()
 			var writeSeq int64
 			for i := int64(0); i < share; i++ {
+				t0 := time.Now()
 				if interval > 0 {
+					// Rate-held: this request belongs to the slot at
+					// `next` whether or not the worker is ready for it.
+					// The slot never re-anchors and t0 is the slot, so
+					// when the server stalls, every request queued
+					// behind the stall reports its scheduled-to-answer
+					// time — the latency a paced open-loop client would
+					// have seen — not just its own wire time.
 					next = next.Add(interval)
 					if d := time.Until(next); d > 0 {
 						time.Sleep(d)
 					}
+					t0 = next
 				}
 				pick := rng.Intn(cfg.Mix.total())
 				switch {
 				case pick < cfg.Mix.Call:
 					vs := out.verbs["call"]
 					p := programs[rng.Intn(len(programs))]
-					t0 := time.Now()
 					res, err := c.Call(p.name, "run", ship.WVal{Kind: ship.WInt, Int: p.n})
 					vs.Hist.Record(time.Since(t0))
 					vs.Count++
@@ -294,7 +312,6 @@ func Run(cfg Config) (*Report, error) {
 						{Name: "a", Val: ship.WVal{Kind: ship.WInt, Int: a}},
 						{Name: "b", Val: ship.WVal{Kind: ship.WInt, Int: b}},
 					}
-					t0 := time.Now()
 					res, err := c.SubmitTML("soak-add", src, binds, false, "")
 					vs.Hist.Record(time.Since(t0))
 					vs.Count++
@@ -311,7 +328,6 @@ func Run(cfg Config) (*Report, error) {
 					writeSeq++
 					val := int64(w+1)*1_000_000_000 + writeSeq
 					src := fmt.Sprintf("(+ %d 0 e cont(n) (k n))", val)
-					t0 := time.Now()
 					res, err := c.SubmitTML(slot.name, src, nil, false, slot.name)
 					vs.Hist.Record(time.Since(t0))
 					vs.Count++
@@ -327,7 +343,6 @@ func Run(cfg Config) (*Report, error) {
 				case pick < cfg.Mix.Call+cfg.Mix.Submit+cfg.Mix.Write+cfg.Mix.Optimize:
 					vs := out.verbs["optimize"]
 					p := programs[rng.Intn(len(programs))]
-					t0 := time.Now()
 					_, err := c.Optimize(p.name, "run")
 					vs.Hist.Record(time.Since(t0))
 					vs.Count++
@@ -345,7 +360,6 @@ func Run(cfg Config) (*Report, error) {
 					pre := board.get(root)
 					val := int64(w+1)*1_000_000_000 + writeSeq
 					src := fmt.Sprintf("(+ %d 0 e cont(n) (k n))", val)
-					t0 := time.Now()
 					_, err := c.SubmitTML(root, src, nil, false, fmt.Sprintf("ldw-w%d", w))
 					if err != nil {
 						vs.Hist.Record(time.Since(t0))
@@ -369,7 +383,7 @@ func Run(cfg Config) (*Report, error) {
 		watcher.Close()
 	}
 
-	rep := &Report{Label: cfg.Label, Elapsed: elapsed, Verbs: make(map[string]*VerbStats)}
+	rep := &Report{Label: cfg.Label, Elapsed: elapsed, TargetRate: cfg.TargetRate, Verbs: make(map[string]*VerbStats)}
 	for _, v := range verbNames {
 		rep.Verbs[v] = &VerbStats{}
 	}
@@ -421,6 +435,9 @@ func Run(cfg Config) (*Report, error) {
 		if vs.Count == 0 {
 			delete(rep.Verbs, v)
 		}
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.Achieved = float64(rep.Requests) / secs
 	}
 	return rep, nil
 }

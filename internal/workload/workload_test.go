@@ -172,6 +172,35 @@ func TestRunDeterministic(t *testing.T) {
 	}
 }
 
+// TestRunRateHeld pins the closed-loop pacing: a run targeted well
+// below the server's natural throughput must stretch to at least the
+// schedule's length (requests/rate), echo the target, and report an
+// achieved rate that the throttle actually held.
+func TestRunRateHeld(t *testing.T) {
+	addr := boot(t)
+	rep, err := Run(Config{
+		Addr: addr, Workers: 2, Requests: 60, Seed: 3,
+		Mix: Mix{Call: 1, Submit: 1}, TargetRate: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Wrong != 0 {
+		t.Fatalf("errors=%d wrong=%d, want 0/0", rep.Errors, rep.Wrong)
+	}
+	// 60 requests at 200 req/s is a 300ms schedule; a closed loop
+	// without the throttle finishes this in a few ms.
+	if rep.Elapsed < 250*time.Millisecond {
+		t.Fatalf("rate-held run finished in %s, schedule is ~300ms", rep.Elapsed)
+	}
+	if rep.TargetRate != 200 {
+		t.Fatalf("report target = %v, want 200", rep.TargetRate)
+	}
+	if rep.Achieved <= 0 || rep.Achieved > 240 {
+		t.Fatalf("achieved %.0f req/s against a 200 req/s target; the throttle did not hold", rep.Achieved)
+	}
+}
+
 // TestBenchLines pins the report's benchjson-compatible rendering.
 func TestBenchLines(t *testing.T) {
 	rep := &Report{Label: "tycd", Elapsed: 2 * time.Second, Verbs: map[string]*VerbStats{

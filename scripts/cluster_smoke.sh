@@ -136,4 +136,110 @@ pids=""
 
 # One fsck run audits every shard store.
 "$work/tycfsck" -store "$work/shard0.tyst" -store "$work/shard1.tyst" -store "$work/shard2.tyst" -v
+
+# --- Replica repair phase: one shard with TWO replicas behind a tycc
+# with the write-ahead handoff enabled. Kill a replica, write through
+# the outage (the coordinator must ack and park the dead replica's copy
+# in its handoff log), revive it, and poll tycfsck -cluster until the
+# backlog is replayed and the digest audit re-admits the replica; the
+# write must then be callable directly on the revived replica.
+echo "smoke: replica repair phase"
+for r in 0 1; do
+	"$work/tycd" -store "$work/rep$r.tyst" -addr 127.0.0.1:0 \
+		-portfile "$work/rport$r" 2>"$work/rep$r.log" &
+	eval "rep${r}_pid=$!"
+	pids="$pids $!"
+	addr="$(wait_addr "$work/rport$r" "$!")"
+	eval "rep${r}_addr=$addr"
+done
+mkdir "$work/handoff"
+"$work/tycc" -shard "$rep0_addr,$rep1_addr" -addr 127.0.0.1:0 \
+	-portfile "$work/portc2" -handoff-dir "$work/handoff" \
+	-repair-interval 50ms 2>"$work/tycc2.log" &
+tycc2_pid=$!
+pids="$pids $tycc2_pid"
+coord2="$(wait_addr "$work/portc2" "$tycc2_pid")"
+
+# A save while both replicas are up applies to both.
+echo "submit save=pre (+ 1 2 e cont(n) (k n))" | \
+	"$work/tycsh" -addr "$coord2" >"$work/rout1" 2>&1
+grep -q '^3$' "$work/rout1" || {
+	echo "smoke: pre-outage save failed" >&2
+	cat "$work/rout1" >&2
+	exit 1
+}
+
+# Kill replica 1. The next save must still be acked: replica 0 applies
+# it and the handoff log stands in for replica 1's ack.
+kill -TERM "$rep1_pid"
+wait "$rep1_pid" || true
+echo "submit save=during (+ 20 22 e cont(n) (k n))" | \
+	"$work/tycsh" -addr "$coord2" >"$work/rout2" 2>&1
+grep -q '^42$' "$work/rout2" || {
+	echo "smoke: write during replica outage was not acked" >&2
+	cat "$work/rout2" >&2
+	exit 1
+}
+
+# health and tycfsck -cluster both surface the lag honestly.
+echo health | "$work/tycsh" -addr "$coord2" >"$work/rhealth" 2>&1
+grep -q 'lagging' "$work/rhealth" || {
+	echo "smoke: health does not show the lagging replica" >&2
+	cat "$work/rhealth" >&2
+	exit 1
+}
+"$work/tycfsck" -cluster "$coord2" >"$work/rfsck1" 2>&1 || {
+	echo "smoke: tycfsck -cluster failed on an honestly lagging replica" >&2
+	cat "$work/rfsck1" >&2
+	exit 1
+}
+grep -q 'pending replay' "$work/rfsck1" || {
+	echo "smoke: tycfsck -cluster does not report the backlog" >&2
+	cat "$work/rfsck1" >&2
+	exit 1
+}
+
+# Revive replica 1 over its surviving store and port; the probe clears
+# the down latch, the repair loop drains the backlog, and the digest
+# audit gates re-admission — poll until tycfsck says the state is clean.
+"$work/tycd" -store "$work/rep1.tyst" -addr "$rep1_addr" \
+	2>"$work/rep1b.log" &
+rep1_pid=$!
+pids="$pids $rep1_pid"
+ok=""
+for _ in $(seq 1 50); do
+	sleep 0.2
+	"$work/tycfsck" -cluster "$coord2" >"$work/rfsck2" 2>/dev/null || continue
+	if grep -q 'repair state clean' "$work/rfsck2"; then
+		ok=1
+		break
+	fi
+done
+[ -n "$ok" ] || {
+	echo "smoke: repair never converged" >&2
+	cat "$work/rfsck2" >&2
+	cat "$work/tycc2.log" >&2
+	exit 1
+}
+
+# The replayed write must be callable directly on the revived replica,
+# not just through the coordinator.
+echo "call @during" | "$work/tycsh" -addr "$rep1_addr" >"$work/rout3" 2>&1
+grep -q '^42$' "$work/rout3" || {
+	echo "smoke: replayed write not callable on the revived replica" >&2
+	cat "$work/rout3" >&2
+	exit 1
+}
+echo "smoke: replica outage absorbed and repaired"
+
+# Drain the repair-phase fleet and audit its stores and handoff logs.
+kill -TERM "$tycc2_pid"
+wait "$tycc2_pid" || { echo "smoke: tycc (repair phase) exited non-zero" >&2; cat "$work/tycc2.log" >&2; exit 1; }
+for p in "$rep0_pid" "$rep1_pid"; do
+	kill -TERM "$p"
+	wait "$p" || { echo "smoke: a replica exited non-zero" >&2; exit 1; }
+done
+pids=""
+"$work/tycfsck" -store "$work/rep0.tyst" -store "$work/rep1.tyst" \
+	-handoff "$work/handoff/shard0-r0.hlog" -handoff "$work/handoff/shard0-r1.hlog" -v
 echo "smoke: OK"
